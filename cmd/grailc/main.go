@@ -1,0 +1,128 @@
+// Command grailc is the guardrail compiler: it parses, checks, compiles,
+// and verifies guardrail specification files, printing the compiled
+// monitor programs.
+//
+// Usage:
+//
+//	grailc [-S] [-json] [-check-only] [-o out.img] file.grail...
+//	grailc -e 'guardrail g { ... }'
+//
+// With no flags it reports each guardrail's name, trigger count, and
+// program size. -S dumps the disassembly, -json the program as JSON,
+// -o writes binary monitor images (one file per guardrail, named
+// <out>.<guardrail>.img when multiple), -check-only stops after
+// semantic checking.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"guardrails/internal/compile"
+	"guardrails/internal/spec"
+)
+
+func main() {
+	asm := flag.Bool("S", false, "dump program disassembly")
+	jsonOut := flag.Bool("json", false, "emit compiled programs as JSON")
+	checkOnly := flag.Bool("check-only", false, "parse and check only; do not compile")
+	expr := flag.String("e", "", "compile specification text from the command line")
+	imgOut := flag.String("o", "", "write binary monitor image(s) to this path")
+	flag.Parse()
+
+	sources := map[string]string{}
+	if *expr != "" {
+		sources["<command line>"] = *expr
+	}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fail("%v", err)
+		}
+		sources[path] = string(data)
+	}
+	if len(sources) == 0 {
+		fail("usage: grailc [-S] [-json] [-check-only] file.grail... | grailc -e 'spec'")
+	}
+
+	exit := 0
+	for name, src := range sources {
+		if err := processOne(os.Stdout, name, src, options{
+			asm: *asm, jsonOut: *jsonOut, checkOnly: *checkOnly, imageOut: *imgOut,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+type options struct {
+	asm       bool
+	jsonOut   bool
+	checkOnly bool
+	imageOut  string
+}
+
+func processOne(w io.Writer, name, src string, opt options) error {
+	f, err := spec.Parse(src)
+	if err != nil {
+		return err
+	}
+	if err := spec.Check(f); err != nil {
+		return err
+	}
+	if opt.checkOnly {
+		fmt.Fprintf(w, "%s: %d guardrail(s) OK\n", name, len(f.Guardrails))
+		return nil
+	}
+	compiled, err := compile.File(f)
+	if err != nil {
+		return err
+	}
+	for _, c := range compiled {
+		if opt.imageOut != "" {
+			path := opt.imageOut
+			if len(compiled) > 1 {
+				path = fmt.Sprintf("%s.%s.img", opt.imageOut, c.Name)
+			}
+			out, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := c.Program.Encode(out); err != nil {
+				out.Close()
+				return err
+			}
+			if err := out.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s: wrote %s\n", c.Name, path)
+			continue
+		}
+		switch {
+		case opt.jsonOut:
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(c.Program); err != nil {
+				return err
+			}
+		case opt.asm:
+			fmt.Fprint(w, c.Program.String())
+			fmt.Fprintln(w)
+		default:
+			fmt.Fprintf(w, "%s: guardrail %q: %d trigger(s), %d rule(s), %d action(s), %d insns, %d symbols\n",
+				name, c.Name, len(c.Triggers), len(c.Source.Rules), len(c.Actions),
+				len(c.Program.Code), len(c.Program.Symbols))
+		}
+	}
+	return nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

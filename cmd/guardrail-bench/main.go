@@ -1,0 +1,129 @@
+// Command guardrail-bench is the experiment harness: it runs every
+// experiment in the reproduction's index (DESIGN.md / EXPERIMENTS.md)
+// and prints the paper-style rows and series.
+//
+// Usage:
+//
+//	guardrail-bench [-seed N] [-only fig2,p1,p2,p3,p4,p5,p6,osc,trig,vm]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"guardrails/internal/experiments"
+	"guardrails/internal/kernel"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "experiment seed")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	run := func(id string) bool { return len(want) == 0 || want[id] }
+
+	type experiment struct {
+		id string
+		fn func() (string, error)
+	}
+	exps := []experiment{
+		{"fig2", func() (string, error) {
+			r, err := experiments.RunFig2(experiments.DefaultFig2Config(*seed))
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"p1", func() (string, error) {
+			r, err := experiments.RunP1Drift(*seed)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"p2", func() (string, error) {
+			rows, err := experiments.RunP2Robustness(*seed, []float64{0, 0.1, 0.2, 0.3, 0.4})
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderP2(rows), nil
+		}},
+		{"p3", func() (string, error) {
+			r, err := experiments.RunP3OutOfBounds(*seed)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"p4", func() (string, error) {
+			r, err := experiments.RunP4Quality(*seed)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"p5", func() (string, error) {
+			rows, err := experiments.RunP5Overhead(*seed, []kernel.Time{
+				6 * kernel.Microsecond,
+				60 * kernel.Microsecond,
+				400 * kernel.Microsecond,
+			})
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderP5(rows), nil
+		}},
+		{"p6", func() (string, error) {
+			r, err := experiments.RunP6Fairness(*seed)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"osc", func() (string, error) {
+			r, err := experiments.RunOscillation(*seed)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"trig", func() (string, error) {
+			rows, err := experiments.RunTriggerSweep(*seed)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderTriggers(rows), nil
+		}},
+		{"vm", func() (string, error) {
+			rows, err := experiments.RunVMMicro()
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderVMMicro(rows), nil
+		}},
+	}
+
+	exit := 0
+	for _, e := range exps {
+		if !run(e.id) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", e.id)
+		out, err := e.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			exit = 1
+			continue
+		}
+		fmt.Println(out)
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,46 @@
+// Command linnos-demo reproduces the paper's Figure 2 end to end:
+// train a LinnOS-style I/O latency classifier on a calm flash workload,
+// deploy it with and without the Listing 2 false-submit guardrail,
+// shift the workload write-heavy mid-run, and print the latency
+// moving-average series for both systems plus the guardrail trigger
+// point.
+//
+// Usage:
+//
+//	linnos-demo [-seed N] [-calm SECONDS] [-shift SECONDS] [-tsv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"guardrails/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "experiment seed")
+	calm := flag.Int("calm", 20, "calm phase duration (seconds)")
+	shift := flag.Int("shift", 40, "shifted phase duration (seconds)")
+	tsv := flag.Bool("tsv", false, "emit only the tab-separated series (for plotting)")
+	flag.Parse()
+
+	cfg := experiments.DefaultFig2Config(*seed)
+	cfg.CalmSeconds = *calm
+	cfg.ShiftSeconds = *shift
+
+	fmt.Fprintln(os.Stderr, "training classifier and running both systems (takes a few seconds)...")
+	res, err := experiments.RunFig2(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	if *tsv {
+		fmt.Println("time_s\tlinnos_us\tlinnos_w_guardrails_us")
+		for _, p := range res.Series {
+			fmt.Printf("%.2f\t%.1f\t%.1f\n", p.TimeS, p.UnguardedUS, p.GuardedUS)
+		}
+		return
+	}
+	fmt.Print(res.Render())
+}

@@ -1,0 +1,70 @@
+// Command congestion demonstrates a robustness guardrail (P2) over a
+// learned congestion controller. The controller — cloned from an
+// aggressive delay-gradient rule — is glass-smooth on clean RTT
+// measurements, but injected measurement noise turns its high gain into
+// rate oscillation. A guardrail watching the decision coefficient of
+// variation disables it in favour of loss-based AIMD, restoring
+// utilization.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"guardrails"
+	"guardrails/internal/monitor"
+	"guardrails/internal/netcc"
+)
+
+const spec = `
+guardrail cc-robustness {
+    trigger: { TIMER(1e10, 2e8) }, // judge steady state, every 200ms after t=10s
+    rule: { LOAD(cc_rate_cov) <= 0.15 },
+    action: {
+        REPORT(LOAD(cc_rate_cov));
+        SAVE(cc_ml_enabled, 0)
+    }
+}`
+
+func main() {
+	seed := flag.Int64("seed", 1, "run seed")
+	noise := flag.Float64("noise", 0.3, "RTT measurement noise sigma (lognormal)")
+	flag.Parse()
+
+	learned := netcc.NewLearned(*seed)
+	fmt.Fprintln(os.Stderr, "cloning learned controller from the delay-gradient teacher...")
+	if _, err := learned.Clone(netcc.DelayGradientTeacher{}, netcc.DefaultPathConfig()); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	run := func(label string, sigma float64, guarded bool) {
+		sys := guardrails.NewSystem()
+		cfg := netcc.DefaultRunConfig(*seed)
+		cfg.NoiseSigma = sigma
+		var fallback netcc.Controller
+		if guarded {
+			fallback = netcc.NewAIMD()
+			if _, err := sys.LoadGuardrails(spec, monitor.Options{ViolationStreak: 2}); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+		}
+		m, err := netcc.Run(sys.Kernel, sys.Store, learned, fallback, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		state := "learned"
+		if guarded && sys.Store.Load(netcc.KeyCCEnabled) == 0 {
+			state = "fell back to AIMD"
+		}
+		fmt.Printf("%-28s util=%.2f  rate_cov=%.3f  p95_rtt=%v  loss=%.4f  [%s]\n",
+			label, m.Utilization, m.RateCoV, m.P95RTT, m.LossFraction, state)
+	}
+
+	run("clean, unguarded", 0, false)
+	run(fmt.Sprintf("noisy (sigma=%.1f), unguarded", *noise), *noise, false)
+	run(fmt.Sprintf("noisy (sigma=%.1f), guarded", *noise), *noise, true)
+}

@@ -1,0 +1,33 @@
+// Command linnos runs the paper's §5 case study interactively: a
+// LinnOS-style learned I/O latency predictor routes reads on a
+// simulated flash array; the workload shifts write-heavy mid-run; the
+// Listing 2 guardrail detects the rising false-submit rate and falls
+// back to the hedged baseline. It prints the Figure 2 series.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"guardrails/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "experiment seed")
+	calm := flag.Int("calm", 20, "calm phase seconds")
+	shift := flag.Int("shift", 40, "shifted phase seconds")
+	flag.Parse()
+
+	cfg := experiments.DefaultFig2Config(*seed)
+	cfg.CalmSeconds = *calm
+	cfg.ShiftSeconds = *shift
+
+	fmt.Fprintln(os.Stderr, "training LinnOS classifier on the calm workload...")
+	res, err := experiments.RunFig2(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Render())
+}

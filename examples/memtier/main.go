@@ -1,0 +1,101 @@
+// Command memtier demonstrates an out-of-bounds-output guardrail (P3)
+// over a learned tiered-memory placement policy. The policy was trained
+// against a four-tier hierarchy; the deployed kernel has two tiers, so
+// cold pages make it emit tier indices that no longer exist. A bounds
+// guardrail reports the illegal-output rate and REPLACEs the model with
+// the frequency heuristic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"guardrails"
+	"guardrails/internal/experiments"
+	"guardrails/internal/memtier"
+	"guardrails/internal/monitor"
+	"guardrails/internal/trace"
+)
+
+const spec = `
+guardrail mem-placement-bounds {
+    trigger: { TIMER(start_time, 1e8) }, // check every 100ms
+    rule: { LOAD(mem_illegal_rate) <= 0.01 },
+    action: {
+        REPORT(LOAD(mem_illegal_rate));
+        REPLACE(learned, frequency)
+    }
+}`
+
+// registryPolicy routes placement through the runtime's policy slot so
+// REPLACE takes effect immediately.
+type registryPolicy struct {
+	sys *guardrails.System
+}
+
+func (p *registryPolicy) Name() string {
+	name, _, _ := p.sys.Runtime.Policies.Current("mem_policy")
+	return name
+}
+
+func (p *registryPolicy) Place(s memtier.PageStats, pressure float64) memtier.Decision {
+	_, cur, err := p.sys.Runtime.Policies.Current("mem_policy")
+	if err != nil {
+		return memtier.Decision{Tier: memtier.TierNVM}
+	}
+	return cur.(memtier.Policy).Place(s, pressure)
+}
+
+func main() {
+	seed := flag.Int64("seed", 7, "experiment seed")
+	flag.Parse()
+
+	learned, err := experiments.TrainStale4TierPlacement(*seed)
+	check(err)
+	sys := guardrails.NewSystem()
+	check(sys.Runtime.Policies.DefineSlot("mem_policy", map[string]any{
+		"learned":   memtier.Policy(learned),
+		"frequency": memtier.Policy(&memtier.FrequencyPolicy{HotThreshold: 4}),
+	}, "learned"))
+	mgr, err := memtier.NewManager(sys.Kernel, sys.Store, 2048, &registryPolicy{sys: sys})
+	check(err)
+
+	rng := trace.NewRand(*seed)
+	now := guardrails.Time(0)
+	drive := func(n int, page func(i int) uint64, label string) {
+		for i := 0; i < n; i++ {
+			mgr.Access(page(i))
+			if i%500 == 0 {
+				now += 50 * guardrails.Millisecond
+				sys.Kernel.RunUntil(now)
+			}
+		}
+		st := mgr.Stats()
+		name, _, _ := sys.Runtime.Policies.Current("mem_policy")
+		fmt.Printf("%-10s accesses=%-7d illegal=%-5d policy=%-9s illegal_rate=%.3f\n",
+			label, st.Accesses, st.IllegalDecisions, name,
+			sys.Store.Load(memtier.KeyIllegalRate))
+	}
+
+	// Warm the working set first, then deploy the guardrail on the live
+	// system (incremental deployment, §3.3).
+	drive(20000, func(int) uint64 { return uint64(rng.Intn(1000)) }, "warmup")
+	_, err = sys.LoadGuardrails(spec, monitor.Options{})
+	check(err)
+	fmt.Println("guardrail deployed")
+
+	drive(30000, func(int) uint64 { return uint64(rng.Intn(1000)) }, "hot phase")
+	drive(60000, func(i int) uint64 { return uint64(100000 + i) }, "cold scan")
+
+	for _, v := range sys.Runtime.Log.Recent(2) {
+		fmt.Println("violation:", v)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,65 @@
+// Command quickstart shows the guardrails framework end to end in fifty
+// lines: declare a guardrail over a (mock) learned policy's signals,
+// load it into a simulated system, and watch it detect a violation and
+// flip the policy's control knob.
+package main
+
+import (
+	"fmt"
+
+	"guardrails"
+)
+
+// spec is the paper's Listing 2: if the learned I/O predictor's
+// false-submit rate exceeds 5%, disable it.
+const spec = `
+guardrail low-false-submit {
+    trigger: {
+        TIMER(start_time, 1e9) // Periodically check every 1s.
+    },
+    rule: {
+        LOAD(false_submit_rate) <= 0.05
+    },
+    action: {
+        REPORT(LOAD(false_submit_rate));
+        SAVE(ml_enabled, false)
+    }
+}`
+
+func main() {
+	sys := guardrails.NewSystem()
+	sys.Store.Save("ml_enabled", 1)
+
+	mons, err := sys.LoadGuardrails(spec, guardrails.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("loaded guardrail %q (%d VM instructions)\n\n",
+		mons[0].Name(), len(mons[0].Program().Code))
+	fmt.Println(mons[0].Program())
+
+	// A mock learned policy publishes its false-submit rate every 100ms:
+	// healthy for 5 seconds, then misbehaving.
+	sys.Kernel.Every(0, 100*guardrails.Millisecond, 12*guardrails.Second,
+		func(now guardrails.Time) {
+			rate := 0.01
+			if now >= 5*guardrails.Second {
+				rate = 0.18
+			}
+			sys.Store.Save("false_submit_rate", rate)
+		})
+
+	// Observe the knob.
+	sys.Store.Watch("ml_enabled", func(_ string, v float64) {
+		fmt.Printf("[%v] ml_enabled -> %v\n", sys.Kernel.Now(), v)
+	})
+
+	sys.Kernel.RunUntil(12 * guardrails.Second)
+
+	st := mons[0].Stats()
+	fmt.Printf("\nevaluations=%d violations=%d actions=%d\n",
+		st.Evals, st.Violations, st.ActionsFired)
+	for _, v := range sys.Runtime.Log.Recent(3) {
+		fmt.Println("violation:", v)
+	}
+}

@@ -1,0 +1,3 @@
+module guardrails
+
+go 1.22

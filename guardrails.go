@@ -1,0 +1,162 @@
+// Package guardrails is an open-source implementation of "How I learned
+// to stop worrying and love learned OS policies" (HotOS '25): a
+// framework that lets kernel developers declaratively specify
+// system-level properties over learned OS policies and corrective
+// actions to take when a property is violated, and compiles those
+// guardrails into verified monitors that run inside the kernel.
+//
+// # The abstraction
+//
+// A guardrail is a property (triggers saying when to check + rules
+// saying what must hold) paired with one or more actions (Listing 1 of
+// the paper):
+//
+//	guardrail low-false-submit {
+//	    trigger: {
+//	        TIMER(start_time, 1e9) // Periodically check every 1s.
+//	    },
+//	    rule: {
+//	        LOAD(false_submit_rate) <= 0.05
+//	    },
+//	    action: {
+//	        SAVE(ml_enabled, false)
+//	    }
+//	}
+//
+// Rules are numeric predicates over a global feature store accessed
+// with LOAD(key); subsystems and learned policies publish their signals
+// with SAVE(key, value). Actions cover the paper's taxonomy: REPORT
+// (log context), REPLACE (swap a misbehaving policy for a fallback),
+// RETRAIN (queue rate-limited retraining), DEPRIORITIZE (demote or kill
+// a task group), plus SAVE for control knobs.
+//
+// # The pipeline
+//
+// Specification text is parsed and checked (ParseSpec), compiled to a
+// register bytecode program (CompileSpec), statically verified for
+// in-kernel safety — loop freedom, bounded length, initialized
+// registers, bounds-checked cell accesses (Verify) — and loaded into a
+// Runtime that binds TIMER triggers to kernel timers and FUNCTION
+// triggers to kprobe-style hook sites.
+//
+// # Quick start
+//
+//	sys := guardrails.NewSystem()
+//	sys.Store.Save("false_submit_rate", 0.01)
+//	mons, err := sys.LoadGuardrails(spec, guardrails.Options{})
+//	...
+//	sys.Kernel.RunUntil(10 * guardrails.Second) // simulated kernel
+//
+// This repository ships a deterministic simulated kernel plus substrate
+// simulators (flash storage with a LinnOS-style latency predictor, a CPU
+// scheduler, tiered memory, cache replacement, congestion control) that
+// reproduce the paper's Figure 2 and instantiate every row of its
+// property/action taxonomy; see DESIGN.md and EXPERIMENTS.md.
+package guardrails
+
+import (
+	"guardrails/internal/actions"
+	"guardrails/internal/compile"
+	"guardrails/internal/featurestore"
+	"guardrails/internal/kernel"
+	"guardrails/internal/monitor"
+	"guardrails/internal/spec"
+	"guardrails/internal/vm"
+)
+
+// Re-exported core types. The type aliases make the internal
+// implementations part of the public API surface.
+type (
+	// Kernel is the deterministic discrete-event simulated kernel that
+	// hosts hook points, timers, and tasks.
+	Kernel = kernel.Kernel
+	// Time is simulated time in nanoseconds.
+	Time = kernel.Time
+	// Store is the global feature store (SAVE/LOAD surface, §4.3).
+	Store = featurestore.Store
+	// Runtime hosts loaded guardrail monitors and the action machinery.
+	Runtime = monitor.Runtime
+	// Monitor is one loaded guardrail.
+	Monitor = monitor.Monitor
+	// Options tune monitor loading (hysteresis, dependency triggers,
+	// result publication).
+	Options = monitor.Options
+	// MonitorStats summarizes a monitor's activity.
+	MonitorStats = monitor.Stats
+	// Guardrail is a parsed guardrail specification.
+	Guardrail = spec.Guardrail
+	// File is a parsed specification source.
+	File = spec.File
+	// Compiled is a guardrail lowered to a verified monitor program.
+	Compiled = compile.Compiled
+	// Program is a monitor VM program.
+	Program = vm.Program
+	// Violation is one recorded property violation (REPORT output).
+	Violation = actions.Violation
+	// Recorder is the feature-store flight recorder whose snapshot is
+	// attached to violations (Options.Recorder).
+	Recorder = featurestore.Recorder
+	// Write is one recorded feature-store write.
+	Write = featurestore.Write
+	// ReportLog is the bounded violation log.
+	ReportLog = actions.ReportLog
+	// PolicyRegistry backs the REPLACE action.
+	PolicyRegistry = actions.Registry
+	// Retrainer backs the RETRAIN action.
+	Retrainer = actions.Retrainer
+	// Deprioritizer backs the DEPRIORITIZE action.
+	Deprioritizer = actions.Deprioritizer
+)
+
+// Simulated-time units.
+const (
+	Microsecond = kernel.Microsecond
+	Millisecond = kernel.Millisecond
+	Second      = kernel.Second
+)
+
+// System bundles a kernel, a feature store, and a guardrail runtime —
+// everything needed to run guarded learned policies.
+type System struct {
+	Kernel  *Kernel
+	Store   *Store
+	Runtime *Runtime
+}
+
+// NewSystem returns a fresh simulated system with an empty feature
+// store and no loaded guardrails.
+func NewSystem() *System {
+	k := kernel.New()
+	st := featurestore.New()
+	return &System{Kernel: k, Store: st, Runtime: monitor.New(k, st)}
+}
+
+// LoadGuardrails parses, checks, compiles, verifies, and arms every
+// guardrail in src.
+func (s *System) LoadGuardrails(src string, opts Options) ([]*Monitor, error) {
+	return s.Runtime.LoadSource(src, opts)
+}
+
+// ParseSpec parses and semantically checks guardrail specification text.
+func ParseSpec(src string) (*File, error) {
+	f, err := spec.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := spec.Check(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// CompileSpec parses, checks, compiles, and verifies guardrail
+// specification text, returning one monitor image per guardrail.
+func CompileSpec(src string) ([]*Compiled, error) {
+	return compile.Source(src)
+}
+
+// Verify statically checks a monitor program for in-kernel safety; it
+// is run automatically by CompileSpec and at load time.
+func Verify(p *Program) error {
+	return vm.Verify(p, vm.NumBuiltinHelpers)
+}

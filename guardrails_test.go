@@ -1,0 +1,77 @@
+package guardrails
+
+import (
+	"strings"
+	"testing"
+)
+
+const demoSpec = `
+guardrail low-false-submit {
+    trigger: { TIMER(start_time, 1e9) },
+    rule: { LOAD(false_submit_rate) <= 0.05 },
+    action: { SAVE(ml_enabled, false) }
+}`
+
+func TestSystemEndToEnd(t *testing.T) {
+	sys := NewSystem()
+	sys.Store.Save("ml_enabled", 1)
+	sys.Store.Save("false_submit_rate", 0.01)
+	mons, err := sys.LoadGuardrails(demoSpec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mons) != 1 || mons[0].Name() != "low-false-submit" {
+		t.Fatalf("monitors = %v", mons)
+	}
+	sys.Kernel.RunUntil(3 * Second)
+	if sys.Store.Load("ml_enabled") != 1 {
+		t.Error("guardrail acted while healthy")
+	}
+	sys.Store.Save("false_submit_rate", 0.2)
+	sys.Kernel.RunUntil(5 * Second)
+	if sys.Store.Load("ml_enabled") != 0 {
+		t.Error("guardrail did not act")
+	}
+	s := mons[0].Stats()
+	if s.Evals == 0 || s.Violations == 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestParseSpecPublicAPI(t *testing.T) {
+	f, err := ParseSpec(demoSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Guardrails) != 1 {
+		t.Fatal("wrong guardrail count")
+	}
+	if _, err := ParseSpec("guardrail g { rule: { 5 } }"); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestCompileSpecPublicAPI(t *testing.T) {
+	cs, err := CompileSpec(demoSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 1 {
+		t.Fatal("wrong compiled count")
+	}
+	if err := Verify(cs[0].Program); err != nil {
+		t.Errorf("verified program rejected: %v", err)
+	}
+	asm := cs[0].Program.String()
+	if !strings.Contains(asm, "false_submit_rate") {
+		t.Errorf("disassembly missing symbol:\n%s", asm)
+	}
+}
+
+func TestRuntimeActionComponentsExposed(t *testing.T) {
+	sys := NewSystem()
+	if sys.Runtime.Log == nil || sys.Runtime.Policies == nil ||
+		sys.Runtime.Retrainer == nil || sys.Runtime.Deprioritizer == nil {
+		t.Error("action components not wired")
+	}
+}

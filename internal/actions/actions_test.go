@@ -1,0 +1,293 @@
+package actions
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"guardrails/internal/kernel"
+)
+
+func TestReportLogAppendAndRecent(t *testing.T) {
+	l := NewReportLog(3)
+	if l.Total() != 0 || len(l.Recent(10)) != 0 {
+		t.Fatal("fresh log not empty")
+	}
+	for i := 0; i < 5; i++ {
+		l.Append(Violation{Time: kernel.Time(i), Guardrail: "g", Values: []float64{float64(i)}})
+	}
+	if l.Total() != 5 {
+		t.Errorf("total = %d", l.Total())
+	}
+	recent := l.Recent(10)
+	if len(recent) != 3 {
+		t.Fatalf("recent = %d entries", len(recent))
+	}
+	// Oldest first: 2, 3, 4.
+	for i, v := range recent {
+		if v.Values[0] != float64(i+2) {
+			t.Errorf("recent[%d] = %v", i, v.Values)
+		}
+	}
+	two := l.Recent(2)
+	if len(two) != 2 || two[0].Values[0] != 3 {
+		t.Errorf("recent(2) = %v", two)
+	}
+}
+
+func TestReportLogByGuardrail(t *testing.T) {
+	l := NewReportLog(10)
+	l.Append(Violation{Guardrail: "a"})
+	l.Append(Violation{Guardrail: "b"})
+	l.Append(Violation{Guardrail: "a"})
+	by := l.ByGuardrail()
+	if by["a"] != 2 || by["b"] != 1 {
+		t.Errorf("by = %v", by)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Time: 2 * kernel.Second, Guardrail: "low-false-submit",
+		Values: []float64{0.12}, Note: "rate spike"}
+	s := v.String()
+	for _, want := range []string{"low-false-submit", "0.12", "rate spike", "2.000s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("violation string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestReportLogCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity should panic")
+		}
+	}()
+	NewReportLog(0)
+}
+
+func TestRegistryDefineAndCurrent(t *testing.T) {
+	r := NewRegistry()
+	err := r.DefineSlot("io_predictor", map[string]any{"learned": 1, "baseline": 2}, "learned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, val, err := r.Current("io_predictor")
+	if err != nil || name != "learned" || val != 1 {
+		t.Errorf("current = %q %v %v", name, val, err)
+	}
+	if _, _, err := r.Current("nope"); err == nil {
+		t.Error("unknown slot should error")
+	}
+	if err := r.DefineSlot("io_predictor", map[string]any{"x": 1}, "x"); err == nil {
+		t.Error("duplicate slot should error")
+	}
+	if err := r.DefineSlot("empty", nil, "x"); err == nil {
+		t.Error("empty slot should error")
+	}
+	if err := r.DefineSlot("bad", map[string]any{"a": 1}, "b"); err == nil {
+		t.Error("initial not in policies should error")
+	}
+	if got := r.Slots(); len(got) != 1 || got[0] != "io_predictor" {
+		t.Errorf("slots = %v", got)
+	}
+}
+
+func TestRegistryReplaceAndRestore(t *testing.T) {
+	r := NewRegistry()
+	if err := r.DefineSlot("s1", map[string]any{"learned": "L", "fallback": "F"}, "learned"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DefineSlot("s2", map[string]any{"learned": "L2", "fallback": "F2"}, "learned"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DefineSlot("s3", map[string]any{"other": "O"}, "other"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := r.Replace("learned", "fallback", 100)
+	if err != nil || n != 2 {
+		t.Fatalf("replace = %d, %v", n, err)
+	}
+	for _, s := range []string{"s1", "s2"} {
+		name, _, _ := r.Current(s)
+		if name != "fallback" {
+			t.Errorf("%s current = %q", s, name)
+		}
+	}
+	if name, _, _ := r.Current("s3"); name != "other" {
+		t.Error("unrelated slot was touched")
+	}
+	// Idempotent: nothing currently "learned".
+	n, err = r.Replace("learned", "fallback", 200)
+	if err != nil || n != 0 {
+		t.Errorf("second replace = %d, %v", n, err)
+	}
+	if _, err := r.Replace("x", "x", 0); err == nil {
+		t.Error("identical policies should error")
+	}
+	// Restore.
+	if err := r.Restore("s1", 300); err != nil {
+		t.Fatal(err)
+	}
+	if name, _, _ := r.Current("s1"); name != "learned" {
+		t.Errorf("restored current = %q", name)
+	}
+	if err := r.Restore("nope", 0); err == nil {
+		t.Error("unknown slot restore should error")
+	}
+	h := r.History("s1")
+	if len(h) != 2 || h[0].To != "fallback" || h[1].To != "learned" || h[1].Time != 300 {
+		t.Errorf("history = %+v", h)
+	}
+	if r.History("nope") != nil {
+		t.Error("unknown slot history should be nil")
+	}
+}
+
+func TestRetrainerRateLimit(t *testing.T) {
+	// Capacity 2, refill 1 token/s.
+	r := NewRetrainer(2, 1)
+	if !r.Request("m1", 0) {
+		t.Fatal("first request rejected")
+	}
+	if !r.Request("m2", 0) {
+		t.Fatal("second request rejected")
+	}
+	// Bucket empty: new model rejected.
+	if r.Request("m3", 0) {
+		t.Error("third request should be rate-limited")
+	}
+	// Duplicate of a queued model is accepted without a token.
+	if !r.Request("m1", 0) {
+		t.Error("duplicate queued request should collapse, not reject")
+	}
+	if got := len(r.Pending()); got != 2 {
+		t.Errorf("pending = %d", got)
+	}
+	// After one simulated second, one token refilled.
+	if !r.Request("m3", kernel.Second) {
+		t.Error("request after refill rejected")
+	}
+	acc, rej, _ := r.Stats()
+	if acc != 3 || rej != 1 {
+		t.Errorf("stats = %d accepted, %d rejected", acc, rej)
+	}
+}
+
+func TestRetrainerRunPending(t *testing.T) {
+	r := NewRetrainer(10, 0)
+	r.Request("a", 0)
+	r.Request("b", 0)
+	var trained []string
+	n, err := r.RunPending(func(m string) error {
+		trained = append(trained, m)
+		return nil
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("run = %d, %v", n, err)
+	}
+	if len(trained) != 2 || trained[0] != "a" || trained[1] != "b" {
+		t.Errorf("trained = %v", trained)
+	}
+	if len(r.Pending()) != 0 {
+		t.Error("queue not drained")
+	}
+	// Model can be requested again after training.
+	if !r.Request("a", 0) {
+		t.Error("re-request after drain rejected")
+	}
+	_, _, done := r.Stats()
+	if done != 2 {
+		t.Errorf("trained count = %d", done)
+	}
+}
+
+func TestRetrainerRunPendingError(t *testing.T) {
+	r := NewRetrainer(10, 0)
+	r.Request("good", 0)
+	r.Request("bad", 0)
+	r.Request("good2", 0)
+	sentinel := errors.New("boom")
+	n, err := r.RunPending(func(m string) error {
+		if m == "bad" {
+			return sentinel
+		}
+		return nil
+	})
+	if n != 2 {
+		t.Errorf("successful jobs = %d", n)
+	}
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRetrainerValidation(t *testing.T) {
+	for _, c := range []struct{ cap, refill float64 }{{0, 1}, {-1, 1}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("cap=%v refill=%v should panic", c.cap, c.refill)
+				}
+			}()
+			NewRetrainer(c.cap, c.refill)
+		}()
+	}
+}
+
+func TestDeprioritizerApply(t *testing.T) {
+	k := kernel.New()
+	t1, _ := k.CreateTask("batch1", 0)
+	t2, _ := k.CreateTask("batch2", 5)
+	t3, _ := k.CreateTask("web", 0)
+	d := NewDeprioritizer(k)
+	d.RegisterGroup("batch_jobs", t1.ID, t2.ID)
+	d.RegisterGroup("web", t3.ID)
+
+	n, err := d.Apply("batch_jobs", 19)
+	if err != nil || n != 2 {
+		t.Fatalf("apply = %d, %v", n, err)
+	}
+	if t1.Priority != 19 || t2.Priority != 19 {
+		t.Errorf("priorities = %d, %d", t1.Priority, t2.Priority)
+	}
+	if t3.Priority != 0 {
+		t.Error("unrelated task demoted")
+	}
+	// Below-range priorities clamp.
+	if _, err := d.Apply("batch_jobs", -100); err != nil {
+		t.Fatal(err)
+	}
+	if t1.Priority != kernel.MinPriority {
+		t.Errorf("clamped priority = %d", t1.Priority)
+	}
+	if _, err := d.Apply("ghost", 0); err == nil {
+		t.Error("unknown group should error")
+	}
+}
+
+func TestDeprioritizerKill(t *testing.T) {
+	k := kernel.New()
+	t1, _ := k.CreateTask("victim", 0)
+	d := NewDeprioritizer(k)
+	d.RegisterGroup("victims", t1.ID)
+	n, err := d.Apply("victims", KillPriority)
+	if err != nil || n != 1 {
+		t.Fatalf("kill apply = %d, %v", n, err)
+	}
+	if t1.State != kernel.TaskKilled {
+		t.Error("task not killed")
+	}
+	// Re-applying skips killed tasks.
+	n, err = d.Apply("victims", KillPriority)
+	if err != nil || n != 0 {
+		t.Errorf("second kill = %d, %v", n, err)
+	}
+	demoted, killed := d.Stats()
+	if demoted != 0 || killed != 1 {
+		t.Errorf("stats = %d demoted, %d killed", demoted, killed)
+	}
+	if got := d.Groups(); len(got) != 1 || got[0] != "victims" {
+		t.Errorf("groups = %v", got)
+	}
+}

@@ -1,0 +1,100 @@
+package actions
+
+import (
+	"fmt"
+	"sync"
+
+	"guardrails/internal/kernel"
+)
+
+// KillPriority is the sentinel priority value meaning "terminate the
+// task group" — one beyond the valid nice range, mirroring how the
+// paper's A4 spans both deprioritization and OOM-killer-style
+// termination.
+const KillPriority = 20
+
+// Deprioritizer implements DEPRIORITIZE (A4) against the simulated
+// kernel's task registry. Guardrail specs name task groups (e.g.
+// "batch_jobs"); subsystems register which task IDs belong to each
+// group. Safe for concurrent use.
+type Deprioritizer struct {
+	k  *kernel.Kernel
+	mu sync.Mutex
+	// groups maps group name to member task IDs.
+	groups map[string][]kernel.TaskID
+	// applied counts actions taken per group.
+	demoted uint64
+	killed  uint64
+}
+
+// NewDeprioritizer returns a deprioritizer bound to k.
+func NewDeprioritizer(k *kernel.Kernel) *Deprioritizer {
+	return &Deprioritizer{k: k, groups: make(map[string][]kernel.TaskID)}
+}
+
+// RegisterGroup binds task IDs to a group name, appending to any
+// existing members.
+func (d *Deprioritizer) RegisterGroup(name string, ids ...kernel.TaskID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.groups[name] = append(d.groups[name], ids...)
+}
+
+// Groups returns the registered group names.
+func (d *Deprioritizer) Groups() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.groups))
+	for g := range d.groups {
+		out = append(out, g)
+	}
+	return out
+}
+
+// Apply deprioritizes the group: priorities in [-20, 19] are set
+// directly; KillPriority (20) or above terminates every member. Already
+// killed tasks are skipped. It returns the number of tasks affected.
+func (d *Deprioritizer) Apply(group string, priority int) (int, error) {
+	d.mu.Lock()
+	ids := append([]kernel.TaskID(nil), d.groups[group]...)
+	d.mu.Unlock()
+	if ids == nil {
+		return 0, fmt.Errorf("actions: no task group %q", group)
+	}
+	affected := 0
+	for _, id := range ids {
+		t := d.k.Task(id)
+		if t == nil || t.State == kernel.TaskKilled {
+			continue
+		}
+		if priority >= KillPriority {
+			if err := d.k.KillTask(id); err != nil {
+				return affected, err
+			}
+			d.mu.Lock()
+			d.killed++
+			d.mu.Unlock()
+			affected++
+			continue
+		}
+		p := priority
+		if p < kernel.MinPriority {
+			p = kernel.MinPriority
+		}
+		if err := d.k.SetPriority(id, p); err != nil {
+			return affected, err
+		}
+		d.mu.Lock()
+		d.demoted++
+		d.mu.Unlock()
+		affected++
+	}
+	return affected, nil
+}
+
+// Stats returns cumulative demotion and kill counts.
+func (d *Deprioritizer) Stats() (demoted, killed uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.demoted, d.killed
+}

@@ -1,0 +1,231 @@
+package compile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"guardrails/internal/spec"
+	"guardrails/internal/vm"
+)
+
+func TestBranchFusionShrinksListing2(t *testing.T) {
+	c := compileOne(t, listing2)
+	if got := len(c.Program.Code); got > 9 {
+		t.Errorf("listing2 compiled to %d insns, want <= 9 (branch fusion)\n%s", got, c.Program)
+	}
+	// Exactly one conditional jump on the hot path; no boolean
+	// materialization (movi 0/movi 1 pair) before the test.
+	var cmpJumps, boolOps int
+	for _, in := range c.Program.Code {
+		switch in.Op {
+		case vm.OpJGt, vm.OpJLe, vm.OpJLt, vm.OpJGe, vm.OpJEq, vm.OpJNe:
+			cmpJumps++
+		case vm.OpBoo, vm.OpNot:
+			boolOps++
+		}
+	}
+	if cmpJumps != 1 || boolOps != 0 {
+		t.Errorf("cmpJumps=%d boolOps=%d\n%s", cmpJumps, boolOps, c.Program)
+	}
+}
+
+func TestBranchFusionConjunction(t *testing.T) {
+	src := `
+guardrail conj {
+    trigger: { TIMER(0, 1) },
+    rule: { LOAD(a) < 10 && LOAD(b) > 2 },
+    action: { SAVE(bad, 1) }
+}`
+	c := compileOne(t, src)
+	// Both conjuncts fuse to direct jumps: no OpBoo normalization.
+	for _, in := range c.Program.Code {
+		if in.Op == vm.OpBoo {
+			t.Fatalf("conjunction not fused:\n%s", c.Program)
+		}
+	}
+	// Semantics preserved.
+	cases := []struct {
+		a, b, want float64
+	}{{5, 3, 1}, {15, 3, 0}, {5, 1, 0}}
+	for _, cs := range cases {
+		out, _ := runProg(t, c, map[string]float64{"a": cs.a, "b": cs.b})
+		if out != cs.want {
+			t.Errorf("a=%v b=%v: %v, want %v", cs.a, cs.b, out, cs.want)
+		}
+	}
+}
+
+// randExpr builds a random predicate over keys k0..k3 with the given
+// recursion depth.
+func randExpr(rng *rand.Rand, depth int) string {
+	arith := func() string { return randArith(rng, depth) }
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	cmp := arith() + " " + ops[rng.Intn(len(ops))] + " " + arith()
+	if depth <= 0 {
+		return cmp
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return "(" + randExpr(rng, depth-1) + " && " + randExpr(rng, depth-1) + ")"
+	case 1:
+		return "(" + randExpr(rng, depth-1) + " || " + randExpr(rng, depth-1) + ")"
+	case 2:
+		return "!(" + randExpr(rng, depth-1) + ")"
+	default:
+		return cmp
+	}
+}
+
+func randArith(rng *rand.Rand, depth int) string {
+	leaf := func() string {
+		if rng.Intn(2) == 0 {
+			return []string{"LOAD(k0)", "LOAD(k1)", "LOAD(k2)", "LOAD(k3)"}[rng.Intn(4)]
+		}
+		// Small integer literals keep float math exact.
+		return []string{"0", "1", "2", "3", "5", "-2"}[rng.Intn(6)]
+	}
+	if depth <= 0 {
+		return leaf()
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return "(" + randArith(rng, depth-1) + " + " + randArith(rng, depth-1) + ")"
+	case 1:
+		return "(" + randArith(rng, depth-1) + " - " + randArith(rng, depth-1) + ")"
+	case 2:
+		return "(" + randArith(rng, depth-1) + " * " + randArith(rng, depth-1) + ")"
+	case 3:
+		return "min(" + randArith(rng, depth-1) + ", " + randArith(rng, depth-1) + ")"
+	default:
+		return leaf()
+	}
+}
+
+// evalExpr is a reference interpreter for the spec expression language,
+// independent of the VM.
+func evalExpr(e spec.Expr, env map[string]float64) float64 {
+	b2f := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	switch n := e.(type) {
+	case *spec.NumLit:
+		return n.Value
+	case *spec.BoolLit:
+		return b2f(n.Value)
+	case *spec.LoadExpr:
+		return env[n.Key]
+	case *spec.IdentExpr:
+		return env[n.Name]
+	case *spec.UnaryExpr:
+		x := evalExpr(n.X, env)
+		if n.Op == spec.TokMinus {
+			return -x
+		}
+		return b2f(x == 0)
+	case *spec.CallExpr:
+		args := make([]float64, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = evalExpr(a, env)
+		}
+		switch n.Fn {
+		case "abs":
+			return math.Abs(args[0])
+		case "min":
+			return math.Min(args[0], args[1])
+		case "max":
+			return math.Max(args[0], args[1])
+		case "sqrt":
+			if args[0] < 0 {
+				return 0
+			}
+			return math.Sqrt(args[0])
+		case "log2":
+			if args[0] <= 0 {
+				return 0
+			}
+			return math.Log2(args[0])
+		}
+		return 0
+	case *spec.BinaryExpr:
+		x := evalExpr(n.X, env)
+		switch n.Op {
+		case spec.TokAnd:
+			if x == 0 {
+				return 0
+			}
+			return b2f(evalExpr(n.Y, env) != 0)
+		case spec.TokOr:
+			if x != 0 {
+				return 1
+			}
+			return b2f(evalExpr(n.Y, env) != 0)
+		}
+		y := evalExpr(n.Y, env)
+		switch n.Op {
+		case spec.TokPlus:
+			return x + y
+		case spec.TokMinus:
+			return x - y
+		case spec.TokStar:
+			return x * y
+		case spec.TokSlash:
+			if y == 0 {
+				return 0
+			}
+			return x / y
+		case spec.TokLt:
+			return b2f(x < y)
+		case spec.TokLe:
+			return b2f(x <= y)
+		case spec.TokGt:
+			return b2f(x > y)
+		case spec.TokGe:
+			return b2f(x >= y)
+		case spec.TokEq:
+			return b2f(x == y)
+		case spec.TokNe:
+			return b2f(x != y)
+		}
+	}
+	return 0
+}
+
+// TestRandomRulesCompileAndAgree cross-checks the full pipeline: random
+// predicates are compiled (with folding and branch fusion) and executed
+// on the VM; the truth value must match the reference interpreter, and
+// Fold must preserve the reference semantics too.
+func TestRandomRulesCompileAndAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		exprSrc := randExpr(rng, 2)
+		src := "guardrail fuzz { trigger: { TIMER(0,1) }, rule: { " + exprSrc + " }, action: { SAVE(bad, 1) } }"
+		g, err := spec.ParseOne(src)
+		if err != nil {
+			t.Fatalf("trial %d: parse %q: %v", trial, exprSrc, err)
+		}
+		c, err := Guardrail(g)
+		if err != nil {
+			// Depth overflow of the register stack is a legitimate
+			// rejection for very deep random expressions.
+			continue
+		}
+		env := map[string]float64{}
+		for _, k := range []string{"k0", "k1", "k2", "k3"} {
+			env[k] = float64(rng.Intn(7) - 3)
+		}
+		want := evalExpr(g.Rules[0], env) != 0
+		folded := evalExpr(Fold(g.Rules[0]), env) != 0
+		if want != folded {
+			t.Fatalf("trial %d: Fold changed semantics of %q", trial, exprSrc)
+		}
+		out, _ := runProg(t, c, env)
+		if (out != 0) != want {
+			t.Fatalf("trial %d: VM says %v, reference says %v for %q (env %v)\n%s",
+				trial, out != 0, want, exprSrc, env, c.Program)
+		}
+	}
+}

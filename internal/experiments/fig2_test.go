@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"guardrails/internal/kernel"
+)
+
+// TestFig2Shape verifies the headline reproduction: the guardrail fires
+// shortly after the shift and the guarded system's steady-state latency
+// beats the unguarded one.
+func TestFig2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig2 run is seconds-long")
+	}
+	cfg := DefaultFig2Config(1)
+	r, err := RunFig2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) == 0 {
+		t.Fatal("empty series")
+	}
+	if r.GuardrailFiredAt == 0 {
+		t.Fatal("guardrail never fired")
+	}
+	if r.GuardrailFiredAt <= r.ShiftAt {
+		t.Errorf("guardrail fired at %v, before the shift at %v", r.GuardrailFiredAt, r.ShiftAt)
+	}
+	// Detection within a few seconds of the shift (1s timer + window fill).
+	if r.GuardrailFiredAt > r.ShiftAt+10*kernel.Second {
+		t.Errorf("detection too slow: shift %v, fired %v", r.ShiftAt, r.GuardrailFiredAt)
+	}
+	if r.FalseSubmitRateAtTrigger <= 0.05 {
+		t.Errorf("trigger rate = %v, want > threshold", r.FalseSubmitRateAtTrigger)
+	}
+	// The paper's claim: after mitigation the guarded average is lower.
+	if r.GuardedTailUS >= r.UnguardedTailUS {
+		t.Errorf("guarded tail %.1fus should beat unguarded %.1fus",
+			r.GuardedTailUS, r.UnguardedTailUS)
+	}
+	// And the unguarded system visibly degraded from the calm phase.
+	if r.UnguardedTailUS < 1.2*r.CalmUS {
+		t.Errorf("unguarded degradation too small: calm %.1f, tail %.1f",
+			r.CalmUS, r.UnguardedTailUS)
+	}
+	out := r.Render()
+	for _, want := range []string{"Figure 2", "guardrail fired", "linnos_w_guardrails"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+
+	"guardrails/internal/featurestore"
+	"guardrails/internal/kernel"
+	"guardrails/internal/monitor"
+	"guardrails/internal/netcc"
+	"guardrails/internal/properties"
+	"guardrails/internal/trace"
+)
+
+// P1Result is the in-distribution-inputs experiment (Figure 1, P1): a
+// drift detector watches a model input feature; when the workload
+// shifts, the PSI crosses the guardrail threshold, the violation is
+// reported, and retraining is queued (actions A1 + A3).
+type P1Result struct {
+	CalmPSI     float64
+	ShiftedPSI  float64
+	ShiftAt     kernel.Time
+	DetectedAt  kernel.Time
+	RetrainedAt kernel.Time
+	Reports     uint64
+}
+
+// RunP1Drift runs the P1 experiment.
+func RunP1Drift(seed int64) (*P1Result, error) {
+	k := kernel.New()
+	st := featurestore.New()
+	rt := monitor.New(k, st)
+
+	det, err := properties.NewDriftDetector(st, "io_feature", 0, 100, 20, 200)
+	if err != nil {
+		return nil, err
+	}
+	rng := trace.NewRand(seed)
+	for i := 0; i < 5000; i++ {
+		det.AddReference(rng.NormFloat64()*10 + 30)
+	}
+
+	spec := det.Spec("p1-input-drift", "io_feature", "io_model", 0.25, float64(100*kernel.Millisecond))
+	if _, err := rt.LoadSource(spec, monitor.Options{}); err != nil {
+		return nil, err
+	}
+
+	res := &P1Result{ShiftAt: 5 * kernel.Second}
+	// Feature writer: one observation per 2ms, shifting mid-run.
+	k.Every(0, 2*kernel.Millisecond, 10*kernel.Second, func(now kernel.Time) {
+		mean := 30.0
+		if now >= res.ShiftAt {
+			mean = 70
+		}
+		det.Observe(rng.NormFloat64()*10 + mean)
+	})
+	k.Every(0, 100*kernel.Millisecond, 10*kernel.Second, func(now kernel.Time) {
+		psi := st.Load(properties.DriftKey("io_feature"))
+		if now < res.ShiftAt {
+			res.CalmPSI = psi
+		} else if psi > res.ShiftedPSI {
+			res.ShiftedPSI = psi
+		}
+		if res.DetectedAt == 0 && rt.Log.Total() > 0 {
+			res.DetectedAt = now
+		}
+		if res.RetrainedAt == 0 && len(rt.Retrainer.Pending()) > 0 {
+			res.RetrainedAt = now
+		}
+	})
+	k.RunUntil(10*kernel.Second + 1)
+	res.Reports = rt.Log.Total()
+	return res, nil
+}
+
+// Render formats the P1 result.
+func (r *P1Result) Render() string {
+	t := &Table{
+		Title:   "P1: in-distribution inputs (drift detection, actions A1+A3)",
+		Columns: []string{"metric", "value"},
+		Rows: [][]string{
+			{"calm PSI", f3(r.CalmPSI)},
+			{"peak shifted PSI", f3(r.ShiftedPSI)},
+			{"workload shift at", r.ShiftAt.String()},
+			{"violation reported at", r.DetectedAt.String()},
+			{"retrain queued at", r.RetrainedAt.String()},
+			{"total reports", fmt.Sprintf("%d", r.Reports)},
+		},
+	}
+	return t.String()
+}
+
+// P2Row is one noise level of the robustness sweep.
+type P2Row struct {
+	NoiseSigma   float64
+	LearnedCoV   float64
+	AIMDCoV      float64
+	GuardedCoV   float64
+	LearnedUtil  float64
+	GuardedUtil  float64
+	GuardedFired bool
+}
+
+// RunP2Robustness sweeps RTT measurement noise and compares the learned
+// congestion controller, the AIMD baseline, and the guarded learned
+// controller whose P2 guardrail falls back to AIMD when the decision
+// CoV exceeds the bound.
+func RunP2Robustness(seed int64, sigmas []float64) ([]P2Row, error) {
+	learned := netcc.NewLearned(seed)
+	if _, err := learned.Clone(netcc.DelayGradientTeacher{}, netcc.DefaultPathConfig()); err != nil {
+		return nil, err
+	}
+	var rows []P2Row
+	for _, sigma := range sigmas {
+		row := P2Row{NoiseSigma: sigma}
+		cfg := netcc.DefaultRunConfig(seed + int64(sigma*100))
+		cfg.NoiseSigma = sigma
+
+		mL, err := netcc.Run(kernel.New(), nil, learned, nil, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row.LearnedCoV, row.LearnedUtil = mL.RateCoV, mL.Utilization
+
+		mA, err := netcc.Run(kernel.New(), nil, netcc.NewAIMD(), nil, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row.AIMDCoV = mA.RateCoV
+
+		// Guarded: P2 guardrail disables the learned controller when the
+		// published rate CoV exceeds the bound.
+		k := kernel.New()
+		st := featurestore.New()
+		rt := monitor.New(k, st)
+		// The TIMER starts at 10s: the slow-start ramp legitimately moves
+		// the rate, so robustness is only judged at steady state.
+		spec := properties.BuildSpec("p2-cc-robust",
+			[]string{fmt.Sprintf("TIMER(1e10, %g)", float64(200*kernel.Millisecond))},
+			[]string{fmt.Sprintf("LOAD(%s) <= 0.15", netcc.KeyRateCoV)},
+			[]string{fmt.Sprintf("SAVE(%s, 0)", netcc.KeyCCEnabled)},
+		)
+		ms, err := rt.LoadSource(spec, monitor.Options{ViolationStreak: 2})
+		if err != nil {
+			return nil, err
+		}
+		mG, err := netcc.Run(k, st, learned, netcc.NewAIMD(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		row.GuardedCoV, row.GuardedUtil = mG.RateCoV, mG.Utilization
+		row.GuardedFired = ms[0].Stats().ActionsFired > 0
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderP2 formats the robustness sweep.
+func RenderP2(rows []P2Row) string {
+	t := &Table{
+		Title:   "P2: robustness to measurement noise (decision CoV; guardrail REPLACEs learned CC with AIMD)",
+		Columns: []string{"noise_sigma", "learned_cov", "aimd_cov", "guarded_cov", "learned_util", "guarded_util", "guardrail_fired"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			f2(r.NoiseSigma), f3(r.LearnedCoV), f3(r.AIMDCoV), f3(r.GuardedCoV),
+			f2(r.LearnedUtil), f2(r.GuardedUtil), fmt.Sprintf("%v", r.GuardedFired),
+		})
+	}
+	return t.String()
+}

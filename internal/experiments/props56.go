@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"fmt"
+
+	"guardrails/internal/featurestore"
+	"guardrails/internal/kernel"
+	"guardrails/internal/linnos"
+	"guardrails/internal/monitor"
+	"guardrails/internal/properties"
+	"guardrails/internal/sched"
+)
+
+// P5Row is one inference-cost level of the overhead experiment.
+type P5Row struct {
+	InferenceCost kernel.Time
+	OverheadRatio float64
+	MLFinal       bool
+	// Cumulative mean read latencies in microseconds.
+	GuardedMAUS   float64
+	BaselineMAUS  float64
+	UnguardedMAUS float64
+}
+
+// RunP5Overhead sweeps the model's inference cost. For each level, a
+// baseline system and an ML system run the same workload; the overhead
+// monitor compares the windowed benefit (baseline latency − ML latency)
+// against the inference spend, and the guardrail disables the model once
+// inference stops paying for itself (Figure 1's P5).
+// p5Params is the overhead experiment's stack: a coarse (6ms) revoke
+// timeout makes the baseline's hedging expensive enough that the
+// model's upfront predictions carry an unambiguous benefit, so the
+// sweep isolates the effect of inference cost.
+func p5Params(cost kernel.Time) stackParams {
+	return stackParams{
+		gcDuration:    16 * kernel.Millisecond,
+		inferenceCost: cost,
+		revokeTimeout: 6 * kernel.Millisecond,
+	}
+}
+
+func RunP5Overhead(seed int64, costs []kernel.Time) ([]P5Row, error) {
+	model, err := trainModel(seed, p5Params(0))
+	if err != nil {
+		return nil, err
+	}
+	var rows []P5Row
+	for _, cost := range costs {
+		row, err := runP5Level(seed, model, cost)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+// runP5Level runs baseline, unguarded-ML, and guarded-ML systems at one
+// inference-cost level.
+func runP5Level(seed int64, model *linnos.Classifier, cost kernel.Time) (*P5Row, error) {
+	build := func(withModel bool) (*fig2System, error) {
+		var m *linnos.Classifier
+		if withModel {
+			m = model
+		}
+		return newStack(seed+200, m, p5Params(cost))
+	}
+	baseline, err := build(false)
+	if err != nil {
+		return nil, err
+	}
+	unguarded, err := build(true)
+	if err != nil {
+		return nil, err
+	}
+	guarded, err := build(true)
+	if err != nil {
+		return nil, err
+	}
+
+	rt := monitor.New(guarded.k, guarded.st)
+	ov := properties.NewOverheadMonitor(guarded.st, "linnos", 64)
+	spec := ov.Spec("p5-overhead", "linnos", linnos.KeyMLEnabled, 1.0, float64(500*kernel.Millisecond))
+	ms, err := rt.LoadSource(spec, monitor.Options{ViolationStreak: 3})
+	if err != nil {
+		return nil, err
+	}
+
+	row := &P5Row{InferenceCost: cost}
+	const total = 20 * kernel.Second
+	meanLat := func(s *fig2System) float64 {
+		st := s.engine.Stats()
+		if st.Reads == 0 {
+			return 0
+		}
+		return float64(st.TotalLatency) / float64(st.Reads)
+	}
+	for t := 250 * kernel.Millisecond; t <= total; t += 250 * kernel.Millisecond {
+		baseline.run(t)
+		unguarded.run(t)
+		guarded.run(t)
+		// Feed the overhead monitor after warmup: benefit = cumulative
+		// mean latency saved versus the baseline system (cumulative
+		// means are far less noisy than instantaneous window averages).
+		if t >= 2*kernel.Second {
+			ov.Observe(float64(cost), meanLat(baseline)-meanLat(guarded))
+			// Report the ratio the guardrail judged while the model was
+			// still live (after it disables the model, the gap closes and
+			// the published ratio degenerates to the sentinel).
+			if guarded.engine.MLEnabled() {
+				row.OverheadRatio = guarded.st.Load(properties.OverheadKey("linnos"))
+			}
+		}
+	}
+	row.MLFinal = guarded.engine.MLEnabled()
+	row.GuardedMAUS = meanLat(guarded) / 1000
+	row.BaselineMAUS = meanLat(baseline) / 1000
+	row.UnguardedMAUS = meanLat(unguarded) / 1000
+	_ = ms
+	return row, nil
+}
+
+// RenderP5 formats the overhead sweep.
+func RenderP5(rows []P5Row) string {
+	t := &Table{
+		Title:   "P5: decision overhead (inference cost vs. benefit; guardrail disables unprofitable model)",
+		Columns: []string{"inference_cost", "overhead_ratio", "ml_enabled_final", "baseline_mean_us", "unguarded_mean_us", "guarded_mean_us"},
+	}
+	for _, r := range rows {
+		ratio := fmt.Sprintf("%.3g", r.OverheadRatio)
+		if r.OverheadRatio >= 1e6 {
+			ratio = "unprofitable (no net benefit)"
+		}
+		t.Rows = append(t.Rows, []string{
+			r.InferenceCost.String(), ratio, fmt.Sprintf("%v", r.MLFinal),
+			f2(r.BaselineMAUS), f2(r.UnguardedMAUS), f2(r.GuardedMAUS),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"overhead_ratio = inference spend / latency benefit over the baseline; > 1 means the model costs more than it saves")
+	return t.String()
+}
+
+// P6Result is the fairness/liveness experiment (Figure 1, P6): the
+// learned SJF picker starves long jobs; the guardrail detects ready
+// tasks waiting beyond the bound and REPLACEs the picker with CFS.
+type P6Result struct {
+	LearnedMeanResponse kernel.Time
+	LearnedMaxWait      kernel.Time
+	LearnedStarved      int
+	CFSMeanResponse     kernel.Time
+	CFSMaxWait          kernel.Time
+	CFSStarved          int
+	GuardedMeanResponse kernel.Time
+	GuardedMaxWait      kernel.Time
+	GuardedStarved      int
+	ReplacedAt          kernel.Time
+	FinalPicker         string
+}
+
+// RunP6Fairness runs the P6 experiment.
+func RunP6Fairness(seed int64) (*P6Result, error) {
+	cfg := sched.DefaultSimConfig(seed)
+	cfg.ArrivalRate = 170
+	const jobs = 4000
+
+	train := func() (*sched.LearnedSJF, error) {
+		k := kernel.New()
+		st := featurestore.New()
+		s, err := sched.NewSim(k, st, cfg, func() sched.Picker { return sched.NewCFS() })
+		if err != nil {
+			return nil, err
+		}
+		s.Start(sched.GenerateJobs(cfg, 2000))
+		k.Run()
+		p := sched.NewLearnedSJF(seed + 1)
+		if _, err := p.Train(s.Completed()); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+
+	runOne := func(provider func(*monitor.Runtime) func() sched.Picker, guard bool) (sched.Metrics, kernel.Time, string, error) {
+		k := kernel.New()
+		st := featurestore.New()
+		rt := monitor.New(k, st)
+		s, err := sched.NewSim(k, st, cfg, provider(rt))
+		if err != nil {
+			return sched.Metrics{}, 0, "", err
+		}
+		var firedAt kernel.Time
+		final := ""
+		if guard {
+			spec := properties.BuildSpec("p6-no-starvation",
+				[]string{properties.TimerTrigger(float64(50 * kernel.Millisecond))},
+				[]string{fmt.Sprintf("LOAD(%s) <= 100", sched.KeyMaxWaitMS)},
+				[]string{
+					fmt.Sprintf("REPORT(LOAD(%s))", sched.KeyMaxWaitMS),
+					"REPLACE(learned_sjf, cfs)",
+				},
+			)
+			ms, err := rt.LoadSource(spec, monitor.Options{})
+			if err != nil {
+				return sched.Metrics{}, 0, "", err
+			}
+			_ = ms
+		}
+		s.Start(sched.GenerateJobs(cfg, jobs))
+		// Arrivals span ~25s; 120s leaves ample drain time. (k.Run would
+		// never return here: the guardrail's periodic TIMER refills the
+		// event queue forever.)
+		k.RunUntil(120 * kernel.Second)
+		if guard {
+			final, _, _ = rt.Policies.Current("sched_picker")
+			for _, sw := range rt.Policies.History("sched_picker") {
+				if sw.To == "cfs" {
+					firedAt = sw.Time
+					break
+				}
+			}
+		}
+		return s.Metrics(), firedAt, final, nil
+	}
+
+	res := &P6Result{}
+
+	// Pure learned SJF.
+	lp, err := train()
+	if err != nil {
+		return nil, err
+	}
+	m, _, _, err := runOne(func(*monitor.Runtime) func() sched.Picker {
+		return func() sched.Picker { return lp }
+	}, false)
+	if err != nil {
+		return nil, err
+	}
+	res.LearnedMeanResponse, res.LearnedMaxWait, res.LearnedStarved = m.MeanResponse, m.MaxReadyWait, m.StarvedEvents
+
+	// Pure CFS.
+	m, _, _, err = runOne(func(*monitor.Runtime) func() sched.Picker {
+		cfs := sched.NewCFS()
+		return func() sched.Picker { return cfs }
+	}, false)
+	if err != nil {
+		return nil, err
+	}
+	res.CFSMeanResponse, res.CFSMaxWait, res.CFSStarved = m.MeanResponse, m.MaxReadyWait, m.StarvedEvents
+
+	// Guarded learned SJF: registry-backed picker slot.
+	lp2, err := train()
+	if err != nil {
+		return nil, err
+	}
+	m, firedAt, final, err := runOne(func(rt *monitor.Runtime) func() sched.Picker {
+		if err := rt.Policies.DefineSlot("sched_picker", map[string]any{
+			"learned_sjf": sched.Picker(lp2),
+			"cfs":         sched.Picker(sched.NewCFS()),
+		}, "learned_sjf"); err != nil {
+			panic(err)
+		}
+		return func() sched.Picker {
+			_, cur, err := rt.Policies.Current("sched_picker")
+			if err != nil {
+				return sched.NewCFS()
+			}
+			return cur.(sched.Picker)
+		}
+	}, true)
+	if err != nil {
+		return nil, err
+	}
+	res.GuardedMeanResponse, res.GuardedMaxWait, res.GuardedStarved = m.MeanResponse, m.MaxReadyWait, m.StarvedEvents
+	res.ReplacedAt = firedAt
+	res.FinalPicker = final
+	return res, nil
+}
+
+// Render formats the P6 result.
+func (r *P6Result) Render() string {
+	t := &Table{
+		Title:   "P6: fairness and liveness (starvation bound 100ms; guardrail REPLACEs learned SJF with CFS)",
+		Columns: []string{"picker", "mean_response", "max_ready_wait", "starved_dispatches"},
+		Rows: [][]string{
+			{"learned-sjf (unguarded)", r.LearnedMeanResponse.String(), r.LearnedMaxWait.String(), fmt.Sprintf("%d", r.LearnedStarved)},
+			{"cfs", r.CFSMeanResponse.String(), r.CFSMaxWait.String(), fmt.Sprintf("%d", r.CFSStarved)},
+			{"learned-sjf (guarded)", r.GuardedMeanResponse.String(), r.GuardedMaxWait.String(), fmt.Sprintf("%d", r.GuardedStarved)},
+		},
+		Notes: []string{fmt.Sprintf("guardrail replaced picker with %q at %s", r.FinalPicker, r.ReplacedAt)},
+	}
+	return t.String()
+}

@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"guardrails/internal/kernel"
+)
+
+func TestP1DriftExperiment(t *testing.T) {
+	r, err := RunP1Drift(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CalmPSI > 0.25 {
+		t.Errorf("calm PSI = %v, should be under threshold", r.CalmPSI)
+	}
+	if r.ShiftedPSI < 0.25 {
+		t.Errorf("shifted PSI = %v, should cross threshold", r.ShiftedPSI)
+	}
+	if r.DetectedAt == 0 || r.DetectedAt <= r.ShiftAt {
+		t.Errorf("detection at %v (shift %v)", r.DetectedAt, r.ShiftAt)
+	}
+	if r.DetectedAt > r.ShiftAt+2*kernel.Second {
+		t.Errorf("detection too slow: %v", r.DetectedAt-r.ShiftAt)
+	}
+	if r.RetrainedAt == 0 {
+		t.Error("retraining never queued")
+	}
+	if r.Reports == 0 {
+		t.Error("no violation reports")
+	}
+	if !strings.Contains(r.Render(), "P1") {
+		t.Error("render broken")
+	}
+}
+
+func TestP2RobustnessExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	rows, err := RunP2Robustness(2, []float64{0, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	clean, noisy := rows[0], rows[1]
+	if noisy.LearnedCoV <= clean.LearnedCoV {
+		t.Errorf("noise should raise learned CoV: %v -> %v", clean.LearnedCoV, noisy.LearnedCoV)
+	}
+	if noisy.LearnedCoV <= noisy.AIMDCoV {
+		t.Errorf("learned CoV %v should exceed AIMD %v under noise", noisy.LearnedCoV, noisy.AIMDCoV)
+	}
+	if !noisy.GuardedFired {
+		t.Error("guardrail did not fire under noise")
+	}
+	if noisy.GuardedCoV >= noisy.LearnedCoV {
+		t.Errorf("guarded CoV %v should be calmer than unguarded %v", noisy.GuardedCoV, noisy.LearnedCoV)
+	}
+	if clean.GuardedFired {
+		t.Error("guardrail fired on a clean run")
+	}
+	if !strings.Contains(RenderP2(rows), "P2") {
+		t.Error("render broken")
+	}
+}
+
+func TestP3OutOfBoundsExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long drive")
+	}
+	r, err := RunP3OutOfBounds(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.UnguardedIllegal == 0 {
+		t.Fatal("unguarded policy never emitted an illegal tier (experiment vacuous)")
+	}
+	if r.GuardedIllegal >= r.UnguardedIllegal/2 {
+		t.Errorf("guardrail barely helped: %d vs %d illegal", r.GuardedIllegal, r.UnguardedIllegal)
+	}
+	if r.FinalPolicy != "frequency" {
+		t.Errorf("final policy = %q", r.FinalPolicy)
+	}
+	if r.ReplacedAt == 0 {
+		t.Error("REPLACE never happened")
+	}
+	if r.GuardedLatencyNS >= r.UnguardedLatencyNS {
+		t.Errorf("guarded latency %v should beat unguarded %v", r.GuardedLatencyNS, r.UnguardedLatencyNS)
+	}
+	if !strings.Contains(r.Render(), "P3") {
+		t.Error("render broken")
+	}
+}
+
+func TestP4QualityExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long drive")
+	}
+	r, err := RunP4Quality(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CalmLearnedHit <= r.CalmRandomHit {
+		t.Errorf("calm: learned %v should beat random %v", r.CalmLearnedHit, r.CalmRandomHit)
+	}
+	if r.FinalPolicy != "lru" {
+		t.Errorf("final policy = %q (guardrail did not fire)", r.FinalPolicy)
+	}
+	if r.ReplacedAtAccess <= 40000 {
+		t.Errorf("replaced during calm phase at access %d", r.ReplacedAtAccess)
+	}
+	if !strings.Contains(r.Render(), "P4") {
+		t.Error("render broken")
+	}
+}
+
+func TestP5OverheadExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-system sweep")
+	}
+	rows, err := RunP5Overhead(5, []kernel.Time{
+		6 * kernel.Microsecond, 400 * kernel.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheap, costly := rows[0], rows[1]
+	if !cheap.MLFinal {
+		t.Error("cheap inference should stay enabled")
+	}
+	if cheap.OverheadRatio >= 1 {
+		t.Errorf("cheap ratio = %v", cheap.OverheadRatio)
+	}
+	if costly.MLFinal {
+		t.Error("costly inference should be disabled by the guardrail")
+	}
+	if costly.GuardedMAUS >= costly.UnguardedMAUS {
+		t.Errorf("guarded MA %v should beat unguarded %v at high cost",
+			costly.GuardedMAUS, costly.UnguardedMAUS)
+	}
+	if !strings.Contains(RenderP5(rows), "P5") {
+		t.Error("render broken")
+	}
+}
+
+func TestP6FairnessExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three scheduler runs")
+	}
+	r, err := RunP6Fairness(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LearnedMaxWait < 100*kernel.Millisecond {
+		t.Fatalf("learned SJF never starved (experiment vacuous): %v", r.LearnedMaxWait)
+	}
+	if r.LearnedMeanResponse >= r.CFSMeanResponse {
+		t.Errorf("learned mean %v should beat CFS %v", r.LearnedMeanResponse, r.CFSMeanResponse)
+	}
+	if r.FinalPicker != "cfs" {
+		t.Errorf("final picker = %q", r.FinalPicker)
+	}
+	if r.GuardedMaxWait >= r.LearnedMaxWait {
+		t.Errorf("guarded max wait %v should beat unguarded %v", r.GuardedMaxWait, r.LearnedMaxWait)
+	}
+	if !strings.Contains(r.Render(), "P6") {
+		t.Error("render broken")
+	}
+}
+
+func TestOscillationExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two 60s phases")
+	}
+	r, err := RunOscillation(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TogglesNoHysteresis < 4 {
+		t.Errorf("expected oscillation without hysteresis, got %d toggles", r.TogglesNoHysteresis)
+	}
+	if r.TogglesWithHysteresis >= r.TogglesNoHysteresis {
+		t.Errorf("hysteresis did not damp: %d vs %d",
+			r.TogglesWithHysteresis, r.TogglesNoHysteresis)
+	}
+	if !strings.Contains(r.Render(), "feedback") {
+		t.Error("render broken")
+	}
+}
+
+func TestTriggerSweepExperiment(t *testing.T) {
+	rows, err := RunTriggerSweep(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]TriggerRow{}
+	for _, r := range rows {
+		byName[r.Mechanism] = r
+	}
+	fast := byName["TIMER 10ms"]
+	slow := byName["TIMER 5s"]
+	dep := byName["dependency"]
+	if fast.Detection < 0 || slow.Detection < 0 || dep.Detection < 0 {
+		t.Fatalf("some mechanism never detected: %+v", rows)
+	}
+	if fast.Detection >= slow.Detection {
+		t.Error("faster timer should detect sooner")
+	}
+	if fast.Evals <= slow.Evals {
+		t.Error("faster timer should evaluate more")
+	}
+	// Dependency triggering detects within one write gap...
+	if dep.Detection > 10*kernel.Millisecond {
+		t.Errorf("dependency detection = %v", dep.Detection)
+	}
+	// ...and costs per-write evaluations (more than slow timers, fewer
+	// than is possible for very fast timers on quiet stores).
+	if dep.Evals == 0 {
+		t.Error("dependency mechanism never evaluated")
+	}
+	if !strings.Contains(RenderTriggers(rows), "trigger") {
+		t.Error("render broken")
+	}
+}
+
+func TestVMMicro(t *testing.T) {
+	rows, err := RunVMMicro()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Instructions <= 0 || r.ExecNSPerEval <= 0 || r.StepsPerEval <= 0 {
+			t.Errorf("degenerate row: %+v", r)
+		}
+		// Monitor evaluation must be sub-microsecond-ish: the paper's
+		// in-kernel budget argument. Allow generous CI slack.
+		if r.ExecNSPerEval > 50000 {
+			t.Errorf("%s eval cost %vns implausibly high", r.Program, r.ExecNSPerEval)
+		}
+	}
+	if !strings.Contains(RenderVMMicro(rows), "VM") {
+		t.Error("render broken")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "long_column"},
+		Rows:    [][]string{{"x", "1"}, {"yyyy", "2"}},
+		Notes:   []string{"a note"},
+	}
+	out := tb.String()
+	for _, want := range []string{"demo", "long_column", "yyyy", "note: a note", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

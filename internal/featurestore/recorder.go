@@ -1,0 +1,101 @@
+package featurestore
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Write is one recorded feature-store write.
+type Write struct {
+	// Seq is a global, monotonically increasing write number.
+	Seq uint64
+	// Key and Value are what was written.
+	Key   string
+	Value float64
+}
+
+// Recorder is a flight recorder over feature-store writes: a bounded
+// ring of the most recent SAVEs, attached via AttachRecorder. When a
+// guardrail fires, the monitor runtime snapshots the recorder into the
+// violation report — the paper's A1 ("record out-of-distribution
+// inputs", "logs relevant system context... which inputs triggered
+// violation") and its answer to the reproducibility concern of §1:
+// post-hoc debugging needs the exact inputs around the violation.
+type Recorder struct {
+	mu   sync.Mutex
+	ring []Write
+	head int
+	size int
+	seq  uint64
+}
+
+// NewRecorder returns a recorder retaining the most recent capacity
+// writes.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		panic("featurestore: recorder capacity must be positive")
+	}
+	return &Recorder{ring: make([]Write, capacity)}
+}
+
+// AttachRecorder subscribes rec to every write of the listed keys (all
+// currently interned keys when none are listed). Keys interned later are
+// not recorded unless attached explicitly.
+func (s *Store) AttachRecorder(rec *Recorder, keys ...string) {
+	if len(keys) == 0 {
+		keys = s.Keys()
+	}
+	for _, k := range keys {
+		s.Watch(k, rec.observe)
+	}
+}
+
+func (r *Recorder) observe(key string, value float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	w := Write{Seq: r.seq, Key: key, Value: value}
+	if r.size == len(r.ring) {
+		r.ring[r.head] = w
+		r.head = (r.head + 1) % len(r.ring)
+	} else {
+		r.ring[(r.head+r.size)%len(r.ring)] = w
+		r.size++
+	}
+}
+
+// Record manually appends a write (for recorders not attached to a
+// store).
+func (r *Recorder) Record(key string, value float64) { r.observe(key, value) }
+
+// Recent returns up to n of the most recent writes, oldest first.
+func (r *Recorder) Recent(n int) []Write {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n > r.size {
+		n = r.size
+	}
+	out := make([]Write, 0, n)
+	start := r.size - n
+	for i := start; i < r.size; i++ {
+		out = append(out, r.ring[(r.head+i)%len(r.ring)])
+	}
+	return out
+}
+
+// Total returns the number of writes ever observed.
+func (r *Recorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Dump renders the retained writes for logs, oldest first.
+func (r *Recorder) Dump() string {
+	var b strings.Builder
+	for _, w := range r.Recent(len(r.ring)) {
+		fmt.Fprintf(&b, "#%d %s=%g\n", w.Seq, w.Key, w.Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,278 @@
+// Package featurestore implements the paper's lightweight global feature
+// store (§4.3): a shared key/value surface accessed via SAVE(key, value)
+// and LOAD(key) through which guardrail monitors, learned policies, and
+// kernel subsystems exchange metrics without ad-hoc kernel data
+// structures.
+//
+// Keys are interned to dense integer IDs so that compiled monitors can
+// address cells with a single bounds-checked array access — the same
+// trick eBPF array maps use. The read and write paths on interned IDs
+// are lock-free (single atomic load/store); interning and watcher
+// registration take a mutex and are expected at load time, not on the
+// hot path.
+package featurestore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ID is a dense handle for an interned key.
+type ID int32
+
+// NoID is returned by Lookup for unknown keys.
+const NoID ID = -1
+
+// WatchFunc observes writes to a cell. Watchers run synchronously on the
+// writer's goroutine; they must be fast and must not write back to the
+// same key (which would recurse).
+type WatchFunc func(name string, value float64)
+
+type cell struct {
+	bits atomic.Uint64 // float64 bits
+	seq  atomic.Uint64 // incremented on every Save; 0 = never written
+}
+
+// Store is a concurrent feature store. The zero value is not usable; use
+// New.
+type Store struct {
+	mu       sync.Mutex
+	ids      map[string]ID
+	names    []string
+	cells    atomic.Pointer[[]*cell] // copy-on-write slice, grown under mu
+	watchers atomic.Pointer[map[ID][]WatchFunc]
+
+	objMu   sync.RWMutex
+	objects map[string]any
+}
+
+// New returns an empty feature store.
+func New() *Store {
+	s := &Store{
+		ids:     make(map[string]ID),
+		objects: make(map[string]any),
+	}
+	empty := make([]*cell, 0)
+	s.cells.Store(&empty)
+	w := make(map[ID][]WatchFunc)
+	s.watchers.Store(&w)
+	return s
+}
+
+// Intern returns the ID for name, creating the cell if needed.
+func (s *Store) Intern(name string) ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.ids[name]; ok {
+		return id
+	}
+	id := ID(len(s.names))
+	s.ids[name] = id
+	s.names = append(s.names, name)
+	old := *s.cells.Load()
+	grown := make([]*cell, len(old)+1)
+	copy(grown, old)
+	grown[len(old)] = &cell{}
+	s.cells.Store(&grown)
+	return id
+}
+
+// Lookup returns the ID for name without creating it.
+func (s *Store) Lookup(name string) (ID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.ids[name]
+	if !ok {
+		return NoID, false
+	}
+	return id, true
+}
+
+// Name returns the key string for id, or "" if out of range.
+func (s *Store) Name(id ID) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || int(id) >= len(s.names) {
+		return ""
+	}
+	return s.names[id]
+}
+
+// Len returns the number of interned keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.names)
+}
+
+func (s *Store) cellAt(id ID) *cell {
+	cells := *s.cells.Load()
+	if id < 0 || int(id) >= len(cells) {
+		return nil
+	}
+	return cells[id]
+}
+
+// Save stores value under name, interning it if necessary. This is the
+// paper's SAVE(key, value).
+func (s *Store) Save(name string, value float64) {
+	s.SaveID(s.Intern(name), value)
+}
+
+// Load returns the value stored under name, or 0 if the key is unknown
+// or never written. This is the paper's LOAD(key).
+func (s *Store) Load(name string) float64 {
+	id, ok := s.Lookup(name)
+	if !ok {
+		return 0
+	}
+	return s.LoadID(id)
+}
+
+// SaveID stores value in the cell for id. Out-of-range IDs are ignored.
+func (s *Store) SaveID(id ID, value float64) {
+	c := s.cellAt(id)
+	if c == nil {
+		return
+	}
+	c.bits.Store(math.Float64bits(value))
+	c.seq.Add(1)
+	ws := *s.watchers.Load()
+	if fns, ok := ws[id]; ok {
+		name := s.Name(id)
+		for _, fn := range fns {
+			fn(name, value)
+		}
+	}
+}
+
+// LoadID returns the value in the cell for id, or 0 if out of range.
+func (s *Store) LoadID(id ID) float64 {
+	c := s.cellAt(id)
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Add atomically adds delta to the value under name and returns the new
+// value. Interns the key if needed.
+func (s *Store) Add(name string, delta float64) float64 {
+	return s.AddID(s.Intern(name), delta)
+}
+
+// AddID atomically adds delta to the cell for id and returns the new
+// value. Out-of-range IDs return 0.
+func (s *Store) AddID(id ID, delta float64) float64 {
+	c := s.cellAt(id)
+	if c == nil {
+		return 0
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if c.bits.CompareAndSwap(old, next) {
+			c.seq.Add(1)
+			ws := *s.watchers.Load()
+			v := math.Float64frombits(next)
+			if fns, ok := ws[id]; ok {
+				name := s.Name(id)
+				for _, fn := range fns {
+					fn(name, v)
+				}
+			}
+			return v
+		}
+	}
+}
+
+// Seq returns the write sequence number for name: 0 if never written,
+// monotonically increasing afterwards. Used by dependency-triggered
+// monitors to detect relevant state changes (§6).
+func (s *Store) Seq(name string) uint64 {
+	id, ok := s.Lookup(name)
+	if !ok {
+		return 0
+	}
+	return s.SeqID(id)
+}
+
+// SeqID returns the write sequence number for id.
+func (s *Store) SeqID(id ID) uint64 {
+	c := s.cellAt(id)
+	if c == nil {
+		return 0
+	}
+	return c.seq.Load()
+}
+
+// Watch registers fn to run on every write to name. The key is interned
+// if needed.
+func (s *Store) Watch(name string, fn WatchFunc) {
+	id := s.Intern(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := *s.watchers.Load()
+	next := make(map[ID][]WatchFunc, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[id] = append(append([]WatchFunc(nil), next[id]...), fn)
+	s.watchers.Store(&next)
+}
+
+// Snapshot returns a point-in-time copy of all scalar cells.
+func (s *Store) Snapshot() map[string]float64 {
+	s.mu.Lock()
+	names := append([]string(nil), s.names...)
+	s.mu.Unlock()
+	out := make(map[string]float64, len(names))
+	for i, n := range names {
+		out[n] = s.LoadID(ID(i))
+	}
+	return out
+}
+
+// Keys returns all interned keys in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	out := append([]string(nil), s.names...)
+	s.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// PutObject stores an arbitrary named object (estimator, window,
+// histogram) alongside the scalar cells. Property implementations use
+// this to keep state that does not fit a float64.
+func (s *Store) PutObject(name string, obj any) {
+	s.objMu.Lock()
+	defer s.objMu.Unlock()
+	s.objects[name] = obj
+}
+
+// Object returns the object stored under name, or nil.
+func (s *Store) Object(name string) any {
+	s.objMu.RLock()
+	defer s.objMu.RUnlock()
+	return s.objects[name]
+}
+
+// Dump renders the scalar contents for debugging, one "key=value" per
+// line in key order.
+func (s *Store) Dump() string {
+	snap := s.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%g\n", k, snap[k])
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package featurestore
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := New()
+	s.Save("false_submit_rate", 0.03)
+	if got := s.Load("false_submit_rate"); got != 0.03 {
+		t.Errorf("Load = %v, want 0.03", got)
+	}
+	if got := s.Load("never_written"); got != 0 {
+		t.Errorf("unknown key = %v, want 0", got)
+	}
+}
+
+func TestInternIsStable(t *testing.T) {
+	s := New()
+	a := s.Intern("x")
+	b := s.Intern("y")
+	if a == b {
+		t.Fatal("distinct keys share an ID")
+	}
+	if s.Intern("x") != a {
+		t.Error("re-intern changed ID")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Name(a) != "x" || s.Name(b) != "y" {
+		t.Error("Name mapping wrong")
+	}
+	if s.Name(ID(99)) != "" || s.Name(NoID) != "" {
+		t.Error("out-of-range Name should be empty")
+	}
+}
+
+func TestLookupDoesNotCreate(t *testing.T) {
+	s := New()
+	if id, ok := s.Lookup("ghost"); ok || id != NoID {
+		t.Errorf("Lookup created or returned a key: %v %v", id, ok)
+	}
+	if s.Len() != 0 {
+		t.Error("Lookup must not intern")
+	}
+}
+
+func TestIDFastPath(t *testing.T) {
+	s := New()
+	id := s.Intern("lat")
+	s.SaveID(id, 12.5)
+	if got := s.LoadID(id); got != 12.5 {
+		t.Errorf("LoadID = %v", got)
+	}
+	// Out-of-range IDs are safe no-ops.
+	s.SaveID(ID(1000), 1)
+	if s.LoadID(ID(1000)) != 0 || s.LoadID(NoID) != 0 {
+		t.Error("out-of-range access should yield 0")
+	}
+	if s.AddID(ID(1000), 5) != 0 {
+		t.Error("out-of-range AddID should yield 0")
+	}
+}
+
+func TestAddAccumulates(t *testing.T) {
+	s := New()
+	if got := s.Add("ctr", 2); got != 2 {
+		t.Errorf("first Add = %v", got)
+	}
+	if got := s.Add("ctr", 3); got != 5 {
+		t.Errorf("second Add = %v", got)
+	}
+	if got := s.Load("ctr"); got != 5 {
+		t.Errorf("Load after Add = %v", got)
+	}
+}
+
+func TestSeqTracksWrites(t *testing.T) {
+	s := New()
+	if s.Seq("k") != 0 {
+		t.Error("unknown key seq should be 0")
+	}
+	id := s.Intern("k")
+	if s.SeqID(id) != 0 {
+		t.Error("never-written seq should be 0")
+	}
+	s.SaveID(id, 1)
+	s.SaveID(id, 2)
+	s.AddID(id, 1)
+	if got := s.SeqID(id); got != 3 {
+		t.Errorf("seq = %d, want 3", got)
+	}
+	if s.Seq("k") != 3 {
+		t.Error("Seq by name mismatch")
+	}
+	if s.SeqID(ID(50)) != 0 {
+		t.Error("out-of-range seq should be 0")
+	}
+}
+
+func TestWatchersFire(t *testing.T) {
+	s := New()
+	var gotName string
+	var gotVal float64
+	calls := 0
+	s.Watch("ml_enabled", func(name string, v float64) {
+		gotName, gotVal = name, v
+		calls++
+	})
+	s.Save("ml_enabled", 0)
+	if calls != 1 || gotName != "ml_enabled" || gotVal != 0 {
+		t.Errorf("watcher: calls=%d name=%q val=%v", calls, gotName, gotVal)
+	}
+	s.Add("ml_enabled", 1)
+	if calls != 2 || gotVal != 1 {
+		t.Errorf("watcher on Add: calls=%d val=%v", calls, gotVal)
+	}
+	// Writes to other keys do not fire.
+	s.Save("other", 9)
+	if calls != 2 {
+		t.Error("watcher fired for unrelated key")
+	}
+}
+
+func TestMultipleWatchersSameKey(t *testing.T) {
+	s := New()
+	a, b := 0, 0
+	s.Watch("k", func(string, float64) { a++ })
+	s.Watch("k", func(string, float64) { b++ })
+	s.Save("k", 1)
+	if a != 1 || b != 1 {
+		t.Errorf("watchers: a=%d b=%d", a, b)
+	}
+}
+
+func TestSnapshotAndKeys(t *testing.T) {
+	s := New()
+	s.Save("b", 2)
+	s.Save("a", 1)
+	snap := s.Snapshot()
+	if len(snap) != 2 || snap["a"] != 1 || snap["b"] != 2 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	keys := s.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Errorf("keys = %v", keys)
+	}
+	if s.Dump() != "a=1\nb=2\n" {
+		t.Errorf("dump = %q", s.Dump())
+	}
+}
+
+func TestObjects(t *testing.T) {
+	s := New()
+	if s.Object("w") != nil {
+		t.Error("missing object should be nil")
+	}
+	type thing struct{ x int }
+	s.PutObject("w", &thing{7})
+	got, ok := s.Object("w").(*thing)
+	if !ok || got.x != 7 {
+		t.Errorf("object round trip failed: %v", s.Object("w"))
+	}
+}
+
+func TestConcurrentSaveLoadIntern(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				key := []string{"a", "b", "c", "d"}[i%4]
+				s.Save(key, float64(i))
+				_ = s.Load(key)
+				_ = s.Intern(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 4 {
+		t.Errorf("Len = %d, want 4", s.Len())
+	}
+}
+
+func TestConcurrentAddExact(t *testing.T) {
+	s := New()
+	id := s.Intern("ctr")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.AddID(id, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.LoadID(id); got != 8000 {
+		t.Errorf("concurrent Add total = %v, want 8000", got)
+	}
+}
+
+func TestPropertySaveLoadIdentity(t *testing.T) {
+	s := New()
+	f := func(key string, v float64) bool {
+		if v != v { // NaN never compares equal; skip
+			return true
+		}
+		s.Save(key, v)
+		return s.Load(key) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,241 @@
+// Package kernel provides the simulated operating-system kernel the
+// guardrail monitors run inside: a deterministic discrete-event clock,
+// kprobe-style hook points (the paper's FUNCTION trigger sites), periodic
+// timers (the TIMER trigger), and a task registry with priorities (the
+// substrate for the DEPRIORITIZE action).
+//
+// Real deployments would compile guardrails to eBPF programs attached to
+// kernel functions; here subsystem simulators call Fire at their
+// instrumentation points and monitors attach to those sites. Determinism
+// is a feature: every experiment in the repository replays exactly given
+// the same seeds.
+package kernel
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Time is simulated time in nanoseconds since boot.
+type Time int64
+
+// Common durations in simulated nanoseconds.
+const (
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders the time with adaptive units.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// HookFn observes a hook-point firing. args are site-specific positional
+// values (e.g. latency, size); hooks must not retain the slice.
+type HookFn func(k *Kernel, site string, args []float64)
+
+type hookSlot struct {
+	id uint64
+	fn HookFn
+}
+
+// Kernel is a deterministic discrete-event simulated kernel. It is not
+// safe for concurrent use; the event loop owns all state (as a real
+// kernel hook path would run under its own synchronization).
+type Kernel struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	hooks  map[string][]hookSlot
+	hookID uint64
+
+	tasksMu sync.Mutex
+	tasks   map[TaskID]*Task
+	nextTID TaskID
+
+	fireCount map[string]uint64
+}
+
+// New returns a kernel at time zero.
+func New() *Kernel {
+	return &Kernel{
+		hooks:     make(map[string][]hookSlot),
+		tasks:     make(map[TaskID]*Task),
+		fireCount: make(map[string]uint64),
+		nextTID:   1,
+	}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// At schedules fn to run at absolute time t. Times in the past run at
+// the current time (immediately on the next Step).
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.queue, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// Timer is a periodic schedule created by Every.
+type Timer struct {
+	stopped bool
+}
+
+// Stop cancels future firings. Safe to call multiple times.
+func (t *Timer) Stop() { t.stopped = true }
+
+// Every schedules fn at start, start+interval, ... until stop (exclusive;
+// stop <= 0 means forever). It mirrors the paper's
+// TIMER(start_time, interval, stop_time) trigger.
+func (k *Kernel) Every(start, interval, stop Time, fn func(now Time)) *Timer {
+	if interval <= 0 {
+		panic("kernel: timer interval must be positive")
+	}
+	t := &Timer{}
+	var tick func()
+	next := start
+	tick = func() {
+		if t.stopped || (stop > 0 && k.now >= stop) {
+			return
+		}
+		fn(k.now)
+		next += interval
+		if stop > 0 && next >= stop {
+			return
+		}
+		k.At(next, tick)
+	}
+	k.At(start, tick)
+	return t
+}
+
+// Step executes the next pending event, advancing the clock. It returns
+// false when the queue is empty.
+func (k *Kernel) Step() bool {
+	if k.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&k.queue).(*event)
+	k.now = e.at
+	e.fn()
+	return true
+}
+
+// RunUntil executes events until the queue is empty or the next event is
+// at or after deadline; the clock finishes at min(deadline, last event).
+// It returns the number of events executed.
+func (k *Kernel) RunUntil(deadline Time) int {
+	n := 0
+	for k.queue.Len() > 0 && k.queue[0].at < deadline {
+		k.Step()
+		n++
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+	return n
+}
+
+// Run executes events until the queue is empty and returns the count.
+// Callers using unbounded timers must use RunUntil instead.
+func (k *Kernel) Run() int {
+	n := 0
+	for k.Step() {
+		n++
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (k *Kernel) Pending() int { return k.queue.Len() }
+
+// Attach registers fn on a hook site and returns a detach function.
+// Sites are created on first use; attaching before any Fire is valid.
+func (k *Kernel) Attach(site string, fn HookFn) (detach func()) {
+	k.hookID++
+	id := k.hookID
+	k.hooks[site] = append(k.hooks[site], hookSlot{id: id, fn: fn})
+	return func() {
+		slots := k.hooks[site]
+		for i, s := range slots {
+			if s.id == id {
+				k.hooks[site] = append(slots[:i:i], slots[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// Fire invokes all hooks attached to site, in attach order. Subsystem
+// simulators call this at their instrumentation points — the analogue of
+// a kprobe firing.
+func (k *Kernel) Fire(site string, args ...float64) {
+	k.fireCount[site]++
+	for _, s := range k.hooks[site] {
+		s.fn(k, site, args)
+	}
+}
+
+// FireCount returns how many times site has fired.
+func (k *Kernel) FireCount(site string) uint64 { return k.fireCount[site] }
+
+// Sites returns all sites that have hooks attached or have fired, sorted.
+func (k *Kernel) Sites() []string {
+	set := make(map[string]bool)
+	for s := range k.hooks {
+		set[s] = true
+	}
+	for s := range k.fireCount {
+		set[s] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,266 @@
+package kernel
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	k := New()
+	var order []int
+	k.At(30, func() { order = append(order, 3) })
+	k.At(10, func() { order = append(order, 1) })
+	k.At(20, func() { order = append(order, 2) })
+	if n := k.Run(); n != 3 {
+		t.Fatalf("ran %d events, want 3", n)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if k.Now() != 30 {
+		t.Errorf("final time = %v, want 30", k.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	k := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		k.At(100, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestPastEventsRunNow(t *testing.T) {
+	k := New()
+	k.At(100, func() {})
+	k.Run()
+	ran := false
+	k.At(50, func() { ran = true }) // in the past
+	k.Step()
+	if !ran {
+		t.Fatal("past event did not run")
+	}
+	if k.Now() != 100 {
+		t.Errorf("clock went backwards: %v", k.Now())
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	k := New()
+	var times []Time
+	k.After(10, func() {
+		times = append(times, k.Now())
+		k.After(5, func() { times = append(times, k.Now()) })
+	})
+	k.Run()
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New()
+	count := 0
+	k.At(10, func() { count++ })
+	k.At(20, func() { count++ })
+	k.At(30, func() { count++ })
+	n := k.RunUntil(25)
+	if n != 2 || count != 2 {
+		t.Errorf("ran %d/%d events", n, count)
+	}
+	if k.Now() != 25 {
+		t.Errorf("clock = %v, want 25", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Errorf("pending = %d", k.Pending())
+	}
+	// Event exactly at the deadline must NOT run (deadline exclusive).
+	k.At(40, func() { count++ })
+	k.RunUntil(30)
+	if count != 2 {
+		t.Error("event at deadline ran")
+	}
+}
+
+func TestTimerPeriodic(t *testing.T) {
+	k := New()
+	var fires []Time
+	k.Every(100, 50, 300, func(now Time) { fires = append(fires, now) })
+	k.Run()
+	want := []Time{100, 150, 200, 250}
+	if len(fires) != len(want) {
+		t.Fatalf("fires = %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fires = %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	k := New()
+	count := 0
+	var tm *Timer
+	tm = k.Every(0, 10, 0, func(now Time) {
+		count++
+		if count == 3 {
+			tm.Stop()
+		}
+	})
+	k.RunUntil(1000)
+	if count != 3 {
+		t.Errorf("fired %d times after stop, want 3", count)
+	}
+	tm.Stop() // idempotent
+}
+
+func TestTimerForever(t *testing.T) {
+	k := New()
+	count := 0
+	k.Every(0, 100, 0, func(Time) { count++ })
+	k.RunUntil(1000)
+	if count != 10 { // t=0..900
+		t.Errorf("count = %d, want 10", count)
+	}
+}
+
+func TestTimerBadInterval(t *testing.T) {
+	k := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("zero interval should panic")
+		}
+	}()
+	k.Every(0, 0, 0, func(Time) {})
+}
+
+func TestHooksFireInOrderAndDetach(t *testing.T) {
+	k := New()
+	var got []string
+	d1 := k.Attach("io_submit", func(_ *Kernel, site string, args []float64) {
+		got = append(got, "a")
+		if site != "io_submit" || len(args) != 2 || args[0] != 1 || args[1] != 2 {
+			t.Errorf("hook saw site=%q args=%v", site, args)
+		}
+	})
+	k.Attach("io_submit", func(_ *Kernel, _ string, _ []float64) { got = append(got, "b") })
+	k.Fire("io_submit", 1, 2)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("got = %v", got)
+	}
+	d1()
+	k.Fire("io_submit", 1, 2)
+	if len(got) != 3 || got[2] != "b" {
+		t.Errorf("after detach got = %v", got)
+	}
+	d1() // double-detach is a no-op
+	if k.FireCount("io_submit") != 2 {
+		t.Errorf("fire count = %d", k.FireCount("io_submit"))
+	}
+	if k.FireCount("never") != 0 {
+		t.Error("unknown site count should be 0")
+	}
+}
+
+func TestFireUnattachedSite(t *testing.T) {
+	k := New()
+	k.Fire("lonely", 3.14) // must not panic
+	if k.FireCount("lonely") != 1 {
+		t.Error("fire count not recorded")
+	}
+	sites := k.Sites()
+	if len(sites) != 1 || sites[0] != "lonely" {
+		t.Errorf("sites = %v", sites)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2.000us"},
+		{3 * Millisecond, "3.000ms"},
+		{Second + Second/2, "1.500s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTaskLifecycle(t *testing.T) {
+	k := New()
+	a, err := k.CreateTask("web", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := k.CreateTask("batch", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID == b.ID {
+		t.Fatal("duplicate task IDs")
+	}
+	if got := k.Task(a.ID); got != a {
+		t.Error("Task lookup failed")
+	}
+	if k.Task(TaskID(999)) != nil {
+		t.Error("unknown task should be nil")
+	}
+	tasks := k.Tasks()
+	if len(tasks) != 2 || tasks[0].ID > tasks[1].ID {
+		t.Errorf("Tasks() = %v", tasks)
+	}
+	if err := k.SetPriority(b.ID, 19); err != nil {
+		t.Fatal(err)
+	}
+	if b.Priority != 19 {
+		t.Error("priority not applied")
+	}
+	if err := k.SetPriority(b.ID, 99); err == nil {
+		t.Error("out-of-range priority should error")
+	}
+	if err := k.SetPriority(TaskID(999), 0); err == nil {
+		t.Error("unknown task should error")
+	}
+	b.MemoryBytes = 4096
+	if err := k.KillTask(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if b.State != TaskKilled || b.MemoryBytes != 0 {
+		t.Error("kill did not release resources")
+	}
+	if err := k.SetPriority(b.ID, 0); err == nil {
+		t.Error("setting priority on killed task should error")
+	}
+	if err := k.KillTask(TaskID(999)); err == nil {
+		t.Error("killing unknown task should error")
+	}
+}
+
+func TestCreateTaskValidation(t *testing.T) {
+	k := New()
+	if _, err := k.CreateTask("bad", -21); err == nil {
+		t.Error("priority below min should error")
+	}
+	if _, err := k.CreateTask("bad", 20); err == nil {
+		t.Error("priority above max should error")
+	}
+}
+
+func TestTaskStateString(t *testing.T) {
+	if TaskReady.String() != "ready" || TaskRunning.String() != "running" ||
+		TaskBlocked.String() != "blocked" || TaskKilled.String() != "killed" {
+		t.Error("state names wrong")
+	}
+}

@@ -1,0 +1,128 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TaskID identifies a registered task.
+type TaskID int64
+
+// TaskState enumerates the lifecycle of a simulated task.
+type TaskState int
+
+// Task states.
+const (
+	TaskReady TaskState = iota
+	TaskRunning
+	TaskBlocked
+	TaskKilled
+)
+
+// String returns the state name.
+func (s TaskState) String() string {
+	switch s {
+	case TaskReady:
+		return "ready"
+	case TaskRunning:
+		return "running"
+	case TaskBlocked:
+		return "blocked"
+	case TaskKilled:
+		return "killed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Task is a schedulable entity. Priority follows the nice convention:
+// lower values are more favored; the valid range is [-20, 19].
+type Task struct {
+	ID       TaskID
+	Name     string
+	Priority int
+	State    TaskState
+
+	// Accounting maintained by the scheduler simulator.
+	CPUTime     Time // total simulated CPU consumed
+	LastRunAt   Time // completion time of the task's latest quantum
+	EnqueuedAt  Time // when the task last became ready
+	MemoryBytes int64
+}
+
+// MinPriority and MaxPriority bound task priorities (nice values).
+const (
+	MinPriority = -20
+	MaxPriority = 19
+)
+
+// CreateTask registers a new ready task.
+func (k *Kernel) CreateTask(name string, priority int) (*Task, error) {
+	if priority < MinPriority || priority > MaxPriority {
+		return nil, fmt.Errorf("kernel: priority %d outside [%d, %d]", priority, MinPriority, MaxPriority)
+	}
+	k.tasksMu.Lock()
+	defer k.tasksMu.Unlock()
+	t := &Task{
+		ID:         k.nextTID,
+		Name:       name,
+		Priority:   priority,
+		State:      TaskReady,
+		EnqueuedAt: k.now,
+	}
+	k.nextTID++
+	k.tasks[t.ID] = t
+	return t, nil
+}
+
+// Task returns the task with the given ID, or nil.
+func (k *Kernel) Task(id TaskID) *Task {
+	k.tasksMu.Lock()
+	defer k.tasksMu.Unlock()
+	return k.tasks[id]
+}
+
+// Tasks returns all tasks ordered by ID.
+func (k *Kernel) Tasks() []*Task {
+	k.tasksMu.Lock()
+	defer k.tasksMu.Unlock()
+	out := make([]*Task, 0, len(k.tasks))
+	for _, t := range k.tasks {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SetPriority changes a task's priority. It is the mechanism behind the
+// DEPRIORITIZE guardrail action.
+func (k *Kernel) SetPriority(id TaskID, priority int) error {
+	if priority < MinPriority || priority > MaxPriority {
+		return fmt.Errorf("kernel: priority %d outside [%d, %d]", priority, MinPriority, MaxPriority)
+	}
+	k.tasksMu.Lock()
+	defer k.tasksMu.Unlock()
+	t, ok := k.tasks[id]
+	if !ok {
+		return fmt.Errorf("kernel: no task %d", id)
+	}
+	if t.State == TaskKilled {
+		return fmt.Errorf("kernel: task %d is killed", id)
+	}
+	t.Priority = priority
+	return nil
+}
+
+// KillTask terminates a task, releasing its resources (the OOM-killer
+// analogue used by the most drastic DEPRIORITIZE form).
+func (k *Kernel) KillTask(id TaskID) error {
+	k.tasksMu.Lock()
+	defer k.tasksMu.Unlock()
+	t, ok := k.tasks[id]
+	if !ok {
+		return fmt.Errorf("kernel: no task %d", id)
+	}
+	t.State = TaskKilled
+	t.MemoryBytes = 0
+	return nil
+}

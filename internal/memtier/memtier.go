@@ -1,0 +1,159 @@
+// Package memtier simulates tiered main memory (fast DRAM + slow NVM,
+// as in Kleio/IDT-style systems) with pluggable page-placement policies:
+// a frequency heuristic baseline and a learned regression policy whose
+// raw output selects the target tier. Because the learned policy's head
+// is a regression rounded to a tier index, out-of-distribution inputs
+// push it outside the legal tier range — exactly the illegal-output
+// failure mode the paper's P3 property ("ensure outputs are within legal
+// bounds") guards against.
+package memtier
+
+import (
+	"fmt"
+	"math"
+
+	"guardrails/internal/kernel"
+	"guardrails/internal/nn"
+)
+
+// Tier indices. DRAM is tier 0 (fast), NVM tier 1 (slow).
+const (
+	TierDRAM = 0
+	TierNVM  = 1
+	// NumTiers is the count of legal tiers.
+	NumTiers = 2
+)
+
+// Access latencies per tier, plus the fault penalty for servicing a page
+// that a broken placement decision left unmapped.
+const (
+	LatencyDRAM = 100 * kernel.Microsecond / 1000 // 100ns
+	LatencyNVM  = 400 * kernel.Microsecond / 1000 // 400ns
+	// FaultPenalty models the slow path taken when a placement decision
+	// was illegal and the page had to be recovered by the fallback path.
+	FaultPenalty = 2 * kernel.Millisecond
+)
+
+// PageStats is per-page metadata the policies see.
+type PageStats struct {
+	// Accesses counts total touches.
+	Accesses uint64
+	// LastAccess is the sequence number of the latest touch.
+	LastAccess uint64
+	// Tier is the page's current tier.
+	Tier int
+}
+
+// Decision is a placement policy's output: the target tier for the page
+// (possibly illegal for a misbehaving learned policy).
+type Decision struct {
+	Tier int
+}
+
+// Policy decides page placement on each access.
+type Policy interface {
+	// Name identifies the policy.
+	Name() string
+	// Place returns the desired tier for the page given its stats and
+	// the current DRAM pressure in [0, 1].
+	Place(p PageStats, dramPressure float64) Decision
+}
+
+// FrequencyPolicy is the heuristic baseline: hot pages (recently and
+// frequently touched) go to DRAM, others to NVM. It never emits an
+// illegal tier.
+type FrequencyPolicy struct {
+	// HotThreshold is the access count above which a page is DRAM-worthy.
+	HotThreshold uint64
+}
+
+// Name identifies the policy.
+func (p *FrequencyPolicy) Name() string { return "frequency" }
+
+// Place implements Policy.
+func (p *FrequencyPolicy) Place(s PageStats, dramPressure float64) Decision {
+	thr := p.HotThreshold
+	if thr == 0 {
+		thr = 4
+	}
+	// Near-full DRAM requires proportionally hotter pages; below 75%
+	// occupancy the threshold is flat so placements do not flap.
+	over := dramPressure - 0.75
+	if over < 0 {
+		over = 0
+	}
+	eff := float64(thr) * (1 + 12*over)
+	if float64(s.Accesses) >= eff {
+		return Decision{Tier: TierDRAM}
+	}
+	return Decision{Tier: TierNVM}
+}
+
+// LearnedPolicy scores pages with a regression MLP whose rounded output
+// is the target tier. Inputs far outside the training distribution can
+// produce outputs < 0 or > 1, i.e. illegal tiers.
+type LearnedPolicy struct {
+	net *nn.Network
+	seq uint64
+}
+
+// NewLearnedPolicy returns an untrained learned placement policy.
+func NewLearnedPolicy(seed int64) *LearnedPolicy {
+	return &LearnedPolicy{
+		net: nn.New(nn.Config{
+			Layers: []int{3, 8, 1},
+			Hidden: nn.ReLU,
+			Output: nn.Linear, // regression head: rounding can go out of range
+			Loss:   nn.MSE,
+			Seed:   seed,
+		}),
+	}
+}
+
+// Name identifies the policy.
+func (p *LearnedPolicy) Name() string { return "learned" }
+
+func (p *LearnedPolicy) features(s PageStats, dramPressure float64, now uint64) []float64 {
+	age := float64(now) - float64(s.LastAccess)
+	return []float64{
+		math.Log2(float64(s.Accesses) + 1),
+		math.Log2(age + 1),
+		dramPressure,
+	}
+}
+
+// Place implements Policy. The raw regression output is rounded to a
+// tier index without clamping — validating it is the guardrail's job,
+// which is the point of the P3 experiment.
+func (p *LearnedPolicy) Place(s PageStats, dramPressure float64) Decision {
+	p.seq++
+	out := p.net.Forward(p.features(s, dramPressure, p.seq))[0]
+	return Decision{Tier: int(math.Round(out))}
+}
+
+// Train fits the policy to imitate a teacher's decisions on the given
+// page populations (slices of PageStats with pressures). Teacher labels
+// are tier indices. All rows are evaluated at a common logical "now"
+// (just past the largest LastAccess), so the age feature spans a wide
+// range during training instead of being a constant the network never
+// learned to handle.
+func (p *LearnedPolicy) Train(pages []PageStats, pressures []float64, labels []int) (float64, error) {
+	if len(pages) == 0 || len(pages) != len(pressures) || len(pages) != len(labels) {
+		return 0, fmt.Errorf("memtier: inconsistent training set sizes")
+	}
+	var now uint64
+	for _, s := range pages {
+		if s.LastAccess >= now {
+			now = s.LastAccess + 1
+		}
+	}
+	inputs := make([][]float64, len(pages))
+	targets := make([][]float64, len(pages))
+	for i := range pages {
+		inputs[i] = p.features(pages[i], pressures[i], now)
+		targets[i] = []float64{float64(labels[i])}
+	}
+	return p.net.Train(inputs, targets, nn.TrainOpts{
+		LearningRate: 0.02, Momentum: 0.9, BatchSize: 32, Epochs: 20, ShuffleSeed: 5,
+	})
+}

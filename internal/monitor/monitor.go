@@ -1,0 +1,357 @@
+package monitor
+
+import (
+	"fmt"
+	"math"
+
+	"guardrails/internal/actions"
+	"guardrails/internal/compile"
+	"guardrails/internal/featurestore"
+	"guardrails/internal/kernel"
+	"guardrails/internal/spec"
+	"guardrails/internal/vm"
+)
+
+// Options tune a loaded monitor's behavior.
+type Options struct {
+	// ViolationStreak is the number of consecutive violated evaluations
+	// required before actions fire (anti-flap hysteresis, §6). Default 1:
+	// act on the first violation, the paper's base semantics.
+	ViolationStreak int
+	// RecoveryStreak, when positive, invokes OnRecover after that many
+	// consecutive passing evaluations following a violation episode.
+	RecoveryStreak int
+	// OnRecover is called (if non-nil) when a violation episode ends per
+	// RecoveryStreak. Typical use: re-enable a learned policy that a
+	// REPLACE or SAVE action disabled.
+	OnRecover func(m *Monitor)
+	// DependencyTrigger, when true, additionally evaluates the monitor
+	// whenever any feature-store key the rule reads is written —
+	// the §6 alternative to periodic checking. Spec triggers still apply;
+	// to measure dependency triggering alone, give the spec a TIMER with
+	// a very long interval.
+	DependencyTrigger bool
+	// PublishResult, when true, writes guardrail.<name>.violated (0/1)
+	// to the feature store after each evaluation so that other
+	// guardrails can observe this one (used by the oscillation study).
+	PublishResult bool
+	// DefaultPriority is the demotion value used by DEPRIORITIZE actions
+	// without an explicit priority. Default 19 (lowest nice).
+	DefaultPriority int
+	// ShadowMode evaluates rules and counts violations but suppresses
+	// every action (including SAVE stores) — the paper's "loose
+	// guardrails... for early warning" deployment style, and the safe
+	// way to trial a new guardrail before letting it drive the system.
+	ShadowMode bool
+	// Recorder, when set, attaches a feature-store flight recorder
+	// snapshot (the most recent writes) to every reported violation —
+	// A1's "record which inputs triggered the violation".
+	Recorder *featurestore.Recorder
+	// RecorderContext is how many recent writes each report carries
+	// (default 8).
+	RecorderContext int
+}
+
+func (o *Options) fillDefaults() {
+	if o.ViolationStreak <= 0 {
+		o.ViolationStreak = 1
+	}
+	if o.DefaultPriority == 0 {
+		o.DefaultPriority = 19
+	}
+	if o.RecorderContext <= 0 {
+		o.RecorderContext = 8
+	}
+}
+
+// Stats summarizes a monitor's activity.
+type Stats struct {
+	// Evals counts rule evaluations.
+	Evals uint64
+	// Violations counts evaluations whose rule conjunction failed.
+	Violations uint64
+	// ActionsFired counts violation episodes in which actions ran
+	// (differs from Violations under hysteresis).
+	ActionsFired uint64
+	// Recoveries counts completed violation→recovery episodes.
+	Recoveries uint64
+	// DispatchErrors counts action dispatches that failed at runtime
+	// (e.g. unknown policy slot or task group).
+	DispatchErrors uint64
+	// VMSteps is the total VM instructions executed, the monitor's
+	// in-kernel overhead currency.
+	VMSteps uint64
+	// LastResult is 1 if the most recent evaluation held, 0 if violated.
+	LastResult float64
+}
+
+// Monitor is a loaded guardrail: a verified VM program bound to kernel
+// triggers and the feature store.
+type Monitor struct {
+	rt    *Runtime
+	c     *compile.Compiled
+	opts  Options
+	cells []featurestore.ID
+
+	machine vm.Machine
+
+	timers  []*kernel.Timer
+	detach  []func()
+	enabled bool
+
+	// evaluation state
+	inEval          bool
+	suppressActions bool
+	violStreak      int
+	passStreak      int
+	inEpisode       bool
+
+	stats Stats
+}
+
+// Name returns the guardrail name.
+func (m *Monitor) Name() string { return m.c.Name }
+
+// Program returns the monitor's compiled VM program.
+func (m *Monitor) Program() *vm.Program { return m.c.Program }
+
+// Stats returns a snapshot of the monitor's counters.
+func (m *Monitor) Stats() Stats { return m.stats }
+
+// Enabled reports whether the monitor evaluates on triggers.
+func (m *Monitor) Enabled() bool { return m.enabled }
+
+// SetEnabled toggles evaluation without unloading (cheap pause/resume).
+func (m *Monitor) SetEnabled(v bool) { m.enabled = v }
+
+// arm binds the guardrail's triggers to the kernel.
+func (m *Monitor) arm() {
+	for _, t := range m.c.Triggers {
+		switch tt := t.(type) {
+		case *spec.TimerTrigger:
+			timer := m.rt.k.Every(kernel.Time(tt.Start), kernel.Time(tt.Interval), kernel.Time(tt.Stop),
+				func(now kernel.Time) { m.Evaluate(0) })
+			m.timers = append(m.timers, timer)
+		case *spec.FuncTrigger:
+			detach := m.rt.k.Attach(tt.Site, func(_ *kernel.Kernel, _ string, args []float64) {
+				arg := 0.0
+				if len(args) > 0 {
+					arg = args[0]
+				}
+				m.Evaluate(arg)
+			})
+			m.detach = append(m.detach, detach)
+		}
+	}
+	if m.opts.DependencyTrigger {
+		for _, key := range m.ruleDependencies() {
+			m.rt.store.Watch(key, func(string, float64) {
+				if !m.inEval {
+					m.Evaluate(0)
+				}
+			})
+		}
+	}
+}
+
+// ruleDependencies returns the feature-store keys the program loads
+// (not the ones it only stores).
+func (m *Monitor) ruleDependencies() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, in := range m.c.Program.Code {
+		if in.Op == vm.OpLoad {
+			key := m.c.Program.Symbols[in.Cell]
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, key)
+			}
+		}
+	}
+	return out
+}
+
+func (m *Monitor) disarm() {
+	for _, t := range m.timers {
+		t.Stop()
+	}
+	for _, d := range m.detach {
+		d()
+	}
+	m.timers, m.detach = nil, nil
+	m.enabled = false
+	// Store watchers (dependency triggers) stay registered but become
+	// no-ops through the enabled check in Evaluate.
+}
+
+// Evaluate runs the monitor program once with the given trigger argument
+// (hook sites pass their first argument; timers pass 0). It returns
+// whether the property held. Violations fire actions subject to the
+// hysteresis options.
+func (m *Monitor) Evaluate(arg float64) bool {
+	if !m.enabled || m.inEval {
+		return true
+	}
+	m.inEval = true
+	defer func() { m.inEval = false }()
+
+	needTwoPhase := m.opts.ViolationStreak > 1 && !m.opts.ShadowMode
+	m.suppressActions = needTwoPhase || m.opts.ShadowMode
+	out, err := m.machine.Run(m.c.Program, m, arg)
+	if err != nil {
+		// A verified program cannot fail at runtime; treat failure as a
+		// violated property and surface it loudly in the log.
+		m.rt.Log.Append(actions.Violation{
+			Time: m.rt.k.Now(), Guardrail: m.Name(),
+			Note: fmt.Sprintf("monitor execution error: %v", err),
+		})
+		m.stats.DispatchErrors++
+		out = 0
+	}
+	m.stats.Evals++
+	m.stats.VMSteps = m.machine.Steps
+	m.stats.LastResult = out
+
+	held := out != 0
+	if held {
+		m.violStreak = 0
+		if m.inEpisode {
+			m.passStreak++
+			if m.opts.RecoveryStreak > 0 && m.passStreak >= m.opts.RecoveryStreak {
+				m.inEpisode = false
+				m.passStreak = 0
+				m.stats.Recoveries++
+				if m.opts.OnRecover != nil {
+					m.opts.OnRecover(m)
+				}
+			}
+		}
+	} else {
+		m.stats.Violations++
+		m.violStreak++
+		m.passStreak = 0
+		if m.violStreak >= m.opts.ViolationStreak {
+			m.inEpisode = true
+			switch {
+			case m.opts.ShadowMode:
+				// Violation observed and counted; no action taken.
+			case needTwoPhase:
+				// Re-run with actions enabled.
+				m.suppressActions = false
+				if _, err := m.machine.Run(m.c.Program, m, arg); err == nil {
+					m.stats.ActionsFired++
+				} else {
+					m.stats.DispatchErrors++
+				}
+			default:
+				m.stats.ActionsFired++
+			}
+		}
+	}
+	if m.opts.PublishResult {
+		v := 0.0
+		if !held {
+			v = 1
+		}
+		m.rt.store.Save("guardrail."+m.Name()+".violated", v)
+	}
+	return held
+}
+
+// --- vm.Env implementation -------------------------------------------
+
+// LoadCell implements vm.Env against the resolved feature-store cells.
+func (m *Monitor) LoadCell(i int32) float64 {
+	return m.rt.store.LoadID(m.cells[i])
+}
+
+// StoreCell implements vm.Env. SAVE actions are suppressed during the
+// rule-only phase of hysteresis evaluation.
+func (m *Monitor) StoreCell(i int32, v float64) {
+	if m.suppressActions {
+		return
+	}
+	m.rt.store.SaveID(m.cells[i], v)
+}
+
+// Helper implements vm.Env, dispatching monitor helpers and actions.
+func (m *Monitor) Helper(h vm.HelperID, args *[5]float64) float64 {
+	switch h {
+	case vm.HelperNow:
+		return float64(m.rt.k.Now())
+	case vm.HelperSqrt:
+		if args[0] < 0 {
+			return 0
+		}
+		return math.Sqrt(args[0])
+	case vm.HelperLog2:
+		if args[0] <= 0 {
+			return 0
+		}
+		return math.Log2(args[0])
+	case vm.HelperReport:
+		if !m.suppressActions {
+			m.rt.Log.Append(actions.Violation{
+				Time: m.rt.k.Now(), Guardrail: m.Name(), Values: []float64{args[0]},
+				Context: m.recorderContext(),
+			})
+		}
+		return 0
+	case vm.HelperAction:
+		if !m.suppressActions {
+			m.dispatchAction(int(args[0]), args[1:])
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// recorderContext snapshots the flight recorder, when configured.
+func (m *Monitor) recorderContext() []featurestore.Write {
+	if m.opts.Recorder == nil {
+		return nil
+	}
+	return m.opts.Recorder.Recent(m.opts.RecorderContext)
+}
+
+// dispatchAction interprets a compiled action index against the
+// guardrail's action list.
+func (m *Monitor) dispatchAction(idx int, vals []float64) {
+	if idx < 0 || idx >= len(m.c.Actions) {
+		m.stats.DispatchErrors++
+		return
+	}
+	now := m.rt.k.Now()
+	fail := func(err error) {
+		m.stats.DispatchErrors++
+		m.rt.Log.Append(actions.Violation{
+			Time: now, Guardrail: m.Name(),
+			Note: fmt.Sprintf("action dispatch failed: %v", err),
+		})
+	}
+	switch a := m.c.Actions[idx].(type) {
+	case *spec.ReportAction:
+		v := actions.Violation{Time: now, Guardrail: m.Name(), Context: m.recorderContext()}
+		if n := len(a.Args); n > 0 {
+			v.Values = append(v.Values, vals[:n]...)
+		}
+		m.rt.Log.Append(v)
+	case *spec.ReplaceAction:
+		if _, err := m.rt.Policies.Replace(a.Old, a.New, now); err != nil {
+			fail(err)
+		}
+	case *spec.RetrainAction:
+		m.rt.Retrainer.Request(a.Model, now)
+	case *spec.DeprioritizeAction:
+		prio := m.opts.DefaultPriority
+		if a.Priority != nil {
+			prio = int(vals[0])
+		}
+		if _, err := m.rt.Deprioritizer.Apply(a.Target, prio); err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("unsupported action %T", a))
+	}
+}

@@ -1,0 +1,111 @@
+package monitor
+
+import (
+	"testing"
+
+	"guardrails/internal/kernel"
+)
+
+// TestOOMKillerGuardrail is the end-to-end A4 scenario from Figure 1:
+// "Deprioritize/kill tasks to free resources or relax constraints.
+// Example use: out-of-memory killer (P6)." A memory subsystem publishes
+// available memory; low-priority batch tasks leak; when availability
+// crosses the liveness floor, the guardrail kills the batch group and
+// the subsystem reclaims its memory.
+func TestOOMKillerGuardrail(t *testing.T) {
+	rt, k, st := newRT()
+
+	const totalMemory = 1 << 30 // 1 GiB
+	web, err := k.CreateTask("web", -5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch1, err := k.CreateTask("batch1", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch2, err := k.CreateTask("batch2", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Deprioritizer.RegisterGroup("batch_jobs", batch1.ID, batch2.ID)
+
+	// The "memory manager": recomputes availability every 10ms from the
+	// live task set (killed tasks release their memory).
+	recompute := func() {
+		var used int64
+		for _, task := range k.Tasks() {
+			if task.State != kernel.TaskKilled {
+				used += task.MemoryBytes
+			}
+		}
+		st.Save("mem_available_mb", float64(totalMemory-used)/(1<<20))
+	}
+	k.Every(0, 10*kernel.Millisecond, 0, func(kernel.Time) { recompute() })
+
+	// The leak: each batch task grows 8 MiB per 50ms.
+	k.Every(0, 50*kernel.Millisecond, 0, func(kernel.Time) {
+		for _, task := range []*kernel.Task{batch1, batch2} {
+			if task.State != kernel.TaskKilled {
+				task.MemoryBytes += 8 << 20
+			}
+		}
+	})
+	web.MemoryBytes = 128 << 20
+
+	// The guardrail: liveness floor at 256 MiB available; on violation,
+	// report and kill the batch group. Spec-level priorities cap at the
+	// nice range, so the kill semantics come from loading with
+	// DefaultPriority = actions.KillPriority (20).
+	src := `
+guardrail oom-killer {
+    trigger: { TIMER(0, 1e8) }, // every 100ms
+    rule: { LOAD(mem_available_mb) >= 256 },
+    action: {
+        REPORT(LOAD(mem_available_mb));
+        DEPRIORITIZE(batch_jobs)
+    }
+}`
+	ms, err := rt.LoadSource(src, Options{DefaultPriority: 20 /* actions.KillPriority */})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run until well past the projected OOM point. Leak rate: 16 MiB /
+	// 50ms = 320 MiB/s across the group; available starts at ~896 MiB,
+	// crosses 256 MiB around t ≈ 2 s.
+	k.RunUntil(5 * kernel.Second)
+
+	if batch1.State != kernel.TaskKilled || batch2.State != kernel.TaskKilled {
+		t.Fatalf("batch tasks not killed: %v / %v", batch1.State, batch2.State)
+	}
+	if web.State == kernel.TaskKilled {
+		t.Fatal("high-priority task was killed")
+	}
+	// Memory was reclaimed and the property recovered.
+	if avail := st.Load("mem_available_mb"); avail < 256 {
+		t.Errorf("available after kill = %v MiB", avail)
+	}
+	s := ms[0].Stats()
+	if s.ActionsFired == 0 || rt.Log.Total() == 0 {
+		t.Errorf("guardrail accounting: %+v, log %d", s, rt.Log.Total())
+	}
+	// The violation report carries the memory level that triggered it.
+	v := rt.Log.Recent(1)[0]
+	if len(v.Values) != 1 || v.Values[0] >= 256 {
+		t.Errorf("reported value = %v", v.Values)
+	}
+	_, killed := rt.Deprioritizer.Stats()
+	if killed != 2 {
+		t.Errorf("killed = %d", killed)
+	}
+	// After recovery the rule holds again and no further kills happen.
+	evalsAt5s := ms[0].Stats().Evals
+	k.RunUntil(6 * kernel.Second)
+	if ms[0].Stats().Evals <= evalsAt5s {
+		t.Error("monitor stopped evaluating")
+	}
+	if ms[0].Stats().LastResult != 1 {
+		t.Error("property did not recover after the kill")
+	}
+}

@@ -1,0 +1,126 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"guardrails/internal/featurestore"
+	"guardrails/internal/kernel"
+)
+
+func TestRecorderContextInReports(t *testing.T) {
+	rt, k, st := newRT()
+	// Attach a recorder to the model's input features.
+	st.Intern("feat_a")
+	st.Intern("feat_b")
+	rec := featurestore.NewRecorder(32)
+	st.AttachRecorder(rec, "feat_a", "feat_b")
+
+	src := `
+guardrail ctx {
+    trigger: { TIMER(0, 1e9) },
+    rule: { LOAD(err_rate) <= 0.1 },
+    action: { REPORT(LOAD(err_rate)) }
+}`
+	if _, err := rt.LoadSource(src, Options{Recorder: rec, RecorderContext: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the model's inputs being published, then a violation.
+	st.Save("feat_a", 1.5)
+	st.Save("feat_b", 2.5)
+	st.Save("feat_a", 3.5)
+	st.Save("err_rate", 0.9)
+	k.RunUntil(1)
+
+	if rt.Log.Total() != 1 {
+		t.Fatalf("log total = %d", rt.Log.Total())
+	}
+	v := rt.Log.Recent(1)[0]
+	if len(v.Context) != 3 {
+		t.Fatalf("context = %+v", v.Context)
+	}
+	if v.Context[2].Key != "feat_a" || v.Context[2].Value != 3.5 {
+		t.Errorf("latest context write = %+v", v.Context[2])
+	}
+	if !strings.Contains(v.String(), "feat_a=3.5") {
+		t.Errorf("rendered violation missing context: %s", v)
+	}
+	// err_rate itself was not attached: not recorded.
+	for _, w := range v.Context {
+		if w.Key == "err_rate" {
+			t.Error("unattached key recorded")
+		}
+	}
+}
+
+func TestRecorderContextCapped(t *testing.T) {
+	rt, k, st := newRT()
+	rec := featurestore.NewRecorder(64)
+	st.Intern("sig")
+	st.AttachRecorder(rec, "sig")
+	src := `
+guardrail capped {
+    trigger: { TIMER(0, 1e9) },
+    rule: { LOAD(bad) == 0 },
+    action: { REPORT() }
+}`
+	if _, err := rt.LoadSource(src, Options{Recorder: rec, RecorderContext: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		st.Save("sig", float64(i))
+	}
+	st.Save("bad", 1)
+	k.RunUntil(1)
+	v := rt.Log.Recent(1)[0]
+	if len(v.Context) != 4 {
+		t.Fatalf("context size = %d, want 4", len(v.Context))
+	}
+	if v.Context[3].Value != 19 {
+		t.Errorf("latest value = %v", v.Context[3].Value)
+	}
+	// Only the attached key ("sig") is recorded: 20 writes.
+	if rec.Total() != 20 {
+		t.Errorf("recorder total = %d", rec.Total())
+	}
+}
+
+func TestRecorderStandalone(t *testing.T) {
+	rec := featurestore.NewRecorder(3)
+	if len(rec.Recent(5)) != 0 {
+		t.Error("fresh recorder not empty")
+	}
+	for i := 0; i < 5; i++ {
+		rec.Record("k", float64(i))
+	}
+	got := rec.Recent(10)
+	if len(got) != 3 || got[0].Value != 2 || got[2].Value != 4 {
+		t.Errorf("recent = %+v", got)
+	}
+	if !strings.Contains(rec.Dump(), "k=4") {
+		t.Errorf("dump = %q", rec.Dump())
+	}
+	_ = kernel.Time(0)
+}
+
+func TestRecorderCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity should panic")
+		}
+	}()
+	featurestore.NewRecorder(0)
+}
+
+func TestAttachRecorderAllKeys(t *testing.T) {
+	st := featurestore.New()
+	st.Save("a", 1)
+	st.Save("b", 2)
+	rec := featurestore.NewRecorder(8)
+	st.AttachRecorder(rec) // all currently interned keys
+	st.Save("a", 10)
+	st.Save("b", 20)
+	if rec.Total() != 2 {
+		t.Errorf("total = %d", rec.Total())
+	}
+}

@@ -1,0 +1,197 @@
+// Package monitor is the guardrail runtime: it loads compiled guardrail
+// monitors (package compile) into the simulated kernel, binds their
+// TIMER and FUNCTION triggers to kernel timers and hook sites, executes
+// the monitor programs in the VM at each trigger, and dispatches
+// corrective actions (package actions) on property violations.
+//
+// The runtime implements the paper's deployment story (§3.3):
+// incremental deployment (monitors can be loaded and unloaded at
+// runtime without a "reboot"), per-monitor overhead accounting, and two
+// mitigations for the discussion-section failure modes (§6): anti-flap
+// hysteresis (an action fires only after K consecutive violations, with
+// an optional recovery notification after M consecutive passes) and
+// dependency-triggered evaluation (re-check a property only when a
+// feature-store key it reads changes, instead of on a timer).
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"guardrails/internal/actions"
+	"guardrails/internal/compile"
+	"guardrails/internal/featurestore"
+	"guardrails/internal/kernel"
+)
+
+// Runtime hosts loaded guardrail monitors and the shared action
+// machinery.
+type Runtime struct {
+	k     *kernel.Kernel
+	store *featurestore.Store
+
+	// Log receives REPORT violations (and dispatch errors, with Note).
+	Log *actions.ReportLog
+	// Policies backs REPLACE.
+	Policies *actions.Registry
+	// Retrainer backs RETRAIN.
+	Retrainer *actions.Retrainer
+	// Deprioritizer backs DEPRIORITIZE.
+	Deprioritizer *actions.Deprioritizer
+
+	mu       sync.Mutex
+	monitors map[string]*Monitor
+}
+
+// New returns a runtime bound to a kernel and feature store, with
+// default-capacity action components (a 4096-entry report log and a
+// retraining budget of 4 tokens refilling at 0.1/s).
+func New(k *kernel.Kernel, store *featurestore.Store) *Runtime {
+	return &Runtime{
+		k:             k,
+		store:         store,
+		Log:           actions.NewReportLog(4096),
+		Policies:      actions.NewRegistry(),
+		Retrainer:     actions.NewRetrainer(4, 0.1),
+		Deprioritizer: actions.NewDeprioritizer(k),
+		monitors:      make(map[string]*Monitor),
+	}
+}
+
+// Kernel returns the runtime's kernel.
+func (r *Runtime) Kernel() *kernel.Kernel { return r.k }
+
+// Store returns the runtime's feature store.
+func (r *Runtime) Store() *featurestore.Store { return r.store }
+
+// Load installs a compiled guardrail and arms its triggers. Loading is
+// the incremental-deployment point: guardrails can be added while the
+// system runs.
+func (r *Runtime) Load(c *compile.Compiled, opts Options) (*Monitor, error) {
+	opts.fillDefaults()
+	r.mu.Lock()
+	if _, dup := r.monitors[c.Name]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("monitor: guardrail %q already loaded", c.Name)
+	}
+	r.mu.Unlock()
+
+	m := &Monitor{
+		rt:      r,
+		c:       c,
+		opts:    opts,
+		cells:   make([]featurestore.ID, len(c.Program.Symbols)),
+		enabled: true,
+	}
+	for i, sym := range c.Program.Symbols {
+		m.cells[i] = r.store.Intern(sym)
+	}
+	m.arm()
+
+	r.mu.Lock()
+	r.monitors[c.Name] = m
+	r.mu.Unlock()
+	return m, nil
+}
+
+// LoadSource compiles a guardrail specification source and loads every
+// guardrail in it with the same options.
+func (r *Runtime) LoadSource(src string, opts Options) ([]*Monitor, error) {
+	cs, err := compile.Source(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Monitor, 0, len(cs))
+	for _, c := range cs {
+		m, err := r.Load(c, opts)
+		if err != nil {
+			for _, loaded := range out {
+				_ = r.Unload(loaded.Name())
+			}
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Update atomically replaces a loaded guardrail with a new compiled
+// version under the same name — the paper's §6 "update guardrails at
+// runtime without requiring a kernel reboot". The old monitor is
+// disarmed only after the replacement compiled and its options were
+// validated, so a bad update never leaves the property unwatched.
+func (r *Runtime) Update(c *compile.Compiled, opts Options) (*Monitor, error) {
+	r.mu.Lock()
+	old, ok := r.monitors[c.Name]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("monitor: guardrail %q not loaded", c.Name)
+	}
+	opts.fillDefaults()
+	m := &Monitor{
+		rt:      r,
+		c:       c,
+		opts:    opts,
+		cells:   make([]featurestore.ID, len(c.Program.Symbols)),
+		enabled: true,
+	}
+	for i, sym := range c.Program.Symbols {
+		m.cells[i] = r.store.Intern(sym)
+	}
+	// Swap: disarm the old monitor, arm the new one, replace the entry.
+	old.disarm()
+	m.arm()
+	r.mu.Lock()
+	r.monitors[c.Name] = m
+	r.mu.Unlock()
+	return m, nil
+}
+
+// UpdateSource compiles src (which must contain exactly one guardrail)
+// and hot-swaps it.
+func (r *Runtime) UpdateSource(src string, opts Options) (*Monitor, error) {
+	cs, err := compile.Source(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(cs) != 1 {
+		return nil, fmt.Errorf("monitor: UpdateSource wants exactly one guardrail, got %d", len(cs))
+	}
+	return r.Update(cs[0], opts)
+}
+
+// Unload disarms and removes a guardrail monitor.
+func (r *Runtime) Unload(name string) error {
+	r.mu.Lock()
+	m, ok := r.monitors[name]
+	if ok {
+		delete(r.monitors, name)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("monitor: guardrail %q not loaded", name)
+	}
+	m.disarm()
+	return nil
+}
+
+// Monitor returns the loaded monitor with the given guardrail name, or
+// nil.
+func (r *Runtime) Monitor(name string) *Monitor {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.monitors[name]
+}
+
+// Monitors returns all loaded monitors sorted by name.
+func (r *Runtime) Monitors() []*Monitor {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Monitor, 0, len(r.monitors))
+	for _, m := range r.monitors {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}

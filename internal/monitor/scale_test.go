@@ -1,0 +1,98 @@
+package monitor
+
+import (
+	"fmt"
+	"testing"
+
+	"guardrails/internal/featurestore"
+	"guardrails/internal/kernel"
+)
+
+// TestIncrementalDeploymentScale exercises §3.3's incremental-deployment
+// claim at fleet scale: dozens of guardrails with independent keys and
+// staggered timers coexist on one kernel, each evaluating and acting
+// only on its own property; half are then unloaded mid-run without
+// disturbing the rest.
+func TestIncrementalDeploymentScale(t *testing.T) {
+	rt, k, st := newRT()
+	const n = 64
+	for i := 0; i < n; i++ {
+		src := fmt.Sprintf(`
+guardrail g%d {
+    trigger: { TIMER(%d, 1e8) },
+    rule: { LOAD(sig%d) <= %d },
+    action: { SAVE(alarm%d, 1) }
+}`, i, i*100, i, i, i)
+		if _, err := rt.LoadSource(src, Options{}); err != nil {
+			t.Fatalf("loading guardrail %d: %v", i, err)
+		}
+	}
+	if len(rt.Monitors()) != n {
+		t.Fatalf("monitors = %d", len(rt.Monitors()))
+	}
+	// Violate even-numbered signals only.
+	for i := 0; i < n; i += 2 {
+		st.Save(fmt.Sprintf("sig%d", i), float64(i+100))
+	}
+	k.RunUntil(kernel.Second)
+	for i := 0; i < n; i++ {
+		want := 0.0
+		if i%2 == 0 {
+			want = 1
+		}
+		if got := st.Load(fmt.Sprintf("alarm%d", i)); got != want {
+			t.Errorf("alarm%d = %v, want %v", i, got, want)
+		}
+	}
+	// Unload half; the rest keep running.
+	for i := 0; i < n; i += 2 {
+		if err := rt.Unload(fmt.Sprintf("g%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(rt.Monitors()) != n/2 {
+		t.Fatalf("after unload: %d monitors", len(rt.Monitors()))
+	}
+	evalsBefore := make(map[string]uint64)
+	for _, m := range rt.Monitors() {
+		evalsBefore[m.Name()] = m.Stats().Evals
+	}
+	k.RunUntil(2 * kernel.Second)
+	for _, m := range rt.Monitors() {
+		if m.Stats().Evals <= evalsBefore[m.Name()] {
+			t.Errorf("%s stopped evaluating after unrelated unloads", m.Name())
+		}
+	}
+}
+
+// BenchmarkManyMonitors measures aggregate monitor overhead with 100
+// loaded guardrails ticking at 10ms over one simulated second — the
+// "more guardrails, more properties, more frequently" scaling the paper
+// proposes (§3.3).
+func BenchmarkManyMonitors(b *testing.B) {
+	for iter := 0; iter < b.N; iter++ {
+		b.StopTimer()
+		k := kernel.New()
+		st := featurestore.New()
+		rt := New(k, st)
+		for i := 0; i < 100; i++ {
+			src := fmt.Sprintf(`
+guardrail g%d {
+    trigger: { TIMER(%d, 1e7) },
+    rule: { LOAD(sig%d) <= 100 },
+    action: { SAVE(alarm%d, 1) }
+}`, i, i, i, i)
+			if _, err := rt.LoadSource(src, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		k.RunUntil(kernel.Second) // 100 monitors x 100 evals
+		b.StopTimer()
+		var steps uint64
+		for _, m := range rt.Monitors() {
+			steps += m.Stats().VMSteps
+		}
+		b.ReportMetric(float64(steps)/100, "vm_steps/monitor")
+	}
+}

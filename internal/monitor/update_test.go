@@ -1,0 +1,130 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"guardrails/internal/kernel"
+)
+
+func TestHotUpdateTightensThreshold(t *testing.T) {
+	rt, k, st := newRT()
+	st.Save("ml_enabled", 1)
+	if _, err := rt.LoadSource(listing2, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// 0.04 passes the original 0.05 threshold.
+	st.Save("false_submit_rate", 0.04)
+	k.RunUntil(2500 * kernel.Millisecond)
+	if st.Load("ml_enabled") != 1 {
+		t.Fatal("original guardrail fired unexpectedly")
+	}
+
+	// Hot-update to a tightened 0.02 threshold (§6: no reboot).
+	tightened := strings.Replace(listing2, "0.05", "0.02", 1)
+	m2, err := rt.UpdateSource(tightened, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(4500 * kernel.Millisecond)
+	if st.Load("ml_enabled") != 0 {
+		t.Error("tightened guardrail did not fire")
+	}
+	if m2.Stats().Evals == 0 {
+		t.Error("updated monitor never evaluated")
+	}
+	if got := rt.Monitor("low-false-submit"); got != m2 {
+		t.Error("registry still points at the old monitor")
+	}
+	// Exactly one registered monitor.
+	if len(rt.Monitors()) != 1 {
+		t.Errorf("monitors = %d", len(rt.Monitors()))
+	}
+}
+
+func TestHotUpdateOldMonitorDisarmed(t *testing.T) {
+	rt, k, st := newRT()
+	ms, err := rt.LoadSource(listing2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := ms[0]
+	k.RunUntil(1500 * kernel.Millisecond)
+	oldEvals := old.Stats().Evals
+	if _, err := rt.UpdateSource(listing2, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	st.Save("false_submit_rate", 0.9)
+	k.RunUntil(5 * kernel.Second)
+	if old.Stats().Evals != oldEvals {
+		t.Error("old monitor still evaluating after update")
+	}
+}
+
+func TestUpdateUnknownGuardrailFails(t *testing.T) {
+	rt, _, _ := newRT()
+	if _, err := rt.UpdateSource(listing2, Options{}); err == nil {
+		t.Error("update of unloaded guardrail should error")
+	}
+}
+
+func TestUpdateSourceRejectsMultiple(t *testing.T) {
+	rt, _, _ := newRT()
+	if _, err := rt.LoadSource(listing2, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	two := listing2 + `
+guardrail extra {
+    trigger: { TIMER(0, 1e9) },
+    rule: { LOAD(x) < 1 },
+    action: { REPORT() }
+}`
+	if _, err := rt.UpdateSource(two, Options{}); err == nil {
+		t.Error("multi-guardrail update should error")
+	}
+}
+
+func TestShadowModeObservesWithoutActing(t *testing.T) {
+	rt, k, st := newRT()
+	st.Save("ml_enabled", 1)
+	ms, err := rt.LoadSource(listing2, Options{ShadowMode: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Save("false_submit_rate", 0.9)
+	k.RunUntil(5 * kernel.Second)
+	s := ms[0].Stats()
+	if s.Violations == 0 {
+		t.Fatal("shadow monitor did not observe violations")
+	}
+	if s.ActionsFired != 0 {
+		t.Errorf("shadow monitor fired %d actions", s.ActionsFired)
+	}
+	if st.Load("ml_enabled") != 1 {
+		t.Error("shadow monitor's SAVE leaked through")
+	}
+	if rt.Log.Total() != 0 {
+		t.Error("shadow monitor reported violations to the log")
+	}
+}
+
+func TestShadowModePromotionViaUpdate(t *testing.T) {
+	// The trial-then-promote flow: shadow first, hot-update to live.
+	rt, k, st := newRT()
+	st.Save("ml_enabled", 1)
+	st.Save("false_submit_rate", 0.9)
+	if _, err := rt.LoadSource(listing2, Options{ShadowMode: true}); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(2 * kernel.Second)
+	if st.Load("ml_enabled") != 1 {
+		t.Fatal("shadow phase acted")
+	}
+	if _, err := rt.UpdateSource(listing2, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(4 * kernel.Second)
+	if st.Load("ml_enabled") != 0 {
+		t.Error("promoted guardrail did not act")
+	}
+}

@@ -1,0 +1,469 @@
+// Package nn is the learned-policy substrate: a small, dependency-free
+// multilayer perceptron with SGD+momentum training, suitable for the
+// "light neural network" policies the paper's case studies use (LinnOS
+// I/O latency classification, learned cache eviction, learned schedulers).
+//
+// The package also provides integer-quantized inference (Quantize), the
+// trick LinnOS uses to run models cheaply inside the kernel, so that
+// decision-overhead properties (P5) can compare float and fixed-point
+// inference costs.
+package nn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+)
+
+// Activation selects a layer's nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	Linear Activation = iota
+	ReLU
+	Sigmoid
+	Tanh
+)
+
+// String returns the activation name.
+func (a Activation) String() string {
+	switch a {
+	case Linear:
+		return "linear"
+	case ReLU:
+		return "relu"
+	case Sigmoid:
+		return "sigmoid"
+	case Tanh:
+		return "tanh"
+	default:
+		return fmt.Sprintf("activation(%d)", int(a))
+	}
+}
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	case Tanh:
+		return math.Tanh(x)
+	default:
+		return x
+	}
+}
+
+// derivFromOutput returns dActivation/dx expressed in terms of the
+// activation output y (possible for all supported activations).
+func (a Activation) derivFromOutput(y float64) float64 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Sigmoid:
+		return y * (1 - y)
+	case Tanh:
+		return 1 - y*y
+	default:
+		return 1
+	}
+}
+
+// Loss selects the training objective.
+type Loss int
+
+// Supported losses. BCE expects Sigmoid outputs in (0,1) and targets in
+// {0,1}; its gradient composed with sigmoid simplifies to (y - t).
+const (
+	MSE Loss = iota
+	BCE
+)
+
+// Config describes a network: layer widths (input first, output last),
+// activations, and an initialization seed.
+type Config struct {
+	// Layers holds the width of every layer including input and output,
+	// e.g. {31, 256, 2} for a LinnOS-style classifier.
+	Layers []int
+	// Hidden is the activation for all hidden layers.
+	Hidden Activation
+	// Output is the activation for the output layer.
+	Output Activation
+	// Loss is the training objective.
+	Loss Loss
+	// Seed initializes weights deterministically.
+	Seed int64
+}
+
+type layer struct {
+	in, out int
+	w       []float64 // out x in, row-major
+	b       []float64 // out
+	act     Activation
+
+	// momentum buffers
+	vw []float64
+	vb []float64
+}
+
+// Network is a feedforward MLP. Not safe for concurrent mutation; a
+// frozen network may be shared for concurrent Forward calls through
+// Clone-per-goroutine or external locking.
+type Network struct {
+	cfg    Config
+	layers []layer
+}
+
+// New constructs a network with Xavier/Glorot-uniform initialization.
+func New(cfg Config) *Network {
+	if len(cfg.Layers) < 2 {
+		panic("nn: need at least input and output layers")
+	}
+	for _, n := range cfg.Layers {
+		if n <= 0 {
+			panic("nn: layer widths must be positive")
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := &Network{cfg: cfg}
+	for i := 0; i+1 < len(cfg.Layers); i++ {
+		in, out := cfg.Layers[i], cfg.Layers[i+1]
+		act := cfg.Hidden
+		if i+2 == len(cfg.Layers) {
+			act = cfg.Output
+		}
+		l := layer{
+			in: in, out: out, act: act,
+			w:  make([]float64, in*out),
+			b:  make([]float64, out),
+			vw: make([]float64, in*out),
+			vb: make([]float64, out),
+		}
+		limit := math.Sqrt(6.0 / float64(in+out))
+		for j := range l.w {
+			l.w[j] = (rng.Float64()*2 - 1) * limit
+		}
+		n.layers = append(n.layers, l)
+	}
+	return n
+}
+
+// InputSize returns the expected input vector length.
+func (n *Network) InputSize() int { return n.cfg.Layers[0] }
+
+// OutputSize returns the output vector length.
+func (n *Network) OutputSize() int { return n.cfg.Layers[len(n.cfg.Layers)-1] }
+
+// NumParams returns the total number of weights and biases.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, l := range n.layers {
+		total += len(l.w) + len(l.b)
+	}
+	return total
+}
+
+// Forward runs inference, returning a fresh output slice.
+func (n *Network) Forward(in []float64) []float64 {
+	if len(in) != n.InputSize() {
+		panic(fmt.Sprintf("nn: input size %d, want %d", len(in), n.InputSize()))
+	}
+	cur := in
+	for li := range n.layers {
+		l := &n.layers[li]
+		next := make([]float64, l.out)
+		for o := 0; o < l.out; o++ {
+			sum := l.b[o]
+			row := l.w[o*l.in : (o+1)*l.in]
+			for i, x := range cur {
+				sum += row[i] * x
+			}
+			next[o] = l.act.apply(sum)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// forwardTrace runs inference keeping every layer's activations
+// (including the input) for backprop.
+func (n *Network) forwardTrace(in []float64, acts [][]float64) {
+	copy(acts[0], in)
+	cur := acts[0]
+	for li := range n.layers {
+		l := &n.layers[li]
+		next := acts[li+1]
+		for o := 0; o < l.out; o++ {
+			sum := l.b[o]
+			row := l.w[o*l.in : (o+1)*l.in]
+			for i, x := range cur {
+				sum += row[i] * x
+			}
+			next[o] = l.act.apply(sum)
+		}
+		cur = next
+	}
+}
+
+// TrainOpts configures SGD.
+type TrainOpts struct {
+	LearningRate float64
+	Momentum     float64
+	BatchSize    int
+	Epochs       int
+	// Shuffle seeds minibatch shuffling; 0 disables shuffling.
+	ShuffleSeed int64
+}
+
+// DefaultTrainOpts returns sensible small-model defaults.
+func DefaultTrainOpts() TrainOpts {
+	return TrainOpts{LearningRate: 0.05, Momentum: 0.9, BatchSize: 32, Epochs: 10, ShuffleSeed: 1}
+}
+
+// Train runs minibatch SGD over the dataset and returns the mean loss of
+// the final epoch. inputs[i] pairs with targets[i].
+func (n *Network) Train(inputs, targets [][]float64, opts TrainOpts) (float64, error) {
+	if len(inputs) != len(targets) {
+		return 0, fmt.Errorf("nn: %d inputs but %d targets", len(inputs), len(targets))
+	}
+	if len(inputs) == 0 {
+		return 0, errors.New("nn: empty training set")
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 32
+	}
+	if opts.Epochs <= 0 {
+		opts.Epochs = 1
+	}
+	for i := range inputs {
+		if len(inputs[i]) != n.InputSize() {
+			return 0, fmt.Errorf("nn: input %d has size %d, want %d", i, len(inputs[i]), n.InputSize())
+		}
+		if len(targets[i]) != n.OutputSize() {
+			return 0, fmt.Errorf("nn: target %d has size %d, want %d", i, len(targets[i]), n.OutputSize())
+		}
+	}
+
+	idx := make([]int, len(inputs))
+	for i := range idx {
+		idx[i] = i
+	}
+	var rng *rand.Rand
+	if opts.ShuffleSeed != 0 {
+		rng = rand.New(rand.NewSource(opts.ShuffleSeed))
+	}
+
+	// Scratch buffers reused across samples.
+	acts := make([][]float64, len(n.cfg.Layers))
+	deltas := make([][]float64, len(n.layers))
+	for i, w := range n.cfg.Layers {
+		acts[i] = make([]float64, w)
+	}
+	for i := range n.layers {
+		deltas[i] = make([]float64, n.layers[i].out)
+	}
+	gw := make([][]float64, len(n.layers))
+	gb := make([][]float64, len(n.layers))
+	for i := range n.layers {
+		gw[i] = make([]float64, len(n.layers[i].w))
+		gb[i] = make([]float64, len(n.layers[i].b))
+	}
+
+	var lastLoss float64
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		if rng != nil {
+			rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		}
+		var epochLoss float64
+		for start := 0; start < len(idx); start += opts.BatchSize {
+			end := start + opts.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			batch := idx[start:end]
+			for i := range n.layers {
+				zero(gw[i])
+				zero(gb[i])
+			}
+			for _, s := range batch {
+				epochLoss += n.backprop(inputs[s], targets[s], acts, deltas, gw, gb)
+			}
+			scale := opts.LearningRate / float64(len(batch))
+			for li := range n.layers {
+				l := &n.layers[li]
+				for j := range l.w {
+					l.vw[j] = opts.Momentum*l.vw[j] - scale*gw[li][j]
+					l.w[j] += l.vw[j]
+				}
+				for j := range l.b {
+					l.vb[j] = opts.Momentum*l.vb[j] - scale*gb[li][j]
+					l.b[j] += l.vb[j]
+				}
+			}
+		}
+		lastLoss = epochLoss / float64(len(idx))
+	}
+	return lastLoss, nil
+}
+
+func zero(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// backprop accumulates gradients for one sample and returns its loss.
+func (n *Network) backprop(in, target []float64, acts, deltas, gw, gb [][]float64) float64 {
+	n.forwardTrace(in, acts)
+	out := acts[len(acts)-1]
+	last := len(n.layers) - 1
+
+	var loss float64
+	outLayer := &n.layers[last]
+	for o, y := range out {
+		t := target[o]
+		switch n.cfg.Loss {
+		case BCE:
+			const eps = 1e-12
+			loss += -(t*math.Log(y+eps) + (1-t)*math.Log(1-y+eps))
+			// Assuming sigmoid output, dL/dz = y - t.
+			deltas[last][o] = y - t
+		default:
+			d := y - t
+			loss += 0.5 * d * d
+			deltas[last][o] = d * outLayer.act.derivFromOutput(y)
+		}
+	}
+
+	for li := last; li >= 0; li-- {
+		l := &n.layers[li]
+		prev := acts[li]
+		for o := 0; o < l.out; o++ {
+			d := deltas[li][o]
+			gb[li][o] += d
+			row := gw[li][o*l.in : (o+1)*l.in]
+			for i, x := range prev {
+				row[i] += d * x
+			}
+		}
+		if li > 0 {
+			below := deltas[li-1]
+			zero(below)
+			for o := 0; o < l.out; o++ {
+				d := deltas[li][o]
+				row := l.w[o*l.in : (o+1)*l.in]
+				for i := range below {
+					below[i] += d * row[i]
+				}
+			}
+			for i, y := range acts[li] {
+				below[i] *= n.layers[li-1].act.derivFromOutput(y)
+			}
+		}
+	}
+	return loss
+}
+
+// Clone returns a deep copy (weights and momentum buffers).
+func (n *Network) Clone() *Network {
+	c := &Network{cfg: n.cfg}
+	c.cfg.Layers = append([]int(nil), n.cfg.Layers...)
+	c.layers = make([]layer, len(n.layers))
+	for i, l := range n.layers {
+		c.layers[i] = layer{
+			in: l.in, out: l.out, act: l.act,
+			w:  append([]float64(nil), l.w...),
+			b:  append([]float64(nil), l.b...),
+			vw: append([]float64(nil), l.vw...),
+			vb: append([]float64(nil), l.vb...),
+		}
+	}
+	return c
+}
+
+const magic = "GRNN1\x00"
+
+// Save serializes the network (config and weights, not momentum).
+func (n *Network) Save(w io.Writer) error {
+	if _, err := io.WriteString(w, magic); err != nil {
+		return err
+	}
+	hdr := []int64{
+		int64(len(n.cfg.Layers)),
+		int64(n.cfg.Hidden), int64(n.cfg.Output), int64(n.cfg.Loss), n.cfg.Seed,
+	}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, l := range n.cfg.Layers {
+		if err := binary.Write(w, binary.LittleEndian, int64(l)); err != nil {
+			return err
+		}
+	}
+	for _, l := range n.layers {
+		if err := binary.Write(w, binary.LittleEndian, l.w); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, l.b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load deserializes a network produced by Save.
+func Load(r io.Reader) (*Network, error) {
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, got); err != nil {
+		return nil, fmt.Errorf("nn: reading magic: %w", err)
+	}
+	if string(got) != magic {
+		return nil, errors.New("nn: bad magic")
+	}
+	var nLayers, hidden, output, loss, seed int64
+	for _, p := range []*int64{&nLayers, &hidden, &output, &loss, &seed} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if nLayers < 2 || nLayers > 64 {
+		return nil, fmt.Errorf("nn: implausible layer count %d", nLayers)
+	}
+	cfg := Config{
+		Hidden: Activation(hidden), Output: Activation(output),
+		Loss: Loss(loss), Seed: seed,
+		Layers: make([]int, nLayers),
+	}
+	for i := range cfg.Layers {
+		var w int64
+		if err := binary.Read(r, binary.LittleEndian, &w); err != nil {
+			return nil, err
+		}
+		if w <= 0 || w > 1<<20 {
+			return nil, fmt.Errorf("nn: implausible layer width %d", w)
+		}
+		cfg.Layers[i] = int(w)
+	}
+	n := New(cfg)
+	for li := range n.layers {
+		if err := binary.Read(r, binary.LittleEndian, n.layers[li].w); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, binary.LittleEndian, n.layers[li].b); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}

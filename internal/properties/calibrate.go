@@ -1,0 +1,80 @@
+package properties
+
+import (
+	"fmt"
+
+	"guardrails/internal/stats"
+)
+
+// Calibrator implements the paper's §3.3 deployment advice: "deploy
+// guardrails with relaxed properties and automatically tighten the
+// properties based on system behavior". It observes a signal during a
+// calibration window and proposes a threshold at a high quantile of the
+// observed healthy distribution times a safety margin; the caller then
+// hot-updates the guardrail with the tightened rule (Runtime.Update).
+type Calibrator struct {
+	quantile   float64
+	margin     float64
+	minSamples int
+	est        *stats.P2
+	agg        stats.Welford
+}
+
+// NewCalibrator returns a calibrator that proposes
+// quantile(signal, q) * margin after at least minSamples observations.
+// Typical use: q=0.99, margin=1.5 — the threshold sits 50% above the
+// healthy p99, loose enough for normal jitter, tight enough to catch
+// regime change.
+func NewCalibrator(q, margin float64, minSamples int) (*Calibrator, error) {
+	if q <= 0 || q >= 1 {
+		return nil, fmt.Errorf("properties: calibration quantile must be in (0,1)")
+	}
+	if margin <= 0 {
+		return nil, fmt.Errorf("properties: calibration margin must be positive")
+	}
+	if minSamples < 10 {
+		return nil, fmt.Errorf("properties: need at least 10 calibration samples")
+	}
+	return &Calibrator{
+		quantile:   q,
+		margin:     margin,
+		minSamples: minSamples,
+		est:        stats.NewP2(q),
+	}, nil
+}
+
+// Observe incorporates one healthy-period observation.
+func (c *Calibrator) Observe(v float64) {
+	c.est.Add(v)
+	c.agg.Add(v)
+}
+
+// Ready reports whether enough samples have been observed.
+func (c *Calibrator) Ready() bool { return c.est.Count() >= c.minSamples }
+
+// Samples returns the number of observations so far.
+func (c *Calibrator) Samples() int { return c.est.Count() }
+
+// Threshold returns the proposed upper bound for the signal.
+func (c *Calibrator) Threshold() (float64, error) {
+	if !c.Ready() {
+		return 0, fmt.Errorf("properties: calibration needs %d samples, has %d",
+			c.minSamples, c.est.Count())
+	}
+	return c.est.Value() * c.margin, nil
+}
+
+// TightenedSpec renders a guardrail whose rule bounds the signal at the
+// calibrated threshold, suitable for Runtime.Update after a relaxed
+// shadow deployment. actionText supplies the action block lines.
+func (c *Calibrator) TightenedSpec(name, key string, intervalNS float64, actionText []string) (string, error) {
+	thr, err := c.Threshold()
+	if err != nil {
+		return "", err
+	}
+	return BuildSpec(name,
+		[]string{TimerTrigger(intervalNS)},
+		[]string{fmt.Sprintf("LOAD(%s) <= %g", key, thr)},
+		actionText,
+	), nil
+}

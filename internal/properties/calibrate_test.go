@@ -1,0 +1,132 @@
+package properties
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"guardrails/internal/featurestore"
+	"guardrails/internal/kernel"
+	"guardrails/internal/monitor"
+)
+
+func TestCalibratorValidation(t *testing.T) {
+	cases := []struct {
+		q, margin float64
+		n         int
+	}{{0, 1.5, 100}, {1, 1.5, 100}, {0.99, 0, 100}, {0.99, 1.5, 5}}
+	for _, c := range cases {
+		if _, err := NewCalibrator(c.q, c.margin, c.n); err == nil {
+			t.Errorf("q=%v margin=%v n=%d should be rejected", c.q, c.margin, c.n)
+		}
+	}
+}
+
+func TestCalibratorProposesQuantileThreshold(t *testing.T) {
+	c, err := NewCalibrator(0.99, 1.5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Ready() {
+		t.Fatal("fresh calibrator claims readiness")
+	}
+	if _, err := c.Threshold(); err == nil {
+		t.Fatal("unready threshold should error")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		c.Observe(rng.ExpFloat64() * 10) // healthy signal, mean 10
+	}
+	if !c.Ready() || c.Samples() != 20000 {
+		t.Fatal("not ready after samples")
+	}
+	thr, err := c.Threshold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exponential(10) p99 ≈ 46; ×1.5 ≈ 69.
+	if thr < 55 || thr > 85 {
+		t.Errorf("threshold = %v, want ~69", thr)
+	}
+}
+
+func TestCalibratorTightenedSpecCompiles(t *testing.T) {
+	c, err := NewCalibrator(0.95, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		c.Observe(float64(i % 10))
+	}
+	src, err := c.TightenedSpec("lat-bound", "page_fault_latency_ms", 1e9,
+		[]string{"REPORT(LOAD(page_fault_latency_ms))"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCompile(t, src)
+	if !strings.Contains(src, "page_fault_latency_ms") {
+		t.Errorf("spec missing key:\n%s", src)
+	}
+}
+
+// TestRelaxThenTightenFlow exercises the full §3.3 story: deploy a
+// deliberately loose guardrail, calibrate on healthy behaviour, then
+// hot-update to the tightened threshold — which catches a regression the
+// loose version missed.
+func TestRelaxThenTightenFlow(t *testing.T) {
+	k := kernel.New()
+	st := featurestore.New()
+	rt := monitor.New(k, st)
+
+	// Relaxed: absurdly high bound (nothing to calibrate against yet).
+	loose := BuildSpec("lat-bound",
+		[]string{TimerTrigger(float64(100 * kernel.Millisecond))},
+		[]string{"LOAD(latency_ms) <= 1e9"},
+		[]string{"SAVE(alarm, 1)"},
+	)
+	if _, err := rt.LoadSource(loose, monitor.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	cal, err := NewCalibrator(0.99, 1.5, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	// Healthy phase: latency ~N(10, 2) clipped positive.
+	k.Every(0, 5*kernel.Millisecond, 5*kernel.Second, func(kernel.Time) {
+		v := 10 + rng.NormFloat64()*2
+		if v < 0 {
+			v = 0
+		}
+		st.Save("latency_ms", v)
+		cal.Observe(v)
+	})
+	k.RunUntil(5 * kernel.Second)
+	if st.Load("alarm") != 0 {
+		t.Fatal("loose guardrail fired during healthy phase")
+	}
+	if !cal.Ready() {
+		t.Fatal("calibrator not ready")
+	}
+
+	tightened, err := cal.TightenedSpec("lat-bound", "latency_ms",
+		float64(100*kernel.Millisecond), []string{"SAVE(alarm, 1)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.UpdateSource(tightened, monitor.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mild regression: latency doubles to ~20ms — under the loose 1e9
+	// bound, over the calibrated ~22... make it 40 to clear the margin.
+	k.Every(5*kernel.Second, 5*kernel.Millisecond, 8*kernel.Second, func(kernel.Time) {
+		st.Save("latency_ms", 40+rng.NormFloat64()*2)
+	})
+	k.RunUntil(8 * kernel.Second)
+	if st.Load("alarm") != 1 {
+		thr, _ := cal.Threshold()
+		t.Errorf("tightened guardrail (thr=%v) missed the regression", thr)
+	}
+}

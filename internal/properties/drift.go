@@ -1,0 +1,71 @@
+package properties
+
+import (
+	"fmt"
+
+	"guardrails/internal/featurestore"
+	"guardrails/internal/stats"
+)
+
+// DriftDetector implements P1 (in-distribution inputs): it compares the
+// recent distribution of a model input feature against a reference
+// (training-time) distribution using PSI, publishing the index to the
+// feature store. PSI < 0.1 is conventionally "no shift", > 0.25 "major
+// shift requiring retraining".
+type DriftDetector struct {
+	store *featurestore.Store
+	key   featurestore.ID
+	ref   *stats.Histogram
+	cur   *stats.Histogram
+	batch int
+	seen  int
+}
+
+// DriftKey is the feature-store key suffix convention: <feature>_psi.
+func DriftKey(feature string) string { return feature + "_psi" }
+
+// NewDriftDetector returns a detector for one feature. The histogram
+// spans [lo, hi) with bins buckets; batch observations are accumulated
+// before each PSI publication (and the current window then resets).
+func NewDriftDetector(store *featurestore.Store, feature string, lo, hi float64, bins, batch int) (*DriftDetector, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("properties: drift batch must be positive")
+	}
+	return &DriftDetector{
+		store: store,
+		key:   store.Intern(DriftKey(feature)),
+		ref:   stats.NewHistogram(lo, hi, bins),
+		cur:   stats.NewHistogram(lo, hi, bins),
+		batch: batch,
+	}, nil
+}
+
+// AddReference incorporates one training-time observation into the
+// reference distribution.
+func (d *DriftDetector) AddReference(x float64) { d.ref.Add(x) }
+
+// Observe incorporates one run-time observation; every batch
+// observations it publishes the PSI and resets the current window.
+func (d *DriftDetector) Observe(x float64) {
+	d.cur.Add(x)
+	d.seen++
+	if d.seen >= d.batch {
+		d.store.SaveID(d.key, d.ref.PSI(d.cur))
+		d.cur.Reset()
+		d.seen = 0
+	}
+}
+
+// Spec emits the P1 guardrail: check the PSI periodically; on major
+// shift, report and queue retraining (the Figure 1 pairing of P1 with
+// A1/A3).
+func (d *DriftDetector) Spec(name, feature, model string, threshold float64, intervalNS float64) string {
+	return BuildSpec(name,
+		[]string{TimerTrigger(intervalNS)},
+		[]string{fmt.Sprintf("LOAD(%s) <= %g", DriftKey(feature), threshold)},
+		[]string{
+			fmt.Sprintf("REPORT(LOAD(%s))", DriftKey(feature)),
+			fmt.Sprintf("RETRAIN(%s)", model),
+		},
+	)
+}

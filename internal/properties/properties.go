@@ -1,0 +1,54 @@
+// Package properties implements the paper's property taxonomy (Figure 1,
+// left table) as reusable monitors. Each monitor observes a learned
+// policy's inputs, outputs, or the resulting system behaviour, publishes
+// a scalar signal to the feature store, and can emit the guardrail
+// specification text that checks the signal — so the same compiler
+// pipeline handles hand-written and library-generated guardrails:
+//
+//	P1 DriftDetector    — in-distribution inputs (PSI / KS over windows)
+//	P2 RobustnessMonitor— similar inputs → similar outputs (decision CoV)
+//	P3 BoundsChecker    — outputs within legal bounds
+//	P4 RegretMonitor    — decision quality vs. a baseline
+//	P5 OverheadMonitor  — inference cost vs. benefit
+//	P6 FairnessMonitor  — fairness/liveness of system behaviour
+package properties
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BuildSpec assembles guardrail specification source from parts. Rules
+// are conjoined; actions run in order on violation.
+func BuildSpec(name string, triggers, rules, actions []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "guardrail %s {\n  trigger: {\n", name)
+	for _, t := range triggers {
+		fmt.Fprintf(&b, "    %s\n", t)
+	}
+	b.WriteString("  },\n  rule: {\n")
+	for i, r := range rules {
+		sep := ""
+		if i < len(rules)-1 {
+			sep = ";"
+		}
+		fmt.Fprintf(&b, "    %s%s\n", r, sep)
+	}
+	b.WriteString("  },\n  action: {\n")
+	for _, a := range actions {
+		fmt.Fprintf(&b, "    %s\n", a)
+	}
+	b.WriteString("  }\n}\n")
+	return b.String()
+}
+
+// TimerTrigger renders a TIMER trigger with the given interval in
+// nanoseconds.
+func TimerTrigger(intervalNS float64) string {
+	return fmt.Sprintf("TIMER(start_time, %g)", intervalNS)
+}
+
+// FunctionTrigger renders a FUNCTION trigger on a hook site.
+func FunctionTrigger(site string) string {
+	return fmt.Sprintf("FUNCTION(%s)", site)
+}

@@ -1,0 +1,205 @@
+package properties
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"guardrails/internal/compile"
+	"guardrails/internal/featurestore"
+)
+
+// mustCompile asserts that generated spec text goes through the real
+// parser, checker, and compiler.
+func mustCompile(t *testing.T, src string) {
+	t.Helper()
+	if _, err := compile.Source(src); err != nil {
+		t.Fatalf("generated spec does not compile: %v\n%s", err, src)
+	}
+}
+
+func TestBuildSpecCompiles(t *testing.T) {
+	src := BuildSpec("multi-rule",
+		[]string{TimerTrigger(1e9), FunctionTrigger("io_submit")},
+		[]string{"LOAD(a) <= 1", "LOAD(b) >= 0"},
+		[]string{"REPORT(LOAD(a))", "SAVE(k, 0)"},
+	)
+	mustCompile(t, src)
+	if !strings.Contains(src, "TIMER(start_time, 1e+09)") {
+		t.Errorf("trigger rendering: %s", src)
+	}
+}
+
+func TestDriftDetectorDetectsShift(t *testing.T) {
+	st := featurestore.New()
+	d, err := NewDriftDetector(st, "io_lat", 0, 100, 20, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		d.AddReference(rng.NormFloat64()*10 + 30)
+	}
+	// In-distribution batch: low PSI.
+	for i := 0; i < 500; i++ {
+		d.Observe(rng.NormFloat64()*10 + 30)
+	}
+	if psi := st.Load(DriftKey("io_lat")); psi > 0.1 {
+		t.Errorf("in-distribution PSI = %v", psi)
+	}
+	// Shifted batch: high PSI.
+	for i := 0; i < 500; i++ {
+		d.Observe(rng.NormFloat64()*10 + 70)
+	}
+	if psi := st.Load(DriftKey("io_lat")); psi < 0.25 {
+		t.Errorf("shifted PSI = %v, want > 0.25", psi)
+	}
+	// Window resets: going back in distribution recovers.
+	for i := 0; i < 500; i++ {
+		d.Observe(rng.NormFloat64()*10 + 30)
+	}
+	if psi := st.Load(DriftKey("io_lat")); psi > 0.1 {
+		t.Errorf("recovered PSI = %v", psi)
+	}
+	mustCompile(t, d.Spec("p1-drift", "io_lat", "io_model", 0.25, 1e9))
+}
+
+func TestDriftDetectorValidation(t *testing.T) {
+	st := featurestore.New()
+	if _, err := NewDriftDetector(st, "x", 0, 1, 4, 0); err == nil {
+		t.Error("zero batch should error")
+	}
+}
+
+func TestRobustnessMonitorTracksJitter(t *testing.T) {
+	st := featurestore.New()
+	m := NewRobustnessMonitor(st, "cc", 32)
+	for i := 0; i < 100; i++ {
+		m.Observe(50) // perfectly stable
+	}
+	if cov := st.Load(RobustnessKey("cc")); cov > 0.01 {
+		t.Errorf("stable CoV = %v", cov)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		m.Observe(50 + rng.NormFloat64()*25)
+	}
+	if cov := st.Load(RobustnessKey("cc")); cov < 0.2 {
+		t.Errorf("jittery CoV = %v, want > 0.2", cov)
+	}
+	mustCompile(t, m.Spec("p2-robust", "cc", "cubic", 0.2, 1e9))
+}
+
+func TestBoundsCheckerRates(t *testing.T) {
+	st := featurestore.New()
+	c := NewBoundsChecker(st, "mem", 0, 1, 10)
+	for i := 0; i < 9; i++ {
+		if !c.Observe(0.5) {
+			t.Fatal("legal decision flagged")
+		}
+	}
+	if !almostEqual(st.Load(BoundsKey("mem")), 0) {
+		t.Errorf("rate = %v", st.Load(BoundsKey("mem")))
+	}
+	if c.Observe(7) {
+		t.Fatal("illegal decision passed")
+	}
+	if !almostEqual(st.Load(BoundsKey("mem")), 0.1) {
+		t.Errorf("rate = %v, want 0.1", st.Load(BoundsKey("mem")))
+	}
+	// Boundary values are legal.
+	if !c.Observe(0) || !c.Observe(1) {
+		t.Error("boundary decisions flagged")
+	}
+	if c.Observe(-0.001) {
+		t.Error("below-range decision passed")
+	}
+	mustCompile(t, c.Spec("p3-bounds", "mem", "frequency", 0.0, 1e9))
+}
+
+func TestRegretMonitor(t *testing.T) {
+	st := featurestore.New()
+	m := NewRegretMonitor(st, "cache", 16)
+	// Learned wins: regret negative.
+	for i := 0; i < 20; i++ {
+		m.Observe(1, 0)
+	}
+	if r := st.Load(RegretKey("cache")); r >= 0 {
+		t.Errorf("winning regret = %v", r)
+	}
+	// Learned collapses: regret goes positive.
+	for i := 0; i < 20; i++ {
+		m.Observe(0, 1)
+	}
+	if r := st.Load(RegretKey("cache")); r <= 0.5 {
+		t.Errorf("losing regret = %v", r)
+	}
+	mustCompile(t, m.Spec("p4-quality", "cache", "random", 0.05, 1e9))
+}
+
+func TestOverheadMonitor(t *testing.T) {
+	st := featurestore.New()
+	m := NewOverheadMonitor(st, "linnos", 16)
+	// Cheap inference, large gains: ratio << 1.
+	for i := 0; i < 20; i++ {
+		m.Observe(6000, 500000)
+	}
+	if r := st.Load(OverheadKey("linnos")); r > 0.05 {
+		t.Errorf("profitable ratio = %v", r)
+	}
+	// Gains vanish: ratio blows past 1.
+	for i := 0; i < 20; i++ {
+		m.Observe(6000, 100)
+	}
+	if r := st.Load(OverheadKey("linnos")); r < 1 {
+		t.Errorf("unprofitable ratio = %v", r)
+	}
+	// Zero/negative mean gain publishes the sentinel.
+	m2 := NewOverheadMonitor(st, "dead", 4)
+	m2.Observe(100, 0)
+	if st.Load(OverheadKey("dead")) != 1e9 {
+		t.Error("sentinel ratio missing")
+	}
+	mustCompile(t, m.Spec("p5-overhead", "linnos", "ml_enabled", 1, 1e9))
+}
+
+func TestFairnessMonitor(t *testing.T) {
+	st := featurestore.New()
+	m := NewFairnessMonitor(st, "cpu")
+	jainKey, waitKey := FairnessKeys("cpu")
+	m.Observe("a", 10, 1)
+	m.Observe("b", 10, 2)
+	if j := st.Load(jainKey); !almostEqual(j, 1) {
+		t.Errorf("equal-allocation Jain = %v", j)
+	}
+	// Starve b: only a receives, time advances.
+	for now := 3.0; now < 20; now++ {
+		m.Observe("a", 10, now)
+	}
+	if j := st.Load(jainKey); j > 0.7 {
+		t.Errorf("skewed Jain = %v", j)
+	}
+	if w := st.Load(waitKey); !almostEqual(w, 17) { // b last seen at 2, now 19
+		t.Errorf("max wait = %v, want 17", w)
+	}
+	mustCompile(t, m.Spec("p6-fair", "cpu", "batch_jobs", 0.6, 100, 1e9))
+}
+
+func TestFairnessZeroAmountRegistersEntity(t *testing.T) {
+	st := featurestore.New()
+	m := NewFairnessMonitor(st, "gpu")
+	_, waitKey := FairnessKeys("gpu")
+	m.Observe("idle", 0, 5) // registered, never allocated
+	m.Observe("busy", 1, 10)
+	if w := st.Load(waitKey); !almostEqual(w, 5) {
+		t.Errorf("max wait = %v, want 5", w)
+	}
+}
+
+func almostEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

@@ -1,0 +1,94 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func wrap(trigger, rule, action string) string {
+	return "guardrail g {\n trigger: { " + trigger + " },\n rule: { " + rule + " },\n action: { " + action + " }\n}"
+}
+
+func TestCheckAcceptsValid(t *testing.T) {
+	srcs := []string{
+		wrap("TIMER(0, 1e9)", "LOAD(x) <= 0.05", "SAVE(ml_enabled, false)"),
+		wrap("FUNCTION(io_submit)", "LOAD(a) < 1 && LOAD(b) > 2", "REPORT(LOAD(a))"),
+		wrap("TIMER(0, 1)", "!(LOAD(x) == 0)", "RETRAIN(m)"),
+		wrap("TIMER(0, 1)", "true", "REPORT()"),
+		wrap("TIMER(0, 1)", "min(LOAD(a), LOAD(b)) < max(1, 2)", "REPORT()"),
+		wrap("TIMER(0, 1)", "sqrt(LOAD(v)) < log2(LOAD(n)) + abs(LOAD(d))", "REPORT()"),
+		wrap("TIMER(0, 1)", "now() < 1e12", "REPORT()"),
+		wrap("TIMER(0, 1)", "LOAD(x) < 1", "DEPRIORITIZE(batch, 19)"),
+	}
+	for _, src := range srcs {
+		f, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if err := Check(f); err != nil {
+			t.Errorf("check rejected valid spec: %v\n%s", err, src)
+		}
+	}
+}
+
+func TestCheckRejections(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"no-trigger", "guardrail g { rule: { LOAD(x) < 1 }, action: { REPORT() } }", "no triggers"},
+		{"no-rule", "guardrail g { trigger: { TIMER(0,1) }, action: { REPORT() } }", "no rules"},
+		{"no-action", "guardrail g { trigger: { TIMER(0,1) }, rule: { LOAD(x) < 1 } }", "no actions"},
+		{"zero-interval", wrap("TIMER(0, 0)", "LOAD(x) < 1", "REPORT()"), "interval must be positive"},
+		{"neg-interval", wrap("TIMER(0, -5)", "LOAD(x) < 1", "REPORT()"), "interval must be positive"},
+		{"stop-before-start", wrap("TIMER(100, 1, 50)", "LOAD(x) < 1", "REPORT()"), "not after start"},
+		{"non-predicate-number", wrap("TIMER(0,1)", "5", "REPORT()"), "not a predicate"},
+		{"non-predicate-load", wrap("TIMER(0,1)", "LOAD(x)", "REPORT()"), "not a predicate"},
+		{"non-predicate-arith", wrap("TIMER(0,1)", "LOAD(x) + 1", "REPORT()"), "not a predicate"},
+		{"non-predicate-and-branch", wrap("TIMER(0,1)", "LOAD(x) < 1 && LOAD(y)", "REPORT()"), "not a predicate"},
+		{"unknown-fn", wrap("TIMER(0,1)", "frob(LOAD(x)) < 1", "REPORT()"), "unknown function"},
+		{"bad-arity", wrap("TIMER(0,1)", "abs(1, 2) < 1", "REPORT()"), "takes 1 argument"},
+		{"min-arity", wrap("TIMER(0,1)", "min(1) < 1", "REPORT()"), "takes 2 argument"},
+		{"replace-same", wrap("TIMER(0,1)", "LOAD(x) < 1", "REPLACE(p, p)"), "identical policies"},
+		{"bad-priority", wrap("TIMER(0,1)", "LOAD(x) < 1", "DEPRIORITIZE(t, 99)"), "outside [-20, 19]"},
+		{"report-bad-expr", wrap("TIMER(0,1)", "LOAD(x) < 1", "REPORT(frob(1))"), "unknown function"},
+		{"save-bad-expr", wrap("TIMER(0,1)", "LOAD(x) < 1", "SAVE(k, frob(1))"), "unknown function"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f, err := Parse(c.src)
+			if err != nil {
+				t.Fatalf("parse failed (want check failure): %v", err)
+			}
+			err = Check(f)
+			if err == nil {
+				t.Fatalf("check accepted invalid spec:\n%s", c.src)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestCheckDuplicateNames(t *testing.T) {
+	src := wrap("TIMER(0,1)", "LOAD(x) < 1", "REPORT()")
+	f, err := Parse(src + "\n" + src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(f); err == nil || !strings.Contains(err.Error(), "duplicate guardrail name") {
+		t.Errorf("duplicate names not caught: %v", err)
+	}
+}
+
+func TestCheckNestedPredicates(t *testing.T) {
+	// AND/OR branches must themselves be predicates.
+	src := wrap("TIMER(0,1)", "(LOAD(a) < 1 || LOAD(b) > 2) && !(LOAD(c) == 3)", "REPORT()")
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(f); err != nil {
+		t.Errorf("valid nested predicate rejected: %v", err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package spec implements the guardrail specification language of the
+// paper's Listing 1: a declarative format in which kernel developers
+// state properties (triggers + rules) and corrective actions. The
+// package provides the lexer, parser, AST, and semantic checker; package
+// compile lowers checked ASTs to monitor VM programs.
+//
+// Example (the paper's Listing 2):
+//
+//	guardrail low-false-submit {
+//	    trigger: {
+//	        TIMER(start_time, 1e9) // Periodically check every 1s.
+//	    },
+//	    rule: {
+//	        LOAD(false_submit_rate) <= 0.05
+//	    },
+//	    action: {
+//	        SAVE(ml_enabled, false)
+//	    }
+//	}
+package spec
+
+import "fmt"
+
+// TokenKind enumerates lexical token types.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokLBrace // {
+	TokRBrace // }
+	TokLParen // (
+	TokRParen // )
+	TokComma  // ,
+	TokColon  // :
+	TokSemi   // ;
+	TokPlus   // +
+	TokMinus  // -
+	TokStar   // *
+	TokSlash  // /
+	TokLt     // <
+	TokLe     // <=
+	TokGt     // >
+	TokGe     // >=
+	TokEq     // ==
+	TokNe     // !=
+	TokAnd    // &&
+	TokOr     // ||
+	TokNot    // !
+)
+
+var kindNames = map[TokenKind]string{
+	TokEOF: "end of input", TokIdent: "identifier", TokNumber: "number",
+	TokLBrace: "'{'", TokRBrace: "'}'", TokLParen: "'('", TokRParen: "')'",
+	TokComma: "','", TokColon: "':'", TokSemi: "';'",
+	TokPlus: "'+'", TokMinus: "'-'", TokStar: "'*'", TokSlash: "'/'",
+	TokLt: "'<'", TokLe: "'<='", TokGt: "'>'", TokGe: "'>='",
+	TokEq: "'=='", TokNe: "'!='", TokAnd: "'&&'", TokOr: "'||'", TokNot: "'!'",
+}
+
+// String returns a human-readable token kind name.
+func (k TokenKind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int // 1-based
+	Col  int // 1-based, in bytes
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string  // raw text for idents; normalized for numbers
+	Num  float64 // value when Kind == TokNumber
+	Pos  Pos
+}
+
+// Error is a positioned specification error (lexical, syntactic, or
+// semantic).
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errAt(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,74 @@
+package stats
+
+// EWMA is an exponentially weighted moving average. The zero value is
+// invalid; use NewEWMA.
+type EWMA struct {
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with smoothing factor alpha in (0, 1].
+// Larger alpha weights recent observations more heavily.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic("stats: EWMA alpha must be in (0, 1]")
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Add incorporates one observation and returns the updated average.
+func (e *EWMA) Add(x float64) float64 {
+	if !e.init {
+		e.value = x
+		e.init = true
+		return x
+	}
+	e.value += e.alpha * (x - e.value)
+	return e.value
+}
+
+// Value returns the current average, or 0 before any observation.
+func (e *EWMA) Value() float64 { return e.value }
+
+// Initialized reports whether at least one observation has been added.
+func (e *EWMA) Initialized() bool { return e.init }
+
+// Reset clears the average.
+func (e *EWMA) Reset() { e.value, e.init = 0, false }
+
+// EWMV tracks an exponentially weighted mean and variance pair, used by
+// robustness properties to detect output jitter.
+type EWMV struct {
+	alpha    float64
+	mean     float64
+	variance float64
+	init     bool
+}
+
+// NewEWMV returns an exponentially weighted mean/variance tracker.
+func NewEWMV(alpha float64) *EWMV {
+	if alpha <= 0 || alpha > 1 {
+		panic("stats: EWMV alpha must be in (0, 1]")
+	}
+	return &EWMV{alpha: alpha}
+}
+
+// Add incorporates one observation.
+func (e *EWMV) Add(x float64) {
+	if !e.init {
+		e.mean = x
+		e.init = true
+		return
+	}
+	d := x - e.mean
+	incr := e.alpha * d
+	e.mean += incr
+	e.variance = (1 - e.alpha) * (e.variance + d*incr)
+}
+
+// Mean returns the exponentially weighted mean.
+func (e *EWMV) Mean() float64 { return e.mean }
+
+// Variance returns the exponentially weighted variance.
+func (e *EWMV) Variance() float64 { return e.variance }

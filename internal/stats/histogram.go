@@ -1,0 +1,231 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over [Lo, Hi) with equal-width bins
+// plus underflow/overflow counters. It supports quantile queries,
+// normalization, and distribution-distance computations used by drift
+// properties (P1).
+type Histogram struct {
+	lo, hi   float64
+	width    float64
+	bins     []uint64
+	under    uint64
+	over     uint64
+	total    uint64
+	sum      float64
+	readOnly bool
+}
+
+// NewHistogram returns a histogram over [lo, hi) with n equal bins.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if !(lo < hi) {
+		panic("stats: histogram requires lo < hi")
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), bins: make([]uint64, n)}
+}
+
+// Add incorporates one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	h.sum += x
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int((x - h.lo) / h.width)
+		if i >= len(h.bins) { // float rounding at the top edge
+			i = len(h.bins) - 1
+		}
+		h.bins[i]++
+	}
+}
+
+// Count returns the total number of observations including out-of-range.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the mean of all observations.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Bins returns a copy of the in-range bin counts.
+func (h *Histogram) Bins() []uint64 {
+	out := make([]uint64, len(h.bins))
+	copy(out, h.bins)
+	return out
+}
+
+// OutOfRange returns the underflow and overflow counts.
+func (h *Histogram) OutOfRange() (under, over uint64) { return h.under, h.over }
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.lo + (float64(i)+0.5)*h.width
+}
+
+// Reset zeroes all counters.
+func (h *Histogram) Reset() {
+	for i := range h.bins {
+		h.bins[i] = 0
+	}
+	h.under, h.over, h.total, h.sum = 0, 0, 0, 0
+}
+
+// Quantile returns an approximate p-quantile assuming uniform density
+// within each bin. Out-of-range mass is attributed to the boundary bins.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	p = Clamp(p, 0, 1)
+	target := p * float64(h.total)
+	acc := float64(h.under)
+	if acc >= target && h.under > 0 {
+		return h.lo
+	}
+	for i, c := range h.bins {
+		next := acc + float64(c)
+		if next >= target && c > 0 {
+			frac := (target - acc) / float64(c)
+			return h.lo + (float64(i)+frac)*h.width
+		}
+		acc = next
+	}
+	return h.hi
+}
+
+// Probabilities returns the normalized in-range bin probabilities with
+// Laplace smoothing eps applied to every bin (so distance computations
+// never divide by zero). The result sums to 1.
+func (h *Histogram) Probabilities(eps float64) []float64 {
+	out := make([]float64, len(h.bins))
+	total := eps * float64(len(h.bins))
+	for _, c := range h.bins {
+		total += float64(c)
+	}
+	if total == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i, c := range h.bins {
+		out[i] = (float64(c) + eps) / total
+	}
+	return out
+}
+
+// PSI computes the population stability index between h (expected) and o
+// (actual). The histograms must have identical shape. PSI < 0.1 is
+// conventionally "no shift", 0.1–0.25 "moderate", > 0.25 "major".
+func (h *Histogram) PSI(o *Histogram) float64 {
+	if len(h.bins) != len(o.bins) || h.lo != o.lo || h.hi != o.hi {
+		panic("stats: PSI requires identically shaped histograms")
+	}
+	const eps = 0.5
+	p := h.Probabilities(eps)
+	q := o.Probabilities(eps)
+	var psi float64
+	for i := range p {
+		psi += (q[i] - p[i]) * math.Log(q[i]/p[i])
+	}
+	return psi
+}
+
+// String renders a compact single-line summary.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hist[%g,%g) n=%d mean=%.4g", h.lo, h.hi, h.total, h.Mean())
+	return b.String()
+}
+
+// LogHistogram buckets positive values by log2 magnitude, suitable for
+// latency distributions spanning several orders of magnitude.
+type LogHistogram struct {
+	bins  []uint64 // bins[i] counts values in [2^i, 2^(i+1))
+	zero  uint64   // values < 1
+	total uint64
+	sum   float64
+}
+
+// NewLogHistogram returns a log2 histogram with capacity for values up to
+// 2^maxExp.
+func NewLogHistogram(maxExp int) *LogHistogram {
+	if maxExp <= 0 || maxExp > 63 {
+		panic("stats: log histogram maxExp must be in (0, 63]")
+	}
+	return &LogHistogram{bins: make([]uint64, maxExp)}
+}
+
+// Add incorporates one non-negative observation; values >= 2^maxExp land
+// in the top bin.
+func (h *LogHistogram) Add(x float64) {
+	h.total++
+	h.sum += x
+	if x < 1 {
+		h.zero++
+		return
+	}
+	i := int(math.Log2(x))
+	if i >= len(h.bins) {
+		i = len(h.bins) - 1
+	}
+	h.bins[i]++
+}
+
+// Count returns the number of observations.
+func (h *LogHistogram) Count() uint64 { return h.total }
+
+// Mean returns the mean of all observations.
+func (h *LogHistogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Quantile returns an approximate p-quantile using log-linear
+// interpolation within the matched bucket.
+func (h *LogHistogram) Quantile(p float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	p = Clamp(p, 0, 1)
+	target := p * float64(h.total)
+	acc := float64(h.zero)
+	if acc >= target && h.zero > 0 {
+		return 0
+	}
+	for i, c := range h.bins {
+		next := acc + float64(c)
+		if next >= target && c > 0 {
+			lo := math.Exp2(float64(i))
+			hi := math.Exp2(float64(i + 1))
+			frac := (target - acc) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		acc = next
+	}
+	return math.Exp2(float64(len(h.bins)))
+}
+
+// Reset zeroes all counters.
+func (h *LogHistogram) Reset() {
+	for i := range h.bins {
+		h.bins[i] = 0
+	}
+	h.zero, h.total, h.sum = 0, 0, 0
+}

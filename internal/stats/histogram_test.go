@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, x := range []float64{-1, 0, 0.5, 5, 9.999, 10, 100} {
+		h.Add(x)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Errorf("under/over = %d/%d, want 1/2", under, over)
+	}
+	bins := h.Bins()
+	if bins[0] != 2 { // 0 and 0.5
+		t.Errorf("bin0 = %d, want 2", bins[0])
+	}
+	if bins[5] != 1 || bins[9] != 1 {
+		t.Errorf("bins = %v", bins)
+	}
+}
+
+func TestHistogramTopEdgeRounding(t *testing.T) {
+	// A value just below hi must land in the last bin even if float
+	// division rounds up.
+	h := NewHistogram(0, 0.3, 3)
+	h.Add(0.3 - 1e-17)
+	bins := h.Bins()
+	var total uint64
+	for _, b := range bins {
+		total += b
+	}
+	_, over := h.OutOfRange()
+	if total+over != 1 {
+		t.Errorf("observation lost: bins=%v over=%d", bins, over)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i%100) + 0.5)
+	}
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		got := h.Quantile(p)
+		want := p * 100
+		if got < want-2 || got > want+2 {
+			t.Errorf("quantile(%v) = %v, want ~%v", p, got, want)
+		}
+	}
+	empty := NewHistogram(0, 1, 4)
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+}
+
+func TestHistogramMeanAndReset(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(2)
+	h.Add(4)
+	if !almostEqual(h.Mean(), 3, 1e-12) {
+		t.Errorf("mean = %v", h.Mean())
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestHistogramProbabilitiesSumToOne(t *testing.T) {
+	h := NewHistogram(0, 1, 8)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		h.Add(rng.Float64())
+	}
+	for _, eps := range []float64{0, 0.5} {
+		p := h.Probabilities(eps)
+		var sum float64
+		for _, v := range p {
+			sum += v
+		}
+		if !almostEqual(sum, 1, 1e-9) {
+			t.Errorf("eps=%v: probabilities sum to %v", eps, sum)
+		}
+	}
+	// Empty histogram: uniform.
+	e := NewHistogram(0, 1, 4)
+	p := e.Probabilities(0)
+	for _, v := range p {
+		if !almostEqual(v, 0.25, 1e-12) {
+			t.Errorf("empty hist probabilities = %v", p)
+		}
+	}
+}
+
+func TestPSIDetectsShift(t *testing.T) {
+	ref := NewHistogram(0, 100, 20)
+	same := NewHistogram(0, 100, 20)
+	shifted := NewHistogram(0, 100, 20)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		ref.Add(rng.NormFloat64()*10 + 30)
+		same.Add(rng.NormFloat64()*10 + 30)
+		shifted.Add(rng.NormFloat64()*10 + 70)
+	}
+	if psi := ref.PSI(same); psi > 0.05 {
+		t.Errorf("same-distribution PSI = %v, want < 0.05", psi)
+	}
+	if psi := ref.PSI(shifted); psi < 0.25 {
+		t.Errorf("shifted PSI = %v, want > 0.25", psi)
+	}
+}
+
+func TestPSIShapeMismatchPanics(t *testing.T) {
+	a := NewHistogram(0, 1, 4)
+	b := NewHistogram(0, 1, 5)
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch should panic")
+		}
+	}()
+	a.PSI(b)
+}
+
+func TestHistogramConstructorPanics(t *testing.T) {
+	for _, c := range []struct {
+		lo, hi float64
+		n      int
+	}{{0, 1, 0}, {1, 1, 4}, {2, 1, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v,%v,%d) should panic", c.lo, c.hi, c.n)
+				}
+			}()
+			NewHistogram(c.lo, c.hi, c.n)
+		}()
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	h := NewLogHistogram(20)
+	for _, x := range []float64{0.5, 1, 3, 1000, 1 << 25} {
+		h.Add(x)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// 0.5 in zero bucket; 1 in [1,2); 3 in [2,4); 1000 in [512,1024);
+	// 1<<25 clamps to top bin.
+	if h.zero != 1 || h.bins[0] != 1 || h.bins[1] != 1 || h.bins[9] != 1 || h.bins[19] != 1 {
+		t.Errorf("buckets: zero=%d bins=%v", h.zero, h.bins)
+	}
+}
+
+func TestLogHistogramQuantile(t *testing.T) {
+	h := NewLogHistogram(30)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20000; i++ {
+		h.Add(rng.ExpFloat64() * 100)
+	}
+	p50 := h.Quantile(0.5)
+	// Exponential(mean 100) median is ~69.3. Log buckets are coarse;
+	// accept the containing power-of-two range.
+	if p50 < 32 || p50 > 160 {
+		t.Errorf("p50 = %v, want within [32,160]", p50)
+	}
+	if h.Quantile(0.99) <= p50 {
+		t.Error("p99 should exceed p50")
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestLogHistogramMaxExpPanics(t *testing.T) {
+	for _, n := range []int{0, -1, 64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("maxExp=%d should panic", n)
+				}
+			}()
+			NewLogHistogram(n)
+		}()
+	}
+}

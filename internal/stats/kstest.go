@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSResult holds the outcome of a two-sample Kolmogorov–Smirnov test.
+type KSResult struct {
+	// D is the KS statistic: the supremum distance between the two
+	// empirical CDFs, in [0, 1].
+	D float64
+	// PValue is the asymptotic two-sided p-value (Kolmogorov
+	// distribution approximation). Small p-values indicate the samples
+	// come from different distributions.
+	PValue float64
+	// N1, N2 are the sample sizes.
+	N1, N2 int
+}
+
+// KSTest runs a two-sample KS test on a and b. The inputs are not
+// modified. With an empty sample the result is D=0, p=1.
+func KSTest(a, b []float64) KSResult {
+	if len(a) == 0 || len(b) == 0 {
+		return KSResult{D: 0, PValue: 1, N1: len(a), N2: len(b)}
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	return ksSorted(sa, sb)
+}
+
+// KSTestSorted is KSTest for inputs that are already sorted ascending;
+// it avoids the copy and sort.
+func KSTestSorted(a, b []float64) KSResult {
+	if len(a) == 0 || len(b) == 0 {
+		return KSResult{D: 0, PValue: 1, N1: len(a), N2: len(b)}
+	}
+	return ksSorted(a, b)
+}
+
+func ksSorted(a, b []float64) KSResult {
+	n1, n2 := len(a), len(b)
+	var i, j int
+	var d float64
+	for i < n1 && j < n2 {
+		x := a[i]
+		y := b[j]
+		if x <= y {
+			for i < n1 && a[i] == x {
+				i++
+			}
+		}
+		if y <= x {
+			for j < n2 && b[j] == y {
+				j++
+			}
+		}
+		diff := math.Abs(float64(i)/float64(n1) - float64(j)/float64(n2))
+		if diff > d {
+			d = diff
+		}
+	}
+	ne := float64(n1) * float64(n2) / float64(n1+n2)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return KSResult{D: d, PValue: ksProb(lambda), N1: n1, N2: n2}
+}
+
+// ksProb evaluates the Kolmogorov distribution tail Q_KS(lambda)
+// = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2).
+func ksProb(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	l2 := -2 * lambda * lambda
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(l2*float64(k)*float64(k))
+		sum += term
+		if math.Abs(term) < 1e-12*math.Abs(sum) {
+			break
+		}
+		sign = -sign
+	}
+	return Clamp(2*sum, 0, 1)
+}
+
+// JainIndex computes Jain's fairness index over per-entity allocations:
+// (sum x)^2 / (n * sum x^2). It is 1 for perfect fairness and 1/n when a
+// single entity receives everything. Used by P6 fairness properties.
+func JainIndex(alloc []float64) float64 {
+	if len(alloc) == 0 {
+		return 1
+	}
+	var s, s2 float64
+	for _, x := range alloc {
+		s += x
+		s2 += x * x
+	}
+	if s2 == 0 {
+		return 1
+	}
+	return s * s / (float64(len(alloc)) * s2)
+}

@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestKSTestSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	res := KSTest(a, b)
+	if res.PValue < 0.01 {
+		t.Errorf("same distribution rejected: D=%v p=%v", res.D, res.PValue)
+	}
+	if res.N1 != 500 || res.N2 != 500 {
+		t.Errorf("sizes: %d %d", res.N1, res.N2)
+	}
+}
+
+func TestKSTestShiftedDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 2
+	}
+	res := KSTest(a, b)
+	if res.PValue > 1e-6 {
+		t.Errorf("shifted distribution not detected: D=%v p=%v", res.D, res.PValue)
+	}
+	if res.D < 0.5 {
+		t.Errorf("D = %v, want > 0.5 for 2-sigma shift", res.D)
+	}
+}
+
+func TestKSTestIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	res := KSTest(a, a)
+	if res.D != 0 {
+		t.Errorf("identical samples: D = %v, want 0", res.D)
+	}
+	if res.PValue != 1 {
+		t.Errorf("identical samples: p = %v, want 1", res.PValue)
+	}
+}
+
+func TestKSTestEmptyInputs(t *testing.T) {
+	res := KSTest(nil, []float64{1, 2})
+	if res.D != 0 || res.PValue != 1 {
+		t.Errorf("empty sample: %+v", res)
+	}
+}
+
+func TestKSTestDisjointSamples(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	res := KSTest(a, b)
+	if res.D != 1 {
+		t.Errorf("disjoint samples: D = %v, want 1", res.D)
+	}
+}
+
+func TestKSTestDoesNotModifyInputs(t *testing.T) {
+	a := []float64{3, 1, 2}
+	b := []float64{5, 4}
+	KSTest(a, b)
+	if a[0] != 3 || a[1] != 1 || a[2] != 2 || b[0] != 5 {
+		t.Error("inputs were modified")
+	}
+}
+
+func TestKSTestSortedMatchesUnsorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := make([]float64, 100)
+	b := make([]float64, 120)
+	for i := range a {
+		a[i] = rng.Float64()
+	}
+	for i := range b {
+		b[i] = rng.Float64() * 1.2
+	}
+	r1 := KSTest(a, b)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	r2 := KSTestSorted(a, b)
+	if r1.D != r2.D || r1.PValue != r2.PValue {
+		t.Errorf("sorted/unsorted mismatch: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestKSTestWithTies(t *testing.T) {
+	a := []float64{1, 1, 1, 2, 2}
+	b := []float64{1, 2, 2, 2, 3}
+	res := KSTest(a, b)
+	// CDF_a(1)=0.6, CDF_b(1)=0.2 -> D >= 0.4.
+	if res.D < 0.4-1e-12 {
+		t.Errorf("D with ties = %v, want >= 0.4", res.D)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{1, 1, 1, 1}); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("equal alloc: %v", got)
+	}
+	if got := JainIndex([]float64{1, 0, 0, 0}); !almostEqual(got, 0.25, 1e-12) {
+		t.Errorf("monopoly alloc: %v, want 0.25", got)
+	}
+	if got := JainIndex(nil); got != 1 {
+		t.Errorf("empty alloc: %v", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 1 {
+		t.Errorf("all-zero alloc: %v", got)
+	}
+	// Fairness decreases with skew.
+	if JainIndex([]float64{4, 1, 1}) >= JainIndex([]float64{2, 2, 2}) {
+		t.Error("skewed allocation should be less fair")
+	}
+}
+
+func TestClampAndIsFinite(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp broken")
+	}
+	if IsFinite(nan()) || IsFinite(inf()) || !IsFinite(1.5) {
+		t.Error("IsFinite broken")
+	}
+}
+
+func nan() float64 { return float64s()[0] }
+func inf() float64 { return float64s()[1] }
+
+func float64s() [2]float64 {
+	z := 0.0
+	return [2]float64{z / z, 1 / z}
+}

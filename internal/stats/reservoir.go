@@ -1,0 +1,93 @@
+package stats
+
+import "math/rand"
+
+// Reservoir keeps a uniform random sample of size k from a stream using
+// Algorithm R. It is used to retain representative inputs for RETRAIN
+// actions without unbounded memory.
+type Reservoir struct {
+	sample []float64
+	k      int
+	n      uint64
+	rng    *rand.Rand
+}
+
+// NewReservoir returns a reservoir sampler of capacity k seeded
+// deterministically.
+func NewReservoir(k int, seed int64) *Reservoir {
+	if k <= 0 {
+		panic("stats: reservoir capacity must be positive")
+	}
+	return &Reservoir{
+		sample: make([]float64, 0, k),
+		k:      k,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Add offers one observation to the reservoir.
+func (r *Reservoir) Add(x float64) {
+	r.n++
+	if len(r.sample) < r.k {
+		r.sample = append(r.sample, x)
+		return
+	}
+	if j := r.rng.Int63n(int64(r.n)); j < int64(r.k) {
+		r.sample[j] = x
+	}
+}
+
+// Sample returns a copy of the current sample.
+func (r *Reservoir) Sample() []float64 {
+	return append([]float64(nil), r.sample...)
+}
+
+// Seen returns the total number of observations offered.
+func (r *Reservoir) Seen() uint64 { return r.n }
+
+// Reset clears the reservoir (the RNG state is kept).
+func (r *Reservoir) Reset() {
+	r.sample = r.sample[:0]
+	r.n = 0
+}
+
+// VecReservoir is a reservoir sampler over feature vectors, retaining
+// whole model inputs (e.g. for retraining on out-of-distribution data).
+type VecReservoir struct {
+	sample [][]float64
+	k      int
+	n      uint64
+	rng    *rand.Rand
+}
+
+// NewVecReservoir returns a vector reservoir of capacity k.
+func NewVecReservoir(k int, seed int64) *VecReservoir {
+	if k <= 0 {
+		panic("stats: reservoir capacity must be positive")
+	}
+	return &VecReservoir{
+		sample: make([][]float64, 0, k),
+		k:      k,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Add offers one vector; the vector is copied.
+func (r *VecReservoir) Add(v []float64) {
+	r.n++
+	cp := append([]float64(nil), v...)
+	if len(r.sample) < r.k {
+		r.sample = append(r.sample, cp)
+		return
+	}
+	if j := r.rng.Int63n(int64(r.n)); j < int64(r.k) {
+		r.sample[j] = cp
+	}
+}
+
+// Sample returns the retained vectors (shared backing arrays; callers
+// must not mutate them).
+func (r *VecReservoir) Sample() [][]float64 { return r.sample }
+
+// Seen returns the total number of vectors offered.
+func (r *VecReservoir) Seen() uint64 { return r.n }

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReservoirFillsBelowCapacity(t *testing.T) {
+	r := NewReservoir(10, 1)
+	for i := 0; i < 5; i++ {
+		r.Add(float64(i))
+	}
+	s := r.Sample()
+	if len(s) != 5 {
+		t.Fatalf("sample size = %d, want 5", len(s))
+	}
+	for i, v := range s {
+		if v != float64(i) {
+			t.Errorf("sample[%d] = %v", i, v)
+		}
+	}
+	if r.Seen() != 5 {
+		t.Errorf("seen = %d", r.Seen())
+	}
+}
+
+func TestReservoirStaysAtCapacity(t *testing.T) {
+	r := NewReservoir(8, 2)
+	for i := 0; i < 10000; i++ {
+		r.Add(float64(i))
+	}
+	if len(r.Sample()) != 8 {
+		t.Errorf("sample size = %d, want 8", len(r.Sample()))
+	}
+	if r.Seen() != 10000 {
+		t.Errorf("seen = %d", r.Seen())
+	}
+}
+
+func TestReservoirApproximatelyUniform(t *testing.T) {
+	// Each of 1000 values should land in a k=100 reservoir with
+	// probability 0.1; run many trials and check the first element's
+	// inclusion frequency.
+	const trials = 400
+	hits := 0
+	for trial := 0; trial < trials; trial++ {
+		r := NewReservoir(100, int64(trial))
+		for i := 0; i < 1000; i++ {
+			r.Add(float64(i))
+		}
+		for _, v := range r.Sample() {
+			if v == 0 {
+				hits++
+				break
+			}
+		}
+	}
+	freq := float64(hits) / trials
+	if math.Abs(freq-0.1) > 0.05 {
+		t.Errorf("element-0 inclusion frequency = %v, want ~0.1", freq)
+	}
+}
+
+func TestReservoirSampleIsCopy(t *testing.T) {
+	r := NewReservoir(4, 3)
+	r.Add(1)
+	s := r.Sample()
+	s[0] = 99
+	if r.Sample()[0] != 1 {
+		t.Error("Sample must return a copy")
+	}
+}
+
+func TestReservoirReset(t *testing.T) {
+	r := NewReservoir(4, 3)
+	r.Add(1)
+	r.Reset()
+	if len(r.Sample()) != 0 || r.Seen() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestVecReservoir(t *testing.T) {
+	r := NewVecReservoir(3, 5)
+	v := []float64{1, 2}
+	r.Add(v)
+	v[0] = 99 // must not affect the stored copy
+	got := r.Sample()
+	if len(got) != 1 || got[0][0] != 1 || got[0][1] != 2 {
+		t.Errorf("stored vector = %v", got)
+	}
+	for i := 0; i < 100; i++ {
+		r.Add([]float64{float64(i), 0})
+	}
+	if len(r.Sample()) != 3 {
+		t.Errorf("capacity exceeded: %d", len(r.Sample()))
+	}
+	if r.Seen() != 101 {
+		t.Errorf("seen = %d", r.Seen())
+	}
+}
+
+func TestReservoirConstructorPanics(t *testing.T) {
+	for _, k := range []int{0, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d should panic", k)
+				}
+			}()
+			NewReservoir(k, 0)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("vec k=%d should panic", k)
+				}
+			}()
+			NewVecReservoir(k, 0)
+		}()
+	}
+}

@@ -1,0 +1,28 @@
+// Package stats provides the statistical substrate used by guardrail
+// properties and the feature store: streaming moments, EWMA, quantile
+// estimation, histograms, sliding windows, reservoir sampling, and
+// two-sample distribution-shift tests (Kolmogorov–Smirnov and PSI).
+//
+// Everything in this package is allocation-free on the update path and
+// safe to call from simulated-kernel hook sites. None of the types are
+// internally synchronized; callers that share an estimator across
+// goroutines must serialize access (the feature store does this).
+package stats
+
+import "math"
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// IsFinite reports whether v is neither NaN nor infinite.
+func IsFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

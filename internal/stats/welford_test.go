@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	if w.Count() != 0 || w.Mean() != 0 || w.Variance() != 0 {
+		t.Fatal("zero value should report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Fatalf("count = %d, want 8", w.Count())
+	}
+	if !almostEqual(w.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %v, want 5", w.Mean())
+	}
+	// Sample variance with n-1: sum((x-5)^2) = 32, 32/7.
+	if !almostEqual(w.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("variance = %v, want %v", w.Variance(), 32.0/7.0)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("min/max = %v/%v, want 2/9", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordSingleObservation(t *testing.T) {
+	var w Welford
+	w.Add(3.5)
+	if w.Mean() != 3.5 || w.Variance() != 0 {
+		t.Errorf("single obs: mean=%v var=%v", w.Mean(), w.Variance())
+	}
+	if w.Min() != 3.5 || w.Max() != 3.5 {
+		t.Errorf("single obs min/max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordReset(t *testing.T) {
+	var w Welford
+	w.Add(1)
+	w.Add(2)
+	w.Reset()
+	if w.Count() != 0 || w.Mean() != 0 {
+		t.Error("reset did not clear state")
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var all, a, b Welford
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*10 + 3
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() {
+		t.Fatalf("merged count = %d, want %d", a.Count(), all.Count())
+	}
+	if !almostEqual(a.Mean(), all.Mean(), 1e-9) {
+		t.Errorf("merged mean = %v, want %v", a.Mean(), all.Mean())
+	}
+	if !almostEqual(a.Variance(), all.Variance(), 1e-9) {
+		t.Errorf("merged var = %v, want %v", a.Variance(), all.Variance())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Errorf("merged min/max mismatch")
+	}
+}
+
+func TestWelfordMergeEmptyCases(t *testing.T) {
+	var a, b Welford
+	a.Merge(b) // empty into empty
+	if a.Count() != 0 {
+		t.Fatal("empty merge should stay empty")
+	}
+	b.Add(5)
+	a.Merge(b) // non-empty into empty
+	if a.Count() != 1 || a.Mean() != 5 {
+		t.Fatal("merge into empty should copy")
+	}
+	var c Welford
+	a.Merge(c) // empty into non-empty
+	if a.Count() != 1 || a.Mean() != 5 {
+		t.Fatal("merging empty should be a no-op")
+	}
+}
+
+func TestWelfordPropertyMeanWithinBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		var w Welford
+		lo, hi := math.Inf(1), math.Inf(-1)
+		n := 0
+		for _, x := range xs {
+			if !IsFinite(x) || math.Abs(x) > 1e12 {
+				continue
+			}
+			w.Add(x)
+			n++
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		if n == 0 {
+			return true
+		}
+		return w.Mean() >= lo-1e-6 && w.Mean() <= hi+1e-6 && w.Variance() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEWMAConverges(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Initialized() {
+		t.Fatal("fresh EWMA should be uninitialized")
+	}
+	e.Add(10)
+	if e.Value() != 10 {
+		t.Fatalf("first Add should seed value, got %v", e.Value())
+	}
+	for i := 0; i < 100; i++ {
+		e.Add(4)
+	}
+	if !almostEqual(e.Value(), 4, 1e-9) {
+		t.Errorf("EWMA should converge to 4, got %v", e.Value())
+	}
+	e.Reset()
+	if e.Initialized() || e.Value() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestEWMAInvalidAlphaPanics(t *testing.T) {
+	for _, alpha := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha=%v should panic", alpha)
+				}
+			}()
+			NewEWMA(alpha)
+		}()
+	}
+}
+
+func TestEWMVTracksJitter(t *testing.T) {
+	steady := NewEWMV(0.1)
+	noisy := NewEWMV(0.1)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		steady.Add(5)
+		noisy.Add(5 + rng.NormFloat64()*3)
+	}
+	if steady.Variance() >= noisy.Variance() {
+		t.Errorf("steady variance %v should be < noisy %v", steady.Variance(), noisy.Variance())
+	}
+	if !almostEqual(noisy.Mean(), 5, 0.2) {
+		t.Errorf("noisy mean = %v, want ~5", noisy.Mean())
+	}
+}

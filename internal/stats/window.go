@@ -1,0 +1,180 @@
+package stats
+
+// Window is a fixed-capacity sliding window over a float64 stream backed
+// by a ring buffer, maintaining running sum for O(1) mean queries.
+// Min/max queries use monotonic deques and are amortized O(1).
+type Window struct {
+	buf   []float64
+	head  int // index of oldest element
+	size  int
+	sum   float64
+	minDQ deque // indices of candidate minima, increasing values
+	maxDQ deque // indices of candidate maxima, decreasing values
+	seq   uint64
+}
+
+type dqItem struct {
+	seq uint64
+	val float64
+}
+
+type deque struct {
+	items []dqItem
+}
+
+func (d *deque) pushBack(it dqItem) { d.items = append(d.items, it) }
+func (d *deque) popBack()           { d.items = d.items[:len(d.items)-1] }
+func (d *deque) back() dqItem       { return d.items[len(d.items)-1] }
+func (d *deque) front() dqItem      { return d.items[0] }
+func (d *deque) popFront()          { d.items = d.items[1:] }
+func (d *deque) empty() bool        { return len(d.items) == 0 }
+func (d *deque) reset()             { d.items = d.items[:0] }
+
+// NewWindow returns a sliding window holding the most recent n values.
+func NewWindow(n int) *Window {
+	if n <= 0 {
+		panic("stats: window capacity must be positive")
+	}
+	return &Window{buf: make([]float64, n)}
+}
+
+// Add appends a value, evicting the oldest when full. It returns the
+// evicted value and whether an eviction occurred.
+func (w *Window) Add(x float64) (evicted float64, wasFull bool) {
+	if w.size == len(w.buf) {
+		evicted = w.buf[w.head]
+		wasFull = true
+		w.sum -= evicted
+		w.buf[w.head] = x
+		w.head = (w.head + 1) % len(w.buf)
+	} else {
+		w.buf[(w.head+w.size)%len(w.buf)] = x
+		w.size++
+	}
+	w.sum += x
+	// Expire deque fronts that slid out of the window.
+	oldest := w.seq + 1 - uint64(w.size) // seq of oldest element after this add
+	for !w.minDQ.empty() && w.minDQ.front().seq < oldest {
+		w.minDQ.popFront()
+	}
+	for !w.maxDQ.empty() && w.maxDQ.front().seq < oldest {
+		w.maxDQ.popFront()
+	}
+	for !w.minDQ.empty() && w.minDQ.back().val >= x {
+		w.minDQ.popBack()
+	}
+	w.minDQ.pushBack(dqItem{w.seq, x})
+	for !w.maxDQ.empty() && w.maxDQ.back().val <= x {
+		w.maxDQ.popBack()
+	}
+	w.maxDQ.pushBack(dqItem{w.seq, x})
+	w.seq++
+	return evicted, wasFull
+}
+
+// Len returns the number of values currently held.
+func (w *Window) Len() int { return w.size }
+
+// Cap returns the window capacity.
+func (w *Window) Cap() int { return len(w.buf) }
+
+// Full reports whether the window holds Cap() values.
+func (w *Window) Full() bool { return w.size == len(w.buf) }
+
+// Sum returns the sum of held values.
+func (w *Window) Sum() float64 { return w.sum }
+
+// Mean returns the mean of held values, or 0 when empty.
+func (w *Window) Mean() float64 {
+	if w.size == 0 {
+		return 0
+	}
+	return w.sum / float64(w.size)
+}
+
+// Min returns the minimum held value, or 0 when empty.
+func (w *Window) Min() float64 {
+	if w.minDQ.empty() {
+		return 0
+	}
+	return w.minDQ.front().val
+}
+
+// Max returns the maximum held value, or 0 when empty.
+func (w *Window) Max() float64 {
+	if w.maxDQ.empty() {
+		return 0
+	}
+	return w.maxDQ.front().val
+}
+
+// Values copies the window contents, oldest first.
+func (w *Window) Values() []float64 {
+	out := make([]float64, w.size)
+	for i := 0; i < w.size; i++ {
+		out[i] = w.buf[(w.head+i)%len(w.buf)]
+	}
+	return out
+}
+
+// Reset clears the window.
+func (w *Window) Reset() {
+	w.head, w.size, w.sum, w.seq = 0, 0, 0, 0
+	w.minDQ.reset()
+	w.maxDQ.reset()
+}
+
+// RateWindow counts event outcomes (hit/miss style) over a sliding window
+// of the most recent n events and reports the success rate. It is used
+// for properties like the LinnOS false-submit rate.
+type RateWindow struct {
+	bits  []bool
+	head  int
+	size  int
+	count int // number of true bits
+}
+
+// NewRateWindow returns a window over the most recent n boolean outcomes.
+func NewRateWindow(n int) *RateWindow {
+	if n <= 0 {
+		panic("stats: rate window capacity must be positive")
+	}
+	return &RateWindow{bits: make([]bool, n)}
+}
+
+// Add records one outcome.
+func (r *RateWindow) Add(v bool) {
+	if r.size == len(r.bits) {
+		if r.bits[r.head] {
+			r.count--
+		}
+		r.bits[r.head] = v
+		r.head = (r.head + 1) % len(r.bits)
+	} else {
+		r.bits[(r.head+r.size)%len(r.bits)] = v
+		r.size++
+	}
+	if v {
+		r.count++
+	}
+}
+
+// Rate returns the fraction of true outcomes in the window, or 0 when
+// empty.
+func (r *RateWindow) Rate() float64 {
+	if r.size == 0 {
+		return 0
+	}
+	return float64(r.count) / float64(r.size)
+}
+
+// Len returns the number of outcomes held.
+func (r *RateWindow) Len() int { return r.size }
+
+// Reset clears the window.
+func (r *RateWindow) Reset() {
+	r.head, r.size, r.count = 0, 0, 0
+	for i := range r.bits {
+		r.bits[i] = false
+	}
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"math/rand"
+
+	"guardrails/internal/kernel"
+)
+
+// Arrivals generates a monotone sequence of event times.
+type Arrivals interface {
+	// Next returns the next arrival time strictly after the previous one.
+	Next() kernel.Time
+}
+
+// Poisson is a homogeneous Poisson arrival process.
+type Poisson struct {
+	rng  *rand.Rand
+	mean float64 // mean interarrival in ns
+	now  kernel.Time
+}
+
+// NewPoisson returns Poisson arrivals with the given rate in events per
+// simulated second, starting at time start.
+func NewPoisson(seed int64, ratePerSec float64, start kernel.Time) *Poisson {
+	if ratePerSec <= 0 {
+		panic("trace: Poisson rate must be positive")
+	}
+	return &Poisson{
+		rng:  NewRand(seed),
+		mean: float64(kernel.Second) / ratePerSec,
+		now:  start,
+	}
+}
+
+// Next returns the next arrival time.
+func (p *Poisson) Next() kernel.Time {
+	gap := Exponential(p.rng, p.mean)
+	if gap < 1 {
+		gap = 1
+	}
+	p.now += kernel.Time(gap)
+	return p.now
+}
+
+// MMPP is a two-state Markov-modulated Poisson process: a "calm" state
+// and a "burst" state with different rates, switching with exponential
+// holding times. It models bursty I/O and network traffic.
+type MMPP struct {
+	rng        *rand.Rand
+	calmMean   float64
+	burstMean  float64
+	holdCalm   float64
+	holdBurst  float64
+	inBurst    bool
+	stateUntil kernel.Time
+	now        kernel.Time
+}
+
+// NewMMPP returns an MMPP with calm/burst arrival rates (events per
+// second) and mean state holding times (in simulated seconds).
+func NewMMPP(seed int64, calmRate, burstRate, holdCalmSec, holdBurstSec float64) *MMPP {
+	if calmRate <= 0 || burstRate <= 0 || holdCalmSec <= 0 || holdBurstSec <= 0 {
+		panic("trace: MMPP parameters must be positive")
+	}
+	m := &MMPP{
+		rng:       NewRand(seed),
+		calmMean:  float64(kernel.Second) / calmRate,
+		burstMean: float64(kernel.Second) / burstRate,
+		holdCalm:  holdCalmSec * float64(kernel.Second),
+		holdBurst: holdBurstSec * float64(kernel.Second),
+	}
+	m.stateUntil = kernel.Time(Exponential(m.rng, m.holdCalm))
+	return m
+}
+
+// InBurst reports whether the process is currently in the burst state.
+func (m *MMPP) InBurst() bool { return m.inBurst }
+
+// Next returns the next arrival time.
+func (m *MMPP) Next() kernel.Time {
+	for m.now >= m.stateUntil {
+		m.inBurst = !m.inBurst
+		hold := m.holdCalm
+		if m.inBurst {
+			hold = m.holdBurst
+		}
+		m.stateUntil += kernel.Time(Exponential(m.rng, hold))
+	}
+	mean := m.calmMean
+	if m.inBurst {
+		mean = m.burstMean
+	}
+	gap := Exponential(m.rng, mean)
+	if gap < 1 {
+		gap = 1
+	}
+	m.now += kernel.Time(gap)
+	return m.now
+}

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"guardrails/internal/kernel"
+)
+
+// Phase is one segment of a phase schedule: from Start (inclusive) the
+// workload is in the named phase until the next phase begins.
+type Phase struct {
+	Start kernel.Time
+	Name  string
+}
+
+// Schedule maps simulated time to a workload phase, modelling the
+// known-time distribution shifts guardrail experiments use (e.g. "reads
+// become write-heavy at t=30s").
+type Schedule struct {
+	phases []Phase
+}
+
+// NewSchedule builds a schedule from phases; they are sorted by start
+// time and the first phase must start at 0.
+func NewSchedule(phases ...Phase) (*Schedule, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("trace: empty schedule")
+	}
+	ps := append([]Phase(nil), phases...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Start < ps[j].Start })
+	if ps[0].Start != 0 {
+		return nil, fmt.Errorf("trace: first phase must start at 0, got %v", ps[0].Start)
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Start == ps[i-1].Start {
+			return nil, fmt.Errorf("trace: duplicate phase start %v", ps[i].Start)
+		}
+	}
+	return &Schedule{phases: ps}, nil
+}
+
+// At returns the phase name active at time t.
+func (s *Schedule) At(t kernel.Time) string {
+	i := sort.Search(len(s.phases), func(i int) bool { return s.phases[i].Start > t })
+	return s.phases[i-1].Name
+}
+
+// Index returns the index of the phase active at time t.
+func (s *Schedule) Index(t kernel.Time) int {
+	i := sort.Search(len(s.phases), func(i int) bool { return s.phases[i].Start > t })
+	return i - 1
+}
+
+// Phases returns the schedule's phases in order.
+func (s *Schedule) Phases() []Phase { return append([]Phase(nil), s.phases...) }

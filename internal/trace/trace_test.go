@@ -1,0 +1,286 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"guardrails/internal/kernel"
+)
+
+func TestSplitIndependence(t *testing.T) {
+	a := Split(1, "io")
+	b := Split(1, "net")
+	c := Split(2, "io")
+	if a == b || a == c {
+		t.Errorf("seeds collide: %d %d %d", a, b, c)
+	}
+	if Split(1, "io") != a {
+		t.Error("Split is not deterministic")
+	}
+	if a < 0 {
+		t.Error("seed should be non-negative")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	rng := NewRand(3)
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += Exponential(rng, 10)
+	}
+	mean := sum / n
+	if math.Abs(mean-10) > 0.3 {
+		t.Errorf("exponential mean = %v, want ~10", mean)
+	}
+}
+
+func TestParetoBoundsAndTail(t *testing.T) {
+	rng := NewRand(4)
+	count := 0
+	for i := 0; i < 10000; i++ {
+		v := Pareto(rng, 2, 1.5)
+		if v < 2 {
+			t.Fatalf("Pareto below xmin: %v", v)
+		}
+		if v > 20 {
+			count++
+		}
+	}
+	// P(X > 20) = (2/20)^1.5 ≈ 0.0316.
+	frac := float64(count) / 10000
+	if frac < 0.02 || frac > 0.05 {
+		t.Errorf("tail fraction = %v, want ~0.032", frac)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	rng := NewRand(5)
+	for i := 0; i < 1000; i++ {
+		if LogNormal(rng, 0, 1) <= 0 {
+			t.Fatal("LogNormal must be positive")
+		}
+	}
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	p := NewPoisson(1, 1000, 0) // 1000/s => mean gap 1ms
+	prev := kernel.Time(0)
+	var gaps float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		next := p.Next()
+		if next <= prev {
+			t.Fatal("arrivals must be strictly increasing")
+		}
+		gaps += float64(next - prev)
+		prev = next
+	}
+	meanGap := gaps / n
+	want := float64(kernel.Millisecond)
+	if math.Abs(meanGap-want)/want > 0.05 {
+		t.Errorf("mean gap = %v, want ~%v", meanGap, want)
+	}
+}
+
+func TestPoissonStartOffset(t *testing.T) {
+	p := NewPoisson(1, 100, 5*kernel.Second)
+	if first := p.Next(); first <= 5*kernel.Second {
+		t.Errorf("first arrival %v should be after start", first)
+	}
+}
+
+func TestPoissonValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero rate should panic")
+		}
+	}()
+	NewPoisson(1, 0, 0)
+}
+
+func TestMMPPBurstsIncreaseRate(t *testing.T) {
+	m := NewMMPP(7, 100, 10000, 0.5, 0.5)
+	var calmGaps, burstGaps []float64
+	prev := kernel.Time(0)
+	for i := 0; i < 50000; i++ {
+		wasBurst := m.InBurst()
+		next := m.Next()
+		gap := float64(next - prev)
+		if wasBurst && m.InBurst() {
+			burstGaps = append(burstGaps, gap)
+		} else if !wasBurst && !m.InBurst() {
+			calmGaps = append(calmGaps, gap)
+		}
+		prev = next
+	}
+	if len(calmGaps) == 0 || len(burstGaps) == 0 {
+		t.Fatal("MMPP never switched states")
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(burstGaps)*10 > mean(calmGaps) {
+		t.Errorf("burst gaps %v not much smaller than calm gaps %v",
+			mean(burstGaps), mean(calmGaps))
+	}
+}
+
+func TestZipfKeysSkewAndDeterminism(t *testing.T) {
+	g := NewZipfKeys(11, 1000, 1.2, false)
+	counts := make(map[uint64]int)
+	for i := 0; i < 100000; i++ {
+		k := g.Next()
+		if k >= 1000 {
+			t.Fatalf("key %d out of universe", k)
+		}
+		counts[k]++
+	}
+	// Key 0 must dominate an unskewed share.
+	if counts[0] < 10000 {
+		t.Errorf("hot key count = %d, want heavy skew", counts[0])
+	}
+	// Determinism.
+	g2 := NewZipfKeys(11, 1000, 1.2, false)
+	g3 := NewZipfKeys(11, 1000, 1.2, false)
+	for i := 0; i < 100; i++ {
+		if g2.Next() != g3.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if g.Universe() != 1000 {
+		t.Error("universe wrong")
+	}
+}
+
+func TestZipfKeysScramble(t *testing.T) {
+	g := NewZipfKeys(11, 1000, 1.5, true)
+	counts := make(map[uint64]int)
+	for i := 0; i < 50000; i++ {
+		counts[g.Next()]++
+	}
+	// The most popular key is likely NOT key 0 after scrambling.
+	max, argmax := 0, uint64(0)
+	for k, c := range counts {
+		if c > max {
+			max, argmax = c, k
+		}
+	}
+	if max < 5000 {
+		t.Errorf("scrambled hot key count = %d", max)
+	}
+	_ = argmax // its location is arbitrary; only skew matters
+}
+
+func TestUniformKeysCoverage(t *testing.T) {
+	g := NewUniformKeys(13, 10)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		k := g.Next()
+		if k >= 10 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("coverage = %d/10", len(seen))
+	}
+}
+
+func TestHotspotKeysShift(t *testing.T) {
+	g := NewHotspotKeys(17, 10000, 0, 0.1, 0.9)
+	inHot := 0
+	for i := 0; i < 10000; i++ {
+		if g.Next() < 1000 {
+			inHot++
+		}
+	}
+	// ~90% hot + ~10%*10% uniform spill ≈ 0.91.
+	if frac := float64(inHot) / 10000; frac < 0.85 {
+		t.Errorf("hot fraction = %v", frac)
+	}
+	// Move the hotspot: traffic follows.
+	g.SetHotStart(5000)
+	inNew := 0
+	for i := 0; i < 10000; i++ {
+		k := g.Next()
+		if k >= 5000 && k < 6000 {
+			inNew++
+		}
+	}
+	if frac := float64(inNew) / 10000; frac < 0.85 {
+		t.Errorf("shifted hot fraction = %v", frac)
+	}
+}
+
+func TestScheduleLookup(t *testing.T) {
+	s, err := NewSchedule(
+		Phase{Start: 0, Name: "read-heavy"},
+		Phase{Start: 10 * kernel.Second, Name: "write-heavy"},
+		Phase{Start: 20 * kernel.Second, Name: "mixed"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		t    kernel.Time
+		want string
+	}{
+		{0, "read-heavy"},
+		{9 * kernel.Second, "read-heavy"},
+		{10 * kernel.Second, "write-heavy"},
+		{15 * kernel.Second, "write-heavy"},
+		{25 * kernel.Second, "mixed"},
+	}
+	for _, c := range cases {
+		if got := s.At(c.t); got != c.want {
+			t.Errorf("At(%v) = %q, want %q", c.t, got, c.want)
+		}
+	}
+	if s.Index(15*kernel.Second) != 1 {
+		t.Error("Index wrong")
+	}
+	if len(s.Phases()) != 3 {
+		t.Error("Phases wrong")
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	if _, err := NewSchedule(); err == nil {
+		t.Error("empty schedule should error")
+	}
+	if _, err := NewSchedule(Phase{Start: 5, Name: "x"}); err == nil {
+		t.Error("nonzero first phase should error")
+	}
+	if _, err := NewSchedule(Phase{0, "a"}, Phase{0, "b"}); err == nil {
+		t.Error("duplicate starts should error")
+	}
+	// Unsorted input is fine.
+	s, err := NewSchedule(Phase{10, "b"}, Phase{0, "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.At(5) != "a" {
+		t.Error("sorting failed")
+	}
+}
+
+func TestKeyGenValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zipf-empty", func() { NewZipfKeys(1, 0, 1.5, false) })
+	mustPanic("zipf-skew", func() { NewZipfKeys(1, 10, 1.0, false) })
+	mustPanic("uniform-empty", func() { NewUniformKeys(1, 0) })
+	mustPanic("hotspot-empty", func() { NewHotspotKeys(1, 0, 0, 0.1, 0.9) })
+	mustPanic("hotspot-frac", func() { NewHotspotKeys(1, 10, 0, 0.1, 1.5) })
+}

@@ -1,0 +1,206 @@
+package vm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses the textual form produced by Program.String back into
+// a Program, so monitor programs can be hand-written, patched, and
+// round-tripped through the disassembler. Accepted line forms:
+//
+//	; comment                      (also trailing comments)
+//	name  <program name>           (optional directive)
+//	  12: mov   r1, r2             (leading indices are ignored)
+//	movi  r1, 0.05
+//	jgt   r1, r2, +3
+//	jlei  r1, 0.05, +2
+//	load  r1, [key]
+//	store [key], r1
+//	call  helper#2
+//	exit
+//
+// Assemble does not verify; run Verify on the result before loading.
+func Assemble(src string) (*Program, error) {
+	p := &Program{}
+	symIdx := make(map[string]int32)
+	intern := func(key string) int32 {
+		if i, ok := symIdx[key]; ok {
+			return i
+		}
+		i := int32(len(p.Symbols))
+		p.Symbols = append(p.Symbols, key)
+		symIdx[key] = i
+		return i
+	}
+
+	nameToOp := make(map[string]Op, len(opNames))
+	for op, n := range opNames {
+		nameToOp[n] = op
+	}
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Optional "12:" index prefix.
+		if i := strings.Index(line, ":"); i >= 0 {
+			if _, err := strconv.Atoi(strings.TrimSpace(line[:i])); err == nil {
+				line = strings.TrimSpace(line[i+1:])
+			}
+		}
+		fields := strings.Fields(strings.ReplaceAll(line, ",", " "))
+		if len(fields) == 0 {
+			continue
+		}
+		mnemonic := fields[0]
+		args := fields[1:]
+		if mnemonic == "name" {
+			p.Name = strings.Join(args, " ")
+			continue
+		}
+		op, ok := nameToOp[mnemonic]
+		if !ok {
+			return nil, fmt.Errorf("vm: line %d: unknown mnemonic %q", lineNo+1, mnemonic)
+		}
+		in, err := parseOperands(op, args, intern)
+		if err != nil {
+			return nil, fmt.Errorf("vm: line %d: %v", lineNo+1, err)
+		}
+		p.Code = append(p.Code, in)
+	}
+	if len(p.Code) == 0 {
+		return nil, fmt.Errorf("vm: empty assembly")
+	}
+	return p, nil
+}
+
+func parseOperands(op Op, args []string, intern func(string) int32) (Instr, error) {
+	in := Instr{Op: op}
+	reg := func(s string) (uint8, error) {
+		if !strings.HasPrefix(s, "r") {
+			return 0, fmt.Errorf("expected register, found %q", s)
+		}
+		n, err := strconv.Atoi(s[1:])
+		if err != nil || n < 0 || n >= NumRegs {
+			return 0, fmt.Errorf("bad register %q", s)
+		}
+		return uint8(n), nil
+	}
+	imm := func(s string) (float64, error) {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad immediate %q", s)
+		}
+		return v, nil
+	}
+	off := func(s string) (int32, error) {
+		s = strings.TrimPrefix(s, "+")
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, fmt.Errorf("bad offset %q", s)
+		}
+		return int32(v), nil
+	}
+	cell := func(s string) (int32, error) {
+		if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+			return 0, fmt.Errorf("expected [key], found %q", s)
+		}
+		return intern(s[1 : len(s)-1]), nil
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s takes %d operand(s), got %d", op, n, len(args))
+		}
+		return nil
+	}
+
+	var err error
+	switch op {
+	case OpMov, OpAdd, OpSub, OpMul, OpDiv, OpMin, OpMax:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Dst, err = reg(args[0]); err != nil {
+			return in, err
+		}
+		in.Src, err = reg(args[1])
+	case OpMovI, OpAddI, OpSubI, OpMulI, OpDivI:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Dst, err = reg(args[0]); err != nil {
+			return in, err
+		}
+		in.Imm, err = imm(args[1])
+	case OpNeg, OpAbs, OpNot, OpBoo:
+		if err = need(1); err != nil {
+			return in, err
+		}
+		in.Dst, err = reg(args[0])
+	case OpJmp:
+		if err = need(1); err != nil {
+			return in, err
+		}
+		in.Off, err = off(args[0])
+	case OpJEq, OpJNe, OpJLt, OpJLe, OpJGt, OpJGe:
+		if err = need(3); err != nil {
+			return in, err
+		}
+		if in.Dst, err = reg(args[0]); err != nil {
+			return in, err
+		}
+		if in.Src, err = reg(args[1]); err != nil {
+			return in, err
+		}
+		in.Off, err = off(args[2])
+	case OpJEqI, OpJNeI, OpJLtI, OpJLeI, OpJGtI, OpJGeI:
+		if err = need(3); err != nil {
+			return in, err
+		}
+		if in.Dst, err = reg(args[0]); err != nil {
+			return in, err
+		}
+		if in.Imm, err = imm(args[1]); err != nil {
+			return in, err
+		}
+		in.Off, err = off(args[2])
+	case OpLoad:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Dst, err = reg(args[0]); err != nil {
+			return in, err
+		}
+		in.Cell, err = cell(args[1])
+	case OpStore:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Cell, err = cell(args[0]); err != nil {
+			return in, err
+		}
+		in.Src, err = reg(args[1])
+	case OpCall:
+		if err = need(1); err != nil {
+			return in, err
+		}
+		s := strings.TrimPrefix(args[0], "helper#")
+		var h int
+		if h, err = strconv.Atoi(s); err != nil {
+			return in, fmt.Errorf("bad helper %q", args[0])
+		}
+		in.Imm = float64(h)
+	case OpExit:
+		err = need(0)
+	default:
+		err = fmt.Errorf("unsupported opcode %v", op)
+	}
+	return in, err
+}

@@ -1,0 +1,174 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleBasicProgram(t *testing.T) {
+	src := `
+; the Listing 2 monitor, hand-written
+name low-false-submit
+load  r1, [false_submit_rate]
+jlei  r1, 0.05, +4
+movi  r2, 0
+store [ml_enabled], r2
+movi  r0, 0
+exit
+movi  r0, 1
+exit
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "low-false-submit" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if len(p.Code) != 8 || len(p.Symbols) != 2 {
+		t.Fatalf("shape: %d insns, %d symbols", len(p.Code), len(p.Symbols))
+	}
+	mustVerify(t, p)
+	env := &testEnv{cells: make([]float64, 2)}
+	env.cells[0] = 0.01
+	if got := run(t, p, env, 0); got != 1 {
+		t.Errorf("holds case = %v", got)
+	}
+	env.cells[0] = 0.2
+	if got := run(t, p, env, 0); got != 0 {
+		t.Errorf("violated case = %v", got)
+	}
+	if env.cells[1] != 0 {
+		t.Errorf("ml_enabled = %v", env.cells[1])
+	}
+}
+
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	b := NewBuilder("roundtrip")
+	b.Load(1, "a")
+	b.Load(2, "b")
+	b.ALU(OpAdd, 1, 2)
+	b.ALUI(OpMulI, 1, 2.5)
+	b.Un(OpAbs, 1)
+	b.JmpIfI(OpJGtI, 1, 10, "big")
+	b.MovI(0, 0)
+	b.Exit()
+	b.Label("big")
+	b.MovI(1, 16)
+	b.Call(HelperSqrt)
+	b.Store("out", 0)
+	b.Exit()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, p)
+
+	// Disassemble, re-assemble (add the name directive), compare.
+	q, err := Assemble("name " + p.Name + "\n" + p.String())
+	if err != nil {
+		t.Fatalf("re-assembly failed: %v\n%s", err, p)
+	}
+	if q.Name != p.Name || len(q.Code) != len(p.Code) {
+		t.Fatalf("shape changed: %q %d", q.Name, len(q.Code))
+	}
+	for i := range p.Code {
+		if q.Code[i] != p.Code[i] {
+			t.Errorf("insn %d: %+v != %+v", i, q.Code[i], p.Code[i])
+		}
+	}
+	for i := range p.Symbols {
+		if q.Symbols[i] != p.Symbols[i] {
+			t.Errorf("symbol %d: %q != %q", i, q.Symbols[i], p.Symbols[i])
+		}
+	}
+}
+
+func TestAssembleAllOpcodesRoundTrip(t *testing.T) {
+	// Build a program exercising every opcode, disassemble, re-assemble.
+	code := []Instr{
+		{Op: OpMovI, Dst: 1, Imm: 3},
+		{Op: OpMov, Dst: 2, Src: 1},
+		{Op: OpAdd, Dst: 1, Src: 2},
+		{Op: OpAddI, Dst: 1, Imm: 1},
+		{Op: OpSub, Dst: 1, Src: 2},
+		{Op: OpSubI, Dst: 1, Imm: 1},
+		{Op: OpMul, Dst: 1, Src: 2},
+		{Op: OpMulI, Dst: 1, Imm: 2},
+		{Op: OpDiv, Dst: 1, Src: 2},
+		{Op: OpDivI, Dst: 1, Imm: 2},
+		{Op: OpNeg, Dst: 1},
+		{Op: OpAbs, Dst: 1},
+		{Op: OpMin, Dst: 1, Src: 2},
+		{Op: OpMax, Dst: 1, Src: 2},
+		{Op: OpNot, Dst: 1},
+		{Op: OpBoo, Dst: 1},
+		{Op: OpJmp, Off: 1},
+		{Op: OpJEq, Dst: 1, Src: 2, Off: 1},
+		{Op: OpJNe, Dst: 1, Src: 2, Off: 1},
+		{Op: OpJLt, Dst: 1, Src: 2, Off: 1},
+		{Op: OpJLe, Dst: 1, Src: 2, Off: 1},
+		{Op: OpJGt, Dst: 1, Src: 2, Off: 1},
+		{Op: OpJGe, Dst: 1, Src: 2, Off: 1},
+		{Op: OpJEqI, Dst: 1, Imm: 1, Off: 1},
+		{Op: OpJNeI, Dst: 1, Imm: 1, Off: 1},
+		{Op: OpJLtI, Dst: 1, Imm: 1, Off: 1},
+		{Op: OpJLeI, Dst: 1, Imm: 1, Off: 1},
+		{Op: OpJGtI, Dst: 1, Imm: 1, Off: 1},
+		{Op: OpJGeI, Dst: 1, Imm: 1, Off: 1},
+		{Op: OpLoad, Dst: 1, Cell: 0},
+		{Op: OpStore, Src: 1, Cell: 0},
+		{Op: OpCall, Imm: float64(HelperNow)},
+		{Op: OpExit},
+	}
+	p := &Program{Name: "all", Code: code, Symbols: []string{"k"}}
+	q, err := Assemble(p.String())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, p)
+	}
+	if len(q.Code) != len(p.Code) {
+		t.Fatalf("code length %d != %d", len(q.Code), len(p.Code))
+	}
+	for i := range p.Code {
+		if q.Code[i] != p.Code[i] {
+			t.Errorf("insn %d: %+v != %+v", i, q.Code[i], p.Code[i])
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"comment-only":   "; nothing here",
+		"unknown-op":     "frobnicate r1",
+		"bad-register":   "movi r99, 1",
+		"not-a-register": "mov x1, r2",
+		"bad-immediate":  "movi r1, banana",
+		"bad-arity":      "mov r1",
+		"bad-cell":       "load r1, key",
+		"bad-helper":     "call 5x",
+		"exit-args":      "exit r0",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%s: assembled %q without error", name, src)
+		}
+	}
+}
+
+func TestAssembleIgnoresIndicesAndComments(t *testing.T) {
+	src := `
+   0: movi  r0, 1   ; set result
+   1: exit
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 2 || p.Code[0].Imm != 1 {
+		t.Errorf("parsed %+v", p.Code)
+	}
+	if !strings.Contains(p.String(), "movi") {
+		t.Error("round rendering broken")
+	}
+}

@@ -1,0 +1,130 @@
+package vm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Monitor image format: a compact binary serialization of a Program, so
+// compiled guardrails can be shipped to the machine that loads them
+// (grailc -o / grailvm). Layout (little endian):
+//
+//	magic "GRVM1\x00"
+//	u16 name length, name bytes
+//	u16 symbol count, then per symbol: u16 length + bytes
+//	u32 instruction count, then per instruction:
+//	    u8 op, u8 dst, u8 src, i32 off, i32 cell, f64 imm
+//
+// Decode validates lengths but does NOT verify the program; loaders
+// must run Verify before execution, exactly as with freshly compiled
+// programs.
+const imageMagic = "GRVM1\x00"
+
+// imageLimit bounds decoded sizes against corrupt or hostile images.
+const imageLimit = 1 << 20
+
+// Encode writes the program image to w.
+func (p *Program) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(imageMagic); err != nil {
+		return err
+	}
+	writeStr := func(s string) error {
+		if len(s) > math.MaxUint16 {
+			return fmt.Errorf("vm: string too long to encode (%d bytes)", len(s))
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint16(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := writeStr(p.Name); err != nil {
+		return err
+	}
+	if len(p.Symbols) > math.MaxUint16 {
+		return fmt.Errorf("vm: too many symbols (%d)", len(p.Symbols))
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(len(p.Symbols))); err != nil {
+		return err
+	}
+	for _, s := range p.Symbols {
+		if err := writeStr(s); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(p.Code))); err != nil {
+		return err
+	}
+	for _, in := range p.Code {
+		if err := binary.Write(bw, binary.LittleEndian, struct {
+			Op, Dst, Src uint8
+			Off, Cell    int32
+			Imm          float64
+		}{uint8(in.Op), in.Dst, in.Src, in.Off, in.Cell, in.Imm}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a program image produced by Encode.
+func Decode(r io.Reader) (*Program, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(imageMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("vm: reading image magic: %w", err)
+	}
+	if string(magic) != imageMagic {
+		return nil, fmt.Errorf("vm: bad image magic %q", magic)
+	}
+	readStr := func() (string, error) {
+		var n uint16
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return "", err
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	name, err := readStr()
+	if err != nil {
+		return nil, err
+	}
+	var nSyms uint16
+	if err := binary.Read(br, binary.LittleEndian, &nSyms); err != nil {
+		return nil, err
+	}
+	p := &Program{Name: name, Symbols: make([]string, nSyms)}
+	for i := range p.Symbols {
+		if p.Symbols[i], err = readStr(); err != nil {
+			return nil, err
+		}
+	}
+	var nCode uint32
+	if err := binary.Read(br, binary.LittleEndian, &nCode); err != nil {
+		return nil, err
+	}
+	if nCode > imageLimit {
+		return nil, fmt.Errorf("vm: implausible instruction count %d", nCode)
+	}
+	p.Code = make([]Instr, nCode)
+	for i := range p.Code {
+		var raw struct {
+			Op, Dst, Src uint8
+			Off, Cell    int32
+			Imm          float64
+		}
+		if err := binary.Read(br, binary.LittleEndian, &raw); err != nil {
+			return nil, err
+		}
+		p.Code[i] = Instr{Op: Op(raw.Op), Dst: raw.Dst, Src: raw.Src,
+			Off: raw.Off, Cell: raw.Cell, Imm: raw.Imm}
+	}
+	return p, nil
+}

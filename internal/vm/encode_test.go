@@ -1,0 +1,109 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+)
+
+func buildImageFixture(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("fixture")
+	b.Load(1, "false_submit_rate")
+	b.JmpIfI(OpJLeI, 1, 0.05, "ok")
+	b.MovI(2, 0)
+	b.Store("ml_enabled", 2)
+	b.MovI(0, 0)
+	b.Exit()
+	b.Label("ok")
+	b.MovI(0, 1)
+	b.Exit()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := buildImageFixture(t)
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != p.Name {
+		t.Errorf("name = %q", q.Name)
+	}
+	if len(q.Symbols) != len(p.Symbols) {
+		t.Fatalf("symbols = %v", q.Symbols)
+	}
+	for i := range p.Symbols {
+		if q.Symbols[i] != p.Symbols[i] {
+			t.Errorf("symbol %d = %q, want %q", i, q.Symbols[i], p.Symbols[i])
+		}
+	}
+	if len(q.Code) != len(p.Code) {
+		t.Fatalf("code length = %d", len(q.Code))
+	}
+	for i := range p.Code {
+		if q.Code[i] != p.Code[i] {
+			t.Errorf("insn %d = %+v, want %+v", i, q.Code[i], p.Code[i])
+		}
+	}
+	// Decoded image must still verify and run identically.
+	mustVerify(t, q)
+	env := &testEnv{cells: make([]float64, len(q.Symbols))}
+	env.cells[0] = 0.2
+	if got := run(t, q, env, 0); got != 0 {
+		t.Errorf("decoded program result = %v", got)
+	}
+	if env.cells[1] != 0 {
+		t.Errorf("store cell = %v", env.cells[1])
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       nil,
+		"bad-magic":   []byte("NOTANIMAGE"),
+		"truncated":   []byte(imageMagic),
+		"short-magic": []byte("GR"),
+	}
+	for name, data := range cases {
+		if _, err := Decode(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: decode accepted garbage", name)
+		}
+	}
+	// Truncated mid-instruction.
+	p := buildImageFixture(t)
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if _, err := Decode(bytes.NewReader(full[:len(full)-5])); err == nil {
+		t.Error("truncated image accepted")
+	}
+}
+
+func TestDecodedInvalidProgramFailsVerify(t *testing.T) {
+	// An image can carry an unsafe program; the verifier is the gate.
+	p := &Program{Name: "evil", Code: []Instr{
+		{Op: OpJmp, Off: -1},
+		{Op: OpExit},
+	}}
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(q, NumBuiltinHelpers); err == nil {
+		t.Error("decoded unsafe program passed verification")
+	}
+}

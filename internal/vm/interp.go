@@ -1,0 +1,169 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Env is the runtime environment a loaded program executes against: the
+// feature-store cells it was linked to and the helper table.
+type Env interface {
+	// LoadCell reads linked cell i (index into the program's symbol
+	// table after resolution).
+	LoadCell(i int32) float64
+	// StoreCell writes linked cell i.
+	StoreCell(i int32, v float64)
+	// Helper invokes helper h with up to five arguments and returns r0.
+	Helper(h HelperID, args *[5]float64) float64
+}
+
+// ErrBudget is returned when execution exceeds the instruction budget.
+// A verified program can never hit it (verified programs are loop-free
+// and bounded by their length), so seeing ErrBudget implies the program
+// bypassed verification.
+var ErrBudget = errors.New("vm: instruction budget exceeded")
+
+// Machine executes verified programs. A Machine is cheap; the zero value
+// is ready to use and may be reused across runs. Not safe for concurrent
+// use.
+type Machine struct {
+	regs [NumRegs]float64
+	// Steps accumulates executed instruction counts across Run calls,
+	// feeding monitor-overhead accounting (property P5).
+	Steps uint64
+}
+
+// Run executes p against env with r0 preset to arg (the trigger
+// argument: e.g. the instrumented function's observed value). It returns
+// the value of r0 at OpExit. The program must have passed Verify; Run
+// still guards divisions and bounds as defense in depth but does not
+// re-verify.
+func (m *Machine) Run(p *Program, env Env, arg float64) (float64, error) {
+	m.regs = [NumRegs]float64{}
+	m.regs[0] = arg
+	budget := len(p.Code) + 1
+	r := &m.regs
+	pc := 0
+	for {
+		if budget <= 0 {
+			return 0, ErrBudget
+		}
+		budget--
+		m.Steps++
+		if pc < 0 || pc >= len(p.Code) {
+			return 0, fmt.Errorf("vm: pc %d out of range in %q", pc, p.Name)
+		}
+		in := p.Code[pc]
+		switch in.Op {
+		case OpMov:
+			r[in.Dst] = r[in.Src]
+		case OpMovI:
+			r[in.Dst] = in.Imm
+		case OpAdd:
+			r[in.Dst] += r[in.Src]
+		case OpAddI:
+			r[in.Dst] += in.Imm
+		case OpSub:
+			r[in.Dst] -= r[in.Src]
+		case OpSubI:
+			r[in.Dst] -= in.Imm
+		case OpMul:
+			r[in.Dst] *= r[in.Src]
+		case OpMulI:
+			r[in.Dst] *= in.Imm
+		case OpDiv:
+			r[in.Dst] = safeDiv(r[in.Dst], r[in.Src])
+		case OpDivI:
+			r[in.Dst] = safeDiv(r[in.Dst], in.Imm)
+		case OpNeg:
+			r[in.Dst] = -r[in.Dst]
+		case OpAbs:
+			r[in.Dst] = math.Abs(r[in.Dst])
+		case OpMin:
+			r[in.Dst] = math.Min(r[in.Dst], r[in.Src])
+		case OpMax:
+			r[in.Dst] = math.Max(r[in.Dst], r[in.Src])
+		case OpNot:
+			if r[in.Dst] == 0 {
+				r[in.Dst] = 1
+			} else {
+				r[in.Dst] = 0
+			}
+		case OpBoo:
+			if r[in.Dst] != 0 {
+				r[in.Dst] = 1
+			}
+		case OpJmp:
+			pc += int(in.Off)
+		case OpJEq:
+			if r[in.Dst] == r[in.Src] {
+				pc += int(in.Off)
+			}
+		case OpJNe:
+			if r[in.Dst] != r[in.Src] {
+				pc += int(in.Off)
+			}
+		case OpJLt:
+			if r[in.Dst] < r[in.Src] {
+				pc += int(in.Off)
+			}
+		case OpJLe:
+			if r[in.Dst] <= r[in.Src] {
+				pc += int(in.Off)
+			}
+		case OpJGt:
+			if r[in.Dst] > r[in.Src] {
+				pc += int(in.Off)
+			}
+		case OpJGe:
+			if r[in.Dst] >= r[in.Src] {
+				pc += int(in.Off)
+			}
+		case OpJEqI:
+			if r[in.Dst] == in.Imm {
+				pc += int(in.Off)
+			}
+		case OpJNeI:
+			if r[in.Dst] != in.Imm {
+				pc += int(in.Off)
+			}
+		case OpJLtI:
+			if r[in.Dst] < in.Imm {
+				pc += int(in.Off)
+			}
+		case OpJLeI:
+			if r[in.Dst] <= in.Imm {
+				pc += int(in.Off)
+			}
+		case OpJGtI:
+			if r[in.Dst] > in.Imm {
+				pc += int(in.Off)
+			}
+		case OpJGeI:
+			if r[in.Dst] >= in.Imm {
+				pc += int(in.Off)
+			}
+		case OpLoad:
+			r[in.Dst] = env.LoadCell(in.Cell)
+		case OpStore:
+			env.StoreCell(in.Cell, r[in.Src])
+		case OpCall:
+			args := [5]float64{r[1], r[2], r[3], r[4], r[5]}
+			r[0] = env.Helper(HelperID(in.Imm), &args)
+			r[1], r[2], r[3], r[4], r[5] = 0, 0, 0, 0, 0
+		case OpExit:
+			return r[0], nil
+		default:
+			return 0, fmt.Errorf("vm: invalid opcode %v at pc=%d in %q", in.Op, pc, p.Name)
+		}
+		pc++
+	}
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

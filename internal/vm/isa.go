@@ -1,0 +1,191 @@
+// Package vm implements the guardrail monitor virtual machine: a small
+// register bytecode ISA in the spirit of eBPF, a static verifier that
+// guarantees bounded, memory-safe execution, and an interpreter.
+//
+// Guardrail specifications are compiled (package compile) into Programs
+// that the monitor runtime executes at trigger sites inside the
+// simulated kernel. The safety argument mirrors eBPF's: programs are
+// loop-free (the verifier rejects backward jumps), every path ends in
+// EXIT, all register reads are proven initialized, and all feature-store
+// cell accesses are bounds-checked against the program's symbol table at
+// load time. Values are float64 — guardrail rules are numeric
+// predicates — and the truthiness convention is 0 = false, non-zero =
+// true, with rule programs returning the property's truth value in R0.
+package vm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NumRegs is the register file size (r0..r15). By convention r0 holds
+// return values, r1–r5 hold helper-call arguments (callee-clobbered),
+// and r6–r15 are general purpose.
+const NumRegs = 16
+
+// MaxInsns bounds program length, like the classic eBPF limit.
+const MaxInsns = 4096
+
+// Op is an opcode.
+type Op uint8
+
+// Opcodes. Arithmetic is register-register (suffix none) or
+// register-immediate (suffix I). Jumps use relative offsets: Off = +n
+// skips the next n instructions (Off >= 1 required by the verifier —
+// loop-free programs only).
+const (
+	OpInvalid Op = iota
+
+	OpMov  // dst = src
+	OpMovI // dst = imm
+
+	OpAdd  // dst += src
+	OpAddI // dst += imm
+	OpSub  // dst -= src
+	OpSubI // dst -= imm
+	OpMul  // dst *= src
+	OpMulI // dst *= imm
+	OpDiv  // dst /= src (x/0 = 0, eBPF-style)
+	OpDivI // dst /= imm (x/0 = 0)
+	OpNeg  // dst = -dst
+	OpAbs  // dst = |dst|
+	OpMin  // dst = min(dst, src)
+	OpMax  // dst = max(dst, src)
+
+	OpNot // dst = !truthy(dst)        (result 0 or 1)
+	OpBoo // dst = truthy(dst) ? 1 : 0
+
+	OpJmp  // pc += Off
+	OpJEq  // if dst == src: pc += Off
+	OpJNe  // if dst != src: pc += Off
+	OpJLt  // if dst <  src: pc += Off
+	OpJLe  // if dst <= src: pc += Off
+	OpJGt  // if dst >  src: pc += Off
+	OpJGe  // if dst >= src: pc += Off
+	OpJEqI // if dst == imm: pc += Off
+	OpJNeI // if dst != imm: pc += Off
+	OpJLtI // if dst <  imm: pc += Off
+	OpJLeI // if dst <= imm: pc += Off
+	OpJGtI // if dst >  imm: pc += Off
+	OpJGeI // if dst >= imm: pc += Off
+
+	OpLoad  // dst = cells[Cell]         (feature store LOAD)
+	OpStore // cells[Cell] = src         (feature store SAVE)
+
+	OpCall // r0 = helper[Imm](r1..r5); clobbers r1-r5
+	OpExit // return r0
+
+	opMax // sentinel
+)
+
+var opNames = map[Op]string{
+	OpMov: "mov", OpMovI: "movi",
+	OpAdd: "add", OpAddI: "addi", OpSub: "sub", OpSubI: "subi",
+	OpMul: "mul", OpMulI: "muli", OpDiv: "div", OpDivI: "divi",
+	OpNeg: "neg", OpAbs: "abs", OpMin: "min", OpMax: "max",
+	OpNot: "not", OpBoo: "bool",
+	OpJmp: "jmp", OpJEq: "jeq", OpJNe: "jne", OpJLt: "jlt",
+	OpJLe: "jle", OpJGt: "jgt", OpJGe: "jge",
+	OpJEqI: "jeqi", OpJNeI: "jnei", OpJLtI: "jlti",
+	OpJLeI: "jlei", OpJGtI: "jgti", OpJGeI: "jgei",
+	OpLoad: "load", OpStore: "store",
+	OpCall: "call", OpExit: "exit",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// HelperID identifies a runtime helper callable via OpCall.
+type HelperID int
+
+// Built-in helpers. The monitor runtime provides implementations; the
+// verifier rejects calls to helpers absent from the load-time helper set.
+const (
+	// HelperNow returns current kernel time in nanoseconds.
+	HelperNow HelperID = iota
+	// HelperReport emits a violation report; r1 = violation code.
+	HelperReport
+	// HelperAction dispatches the bound action with index r1.
+	HelperAction
+	// HelperSqrt returns sqrt(r1) (0 for negative inputs).
+	HelperSqrt
+	// HelperLog2 returns log2(r1) (0 for non-positive inputs).
+	HelperLog2
+	numBuiltinHelpers
+)
+
+// NumBuiltinHelpers is the count of built-in helper IDs.
+const NumBuiltinHelpers = int(numBuiltinHelpers)
+
+// Instr is a single instruction. Fields are used per-opcode: Dst/Src are
+// register numbers, Imm is an immediate or helper ID (OpCall), Off is a
+// relative jump offset, Cell indexes the program symbol table.
+type Instr struct {
+	Op   Op
+	Dst  uint8
+	Src  uint8
+	Off  int32
+	Cell int32
+	Imm  float64
+}
+
+// Program is a verified-loadable monitor program: code plus the symbol
+// table naming the feature-store cells it references. Symbols are
+// resolved to store IDs at load time.
+type Program struct {
+	// Name identifies the program in logs (usually the guardrail name).
+	Name string
+	// Code is the instruction sequence.
+	Code []Instr
+	// Symbols names the feature-store cells addressed by OpLoad/OpStore
+	// Cell indices.
+	Symbols []string
+}
+
+// String disassembles the program.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; program %q (%d insns, %d symbols)\n", p.Name, len(p.Code), len(p.Symbols))
+	for i, in := range p.Code {
+		fmt.Fprintf(&b, "%4d: %s\n", i, p.fmtInstr(in))
+	}
+	return b.String()
+}
+
+func (p *Program) fmtInstr(in Instr) string {
+	cellName := func(c int32) string {
+		if int(c) < len(p.Symbols) && c >= 0 {
+			return p.Symbols[c]
+		}
+		return fmt.Sprintf("?%d", c)
+	}
+	switch in.Op {
+	case OpMov, OpAdd, OpSub, OpMul, OpDiv, OpMin, OpMax:
+		return fmt.Sprintf("%-5s r%d, r%d", in.Op, in.Dst, in.Src)
+	case OpMovI, OpAddI, OpSubI, OpMulI, OpDivI:
+		return fmt.Sprintf("%-5s r%d, %g", in.Op, in.Dst, in.Imm)
+	case OpNeg, OpAbs, OpNot, OpBoo:
+		return fmt.Sprintf("%-5s r%d", in.Op, in.Dst)
+	case OpJmp:
+		return fmt.Sprintf("%-5s +%d", in.Op, in.Off)
+	case OpJEq, OpJNe, OpJLt, OpJLe, OpJGt, OpJGe:
+		return fmt.Sprintf("%-5s r%d, r%d, +%d", in.Op, in.Dst, in.Src, in.Off)
+	case OpJEqI, OpJNeI, OpJLtI, OpJLeI, OpJGtI, OpJGeI:
+		return fmt.Sprintf("%-5s r%d, %g, +%d", in.Op, in.Dst, in.Imm, in.Off)
+	case OpLoad:
+		return fmt.Sprintf("%-5s r%d, [%s]", in.Op, in.Dst, cellName(in.Cell))
+	case OpStore:
+		return fmt.Sprintf("%-5s [%s], r%d", in.Op, cellName(in.Cell), in.Src)
+	case OpCall:
+		return fmt.Sprintf("%-5s helper#%d", in.Op, int(in.Imm))
+	case OpExit:
+		return "exit"
+	default:
+		return fmt.Sprintf("%-5s ???", in.Op)
+	}
+}
