@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	guardrail-bench [-seed N] [-only fig2,p1,p2,p3,p4,p5,p6,osc,trig,vm]
+//	guardrail-bench [-seed N] [-only fig2,p1,p2,p3,p4,p5,p6,osc,trig,vm,chaos]
+//	guardrail-bench -chaos        (just the fault-injection run)
+//
+// The chaos experiment (also selectable as -only chaos) reruns Figure 2
+// under the standard fault plan and reports the fault audit and the
+// breaker's recovery latency.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	chaos := flag.Bool("chaos", false, "run only the fault-injection chaos experiment")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -27,6 +33,9 @@ func main() {
 		for _, id := range strings.Split(*only, ",") {
 			want[strings.TrimSpace(id)] = true
 		}
+	}
+	if *chaos {
+		want["chaos"] = true
 	}
 	run := func(id string) bool { return len(want) == 0 || want[id] }
 
@@ -108,6 +117,17 @@ func main() {
 				return "", err
 			}
 			return experiments.RenderVMMicro(rows), nil
+		}},
+		{"chaos", func() (string, error) {
+			r, err := experiments.RunChaos(experiments.DefaultChaosConfig(*seed))
+			if err != nil {
+				return "", err
+			}
+			out := r.Render()
+			if r.Missed > 0 {
+				return out, fmt.Errorf("chaos: %d injected faults left no trace", r.Missed)
+			}
+			return out, nil
 		}},
 	}
 

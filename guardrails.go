@@ -57,6 +57,7 @@ package guardrails
 import (
 	"guardrails/internal/actions"
 	"guardrails/internal/compile"
+	"guardrails/internal/faults"
 	"guardrails/internal/featurestore"
 	"guardrails/internal/kernel"
 	"guardrails/internal/monitor"
@@ -106,6 +107,31 @@ type (
 	Retrainer = actions.Retrainer
 	// Deprioritizer backs the DEPRIORITIZE action.
 	Deprioritizer = actions.Deprioritizer
+	// MonitorState is a monitor's position on the degradation ladder
+	// (active → shadow → quarantined).
+	MonitorState = monitor.State
+	// FaultPolicy selects a guardrail's failure semantics when its
+	// circuit breaker quarantines it (Options.OnFault).
+	FaultPolicy = monitor.FaultPolicy
+	// FaultInjector intercepts monitor operations for fault injection;
+	// FaultInjectorImpl (faults.Injector) is the standard implementation.
+	FaultInjector = monitor.FaultInjector
+	// FailedAction is one permanently failed action dispatch.
+	FailedAction = actions.FailedAction
+	// DeadLetter is the bounded ring of actions that exhausted their
+	// retries (Runtime.DeadLetter).
+	DeadLetter = actions.DeadLetter
+	// FaultKind classifies an injectable fault.
+	FaultKind = faults.Kind
+	// FaultRule schedules one class of injected faults.
+	FaultRule = faults.Rule
+	// FaultPlan is a seeded set of fault rules armed against a system.
+	FaultPlan = faults.Plan
+	// FaultInjectorImpl is the deterministic seeded injector that
+	// implements FaultInjector.
+	FaultInjectorImpl = faults.Injector
+	// Injection is one delivered fault, for auditing.
+	Injection = faults.Injection
 )
 
 // Simulated-time units.
@@ -114,6 +140,58 @@ const (
 	Millisecond = kernel.Millisecond
 	Second      = kernel.Second
 )
+
+// Monitor degradation-ladder states.
+const (
+	StateActive      = monitor.StateActive
+	StateShadow      = monitor.StateShadow
+	StateQuarantined = monitor.StateQuarantined
+)
+
+// Fault policies for quarantined guardrails: FailOpen leaves the
+// guarded system running unguarded; FailClosed forces the safe
+// configuration (Options.Fallback, or the guardrail's own actions)
+// before standing down.
+const (
+	FailOpen   = monitor.FailOpen
+	FailClosed = monitor.FailClosed
+)
+
+// Injectable fault kinds (see internal/faults and DESIGN.md's "Fault
+// model & degradation ladder").
+const (
+	FaultEvalTrap    = faults.EvalTrap
+	FaultHelperFail  = faults.HelperFail
+	FaultLoadNaN     = faults.LoadNaN
+	FaultLoadStale   = faults.LoadStale
+	FaultActionFail  = faults.ActionFail
+	FaultReplicaFail = faults.ReplicaFail
+	FaultReplicaHeal = faults.ReplicaHeal
+)
+
+// NewFaultInjector returns a deterministic seeded fault injector whose
+// time windows are evaluated against the system's simulated clock.
+// Install it with Runtime.SetFaultInjector.
+func (s *System) NewFaultInjector(seed int64) *FaultInjectorImpl {
+	return faults.NewInjector(seed, s.Kernel.Now)
+}
+
+// InjectFaults arms a fault plan against the system: monitor-facing
+// rules are served by the returned injector (installed on the
+// runtime), and replica fail/heal rules are scheduled on the kernel
+// clock against the given arrays.
+func (s *System) InjectFaults(p *FaultPlan, arrays ...faults.Target) *FaultInjectorImpl {
+	inj := p.Arm(s.Kernel, arrays...)
+	s.Runtime.SetFaultInjector(inj)
+	return inj
+}
+
+// StandardChaos is the chaos experiment's standard fault plan: an
+// eval-trap burst, a NaN window on the false-submit signal, a retrain
+// outage, and a replica loss/heal cycle.
+func StandardChaos(seed int64) *FaultPlan {
+	return faults.StandardChaos(seed)
+}
 
 // System bundles a kernel, a feature store, and a guardrail runtime —
 // everything needed to run guarded learned policies.

@@ -75,3 +75,55 @@ func TestRuntimeActionComponentsExposed(t *testing.T) {
 		t.Error("action components not wired")
 	}
 }
+
+// TestFaultInjectionPublicAPI is the README's fault-injection example:
+// a seeded plan trips the breaker, fail-closed forces the safe config,
+// the cooldown re-arms the monitor, and the audit sees every fault.
+func TestFaultInjectionPublicAPI(t *testing.T) {
+	sys := NewSystem()
+	sys.Store.Save("ml_enabled", 1)
+	sys.Store.Save("false_submit_rate", 0.01)
+	mons, err := sys.LoadGuardrails(demoSpec, Options{
+		OnFault:          FailClosed,
+		BreakerThreshold: 3,
+		BreakerWindow:    10 * Second,
+		Cooldown:         3 * Second,
+		RetryMax:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := mons[0]
+
+	plan := &FaultPlan{Seed: 42, Rules: []FaultRule{
+		{Kind: FaultEvalTrap, Guardrail: "low-false-submit",
+			From: 5 * Second, Until: 9 * Second},
+	}}
+	inj := sys.InjectFaults(plan)
+
+	// The trap burst at 5..8s trips the 3-fault breaker.
+	sys.Kernel.RunUntil(8 * Second)
+	if mon.State() != StateQuarantined {
+		t.Fatalf("state = %v, want quarantined", mon.State())
+	}
+	// FailClosed forced the guardrail's own action: model disabled.
+	if sys.Store.Load("ml_enabled") != 0 {
+		t.Error("fail-closed quarantine did not force the safe config")
+	}
+	if got := inj.Count(FaultEvalTrap); got != 3 {
+		t.Errorf("delivered traps = %d, want 3 (breaker stops evaluation)", got)
+	}
+
+	// The 3s cooldown re-arms it; the injection window is over.
+	sys.Kernel.RunUntil(15 * Second)
+	if mon.State() != StateActive {
+		t.Errorf("state = %v after cooldown, want active", mon.State())
+	}
+	st := mon.Stats()
+	if st.Traps != 3 || st.Quarantines != 1 || st.Rearms != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if sys.Runtime.DeadLetter == nil {
+		t.Fatal("dead-letter queue not wired")
+	}
+}

@@ -1,0 +1,67 @@
+package actions
+
+import (
+	"strings"
+	"testing"
+
+	"guardrails/internal/kernel"
+)
+
+func dl(t kernel.Time, g, a string) FailedAction {
+	return FailedAction{Time: t, Guardrail: g, Action: a, Attempts: 3, Err: "boom"}
+}
+
+func TestDeadLetterRingOverwritesOldest(t *testing.T) {
+	d := NewDeadLetter(3)
+	for i := 0; i < 5; i++ {
+		d.Add(dl(kernel.Time(i)*kernel.Second, "g", string(rune('a'+i))))
+	}
+	if d.Total() != 5 {
+		t.Errorf("total = %d, want 5 (overwritten entries still counted)", d.Total())
+	}
+	got := d.Recent(10)
+	if len(got) != 3 {
+		t.Fatalf("retained = %d, want capacity 3", len(got))
+	}
+	// Oldest-first: entries 2, 3, 4 survive.
+	for i, want := range []string{"c", "d", "e"} {
+		if got[i].Action != want {
+			t.Errorf("recent[%d] = %q, want %q", i, got[i].Action, want)
+		}
+	}
+	// Recent(1) is the newest entry.
+	last := d.Recent(1)
+	if len(last) != 1 || last[0].Action != "e" {
+		t.Errorf("Recent(1) = %+v", last)
+	}
+}
+
+func TestDeadLetterByGuardrail(t *testing.T) {
+	d := NewDeadLetter(8)
+	d.Add(dl(0, "a", "REPORT"))
+	d.Add(dl(0, "a", "RETRAIN(m)"))
+	d.Add(dl(0, "b", "REPORT"))
+	got := d.ByGuardrail()
+	if got["a"] != 2 || got["b"] != 1 {
+		t.Errorf("by guardrail = %v", got)
+	}
+}
+
+func TestDeadLetterMinCapacityAndString(t *testing.T) {
+	d := NewDeadLetter(0) // clamped to 1
+	d.Add(dl(kernel.Second, "g1", "REPORT"))
+	d.Add(dl(2*kernel.Second, "g1", "RETRAIN(linnos)"))
+	got := d.Recent(5)
+	if len(got) != 1 || got[0].Action != "RETRAIN(linnos)" {
+		t.Fatalf("recent = %+v", got)
+	}
+	s := got[0].String()
+	for _, want := range []string{"g1", "RETRAIN(linnos)", "3 attempt", "boom"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if d.Recent(0) != nil && len(d.Recent(0)) != 0 {
+		t.Error("Recent(0) should be empty")
+	}
+}

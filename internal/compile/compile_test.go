@@ -35,28 +35,28 @@ func (e *env) LoadCell(i int32) float64 {
 
 func (e *env) StoreCell(i int32, v float64) { e.stores[e.p.Symbols[i]] = v }
 
-func (e *env) Helper(h vm.HelperID, args *[5]float64) float64 {
+func (e *env) Helper(h vm.HelperID, args *[5]float64) (float64, error) {
 	switch h {
 	case vm.HelperNow:
-		return e.now
+		return e.now, nil
 	case vm.HelperSqrt:
 		if args[0] < 0 {
-			return 0
+			return 0, nil
 		}
-		return math.Sqrt(args[0])
+		return math.Sqrt(args[0]), nil
 	case vm.HelperLog2:
 		if args[0] <= 0 {
-			return 0
+			return 0, nil
 		}
-		return math.Log2(args[0])
+		return math.Log2(args[0]), nil
 	case vm.HelperAction:
 		e.actions = append(e.actions, struct {
 			idx  int
 			args [4]float64
 		}{int(args[0]), [4]float64{args[1], args[2], args[3], args[4]}})
-		return 0
+		return 0, nil
 	}
-	return 0
+	return 0, nil
 }
 
 func compileOne(t *testing.T, src string) *Compiled {

@@ -80,6 +80,7 @@ type Fig2Result struct {
 type fig2System struct {
 	k      *kernel.Kernel
 	st     *featurestore.Store
+	arr    *storage.Array
 	engine *linnos.Engine
 	wl     *linnos.MixedWorkload
 }
@@ -159,7 +160,7 @@ func newStack(seed int64, model *linnos.Classifier, p stackParams) (*fig2System,
 	// Reads have Zipf locality; writes are log-structured (uniform) so
 	// no single chip is write-overloaded.
 	wl.SetWriteKeys(trace.NewUniformKeys(trace.Split(seed, "wkeys"), 1<<16))
-	return &fig2System{k: k, st: st, engine: engine, wl: wl}, nil
+	return &fig2System{k: k, st: st, arr: arr, engine: engine, wl: wl}, nil
 }
 
 // run advances the system until the workload clock passes until,

@@ -9,6 +9,13 @@
 // instrumentation points and monitors attach to those sites. Determinism
 // is a feature: every experiment in the repository replays exactly given
 // the same seeds.
+//
+// The event loop is single-threaded (one goroutine steps the kernel at a
+// time, as a real kernel hook path runs under its own synchronization),
+// but the bookkeeping — scheduling, hook attach/detach, the clock — is
+// safe to call from other goroutines: monitor runtimes schedule retry
+// and cool-down events from action paths, and fault-injection stress
+// tests load and unload monitors while the clock advances.
 package kernel
 
 import (
@@ -16,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Time is simulated time in nanoseconds since boot.
@@ -72,26 +80,35 @@ func (q *eventQueue) Pop() any {
 // values (e.g. latency, size); hooks must not retain the slice.
 type HookFn func(k *Kernel, site string, args []float64)
 
+// PanicHandler observes a panic recovered from a hook callback; see
+// SetHookPanicHandler.
+type PanicHandler func(site string, recovered any)
+
 type hookSlot struct {
 	id uint64
 	fn HookFn
 }
 
-// Kernel is a deterministic discrete-event simulated kernel. It is not
-// safe for concurrent use; the event loop owns all state (as a real
-// kernel hook path would run under its own synchronization).
+// Kernel is a deterministic discrete-event simulated kernel. One
+// goroutine at a time may step the event loop; scheduling, hook
+// registration, and clock reads are safe from any goroutine.
 type Kernel struct {
-	now    Time
-	seq    uint64
-	queue  eventQueue
-	hooks  map[string][]hookSlot
-	hookID uint64
+	now atomic.Int64 // Time
+
+	qmu   sync.Mutex // guards seq + queue
+	seq   uint64
+	queue eventQueue
+
+	hmu        sync.Mutex // guards hooks, hookID, fireCount
+	hooks      map[string][]hookSlot
+	hookID     uint64
+	fireCount  map[string]uint64
+	panicGuard atomic.Value // PanicHandler
+	hookPanics atomic.Uint64
 
 	tasksMu sync.Mutex
 	tasks   map[TaskID]*Task
 	nextTID TaskID
-
-	fireCount map[string]uint64
 }
 
 // New returns a kernel at time zero.
@@ -105,28 +122,31 @@ func New() *Kernel {
 }
 
 // Now returns the current simulated time.
-func (k *Kernel) Now() Time { return k.now }
+func (k *Kernel) Now() Time { return Time(k.now.Load()) }
 
 // At schedules fn to run at absolute time t. Times in the past run at
 // the current time (immediately on the next Step).
 func (k *Kernel) At(t Time, fn func()) {
-	if t < k.now {
-		t = k.now
+	if now := k.Now(); t < now {
+		t = now
 	}
+	k.qmu.Lock()
 	k.seq++
 	heap.Push(&k.queue, &event{at: t, seq: k.seq, fn: fn})
+	k.qmu.Unlock()
 }
 
 // After schedules fn to run d nanoseconds from now.
-func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+func (k *Kernel) After(d Time, fn func()) { k.At(k.Now()+d, fn) }
 
-// Timer is a periodic schedule created by Every.
+// Timer is a periodic schedule created by Every. Safe to stop from any
+// goroutine.
 type Timer struct {
-	stopped bool
+	stopped atomic.Bool
 }
 
 // Stop cancels future firings. Safe to call multiple times.
-func (t *Timer) Stop() { t.stopped = true }
+func (t *Timer) Stop() { t.stopped.Store(true) }
 
 // Every schedules fn at start, start+interval, ... until stop (exclusive;
 // stop <= 0 means forever). It mirrors the paper's
@@ -139,10 +159,10 @@ func (k *Kernel) Every(start, interval, stop Time, fn func(now Time)) *Timer {
 	var tick func()
 	next := start
 	tick = func() {
-		if t.stopped || (stop > 0 && k.now >= stop) {
+		if t.stopped.Load() || (stop > 0 && k.Now() >= stop) {
 			return
 		}
-		fn(k.now)
+		fn(k.Now())
 		next += interval
 		if stop > 0 && next >= stop {
 			return
@@ -153,16 +173,38 @@ func (k *Kernel) Every(start, interval, stop Time, fn func(now Time)) *Timer {
 	return t
 }
 
+// pop removes and returns the next event, or nil when the queue is
+// empty, advancing the clock to the event's time.
+func (k *Kernel) pop() *event {
+	k.qmu.Lock()
+	defer k.qmu.Unlock()
+	if k.queue.Len() == 0 {
+		return nil
+	}
+	e := heap.Pop(&k.queue).(*event)
+	k.now.Store(int64(e.at))
+	return e
+}
+
 // Step executes the next pending event, advancing the clock. It returns
 // false when the queue is empty.
 func (k *Kernel) Step() bool {
-	if k.queue.Len() == 0 {
+	e := k.pop()
+	if e == nil {
 		return false
 	}
-	e := heap.Pop(&k.queue).(*event)
-	k.now = e.at
 	e.fn()
 	return true
+}
+
+// nextAt returns the time of the earliest pending event, or ok=false.
+func (k *Kernel) nextAt() (Time, bool) {
+	k.qmu.Lock()
+	defer k.qmu.Unlock()
+	if k.queue.Len() == 0 {
+		return 0, false
+	}
+	return k.queue[0].at, true
 }
 
 // RunUntil executes events until the queue is empty or the next event is
@@ -170,12 +212,16 @@ func (k *Kernel) Step() bool {
 // It returns the number of events executed.
 func (k *Kernel) RunUntil(deadline Time) int {
 	n := 0
-	for k.queue.Len() > 0 && k.queue[0].at < deadline {
+	for {
+		at, ok := k.nextAt()
+		if !ok || at >= deadline {
+			break
+		}
 		k.Step()
 		n++
 	}
-	if k.now < deadline {
-		k.now = deadline
+	if k.Now() < deadline {
+		k.now.Store(int64(deadline))
 	}
 	return n
 }
@@ -191,15 +237,23 @@ func (k *Kernel) Run() int {
 }
 
 // Pending returns the number of queued events.
-func (k *Kernel) Pending() int { return k.queue.Len() }
+func (k *Kernel) Pending() int {
+	k.qmu.Lock()
+	defer k.qmu.Unlock()
+	return k.queue.Len()
+}
 
 // Attach registers fn on a hook site and returns a detach function.
 // Sites are created on first use; attaching before any Fire is valid.
 func (k *Kernel) Attach(site string, fn HookFn) (detach func()) {
+	k.hmu.Lock()
 	k.hookID++
 	id := k.hookID
 	k.hooks[site] = append(k.hooks[site], hookSlot{id: id, fn: fn})
+	k.hmu.Unlock()
 	return func() {
+		k.hmu.Lock()
+		defer k.hmu.Unlock()
 		slots := k.hooks[site]
 		for i, s := range slots {
 			if s.id == id {
@@ -210,21 +264,60 @@ func (k *Kernel) Attach(site string, fn HookFn) (detach func()) {
 	}
 }
 
+// SetHookPanicHandler installs h as the recovery point for panics raised
+// by hook callbacks: with a handler set, a panicking monitor or
+// instrumentation hook is contained (recovered, counted, reported to h)
+// instead of tearing down the whole simulated kernel. With no handler
+// (the default) panics propagate as before.
+func (k *Kernel) SetHookPanicHandler(h PanicHandler) {
+	k.panicGuard.Store(h)
+}
+
+// HookPanics returns how many hook panics the panic handler absorbed.
+func (k *Kernel) HookPanics() uint64 { return k.hookPanics.Load() }
+
 // Fire invokes all hooks attached to site, in attach order. Subsystem
 // simulators call this at their instrumentation points — the analogue of
 // a kprobe firing.
 func (k *Kernel) Fire(site string, args ...float64) {
+	k.hmu.Lock()
 	k.fireCount[site]++
-	for _, s := range k.hooks[site] {
-		s.fn(k, site, args)
+	slots := append([]hookSlot(nil), k.hooks[site]...)
+	k.hmu.Unlock()
+	var guard PanicHandler
+	if h, ok := k.panicGuard.Load().(PanicHandler); ok && h != nil {
+		guard = h
+	}
+	for _, s := range slots {
+		if guard == nil {
+			s.fn(k, site, args)
+			continue
+		}
+		k.fireGuarded(s.fn, site, args, guard)
 	}
 }
 
+// fireGuarded runs one hook under the panic guard.
+func (k *Kernel) fireGuarded(fn HookFn, site string, args []float64, guard PanicHandler) {
+	defer func() {
+		if r := recover(); r != nil {
+			k.hookPanics.Add(1)
+			guard(site, r)
+		}
+	}()
+	fn(k, site, args)
+}
+
 // FireCount returns how many times site has fired.
-func (k *Kernel) FireCount(site string) uint64 { return k.fireCount[site] }
+func (k *Kernel) FireCount(site string) uint64 {
+	k.hmu.Lock()
+	defer k.hmu.Unlock()
+	return k.fireCount[site]
+}
 
 // Sites returns all sites that have hooks attached or have fired, sorted.
 func (k *Kernel) Sites() []string {
+	k.hmu.Lock()
 	set := make(map[string]bool)
 	for s := range k.hooks {
 		set[s] = true
@@ -232,6 +325,7 @@ func (k *Kernel) Sites() []string {
 	for s := range k.fireCount {
 		set[s] = true
 	}
+	k.hmu.Unlock()
 	out := make([]string, 0, len(set))
 	for s := range set {
 		out = append(out, s)

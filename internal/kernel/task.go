@@ -68,7 +68,7 @@ func (k *Kernel) CreateTask(name string, priority int) (*Task, error) {
 		Name:       name,
 		Priority:   priority,
 		State:      TaskReady,
-		EnqueuedAt: k.now,
+		EnqueuedAt: k.Now(),
 	}
 	k.nextTID++
 	k.tasks[t.ID] = t

@@ -206,8 +206,8 @@ func (e *Engine) Read(now kernel.Time, lba uint64) (kernel.Time, Route) {
 // Wherever the read lands, the model's word is trusted to completion
 // (no hedge) — the false-submit exposure the guardrail bounds.
 func (e *Engine) readML(now kernel.Time, lba uint64) (kernel.Time, Route) {
-	primary := e.arr.Replica(0)
-	replica := e.arr.Replica(1)
+	primary := e.arr.Primary()
+	replica := e.arr.Secondary()
 	e.stats.Inferences++
 	e.stats.MLRouted++
 	cost := e.cfg.InferenceCost
@@ -255,12 +255,12 @@ func (e *Engine) readML(now kernel.Time, lba uint64) (kernel.Time, Route) {
 // primary; if the access would exceed the revoke timeout, cancel and
 // re-issue to the replica, paying timeout + replica latency.
 func (e *Engine) readBaseline(now kernel.Time, lba uint64) (kernel.Time, Route) {
-	primary := e.arr.Replica(0)
+	primary := e.arr.Primary()
 	lat := primary.Submit(now, lba, false)
 	if lat <= e.cfg.RevokeTimeout {
 		return lat, RoutePrimary
 	}
 	e.stats.Hedged++
-	replicaLat := e.arr.Replica(1).Submit(now+e.cfg.RevokeTimeout, lba, false)
+	replicaLat := e.arr.Secondary().Submit(now+e.cfg.RevokeTimeout, lba, false)
 	return e.cfg.RevokeTimeout + replicaLat, RouteHedged
 }

@@ -1,0 +1,461 @@
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"guardrails/internal/compile"
+	"guardrails/internal/kernel"
+	"guardrails/internal/vm"
+)
+
+// testInjector is a programmable FaultInjector for monitor tests.
+type testInjector struct {
+	evalFault   func(guardrail string) error
+	loadFault   func(guardrail, key string, value float64) (float64, bool)
+	helperFault func(guardrail string, h vm.HelperID) error
+	actionFault func(guardrail, action string) error
+}
+
+func (i *testInjector) EvalFault(g string) error {
+	if i.evalFault == nil {
+		return nil
+	}
+	return i.evalFault(g)
+}
+
+func (i *testInjector) LoadFault(g, key string, v float64) (float64, bool) {
+	if i.loadFault == nil {
+		return 0, false
+	}
+	return i.loadFault(g, key, v)
+}
+
+func (i *testInjector) HelperFault(g string, h vm.HelperID) error {
+	if i.helperFault == nil {
+		return nil
+	}
+	return i.helperFault(g, h)
+}
+
+func (i *testInjector) ActionFault(g, action string) error {
+	if i.actionFault == nil {
+		return nil
+	}
+	return i.actionFault(g, action)
+}
+
+func logNotes(rt *Runtime) []string {
+	var notes []string
+	for _, v := range rt.Log.Recent(10000) {
+		if v.Note != "" {
+			notes = append(notes, v.Note)
+		}
+	}
+	return notes
+}
+
+func countNotes(rt *Runtime, substr string) int {
+	n := 0
+	for _, note := range logNotes(rt) {
+		if strings.Contains(note, substr) {
+			n++
+		}
+	}
+	return n
+}
+
+// A run of injected evaluation faults must trip the breaker, suspend
+// evaluation, and rearm after the cooldown — with every transition
+// reported.
+func TestBreakerQuarantinesAndRearms(t *testing.T) {
+	rt, k, st := newRT()
+	st.Save("false_submit_rate", 0.01)
+	st.Save("ml_enabled", 1)
+	ms, err := rt.LoadSource(listing2, Options{
+		BreakerThreshold: 3,
+		BreakerWindow:    10 * kernel.Second,
+		Cooldown:         2 * kernel.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ms[0]
+
+	// Faults at t=0,1s,2s trip the breaker on the third.
+	rt.SetFaultInjector(&testInjector{
+		evalFault: func(string) error {
+			if k.Now() < 2500*kernel.Millisecond {
+				return errors.New("injected crash")
+			}
+			return nil
+		},
+	})
+	k.RunUntil(2500 * kernel.Millisecond)
+	if got := m.State(); got != StateQuarantined {
+		t.Fatalf("state after 3 faults = %v, want quarantined", got)
+	}
+	s := m.Stats()
+	if s.Traps != 3 || s.Quarantines != 1 {
+		t.Errorf("stats = %+v, want 3 traps 1 quarantine", s)
+	}
+	evalsAtQuarantine := s.Evals
+
+	// While quarantined the timer still ticks but nothing evaluates.
+	k.RunUntil(4 * kernel.Second)
+	if got := m.Stats().Evals; got != evalsAtQuarantine {
+		t.Errorf("evals advanced to %d during quarantine", got)
+	}
+
+	// Cooldown expires 2s after the trip (t≈4s): evaluation resumes.
+	k.RunUntil(6500 * kernel.Millisecond)
+	if got := m.State(); got != StateActive {
+		t.Fatalf("state after cooldown = %v, want active", got)
+	}
+	s = m.Stats()
+	if s.Rearms != 1 {
+		t.Errorf("rearms = %d, want 1", s.Rearms)
+	}
+	if s.Evals <= evalsAtQuarantine {
+		t.Error("evaluation did not resume after rearm")
+	}
+	if countNotes(rt, "monitor fault [injected-trap]") != 3 {
+		t.Errorf("fault notes = %d, want 3; notes: %v", countNotes(rt, "monitor fault"), logNotes(rt))
+	}
+	if countNotes(rt, "quarantined (fail-open)") != 1 || countNotes(rt, "rearmed (cooldown)") != 1 {
+		t.Errorf("transition notes missing: %v", logNotes(rt))
+	}
+}
+
+// FailClosed quarantine drives the system to its safe configuration via
+// Fallback and undoes it via Restore on rearm.
+func TestFailClosedFallbackAndRestore(t *testing.T) {
+	rt, k, st := newRT()
+	st.Save("false_submit_rate", 0.01)
+	st.Save("ml_enabled", 1)
+	_, err := rt.LoadSource(listing2, Options{
+		OnFault:          FailClosed,
+		BreakerThreshold: 2,
+		Cooldown:         kernel.Second,
+		Fallback:         func(m *Monitor) { st.Save("ml_enabled", 0) },
+		Restore:          func(m *Monitor) { st.Save("ml_enabled", 1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.SetFaultInjector(&testInjector{
+		evalFault: func(string) error {
+			if k.Now() < 1500*kernel.Millisecond {
+				return errors.New("boom")
+			}
+			return nil
+		},
+	})
+	k.RunUntil(1200 * kernel.Millisecond) // faults at t=0,1s → trip
+	if st.Load("ml_enabled") != 0 {
+		t.Fatal("fail-closed quarantine did not run the fallback")
+	}
+	k.RunUntil(3 * kernel.Second) // cooldown rearm at ~2s
+	if st.Load("ml_enabled") != 1 {
+		t.Fatal("rearm did not run the restore")
+	}
+}
+
+// Going over the per-window step budget demotes the monitor to shadow
+// mode: violations are still observed but actions no longer fire, until
+// the next budget window.
+func TestBudgetDemotesToShadow(t *testing.T) {
+	rt, k, st := newRT()
+	st.Save("false_submit_rate", 0.5) // always violated
+	st.Save("ml_enabled", 1)
+	ms, err := rt.LoadSource(listing2, Options{
+		StepBudget:   1, // any evaluation exceeds this
+		BudgetWindow: 10 * kernel.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ms[0]
+
+	k.RunUntil(500 * kernel.Millisecond) // t=0: active eval, fires SAVE, then demotes
+	if st.Load("ml_enabled") != 0 {
+		t.Fatal("first (active) evaluation should have fired the SAVE")
+	}
+	if got := m.State(); got != StateShadow {
+		t.Fatalf("state = %v, want shadow after blowing the budget", got)
+	}
+
+	st.Save("ml_enabled", 1) // re-arm the knob; shadow evals must not flip it
+	k.RunUntil(3 * kernel.Second)
+	if st.Load("ml_enabled") != 1 {
+		t.Error("shadow-mode evaluation fired an action")
+	}
+	s := m.Stats()
+	if s.ShadowDemotions == 0 {
+		t.Error("no shadow demotion recorded")
+	}
+	if s.Violations < 3 {
+		t.Errorf("violations = %d; shadow mode must keep observing", s.Violations)
+	}
+	if countNotes(rt, "degraded to shadow mode") == 0 {
+		t.Errorf("demotion not reported: %v", logNotes(rt))
+	}
+
+	// A fresh window promotes back to active (before re-accounting).
+	k.RunUntil(11 * kernel.Second)
+	if got := m.Stats().ShadowPromotions; got == 0 {
+		t.Error("no promotion at budget window boundary")
+	}
+}
+
+// A failing action backend is retried with exponential backoff and
+// dead-lettered when retries are exhausted; a backend that recovers
+// mid-retry is logged as recovered.
+func TestActionRetryAndDeadLetter(t *testing.T) {
+	rt, k, st := newRT()
+	src := `
+guardrail fallback {
+    trigger: { TIMER(0, 1e9) },
+    rule: { LOAD(accuracy) >= 0.9 },
+    action: { REPLACE(learned, heuristic) }
+}`
+	if err := rt.Policies.DefineSlot("io_predictor",
+		map[string]any{"learned": "L", "heuristic": "H"}, "learned"); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := rt.LoadSource(src, Options{
+		RetryMax:  2,
+		RetryBase: 100 * kernel.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ms[0]
+	st.Save("accuracy", 0.5)
+
+	rt.SetFaultInjector(&testInjector{
+		actionFault: func(_, action string) error {
+			if strings.HasPrefix(action, "REPLACE") && k.Now() < 250*kernel.Millisecond {
+				return errors.New("backend unavailable")
+			}
+			return nil
+		},
+	})
+
+	// t=0: dispatch fails; retries at 100ms (fails) and 100+200=300ms
+	// (injection window closed → succeeds).
+	k.RunUntil(900 * kernel.Millisecond)
+	if name, _, _ := rt.Policies.Current("io_predictor"); name != "heuristic" {
+		t.Fatal("retried REPLACE never landed")
+	}
+	s := m.Stats()
+	if s.Retries != 2 || s.DispatchErrors != 2 || s.DeadLetters != 0 {
+		t.Errorf("stats = %+v, want 2 retries, 2 dispatch errors, 0 dead letters", s)
+	}
+	if countNotes(rt, "action REPLACE(learned, heuristic) failed (attempt") != 2 {
+		t.Errorf("failure notes: %v", logNotes(rt))
+	}
+	if countNotes(rt, "recovered (attempt 3)") != 1 {
+		t.Errorf("recovery note missing: %v", logNotes(rt))
+	}
+
+	// Now fail permanently: REPLACE back to learned cannot run, and the
+	// third failed attempt lands in the dead-letter queue.
+	rt.SetFaultInjector(&testInjector{
+		actionFault: func(_, action string) error { return errors.New("backend gone") },
+	})
+	if _, err := rt.Policies.Replace("heuristic", "learned", k.Now()); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(2 * kernel.Second) // next tick dispatches REPLACE again
+	k.RunUntil(3 * kernel.Second) // drain retries
+	if got := rt.DeadLetter.Total(); got == 0 {
+		t.Fatal("exhausted retries never dead-lettered")
+	}
+	f := rt.DeadLetter.Recent(1)[0]
+	if f.Guardrail != "fallback" || !strings.HasPrefix(f.Action, "REPLACE") || f.Attempts != 3 {
+		t.Errorf("dead letter = %+v", f)
+	}
+}
+
+// A NaN feature read must not poison the rule: the monitor substitutes
+// the cell's last known good value, reports the corruption, and keeps
+// enforcing.
+func TestCorruptLoadPatchedWithLastGood(t *testing.T) {
+	rt, k, st := newRT()
+	st.Save("false_submit_rate", 0.01)
+	st.Save("ml_enabled", 1)
+	ms, err := rt.LoadSource(listing2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ms[0]
+
+	k.RunUntil(500 * kernel.Millisecond) // t=0: good read seeds lastGood
+	st.Save("false_submit_rate", math.NaN())
+	k.RunUntil(2500 * kernel.Millisecond) // t=1s,2s read NaN
+	s := m.Stats()
+	if s.LoadFaults != 2 {
+		t.Errorf("load faults = %d, want 2", s.LoadFaults)
+	}
+	if s.Violations != 0 || st.Load("ml_enabled") != 1 {
+		t.Error("NaN read flipped the guardrail; last-good substitution failed")
+	}
+	if countNotes(rt, "monitor fault [corrupt-load]") != 2 {
+		t.Errorf("corruption not reported: %v", logNotes(rt))
+	}
+
+	// The store recovers; a genuine violation still enforces.
+	st.Save("false_submit_rate", 0.2)
+	k.RunUntil(3500 * kernel.Millisecond)
+	if st.Load("ml_enabled") != 0 {
+		t.Error("guardrail dead after corruption window")
+	}
+}
+
+// Regression (was: silently treated as a violation with no classified
+// note): a deliberately corrupted monitor image must surface every VM
+// trap in the report log with a structured note, not crash, and not
+// count as a property violation.
+func TestCorruptedImageSurfacesTrap(t *testing.T) {
+	rt, k, st := newRT()
+	st.Save("false_submit_rate", 0.01)
+	st.Save("ml_enabled", 1)
+	cs, err := compile.Source(listing2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cs[0]
+	// Corrupt the image the way a bad loader or flipped bit would:
+	// an opcode outside the ISA.
+	c.Program.Code[0].Op = vm.Op(200)
+	m, err := rt.Load(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(2500 * kernel.Millisecond)
+	s := m.Stats()
+	if s.Traps != 3 {
+		t.Errorf("traps = %d, want 3 (t=0,1s,2s)", s.Traps)
+	}
+	if s.Violations != 0 {
+		t.Errorf("a trap must not count as a violation; stats = %+v", s)
+	}
+	if st.Load("ml_enabled") != 1 {
+		t.Error("trapped evaluation fired an action")
+	}
+	if countNotes(rt, "monitor fault [bad-opcode-trap]") != 3 {
+		t.Errorf("trap notes missing or unclassified: %v", logNotes(rt))
+	}
+}
+
+// Regression for the silent error drop: an error in the action phase of
+// a two-phase (hysteresis) evaluation must be reported, not just counted.
+func TestTwoPhaseActionErrorSurfaced(t *testing.T) {
+	rt, k, st := newRT()
+	src := `
+guardrail reporter {
+    trigger: { TIMER(0, 1e9) },
+    rule: { LOAD(err_rate) <= 0.1 },
+    action: { REPORT(LOAD(err_rate)) }
+}`
+	ms, err := rt.LoadSource(src, Options{ViolationStreak: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Save("err_rate", 0.5)
+
+	// The HelperAction call runs once per rule-only phase (suppressed)
+	// and once in the action phase. Fail from the third call on: t=0
+	// phase 1 is call 1, t=1s phase 1 is call 2, t=1s phase 2 (the
+	// action rerun) is call 3 — the trap lands exactly in the rerun.
+	var calls atomic.Int64
+	rt.SetFaultInjector(&testInjector{
+		helperFault: func(_ string, h vm.HelperID) error {
+			if h == vm.HelperAction && calls.Add(1) >= 3 {
+				return errors.New("helper table corrupted")
+			}
+			return nil
+		},
+	})
+	k.RunUntil(1500 * kernel.Millisecond)
+	s := ms[0].Stats()
+	if s.DispatchErrors != 1 {
+		t.Errorf("dispatch errors = %d, want 1", s.DispatchErrors)
+	}
+	if countNotes(rt, "action phase") != 1 {
+		t.Errorf("action-phase trap not surfaced: %v", logNotes(rt))
+	}
+}
+
+// The runtime must hold together under -race: one goroutine drives the
+// kernel while others load/unload guardrails, read stats and logs, and
+// write the feature store.
+func TestRuntimeRaceStress(t *testing.T) {
+	rt, k, st := newRT()
+	st.Save("false_submit_rate", 0.01)
+	st.Save("ml_enabled", 1)
+	ms, err := rt.LoadSource(listing2, Options{
+		BreakerThreshold: 3,
+		Cooldown:         50 * kernel.Millisecond,
+		RetryMax:         1,
+		RetryBase:        kernel.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ms[0]
+	rt.SetFaultInjector(&testInjector{
+		evalFault: func(string) error {
+			if k.Now()%(7*kernel.Second) < kernel.Second {
+				return errors.New("periodic crash")
+			}
+			return nil
+		},
+	})
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				i++
+				name := fmt.Sprintf("stress-%d-%d", g, i)
+				src := fmt.Sprintf(`
+guardrail %s {
+    trigger: { TIMER(0, 1e8) },
+    rule: { LOAD(false_submit_rate) <= 0.05 },
+    action: { REPORT(1) }
+}`, name)
+				if _, err := rt.LoadSource(src, Options{}); err == nil {
+					_ = rt.Unload(name)
+				}
+				_ = m.Stats()
+				_ = m.State()
+				_ = rt.Log.Recent(4)
+				_ = rt.DeadLetter.Total()
+				st.Save("false_submit_rate", float64(i%10)/100)
+				_ = rt.Monitors()
+			}
+		}(g)
+	}
+	k.RunUntil(30 * kernel.Second)
+	close(done)
+	wg.Wait()
+	if m.Stats().Evals == 0 {
+		t.Fatal("monitor never evaluated")
+	}
+}

@@ -3,6 +3,8 @@ package monitor
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"guardrails/internal/actions"
 	"guardrails/internal/compile"
@@ -50,6 +52,44 @@ type Options struct {
 	// RecorderContext is how many recent writes each report carries
 	// (default 8).
 	RecorderContext int
+
+	// --- self-protection (see guard.go) -------------------------------
+
+	// OnFault selects what quarantine means for the guarded system:
+	// FailOpen (default) stops enforcing; FailClosed drives the system
+	// to its safe configuration via Fallback/Restore.
+	OnFault FaultPolicy
+	// Fallback runs when a FailClosed monitor is quarantined. Nil means
+	// dispatch every compiled action once. (SAVE actions are inlined in
+	// the program, not the action list — fail-closed guardrails whose
+	// safe state is a SAVE need an explicit Fallback.)
+	Fallback func(m *Monitor)
+	// Restore runs when a FailClosed monitor is rearmed, undoing
+	// Fallback.
+	Restore func(m *Monitor)
+	// BreakerThreshold is the circuit breaker's trip point: that many
+	// monitor faults within BreakerWindow quarantine the monitor.
+	// 0 (default) disables the breaker.
+	BreakerThreshold int
+	// BreakerWindow is the breaker's sliding window (default 10s).
+	BreakerWindow kernel.Time
+	// Cooldown, when positive, automatically rearms a quarantined
+	// monitor after that long. 0 means quarantine is manual-release
+	// only (Rearm).
+	Cooldown kernel.Time
+	// StepBudget caps the monitor's VM steps per BudgetWindow; going
+	// over demotes the monitor to shadow mode until the next window
+	// ("degrade before disable"). 0 (default) disables enforcement.
+	StepBudget uint64
+	// BudgetWindow is the budget accounting window (default 1s).
+	BudgetWindow kernel.Time
+	// RetryMax is how many times a failed action dispatch is retried
+	// (with exponential backoff) before it is dead-lettered. Default 0:
+	// the first failure dead-letters.
+	RetryMax int
+	// RetryBase is the first retry delay; attempt n waits
+	// RetryBase << n (default 10ms).
+	RetryBase kernel.Time
 }
 
 func (o *Options) fillDefaults() {
@@ -61,6 +101,15 @@ func (o *Options) fillDefaults() {
 	}
 	if o.RecorderContext <= 0 {
 		o.RecorderContext = 8
+	}
+	if o.BreakerWindow <= 0 {
+		o.BreakerWindow = 10 * kernel.Second
+	}
+	if o.BudgetWindow <= 0 {
+		o.BudgetWindow = kernel.Second
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 10 * kernel.Millisecond
 	}
 }
 
@@ -76,13 +125,35 @@ type Stats struct {
 	// Recoveries counts completed violation→recovery episodes.
 	Recoveries uint64
 	// DispatchErrors counts action dispatches that failed at runtime
-	// (e.g. unknown policy slot or task group).
+	// (e.g. unknown policy slot or task group), including each failed
+	// retry attempt.
 	DispatchErrors uint64
 	// VMSteps is the total VM instructions executed, the monitor's
 	// in-kernel overhead currency.
 	VMSteps uint64
 	// LastResult is 1 if the most recent evaluation held, 0 if violated.
 	LastResult float64
+
+	// --- self-protection counters (see guard.go) ----------------------
+
+	// Traps counts monitor faults: VM traps, injected evaluation
+	// faults, and corrupt feature reads.
+	Traps uint64
+	// LoadFaults counts corrupt (NaN) feature-store reads that were
+	// patched with the last known good value.
+	LoadFaults uint64
+	// Quarantines counts circuit-breaker trips.
+	Quarantines uint64
+	// Rearms counts returns from quarantine (cooldown or manual).
+	Rearms uint64
+	// ShadowDemotions counts budget-enforcement demotions to shadow.
+	ShadowDemotions uint64
+	// ShadowPromotions counts budget-window promotions back to active.
+	ShadowPromotions uint64
+	// Retries counts scheduled action retry attempts.
+	Retries uint64
+	// DeadLetters counts actions that exhausted retries.
+	DeadLetters uint64
 }
 
 // Monitor is a loaded guardrail: a verified VM program bound to kernel
@@ -95,18 +166,38 @@ type Monitor struct {
 
 	machine vm.Machine
 
-	timers  []*kernel.Timer
-	detach  []func()
-	enabled bool
+	timers []*kernel.Timer
+	detach []func()
 
-	// evaluation state
-	inEval          bool
+	// running admits one evaluation at a time (and breaks the
+	// dependency-trigger recursion: a SAVE during evaluation fires
+	// store watchers, which re-enter Evaluate and bounce off the CAS).
+	// The CAS also publishes the single-eval state — machine, lastGood,
+	// suppressActions — across goroutines.
+	running atomic.Bool
+
+	// suppressActions gates SAVE/REPORT/ACTION effects during the
+	// rule-only phase of hysteresis and in shadow states. Only touched
+	// while running is held.
 	suppressActions bool
-	violStreak      int
-	passStreak      int
-	inEpisode       bool
 
-	stats Stats
+	// lastGood holds the last non-NaN value read per cell, the
+	// substitute served when a read comes back corrupt. Only touched
+	// while running is held.
+	lastGood []float64
+
+	mu      sync.Mutex // guards everything below
+	enabled bool
+	state   State
+	stats   Stats
+
+	violStreak int
+	passStreak int
+	inEpisode  bool
+
+	faultTimes  []kernel.Time // breaker sliding window
+	budgetEpoch int64
+	windowSteps uint64
 }
 
 // Name returns the guardrail name.
@@ -116,13 +207,25 @@ func (m *Monitor) Name() string { return m.c.Name }
 func (m *Monitor) Program() *vm.Program { return m.c.Program }
 
 // Stats returns a snapshot of the monitor's counters.
-func (m *Monitor) Stats() Stats { return m.stats }
+func (m *Monitor) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
 
 // Enabled reports whether the monitor evaluates on triggers.
-func (m *Monitor) Enabled() bool { return m.enabled }
+func (m *Monitor) Enabled() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.enabled
+}
 
 // SetEnabled toggles evaluation without unloading (cheap pause/resume).
-func (m *Monitor) SetEnabled(v bool) { m.enabled = v }
+func (m *Monitor) SetEnabled(v bool) {
+	m.mu.Lock()
+	m.enabled = v
+	m.mu.Unlock()
+}
 
 // arm binds the guardrail's triggers to the kernel.
 func (m *Monitor) arm() {
@@ -146,9 +249,7 @@ func (m *Monitor) arm() {
 	if m.opts.DependencyTrigger {
 		for _, key := range m.ruleDependencies() {
 			m.rt.store.Watch(key, func(string, float64) {
-				if !m.inEval {
-					m.Evaluate(0)
-				}
+				m.Evaluate(0)
 			})
 		}
 	}
@@ -179,7 +280,7 @@ func (m *Monitor) disarm() {
 		d()
 	}
 	m.timers, m.detach = nil, nil
-	m.enabled = false
+	m.SetEnabled(false)
 	// Store watchers (dependency triggers) stay registered but become
 	// no-ops through the enabled check in Evaluate.
 }
@@ -188,31 +289,56 @@ func (m *Monitor) disarm() {
 // (hook sites pass their first argument; timers pass 0). It returns
 // whether the property held. Violations fire actions subject to the
 // hysteresis options.
+//
+// A monitor fault — a VM trap, an injected evaluation fault — does NOT
+// count as a property violation: the evaluation is abandoned, the fault
+// is reported and fed to the circuit breaker, and Evaluate returns true.
+// Whether a persistently faulting guardrail then enforces anything is
+// the quarantine policy's decision (Options.OnFault), not a side effect
+// of one bad run.
 func (m *Monitor) Evaluate(arg float64) bool {
-	if !m.enabled || m.inEval {
+	if !m.running.CompareAndSwap(false, true) {
 		return true
 	}
-	m.inEval = true
-	defer func() { m.inEval = false }()
+	defer m.running.Store(false)
 
-	needTwoPhase := m.opts.ViolationStreak > 1 && !m.opts.ShadowMode
-	m.suppressActions = needTwoPhase || m.opts.ShadowMode
-	out, err := m.machine.Run(m.c.Program, m, arg)
-	if err != nil {
-		// A verified program cannot fail at runtime; treat failure as a
-		// violated property and surface it loudly in the log.
-		m.rt.Log.Append(actions.Violation{
-			Time: m.rt.k.Now(), Guardrail: m.Name(),
-			Note: fmt.Sprintf("monitor execution error: %v", err),
-		})
-		m.stats.DispatchErrors++
-		out = 0
+	m.mu.Lock()
+	if !m.enabled || m.state == StateQuarantined {
+		m.mu.Unlock()
+		return true
 	}
+	shadow := m.opts.ShadowMode || m.state == StateShadow
+	m.mu.Unlock()
+
+	if inj := m.rt.injector(); inj != nil {
+		if err := inj.EvalFault(m.Name()); err != nil {
+			m.recordFault("injected-trap", err)
+			return true
+		}
+	}
+
+	needTwoPhase := m.opts.ViolationStreak > 1 && !shadow
+	m.suppressActions = needTwoPhase || shadow
+	before := m.machine.Steps
+	out, err := m.machine.Run(m.c.Program, m, arg)
+	now := m.rt.k.Now()
+
+	m.mu.Lock()
 	m.stats.Evals++
 	m.stats.VMSteps = m.machine.Steps
-	m.stats.LastResult = out
+	m.mu.Unlock()
 
+	if err != nil {
+		m.recordFault(trapKind(err), err)
+		m.accountBudget(m.machine.Steps-before, now)
+		return true
+	}
+
+	m.mu.Lock()
+	m.stats.LastResult = out
 	held := out != 0
+	fireRecover := false
+	twoPhase := false
 	if held {
 		m.violStreak = 0
 		if m.inEpisode {
@@ -221,9 +347,7 @@ func (m *Monitor) Evaluate(arg float64) bool {
 				m.inEpisode = false
 				m.passStreak = 0
 				m.stats.Recoveries++
-				if m.opts.OnRecover != nil {
-					m.opts.OnRecover(m)
-				}
+				fireRecover = m.opts.OnRecover != nil
 			}
 		}
 	} else {
@@ -233,19 +357,37 @@ func (m *Monitor) Evaluate(arg float64) bool {
 		if m.violStreak >= m.opts.ViolationStreak {
 			m.inEpisode = true
 			switch {
-			case m.opts.ShadowMode:
+			case shadow:
 				// Violation observed and counted; no action taken.
 			case needTwoPhase:
-				// Re-run with actions enabled.
-				m.suppressActions = false
-				if _, err := m.machine.Run(m.c.Program, m, arg); err == nil {
-					m.stats.ActionsFired++
-				} else {
-					m.stats.DispatchErrors++
-				}
+				twoPhase = true
 			default:
 				m.stats.ActionsFired++
 			}
+		}
+	}
+	m.mu.Unlock()
+
+	if fireRecover {
+		m.opts.OnRecover(m)
+	}
+	if twoPhase {
+		// Re-run with actions enabled.
+		m.suppressActions = false
+		_, err := m.machine.Run(m.c.Program, m, arg)
+		m.mu.Lock()
+		m.stats.VMSteps = m.machine.Steps
+		if err == nil {
+			m.stats.ActionsFired++
+		} else {
+			m.stats.DispatchErrors++
+		}
+		m.mu.Unlock()
+		if err != nil {
+			// The action phase trapped after the rule phase succeeded —
+			// surface it; a silently dropped action is the one failure
+			// mode a guardrail runtime must not have.
+			m.recordFault(trapKind(err), fmt.Errorf("action phase: %w", err))
 		}
 	}
 	if m.opts.PublishResult {
@@ -255,18 +397,38 @@ func (m *Monitor) Evaluate(arg float64) bool {
 		}
 		m.rt.store.Save("guardrail."+m.Name()+".violated", v)
 	}
+	m.accountBudget(m.machine.Steps-before, now)
 	return held
 }
 
 // --- vm.Env implementation -------------------------------------------
 
 // LoadCell implements vm.Env against the resolved feature-store cells.
+// A corrupt (NaN) read — from the store or from an injected fault — is
+// reported, counted, fed to the breaker, and patched with the cell's
+// last known good value so one poisoned feature cannot wedge the rule.
 func (m *Monitor) LoadCell(i int32) float64 {
-	return m.rt.store.LoadID(m.cells[i])
+	v := m.rt.store.LoadID(m.cells[i])
+	key := m.c.Program.Symbols[i]
+	if inj := m.rt.injector(); inj != nil {
+		if fv, ok := inj.LoadFault(m.Name(), key, v); ok {
+			v = fv
+		}
+	}
+	if math.IsNaN(v) {
+		good := m.lastGood[i]
+		m.mu.Lock()
+		m.stats.LoadFaults++
+		m.mu.Unlock()
+		m.recordFault("corrupt-load", fmt.Errorf("NaN read from %q, substituting last good value %g", key, good))
+		return good
+	}
+	m.lastGood[i] = v
+	return v
 }
 
 // StoreCell implements vm.Env. SAVE actions are suppressed during the
-// rule-only phase of hysteresis evaluation.
+// rule-only phase of hysteresis evaluation and in shadow states.
 func (m *Monitor) StoreCell(i int32, v float64) {
 	if m.suppressActions {
 		return
@@ -275,35 +437,45 @@ func (m *Monitor) StoreCell(i int32, v float64) {
 }
 
 // Helper implements vm.Env, dispatching monitor helpers and actions.
-func (m *Monitor) Helper(h vm.HelperID, args *[5]float64) float64 {
+// An injected helper fault surfaces as a TrapHelper through the VM.
+func (m *Monitor) Helper(h vm.HelperID, args *[5]float64) (float64, error) {
+	if inj := m.rt.injector(); inj != nil {
+		if err := inj.HelperFault(m.Name(), h); err != nil {
+			return 0, err
+		}
+	}
 	switch h {
 	case vm.HelperNow:
-		return float64(m.rt.k.Now())
+		return float64(m.rt.k.Now()), nil
 	case vm.HelperSqrt:
 		if args[0] < 0 {
-			return 0
+			return 0, nil
 		}
-		return math.Sqrt(args[0])
+		return math.Sqrt(args[0]), nil
 	case vm.HelperLog2:
 		if args[0] <= 0 {
-			return 0
+			return 0, nil
 		}
-		return math.Log2(args[0])
+		return math.Log2(args[0]), nil
 	case vm.HelperReport:
 		if !m.suppressActions {
-			m.rt.Log.Append(actions.Violation{
+			v := actions.Violation{
 				Time: m.rt.k.Now(), Guardrail: m.Name(), Values: []float64{args[0]},
 				Context: m.recorderContext(),
-			})
+			}
+			m.runAction("REPORT", func() error {
+				m.rt.Log.Append(v)
+				return nil
+			}, 0)
 		}
-		return 0
+		return 0, nil
 	case vm.HelperAction:
 		if !m.suppressActions {
 			m.dispatchAction(int(args[0]), args[1:])
 		}
-		return 0
+		return 0, nil
 	default:
-		return 0
+		return 0, nil
 	}
 }
 
@@ -316,42 +488,81 @@ func (m *Monitor) recorderContext() []featurestore.Write {
 }
 
 // dispatchAction interprets a compiled action index against the
-// guardrail's action list.
+// guardrail's action list and runs it through the retry machinery.
 func (m *Monitor) dispatchAction(idx int, vals []float64) {
 	if idx < 0 || idx >= len(m.c.Actions) {
+		m.mu.Lock()
 		m.stats.DispatchErrors++
+		m.mu.Unlock()
+		m.rt.Log.Append(actions.Violation{
+			Time: m.rt.k.Now(), Guardrail: m.Name(),
+			Note: fmt.Sprintf("action dispatch failed: no action at index %d", idx),
+		})
 		return
 	}
-	now := m.rt.k.Now()
-	fail := func(err error) {
-		m.stats.DispatchErrors++
-		m.rt.Log.Append(actions.Violation{
-			Time: now, Guardrail: m.Name(),
-			Note: fmt.Sprintf("action dispatch failed: %v", err),
-		})
-	}
-	switch a := m.c.Actions[idx].(type) {
+	// Copy vals: the retry closure may outlive the VM's argument array.
+	name, exec := m.actionExec(m.c.Actions[idx], append([]float64(nil), vals...))
+	m.runAction(name, exec, 0)
+}
+
+// actionExec binds a compiled action to its backend, returning the
+// rendered action name (for logs and the dead-letter queue) and an
+// idempotent-enough closure the retry machinery can re-run.
+func (m *Monitor) actionExec(act spec.Action, vals []float64) (string, func() error) {
+	switch a := act.(type) {
 	case *spec.ReportAction:
-		v := actions.Violation{Time: now, Guardrail: m.Name(), Context: m.recorderContext()}
-		if n := len(a.Args); n > 0 {
-			v.Values = append(v.Values, vals[:n]...)
+		return "REPORT", func() error {
+			v := actions.Violation{Time: m.rt.k.Now(), Guardrail: m.Name(), Context: m.recorderContext()}
+			if n := len(a.Args); n > 0 && n <= len(vals) {
+				v.Values = append(v.Values, vals[:n]...)
+			}
+			m.rt.Log.Append(v)
+			return nil
 		}
-		m.rt.Log.Append(v)
 	case *spec.ReplaceAction:
-		if _, err := m.rt.Policies.Replace(a.Old, a.New, now); err != nil {
-			fail(err)
+		return fmt.Sprintf("REPLACE(%s, %s)", a.Old, a.New), func() error {
+			_, err := m.rt.Policies.Replace(a.Old, a.New, m.rt.k.Now())
+			return err
 		}
 	case *spec.RetrainAction:
-		m.rt.Retrainer.Request(a.Model, now)
+		return fmt.Sprintf("RETRAIN(%s)", a.Model), func() error {
+			if !m.rt.Retrainer.Request(a.Model, m.rt.k.Now()) {
+				return fmt.Errorf("retrain %q rejected by rate limit", a.Model)
+			}
+			return nil
+		}
 	case *spec.DeprioritizeAction:
 		prio := m.opts.DefaultPriority
-		if a.Priority != nil {
+		if a.Priority != nil && len(vals) > 0 {
 			prio = int(vals[0])
 		}
-		if _, err := m.rt.Deprioritizer.Apply(a.Target, prio); err != nil {
-			fail(err)
+		return fmt.Sprintf("DEPRIORITIZE(%s)", a.Target), func() error {
+			_, err := m.rt.Deprioritizer.Apply(a.Target, prio)
+			return err
+		}
+	case *spec.SaveAction:
+		// SAVE compiles inline into the monitor program, so this path
+		// only runs for out-of-band dispatch (fail-closed quarantine):
+		// the VM is unavailable, so only constant values can be applied.
+		return fmt.Sprintf("SAVE(%s)", a.Key), func() error {
+			switch v := compile.Fold(a.Value).(type) {
+			case *spec.NumLit:
+				m.rt.store.Save(a.Key, v.Value)
+			case *spec.BoolLit:
+				var f float64
+				if v.Value {
+					f = 1
+				}
+				m.rt.store.Save(a.Key, f)
+			default:
+				return fmt.Errorf("save %q: value %s is not constant outside the VM",
+					a.Key, spec.ExprString(a.Value))
+			}
+			return nil
 		}
 	default:
-		fail(fmt.Errorf("unsupported action %T", a))
+		return fmt.Sprintf("%T", act), func() error {
+			return fmt.Errorf("unsupported action %T", act)
+		}
 	}
 }

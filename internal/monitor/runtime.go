@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"guardrails/internal/actions"
 	"guardrails/internal/compile"
@@ -31,7 +32,8 @@ type Runtime struct {
 	k     *kernel.Kernel
 	store *featurestore.Store
 
-	// Log receives REPORT violations (and dispatch errors, with Note).
+	// Log receives REPORT violations (and dispatch errors, monitor
+	// faults, and degradation-ladder transitions, with Note).
 	Log *actions.ReportLog
 	// Policies backs REPLACE.
 	Policies *actions.Registry
@@ -39,9 +41,30 @@ type Runtime struct {
 	Retrainer *actions.Retrainer
 	// Deprioritizer backs DEPRIORITIZE.
 	Deprioritizer *actions.Deprioritizer
+	// DeadLetter receives actions that exhausted their retries.
+	DeadLetter *actions.DeadLetter
+
+	faultInj atomic.Value // injBox
 
 	mu       sync.Mutex
 	monitors map[string]*Monitor
+}
+
+// injBox wraps the injector so atomic.Value sees one concrete type
+// regardless of the FaultInjector implementation stored.
+type injBox struct{ fi FaultInjector }
+
+// SetFaultInjector installs (or, with nil, removes) the fault-injection
+// plan consulted on every monitor evaluation. Safe to call while the
+// kernel runs.
+func (r *Runtime) SetFaultInjector(fi FaultInjector) { r.faultInj.Store(injBox{fi}) }
+
+// injector returns the installed fault injector, or nil.
+func (r *Runtime) injector() FaultInjector {
+	if b, ok := r.faultInj.Load().(injBox); ok {
+		return b.fi
+	}
+	return nil
 }
 
 // New returns a runtime bound to a kernel and feature store, with
@@ -55,6 +78,7 @@ func New(k *kernel.Kernel, store *featurestore.Store) *Runtime {
 		Policies:      actions.NewRegistry(),
 		Retrainer:     actions.NewRetrainer(4, 0.1),
 		Deprioritizer: actions.NewDeprioritizer(k),
+		DeadLetter:    actions.NewDeadLetter(1024),
 		monitors:      make(map[string]*Monitor),
 	}
 }
@@ -71,27 +95,24 @@ func (r *Runtime) Store() *featurestore.Store { return r.store }
 func (r *Runtime) Load(c *compile.Compiled, opts Options) (*Monitor, error) {
 	opts.fillDefaults()
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, dup := r.monitors[c.Name]; dup {
-		r.mu.Unlock()
 		return nil, fmt.Errorf("monitor: guardrail %q already loaded", c.Name)
 	}
-	r.mu.Unlock()
 
 	m := &Monitor{
-		rt:      r,
-		c:       c,
-		opts:    opts,
-		cells:   make([]featurestore.ID, len(c.Program.Symbols)),
-		enabled: true,
+		rt:       r,
+		c:        c,
+		opts:     opts,
+		cells:    make([]featurestore.ID, len(c.Program.Symbols)),
+		lastGood: make([]float64, len(c.Program.Symbols)),
+		enabled:  true,
 	}
 	for i, sym := range c.Program.Symbols {
 		m.cells[i] = r.store.Intern(sym)
 	}
 	m.arm()
-
-	r.mu.Lock()
 	r.monitors[c.Name] = m
-	r.mu.Unlock()
 	return m, nil
 }
 
@@ -123,18 +144,19 @@ func (r *Runtime) LoadSource(src string, opts Options) ([]*Monitor, error) {
 // validated, so a bad update never leaves the property unwatched.
 func (r *Runtime) Update(c *compile.Compiled, opts Options) (*Monitor, error) {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	old, ok := r.monitors[c.Name]
-	r.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("monitor: guardrail %q not loaded", c.Name)
 	}
 	opts.fillDefaults()
 	m := &Monitor{
-		rt:      r,
-		c:       c,
-		opts:    opts,
-		cells:   make([]featurestore.ID, len(c.Program.Symbols)),
-		enabled: true,
+		rt:       r,
+		c:        c,
+		opts:     opts,
+		cells:    make([]featurestore.ID, len(c.Program.Symbols)),
+		lastGood: make([]float64, len(c.Program.Symbols)),
+		enabled:  true,
 	}
 	for i, sym := range c.Program.Symbols {
 		m.cells[i] = r.store.Intern(sym)
@@ -142,9 +164,7 @@ func (r *Runtime) Update(c *compile.Compiled, opts Options) (*Monitor, error) {
 	// Swap: disarm the old monitor, arm the new one, replace the entry.
 	old.disarm()
 	m.arm()
-	r.mu.Lock()
 	r.monitors[c.Name] = m
-	r.mu.Unlock()
 	return m, nil
 }
 
@@ -164,14 +184,12 @@ func (r *Runtime) UpdateSource(src string, opts Options) (*Monitor, error) {
 // Unload disarms and removes a guardrail monitor.
 func (r *Runtime) Unload(name string) error {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	m, ok := r.monitors[name]
-	if ok {
-		delete(r.monitors, name)
-	}
-	r.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("monitor: guardrail %q not loaded", name)
 	}
+	delete(r.monitors, name)
 	m.disarm()
 	return nil
 }

@@ -233,9 +233,13 @@ func max(a, b kernel.Time) kernel.Time {
 }
 
 // Array is a RAID-1 style replica group: every write is mirrored to all
-// replicas; reads may be served by any replica.
+// live replicas; reads may be served by any live replica. Replicas can
+// be failed and healed at runtime (the chaos-experiment seam for
+// mid-run replica loss); the array refuses to fail its last survivor.
 type Array struct {
 	replicas []*Device
+	down     []bool
+	notify   func(i int, alive bool)
 }
 
 // NewArray groups devices into a replica set. At least two devices are
@@ -244,7 +248,7 @@ func NewArray(devices ...*Device) (*Array, error) {
 	if len(devices) < 2 {
 		return nil, fmt.Errorf("storage: array needs at least two replicas, got %d", len(devices))
 	}
-	return &Array{replicas: devices}, nil
+	return &Array{replicas: devices, down: make([]bool, len(devices))}, nil
 }
 
 // Replica returns the i'th device.
@@ -253,11 +257,93 @@ func (a *Array) Replica(i int) *Device { return a.replicas[i] }
 // Len returns the replica count.
 func (a *Array) Len() int { return len(a.replicas) }
 
-// Write mirrors a write to every replica and returns the slowest
-// latency (the write completes when all replicas have it).
+// SetNotify registers an observer for replica up/down transitions
+// (e.g. to publish replicas_alive to a feature store). The callback
+// runs synchronously from Fail and Heal.
+func (a *Array) SetNotify(fn func(i int, alive bool)) { a.notify = fn }
+
+// Fail takes replica i out of service. It reports whether the replica
+// was failed: failing an already-down replica is a no-op, and the last
+// live replica cannot be failed (a full-array loss has no failover
+// story to simulate).
+func (a *Array) Fail(i int) bool {
+	if i < 0 || i >= len(a.replicas) || a.down[i] || a.AliveCount() <= 1 {
+		return false
+	}
+	a.down[i] = true
+	if a.notify != nil {
+		a.notify(i, false)
+	}
+	return true
+}
+
+// Heal returns replica i to service, reporting whether it was down.
+func (a *Array) Heal(i int) bool {
+	if i < 0 || i >= len(a.replicas) || !a.down[i] {
+		return false
+	}
+	a.down[i] = false
+	if a.notify != nil {
+		a.notify(i, true)
+	}
+	return true
+}
+
+// Alive reports whether replica i is in service.
+func (a *Array) Alive(i int) bool { return i >= 0 && i < len(a.replicas) && !a.down[i] }
+
+// AliveCount returns the number of live replicas.
+func (a *Array) AliveCount() int {
+	n := 0
+	for _, d := range a.down {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// Primary returns the lowest-indexed live replica — the default read
+// target.
+func (a *Array) Primary() *Device {
+	for i, d := range a.replicas {
+		if !a.down[i] {
+			return d
+		}
+	}
+	return a.replicas[0] // unreachable: the last replica cannot fail
+}
+
+// Secondary returns the next live replica after the primary, or the
+// primary itself when it is the sole survivor.
+func (a *Array) Secondary() *Device {
+	primary := -1
+	for i := range a.replicas {
+		if !a.down[i] {
+			if primary >= 0 {
+				return a.replicas[i]
+			}
+			primary = i
+		}
+	}
+	return a.replicas[primary]
+}
+
+// Read submits a read for lba to the primary replica and returns its
+// latency. A failed replica never serves reads: after a Fail, reads
+// route to the survivor.
+func (a *Array) Read(now kernel.Time, lba uint64) kernel.Time {
+	return a.Primary().Submit(now, lba, false)
+}
+
+// Write mirrors a write to every live replica and returns the slowest
+// latency (the write completes when all live replicas have it).
 func (a *Array) Write(now kernel.Time, lba uint64) kernel.Time {
 	var worst kernel.Time
-	for _, d := range a.replicas {
+	for i, d := range a.replicas {
+		if a.down[i] {
+			continue
+		}
 		if lat := d.Submit(now, lba, true); lat > worst {
 			worst = lat
 		}

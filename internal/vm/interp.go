@@ -15,7 +15,10 @@ type Env interface {
 	// StoreCell writes linked cell i.
 	StoreCell(i int32, v float64)
 	// Helper invokes helper h with up to five arguments and returns r0.
-	Helper(h HelperID, args *[5]float64) float64
+	// A non-nil error aborts the program with a TrapHelper trap — the
+	// seam through which failing action backends and injected
+	// helper-call faults surface to the runtime.
+	Helper(h HelperID, args *[5]float64) (float64, error)
 }
 
 // ErrBudget is returned when execution exceeds the instruction budget.
@@ -38,7 +41,7 @@ type Machine struct {
 // argument: e.g. the instrumented function's observed value). It returns
 // the value of r0 at OpExit. The program must have passed Verify; Run
 // still guards divisions and bounds as defense in depth but does not
-// re-verify.
+// re-verify. Failures are returned as classified *Trap errors.
 func (m *Machine) Run(p *Program, env Env, arg float64) (float64, error) {
 	m.regs = [NumRegs]float64{}
 	m.regs[0] = arg
@@ -47,12 +50,13 @@ func (m *Machine) Run(p *Program, env Env, arg float64) (float64, error) {
 	pc := 0
 	for {
 		if budget <= 0 {
-			return 0, ErrBudget
+			return 0, &Trap{Code: TrapBudget, PC: pc, Program: p.Name, Cause: ErrBudget}
 		}
 		budget--
 		m.Steps++
 		if pc < 0 || pc >= len(p.Code) {
-			return 0, fmt.Errorf("vm: pc %d out of range in %q", pc, p.Name)
+			return 0, &Trap{Code: TrapBadPC, PC: pc, Program: p.Name,
+				Cause: fmt.Errorf("pc %d outside [0,%d)", pc, len(p.Code))}
 		}
 		in := p.Code[pc]
 		switch in.Op {
@@ -150,12 +154,17 @@ func (m *Machine) Run(p *Program, env Env, arg float64) (float64, error) {
 			env.StoreCell(in.Cell, r[in.Src])
 		case OpCall:
 			args := [5]float64{r[1], r[2], r[3], r[4], r[5]}
-			r[0] = env.Helper(HelperID(in.Imm), &args)
+			out, err := env.Helper(HelperID(in.Imm), &args)
+			if err != nil {
+				return 0, &Trap{Code: TrapHelper, PC: pc, Program: p.Name, Cause: err}
+			}
+			r[0] = out
 			r[1], r[2], r[3], r[4], r[5] = 0, 0, 0, 0, 0
 		case OpExit:
 			return r[0], nil
 		default:
-			return 0, fmt.Errorf("vm: invalid opcode %v at pc=%d in %q", in.Op, pc, p.Name)
+			return 0, &Trap{Code: TrapBadOpcode, PC: pc, Program: p.Name,
+				Cause: fmt.Errorf("invalid opcode %v", in.Op)}
 		}
 		pc++
 	}

@@ -1,0 +1,89 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// TrapCode classifies a monitor program's runtime failure. A verified
+// program should never trap; classification exists so the monitor
+// runtime can tell a runaway program (TrapBudget) from a corrupted image
+// (TrapBadPC, TrapBadOpcode) from a failing helper backend (TrapHelper)
+// and apply the right degradation policy to each.
+type TrapCode int
+
+// Trap codes.
+const (
+	// TrapNone means no trap (nil error).
+	TrapNone TrapCode = iota
+	// TrapBudget: the instruction budget was exhausted — a runaway
+	// (unverified) program.
+	TrapBudget
+	// TrapBadPC: the program counter left the code segment.
+	TrapBadPC
+	// TrapBadOpcode: an instruction carried an invalid opcode.
+	TrapBadOpcode
+	// TrapHelper: a helper call returned an error (failing backend or
+	// injected fault).
+	TrapHelper
+	// TrapUnknown: a non-nil error that is not a classified Trap.
+	TrapUnknown
+)
+
+// String names the trap code.
+func (c TrapCode) String() string {
+	switch c {
+	case TrapNone:
+		return "none"
+	case TrapBudget:
+		return "budget"
+	case TrapBadPC:
+		return "bad-pc"
+	case TrapBadOpcode:
+		return "bad-opcode"
+	case TrapHelper:
+		return "helper"
+	default:
+		return "unknown"
+	}
+}
+
+// Trap is a classified monitor-program runtime failure. It wraps the
+// underlying cause so errors.Is(err, ErrBudget) keeps working.
+type Trap struct {
+	// Code classifies the failure.
+	Code TrapCode
+	// PC is the program counter at the trap.
+	PC int
+	// Program names the trapping program.
+	Program string
+	// Cause is the underlying error, when any.
+	Cause error
+}
+
+// Error renders the trap.
+func (t *Trap) Error() string {
+	if t.Cause != nil {
+		return fmt.Sprintf("vm: trap [%s] at pc=%d in %q: %v", t.Code, t.PC, t.Program, t.Cause)
+	}
+	return fmt.Sprintf("vm: trap [%s] at pc=%d in %q", t.Code, t.PC, t.Program)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (t *Trap) Unwrap() error { return t.Cause }
+
+// Classify returns the trap code carried by err: TrapNone for nil,
+// TrapUnknown for foreign errors.
+func Classify(err error) TrapCode {
+	if err == nil {
+		return TrapNone
+	}
+	var t *Trap
+	if errors.As(err, &t) {
+		return t.Code
+	}
+	if errors.Is(err, ErrBudget) {
+		return TrapBudget
+	}
+	return TrapUnknown
+}

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -8,32 +9,36 @@ import (
 
 // testEnv is a trivial Env backed by a slice and a helper log.
 type testEnv struct {
-	cells   []float64
-	helpers []HelperID
-	now     float64
+	cells     []float64
+	helpers   []HelperID
+	now       float64
+	helperErr error
 }
 
 func (e *testEnv) LoadCell(i int32) float64 { return e.cells[i] }
 func (e *testEnv) StoreCell(i int32, v float64) {
 	e.cells[i] = v
 }
-func (e *testEnv) Helper(h HelperID, args *[5]float64) float64 {
+func (e *testEnv) Helper(h HelperID, args *[5]float64) (float64, error) {
+	if e.helperErr != nil {
+		return 0, e.helperErr
+	}
 	e.helpers = append(e.helpers, h)
 	switch h {
 	case HelperNow:
-		return e.now
+		return e.now, nil
 	case HelperSqrt:
 		if args[0] < 0 {
-			return 0
+			return 0, nil
 		}
-		return math.Sqrt(args[0])
+		return math.Sqrt(args[0]), nil
 	case HelperLog2:
 		if args[0] <= 0 {
-			return 0
+			return 0, nil
 		}
-		return math.Log2(args[0])
+		return math.Log2(args[0]), nil
 	default:
-		return 0
+		return 0, nil
 	}
 }
 
@@ -516,8 +521,66 @@ func TestRunawayProgramHitsBudget(t *testing.T) {
 		{Op: OpExit},
 	}}
 	var m Machine
-	if _, err := m.Run(p, &testEnv{}, 0); err == nil {
-		t.Error("runaway program should error")
+	_, err := m.Run(p, &testEnv{}, 0)
+	if err == nil {
+		t.Fatal("runaway program should error")
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("budget trap must wrap ErrBudget, got %v", err)
+	}
+	if Classify(err) != TrapBudget {
+		t.Errorf("Classify = %v, want TrapBudget", Classify(err))
+	}
+}
+
+func TestTrapClassification(t *testing.T) {
+	// Bad PC: a jump off the end of the code segment.
+	badPC := &Program{Name: "badpc", Code: []Instr{
+		{Op: OpJmp, Off: 10},
+		{Op: OpExit},
+	}}
+	var m Machine
+	_, err := m.Run(badPC, &testEnv{}, 0)
+	if Classify(err) != TrapBadPC {
+		t.Errorf("bad pc: Classify = %v (%v), want TrapBadPC", Classify(err), err)
+	}
+
+	// Bad opcode.
+	badOp := &Program{Name: "badop", Code: []Instr{{Op: Op(200)}}}
+	_, err = m.Run(badOp, &testEnv{}, 0)
+	if Classify(err) != TrapBadOpcode {
+		t.Errorf("bad opcode: Classify = %v (%v), want TrapBadOpcode", Classify(err), err)
+	}
+
+	// Helper failure surfaces as TrapHelper wrapping the cause.
+	call := &Program{Name: "helpfail", Code: []Instr{
+		{Op: OpCall, Imm: float64(HelperNow)},
+		{Op: OpExit},
+	}}
+	cause := errors.New("backend down")
+	_, err = m.Run(call, &testEnv{helperErr: cause}, 0)
+	if Classify(err) != TrapHelper {
+		t.Errorf("helper: Classify = %v (%v), want TrapHelper", Classify(err), err)
+	}
+	if !errors.Is(err, cause) {
+		t.Errorf("helper trap must wrap its cause, got %v", err)
+	}
+	var trap *Trap
+	if !errors.As(err, &trap) || trap.Program != "helpfail" || trap.PC != 0 {
+		t.Errorf("trap metadata = %+v", trap)
+	}
+
+	// Foreign and nil errors.
+	if Classify(nil) != TrapNone {
+		t.Error("nil must classify as TrapNone")
+	}
+	if Classify(errors.New("x")) != TrapUnknown {
+		t.Error("foreign error must classify as TrapUnknown")
+	}
+	for c := TrapNone; c <= TrapUnknown; c++ {
+		if c.String() == "" {
+			t.Errorf("trap code %d has no name", c)
+		}
 	}
 }
 
