@@ -4,14 +4,18 @@
 //
 // Usage:
 //
-//	grailc [-S] [-json] [-check-only] [-o out.img] file.grail...
+//	grailc [-O0|-O1] [-S] [-json] [-check-only] [-o out.img] file.grail...
 //	grailc -e 'guardrail g { ... }'
 //
 // With no flags it reports each guardrail's name, trigger count, and
-// program size. -S dumps the disassembly, -json the program as JSON,
-// -o writes binary monitor images (one file per guardrail, named
-// <out>.<guardrail>.img when multiple), -check-only stops after
-// semantic checking.
+// program size (plus the pre-optimization size at -O1). -S dumps the IR
+// after lowering and after each optimization pass, then the annotated
+// disassembly; -json the program as JSON; -o writes binary monitor
+// images (one file per guardrail, named <out>.<guardrail>.img when
+// multiple); -check-only stops after semantic checking. -O1 (constant
+// folding, algebraic simplification, CSE, copy propagation, immediate
+// selection, DCE, and a bytecode peephole) is the default; -O0 compiles
+// by straight lowering and codegen.
 package main
 
 import (
@@ -26,12 +30,22 @@ import (
 )
 
 func main() {
-	asm := flag.Bool("S", false, "dump program disassembly")
+	asm := flag.Bool("S", false, "dump per-pass IR and program disassembly")
 	jsonOut := flag.Bool("json", false, "emit compiled programs as JSON")
 	checkOnly := flag.Bool("check-only", false, "parse and check only; do not compile")
 	expr := flag.String("e", "", "compile specification text from the command line")
 	imgOut := flag.String("o", "", "write binary monitor image(s) to this path")
+	o0 := flag.Bool("O0", false, "disable optimization (straight lowering and codegen)")
+	o1 := flag.Bool("O1", false, "full optimization (the default)")
 	flag.Parse()
+
+	if *o0 && *o1 {
+		fail("grailc: -O0 and -O1 are mutually exclusive")
+	}
+	level := 1
+	if *o0 {
+		level = 0
+	}
 
 	sources := map[string]string{}
 	if *expr != "" {
@@ -45,13 +59,14 @@ func main() {
 		sources[path] = string(data)
 	}
 	if len(sources) == 0 {
-		fail("usage: grailc [-S] [-json] [-check-only] file.grail... | grailc -e 'spec'")
+		fail("usage: grailc [-O0|-O1] [-S] [-json] [-check-only] file.grail... | grailc -e 'spec'")
 	}
 
 	exit := 0
 	for name, src := range sources {
 		if err := processOne(os.Stdout, name, src, options{
 			asm: *asm, jsonOut: *jsonOut, checkOnly: *checkOnly, imageOut: *imgOut,
+			level: level,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			exit = 1
@@ -65,6 +80,7 @@ type options struct {
 	jsonOut   bool
 	checkOnly bool
 	imageOut  string
+	level     int
 }
 
 func processOne(w io.Writer, name, src string, opt options) error {
@@ -79,7 +95,13 @@ func processOne(w io.Writer, name, src string, opt options) error {
 		fmt.Fprintf(w, "%s: %d guardrail(s) OK\n", name, len(f.Guardrails))
 		return nil
 	}
-	compiled, err := compile.File(f)
+	copts := compile.Options{Level: opt.level}
+	if opt.asm {
+		// -S shows the compiler's work: the IR after lowering and after
+		// each pass, then the final annotated bytecode below.
+		copts.Trace = w
+	}
+	compiled, err := compile.FileWith(f, copts)
 	if err != nil {
 		return err
 	}
@@ -111,12 +133,16 @@ func processOne(w io.Writer, name, src string, opt options) error {
 				return err
 			}
 		case opt.asm:
-			fmt.Fprint(w, c.Program.String())
+			fmt.Fprint(w, c.Program.Annotated())
 			fmt.Fprintln(w)
 		default:
-			fmt.Fprintf(w, "%s: guardrail %q: %d trigger(s), %d rule(s), %d action(s), %d insns, %d symbols\n",
+			line := fmt.Sprintf("%s: guardrail %q: %d trigger(s), %d rule(s), %d action(s), %d insns, %d symbols",
 				name, c.Name, len(c.Triggers), len(c.Source.Rules), len(c.Actions),
 				len(c.Program.Code), len(c.Program.Symbols))
+			if m := c.Program.Meta; m.OptLevel > 0 && m.PreOptInsns > m.PostOptInsns {
+				line += fmt.Sprintf(" (-O%d: %d before optimization)", m.OptLevel, m.PreOptInsns)
+			}
+			fmt.Fprintln(w, line)
 		}
 	}
 	return nil

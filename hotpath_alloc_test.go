@@ -1,0 +1,59 @@
+package guardrails
+
+// Allocation guards for the in-kernel hot paths: a monitor evaluation
+// must not touch the heap, or the guardrail's own overhead violates the
+// P5 discipline it enforces. testing.AllocsPerRun fails these the moment
+// a change reintroduces a per-dispatch or per-evaluation allocation.
+
+import (
+	"testing"
+
+	"guardrails/internal/compile"
+	"guardrails/internal/featurestore"
+	"guardrails/internal/kernel"
+	"guardrails/internal/monitor"
+	"guardrails/internal/vm"
+)
+
+// staticEnv is the smallest possible vm.Env: direct cell-index access.
+type staticEnv struct{ vals []float64 }
+
+func (e *staticEnv) LoadCell(i int32) float64     { return e.vals[i] }
+func (e *staticEnv) StoreCell(i int32, v float64) { e.vals[i] = v }
+func (e *staticEnv) Helper(h vm.HelperID, args *[5]float64) (float64, error) {
+	return 0, nil
+}
+
+func TestMachineRunAllocationFree(t *testing.T) {
+	cs, err := compile.Source(benchSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &staticEnv{vals: make([]float64, len(cs[0].Program.Symbols))}
+	var m vm.Machine
+	if _, err := m.Run(cs[0].Program, env, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, err := m.Run(cs[0].Program, env, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("vm.Machine.Run allocates %v times per run, want 0", n)
+	}
+}
+
+func TestMonitorEvaluateSteadyStateAllocationFree(t *testing.T) {
+	k := kernel.New()
+	st := featurestore.New()
+	rt := monitor.New(k, st)
+	ms, err := rt.LoadSource(benchSpec, monitor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Save("false_submit_rate", 0.01) // property holds: no action dispatch
+	ms[0].Evaluate(0)                  // warm up lazy state
+	if n := testing.AllocsPerRun(1000, func() { ms[0].Evaluate(0) }); n != 0 {
+		t.Errorf("steady-state Monitor.Evaluate allocates %v times per run, want 0", n)
+	}
+}

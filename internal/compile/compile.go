@@ -1,7 +1,24 @@
+// Package compile lowers checked guardrail specifications (package spec)
+// to verified monitor VM programs (package vm). The compiler is a pass
+// pipeline over a linear IR:
+//
+//	parse → check → lower (AST → IR, ir.go/lower.go)
+//	      → IR passes (passes.go): constfold → algebra → cse →
+//	        copyprop → immsel → dce                  [-O1 only]
+//	      → codegen (linear-scan allocation, branch fusion, codegen.go)
+//	      → peephole (bytecode cleanup, peephole.go) [-O1 only]
+//	      → vm.Verify
+//
+// One program is produced per guardrail. The program evaluates the
+// conjunction of the guardrail's rules; when the property holds it
+// returns 1, and when it is violated it executes the guardrail's action
+// sequence (SAVE actions natively as feature-store stores, other actions
+// as HelperAction calls dispatched by the monitor runtime) and returns 0.
 package compile
 
 import (
 	"fmt"
+	"io"
 
 	"guardrails/internal/spec"
 	"guardrails/internal/vm"
@@ -27,9 +44,9 @@ type Compiled struct {
 
 // Register conventions for generated code.
 const (
-	// regStackBase is the first register of the expression evaluation
-	// stack; regStackTop the last. Helper-call registers r1–r5 and the
-	// return register r0 are below the stack.
+	// regStackBase is the first allocatable general-purpose register;
+	// regStackTop the last. Helper-call registers r1–r5 and the return
+	// register r0 are below the allocatable file.
 	regStackBase = 6
 	regStackTop  = 15
 )
@@ -38,14 +55,32 @@ const (
 // the runtime in helper-argument registers r2–r5.
 const MaxReportArgs = 4
 
-// File compiles every guardrail in a checked file.
-func File(f *spec.File) ([]*Compiled, error) {
+// Options selects the optimization level and pass tracing.
+type Options struct {
+	// Level is the optimization level: 0 compiles by straight lowering
+	// and codegen, 1 (the default used by File/Guardrail/Source) runs
+	// the full IR pass pipeline plus the bytecode peephole.
+	Level int
+	// Trace, when non-nil, receives the textual IR after lowering and
+	// after each pass (grailc -S).
+	Trace io.Writer
+}
+
+// DefaultOptions is what the plain File/Guardrail/Source entry points
+// use: full optimization, no tracing.
+var DefaultOptions = Options{Level: 1}
+
+// File compiles every guardrail in a checked file at -O1.
+func File(f *spec.File) ([]*Compiled, error) { return FileWith(f, DefaultOptions) }
+
+// FileWith compiles every guardrail in a checked file.
+func FileWith(f *spec.File, o Options) ([]*Compiled, error) {
 	if err := spec.Check(f); err != nil {
 		return nil, err
 	}
 	out := make([]*Compiled, 0, len(f.Guardrails))
 	for _, g := range f.Guardrails {
-		c, err := compileChecked(g)
+		c, err := compileChecked(g, o)
 		if err != nil {
 			return nil, err
 		}
@@ -54,63 +89,66 @@ func File(f *spec.File) ([]*Compiled, error) {
 	return out, nil
 }
 
-// Guardrail compiles a single guardrail, checking it first.
-func Guardrail(g *spec.Guardrail) (*Compiled, error) {
+// Guardrail compiles a single guardrail at -O1, checking it first.
+func Guardrail(g *spec.Guardrail) (*Compiled, error) { return GuardrailWith(g, DefaultOptions) }
+
+// GuardrailWith compiles a single guardrail, checking it first.
+func GuardrailWith(g *spec.Guardrail, o Options) (*Compiled, error) {
 	if err := spec.CheckGuardrail(g); err != nil {
 		return nil, err
 	}
-	return compileChecked(g)
+	return compileChecked(g, o)
 }
 
-// Source parses, checks, and compiles a specification source text.
-func Source(src string) ([]*Compiled, error) {
+// Source parses, checks, and compiles a specification source at -O1.
+func Source(src string) ([]*Compiled, error) { return SourceWith(src, DefaultOptions) }
+
+// SourceWith parses, checks, and compiles a specification source text.
+func SourceWith(src string, o Options) ([]*Compiled, error) {
 	f, err := spec.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return File(f)
+	return FileWith(f, o)
 }
 
-func compileChecked(g *spec.Guardrail) (*Compiled, error) {
-	b := vm.NewBuilder(g.Name)
-	ec := &exprCompiler{b: b}
-
-	// Conjoin rules: on the first rule that fails, jump to the violation
-	// handler. Each rule is folded first, and top-level comparisons are
-	// fused into a single inverted conditional jump (branch fusion)
-	// instead of materializing a boolean and re-testing it.
-	for i, r := range g.Rules {
-		folded := Fold(r)
-		if v, ok := constVal(folded); ok {
-			if v != 0 {
-				continue // constant-true rule: nothing to check
-			}
-			// Constant-false rule: always violated; no test needed.
-			b.MovI(regStackBase, 0)
-			b.JmpIfI(vm.OpJEqI, regStackBase, 0, "violated")
-			continue
-		}
-		if err := ec.compileRuleTest(folded, "violated"); err != nil {
-			return nil, fmt.Errorf("compile: guardrail %q rule %d: %w", g.Name, i, err)
-		}
-	}
-	// All rules hold.
-	b.MovI(0, 1)
-	b.Exit()
-
-	b.Label("violated")
-	for idx, a := range g.Actions {
-		if err := ec.compileAction(a, idx); err != nil {
-			return nil, fmt.Errorf("compile: guardrail %q action %d: %w", g.Name, idx, err)
-		}
-	}
-	b.MovI(0, 0)
-	b.Exit()
-
-	p, err := b.Finish()
+func compileChecked(g *spec.Guardrail, o Options) (*Compiled, error) {
+	f, err := lowerGuardrail(g)
 	if err != nil {
 		return nil, fmt.Errorf("compile: guardrail %q: %w", g.Name, err)
 	}
+	trace(o, "lower", f)
+
+	// Codegen the unoptimized IR first: at -O0 this is the final
+	// program; at -O1 its length is the Meta.PreOptInsns baseline the P5
+	// overhead accounting compares against. Codegen does not mutate the
+	// IR, so the pipeline can keep rewriting it afterwards.
+	pre, preErr := genProgram(f, g.Name)
+	if o.Level <= 0 && preErr != nil {
+		return nil, fmt.Errorf("compile: guardrail %q: %w", g.Name, preErr)
+	}
+
+	p := pre
+	if o.Level > 0 {
+		for _, ps := range passesForLevel(o.Level) {
+			ps.run(f)
+			trace(o, ps.name, f)
+		}
+		p, err = genProgram(f, g.Name)
+		if err != nil {
+			return nil, fmt.Errorf("compile: guardrail %q: %w", g.Name, err)
+		}
+		p.Code = Peephole(p.Code)
+	}
+	p.Meta = vm.ProgramMeta{OptLevel: o.Level, PostOptInsns: len(p.Code)}
+	if preErr == nil {
+		p.Meta.PreOptInsns = len(pre.Code)
+	} else {
+		// The unoptimized form did not fit the register file but the
+		// optimized one did; there is no meaningful baseline.
+		p.Meta.PreOptInsns = len(p.Code)
+	}
+
 	if err := vm.Verify(p, vm.NumBuiltinHelpers); err != nil {
 		return nil, fmt.Errorf("compile: guardrail %q failed verification: %w", g.Name, err)
 	}
@@ -123,248 +161,8 @@ func compileChecked(g *spec.Guardrail) (*Compiled, error) {
 	}, nil
 }
 
-// invertedJump maps a comparison operator to the VM jump taken when the
-// comparison is FALSE (the violation direction).
-var invertedJump = map[spec.TokenKind]vm.Op{
-	spec.TokLt: vm.OpJGe, spec.TokLe: vm.OpJGt,
-	spec.TokGt: vm.OpJLe, spec.TokGe: vm.OpJLt,
-	spec.TokEq: vm.OpJNe, spec.TokNe: vm.OpJEq,
-}
-
-// compileRuleTest emits "jump to failLabel if e is false". Top-level
-// comparisons and conjunctions fuse into direct conditional jumps;
-// anything else materializes a boolean and tests it.
-func (c *exprCompiler) compileRuleTest(e spec.Expr, failLabel string) error {
-	switch n := e.(type) {
-	case *spec.BinaryExpr:
-		if jop, ok := invertedJump[n.Op]; ok {
-			if err := c.compile(n.X, regStackBase); err != nil {
-				return err
-			}
-			if err := c.compile(n.Y, regStackBase+1); err != nil {
-				return err
-			}
-			c.b.JmpIf(jop, regStackBase, regStackBase+1, failLabel)
-			return nil
-		}
-		if n.Op == spec.TokAnd {
-			// (X && Y) fails if either side fails.
-			if err := c.compileRuleTest(n.X, failLabel); err != nil {
-				return err
-			}
-			return c.compileRuleTest(n.Y, failLabel)
-		}
-	}
-	if err := c.compile(e, regStackBase); err != nil {
-		return err
-	}
-	c.b.JmpIfI(vm.OpJEqI, regStackBase, 0, failLabel)
-	return nil
-}
-
-// exprCompiler generates code for expressions using registers
-// [regStackBase, regStackTop] as an evaluation stack. compile(e, dst)
-// leaves e's value in dst and may clobber registers above dst.
-type exprCompiler struct {
-	b      *vm.Builder
-	labels int
-}
-
-func (c *exprCompiler) newLabel(hint string) string {
-	c.labels++
-	return fmt.Sprintf("%s_%d", hint, c.labels)
-}
-
-func (c *exprCompiler) compile(e spec.Expr, dst uint8) error {
-	if dst > regStackTop {
-		return fmt.Errorf("rule expression too deep (more than %d live temporaries)", regStackTop-regStackBase+1)
-	}
-	switch n := e.(type) {
-	case *spec.NumLit:
-		c.b.MovI(dst, n.Value)
-	case *spec.BoolLit:
-		if n.Value {
-			c.b.MovI(dst, 1)
-		} else {
-			c.b.MovI(dst, 0)
-		}
-	case *spec.LoadExpr:
-		c.b.Load(dst, n.Key)
-	case *spec.IdentExpr:
-		c.b.Load(dst, n.Name) // bare identifier = implicit LOAD
-	case *spec.UnaryExpr:
-		if err := c.compile(n.X, dst); err != nil {
-			return err
-		}
-		switch n.Op {
-		case spec.TokMinus:
-			c.b.Un(vm.OpNeg, dst)
-		case spec.TokNot:
-			c.b.Un(vm.OpNot, dst)
-		default:
-			return fmt.Errorf("unsupported unary operator %v", n.Op)
-		}
-	case *spec.BinaryExpr:
-		return c.compileBinary(n, dst)
-	case *spec.CallExpr:
-		return c.compileCall(n, dst)
-	default:
-		return fmt.Errorf("unsupported expression node %T", e)
-	}
-	return nil
-}
-
-func (c *exprCompiler) compileBinary(n *spec.BinaryExpr, dst uint8) error {
-	switch n.Op {
-	case spec.TokAnd:
-		// Short-circuit: dst = X truthy? Y truthy : 0.
-		end := c.newLabel("and_end")
-		if err := c.compile(n.X, dst); err != nil {
-			return err
-		}
-		c.b.Un(vm.OpBoo, dst)
-		c.b.JmpIfI(vm.OpJEqI, dst, 0, end)
-		if err := c.compile(n.Y, dst); err != nil {
-			return err
-		}
-		c.b.Un(vm.OpBoo, dst)
-		c.b.Label(end)
-		return nil
-	case spec.TokOr:
-		end := c.newLabel("or_end")
-		if err := c.compile(n.X, dst); err != nil {
-			return err
-		}
-		c.b.Un(vm.OpBoo, dst)
-		c.b.JmpIfI(vm.OpJNeI, dst, 0, end)
-		if err := c.compile(n.Y, dst); err != nil {
-			return err
-		}
-		c.b.Un(vm.OpBoo, dst)
-		c.b.Label(end)
-		return nil
-	}
-
-	if err := c.compile(n.X, dst); err != nil {
-		return err
-	}
-	if dst+1 > regStackTop {
-		return fmt.Errorf("rule expression too deep (more than %d live temporaries)", regStackTop-regStackBase+1)
-	}
-	if err := c.compile(n.Y, dst+1); err != nil {
-		return err
-	}
-	switch n.Op {
-	case spec.TokPlus:
-		c.b.ALU(vm.OpAdd, dst, dst+1)
-	case spec.TokMinus:
-		c.b.ALU(vm.OpSub, dst, dst+1)
-	case spec.TokStar:
-		c.b.ALU(vm.OpMul, dst, dst+1)
-	case spec.TokSlash:
-		c.b.ALU(vm.OpDiv, dst, dst+1)
-	case spec.TokLt, spec.TokLe, spec.TokGt, spec.TokGe, spec.TokEq, spec.TokNe:
-		jop := map[spec.TokenKind]vm.Op{
-			spec.TokLt: vm.OpJLt, spec.TokLe: vm.OpJLe,
-			spec.TokGt: vm.OpJGt, spec.TokGe: vm.OpJGe,
-			spec.TokEq: vm.OpJEq, spec.TokNe: vm.OpJNe,
-		}[n.Op]
-		trueL := c.newLabel("cmp_true")
-		end := c.newLabel("cmp_end")
-		c.b.JmpIf(jop, dst, dst+1, trueL)
-		c.b.MovI(dst, 0)
-		c.b.Jmp(end)
-		c.b.Label(trueL)
-		c.b.MovI(dst, 1)
-		c.b.Label(end)
-	default:
-		return fmt.Errorf("unsupported binary operator %v", n.Op)
-	}
-	return nil
-}
-
-func (c *exprCompiler) compileCall(n *spec.CallExpr, dst uint8) error {
-	switch n.Fn {
-	case "abs":
-		if err := c.compile(n.Args[0], dst); err != nil {
-			return err
-		}
-		c.b.Un(vm.OpAbs, dst)
-		return nil
-	case "min", "max":
-		if err := c.compile(n.Args[0], dst); err != nil {
-			return err
-		}
-		if dst+1 > regStackTop {
-			return fmt.Errorf("rule expression too deep (more than %d live temporaries)", regStackTop-regStackBase+1)
-		}
-		if err := c.compile(n.Args[1], dst+1); err != nil {
-			return err
-		}
-		op := vm.OpMin
-		if n.Fn == "max" {
-			op = vm.OpMax
-		}
-		c.b.ALU(op, dst, dst+1)
-		return nil
-	case "sqrt", "log2":
-		if err := c.compile(n.Args[0], dst); err != nil {
-			return err
-		}
-		c.b.Mov(1, dst)
-		if n.Fn == "sqrt" {
-			c.b.Call(vm.HelperSqrt)
-		} else {
-			c.b.Call(vm.HelperLog2)
-		}
-		c.b.Mov(dst, 0)
-		return nil
-	case "now":
-		c.b.Call(vm.HelperNow)
-		c.b.Mov(dst, 0)
-		return nil
-	default:
-		return fmt.Errorf("unknown function %q", n.Fn)
-	}
-}
-
-// compileAction emits the violation-path code for one action. SAVE is
-// fully inlined; all other actions marshal up to four values into r2–r5
-// and call HelperAction with the action index in r1.
-func (c *exprCompiler) compileAction(a spec.Action, idx int) error {
-	dispatch := func(vals []spec.Expr) error {
-		if len(vals) > MaxReportArgs {
-			return fmt.Errorf("at most %d action values supported, got %d", MaxReportArgs, len(vals))
-		}
-		for i, e := range vals {
-			if err := c.compile(Fold(e), regStackBase+uint8(i)); err != nil {
-				return err
-			}
-		}
-		c.b.MovI(1, float64(idx))
-		for i := range vals {
-			c.b.Mov(uint8(2+i), regStackBase+uint8(i))
-		}
-		c.b.Call(vm.HelperAction)
-		return nil
-	}
-	switch n := a.(type) {
-	case *spec.SaveAction:
-		if err := c.compile(Fold(n.Value), regStackBase); err != nil {
-			return err
-		}
-		c.b.Store(n.Key, regStackBase)
-		return nil
-	case *spec.ReportAction:
-		return dispatch(n.Args)
-	case *spec.ReplaceAction, *spec.RetrainAction:
-		return dispatch(nil)
-	case *spec.DeprioritizeAction:
-		if n.Priority != nil {
-			return dispatch([]spec.Expr{n.Priority})
-		}
-		return dispatch(nil)
-	default:
-		return fmt.Errorf("unsupported action %T", a)
+func trace(o Options, stage string, f *irFunc) {
+	if o.Trace != nil {
+		fmt.Fprintf(o.Trace, "; after %s\n%s\n", stage, f)
 	}
 }

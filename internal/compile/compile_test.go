@@ -1,6 +1,7 @@
 package compile
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -353,21 +354,32 @@ guardrail wide {
 }
 
 func TestCompileDeepExpressionFails(t *testing.T) {
-	// Build a deeply right-nested arithmetic expression exceeding the
-	// register stack.
+	// A deeply right-nested chain over a single repeated load exceeds the
+	// register file only at -O0: CSE collapses the repeats, so -O1 must
+	// accept the same rule.
 	depth := 16
-	expr := "LOAD(x0)"
-	for i := 1; i < depth; i++ {
-		expr = "(" + expr + " + LOAD(x" + string(rune('0'+i%10)) + "))"
-	}
-	// Right-nest to force stack growth.
-	expr = "LOAD(a)"
+	expr := "LOAD(a)"
 	for i := 0; i < depth; i++ {
 		expr = "(LOAD(b) + " + expr + ")"
 	}
 	src := "guardrail deep { trigger: { TIMER(0,1) }, rule: { " + expr + " < 1 }, action: { REPORT() } }"
-	if _, err := Source(src); err == nil || !strings.Contains(err.Error(), "too deep") {
-		t.Errorf("expected depth error, got %v", err)
+	if _, err := SourceWith(src, Options{Level: 0}); err == nil || !strings.Contains(err.Error(), "too deep") {
+		t.Errorf("-O0: expected depth error, got %v", err)
+	}
+	if _, err := Source(src); err != nil {
+		t.Errorf("-O1: CSE should collapse the repeated loads: %v", err)
+	}
+
+	// With distinct keys there is nothing to share: both levels reject.
+	expr = "LOAD(a)"
+	for i := 0; i < depth; i++ {
+		expr = fmt.Sprintf("(LOAD(b%d) + %s)", i, expr)
+	}
+	src = "guardrail deep { trigger: { TIMER(0,1) }, rule: { " + expr + " < 1 }, action: { REPORT() } }"
+	for _, lvl := range []int{0, 1} {
+		if _, err := SourceWith(src, Options{Level: lvl}); err == nil || !strings.Contains(err.Error(), "too deep") {
+			t.Errorf("-O%d: expected depth error, got %v", lvl, err)
+		}
 	}
 }
 

@@ -1,229 +1,100 @@
-// Package compile lowers checked guardrail specifications (package spec)
-// to verified monitor VM programs (package vm). The pipeline is:
-//
-//	parse → check → fold (constant folding + algebraic simplification)
-//	      → codegen (short-circuit boolean lowering, stack-style register
-//	        allocation) → vm.Verify
-//
-// One program is produced per guardrail. The program evaluates the
-// conjunction of the guardrail's rules; when the property holds it
-// returns 1, and when it is violated it executes the guardrail's action
-// sequence (SAVE actions natively as feature-store stores, other actions
-// as HelperAction calls dispatched by the monitor runtime) and returns 0.
 package compile
 
 import (
-	"math"
-
 	"guardrails/internal/spec"
+	"guardrails/internal/vm"
 )
 
-// Fold rewrites an expression with constant subexpressions evaluated and
-// trivial algebraic identities simplified (x+0, x*1, x*0, x/1, double
-// negation). Pure builtins (abs, sqrt, log2, min, max) fold when their
-// arguments are constant; now() never folds. Folding preserves the
-// VM's division semantics (x/0 = 0).
-func Fold(e spec.Expr) spec.Expr {
+// Compile-time constant evaluation over the AST. The optimizer proper
+// folds constants as an IR pass (passes.go); this evaluator exists for
+// the places that need a constant *without* compiling — the monitor
+// runtime's out-of-band SAVE dispatch, and tests. It implements exactly
+// the VM's semantics: x/0 = 0, sqrt of a negative and log2 of a
+// non-positive clamp to 0, booleans are 0/1, and now() never folds.
+
+// ConstEval returns the value of e if it is a compile-time constant.
+func ConstEval(e spec.Expr) (float64, bool) {
+	if v, ok := spec.ConstValue(e); ok {
+		return v, true
+	}
 	switch n := e.(type) {
 	case *spec.UnaryExpr:
-		x := Fold(n.X)
-		if v, ok := constVal(x); ok {
-			switch n.Op {
-			case spec.TokMinus:
-				return &spec.NumLit{Value: -v, Pos: n.Pos}
-			case spec.TokNot:
-				return boolLit(v == 0, n.Pos)
-			}
+		x, ok := ConstEval(n.X)
+		if !ok {
+			return 0, false
 		}
-		// --x => x
-		if inner, ok := x.(*spec.UnaryExpr); ok && n.Op == spec.TokMinus && inner.Op == spec.TokMinus {
-			return inner.X
+		switch n.Op {
+		case spec.TokMinus:
+			return -x, true
+		case spec.TokNot:
+			return foldUn(irNot, x), true
 		}
-		// !!x is NOT simplified to x: ! normalizes to 0/1.
-		return &spec.UnaryExpr{Op: n.Op, X: x, Pos: n.Pos}
+		return 0, false
 	case *spec.BinaryExpr:
-		return foldBinary(n)
-	case *spec.CallExpr:
-		args := make([]spec.Expr, len(n.Args))
-		allConst := true
-		vals := make([]float64, len(n.Args))
-		for i, a := range n.Args {
-			args[i] = Fold(a)
-			if v, ok := constVal(args[i]); ok {
-				vals[i] = v
-			} else {
-				allConst = false
-			}
+		x, ok := ConstEval(n.X)
+		if !ok {
+			return 0, false
 		}
-		if allConst {
-			if v, ok := foldCall(n.Fn, vals); ok {
-				return &spec.NumLit{Value: v, Pos: n.Pos}
-			}
+		y, ok := ConstEval(n.Y)
+		if !ok {
+			return 0, false
 		}
-		return &spec.CallExpr{Fn: n.Fn, Args: args, Pos: n.Pos}
-	default:
-		return e
-	}
-}
-
-func foldBinary(n *spec.BinaryExpr) spec.Expr {
-	x := Fold(n.X)
-	y := Fold(n.Y)
-	xv, xc := constVal(x)
-	yv, yc := constVal(y)
-
-	if xc && yc {
 		switch n.Op {
 		case spec.TokPlus:
-			return &spec.NumLit{Value: xv + yv, Pos: n.Pos}
+			return foldBin(irAdd, x, y), true
 		case spec.TokMinus:
-			return &spec.NumLit{Value: xv - yv, Pos: n.Pos}
+			return foldBin(irSub, x, y), true
 		case spec.TokStar:
-			return &spec.NumLit{Value: xv * yv, Pos: n.Pos}
+			return foldBin(irMul, x, y), true
 		case spec.TokSlash:
-			if yv == 0 {
-				return &spec.NumLit{Value: 0, Pos: n.Pos} // VM semantics
-			}
-			return &spec.NumLit{Value: xv / yv, Pos: n.Pos}
+			return foldBin(irDiv, x, y), true
 		case spec.TokLt:
-			return boolLit(xv < yv, n.Pos)
+			return b2f(cmpLt.eval(x, y)), true
 		case spec.TokLe:
-			return boolLit(xv <= yv, n.Pos)
+			return b2f(cmpLe.eval(x, y)), true
 		case spec.TokGt:
-			return boolLit(xv > yv, n.Pos)
+			return b2f(cmpGt.eval(x, y)), true
 		case spec.TokGe:
-			return boolLit(xv >= yv, n.Pos)
+			return b2f(cmpGe.eval(x, y)), true
 		case spec.TokEq:
-			return boolLit(xv == yv, n.Pos)
+			return b2f(cmpEq.eval(x, y)), true
 		case spec.TokNe:
-			return boolLit(xv != yv, n.Pos)
+			return b2f(cmpNe.eval(x, y)), true
 		case spec.TokAnd:
-			return boolLit(xv != 0 && yv != 0, n.Pos)
+			return b2f(truthy(x) && truthy(y)), true
 		case spec.TokOr:
-			return boolLit(xv != 0 || yv != 0, n.Pos)
+			return b2f(truthy(x) || truthy(y)), true
 		}
-	}
-
-	// Algebraic identities. Note x*0 folds to 0 only when x is a pure
-	// load/literal — all our operands are side-effect free, so it is
-	// always safe in this language.
-	switch n.Op {
-	case spec.TokPlus:
-		if xc && xv == 0 {
-			return y
-		}
-		if yc && yv == 0 {
-			return x
-		}
-	case spec.TokMinus:
-		if yc && yv == 0 {
-			return x
-		}
-	case spec.TokStar:
-		if xc && xv == 1 {
-			return y
-		}
-		if yc && yv == 1 {
-			return x
-		}
-		if (xc && xv == 0) || (yc && yv == 0) {
-			return &spec.NumLit{Value: 0, Pos: n.Pos}
-		}
-	case spec.TokSlash:
-		if yc && yv == 1 {
-			return x
-		}
-	case spec.TokAnd:
-		if xc {
-			if xv == 0 {
-				return boolLit(false, n.Pos)
-			}
-			return truthy(y, n.Pos)
-		}
-		if yc && yv != 0 {
-			return truthy(x, n.Pos)
-		}
-	case spec.TokOr:
-		if xc {
-			if xv != 0 {
-				return boolLit(true, n.Pos)
-			}
-			return truthy(y, n.Pos)
-		}
-		if yc && yv == 0 {
-			return truthy(x, n.Pos)
-		}
-	}
-	return &spec.BinaryExpr{Op: n.Op, X: x, Y: y, Pos: n.Pos}
-}
-
-// truthy wraps e so that it evaluates to exactly 0 or 1, preserving the
-// normalization AND/OR perform. Predicates are already 0/1, so they are
-// returned unchanged.
-func truthy(e spec.Expr, pos spec.Pos) spec.Expr {
-	if isNormalized(e) {
-		return e
-	}
-	// !!e normalizes without changing truth value.
-	return &spec.UnaryExpr{Op: spec.TokNot,
-		X: &spec.UnaryExpr{Op: spec.TokNot, X: e, Pos: pos}, Pos: pos}
-}
-
-// isNormalized reports whether e always evaluates to 0 or 1.
-func isNormalized(e spec.Expr) bool {
-	switch n := e.(type) {
-	case *spec.BoolLit:
-		return true
-	case *spec.NumLit:
-		return n.Value == 0 || n.Value == 1
-	case *spec.UnaryExpr:
-		return n.Op == spec.TokNot
-	case *spec.BinaryExpr:
-		switch n.Op {
-		case spec.TokLt, spec.TokLe, spec.TokGt, spec.TokGe,
-			spec.TokEq, spec.TokNe, spec.TokAnd, spec.TokOr:
-			return true
-		}
-	}
-	return false
-}
-
-func foldCall(fn string, vals []float64) (float64, bool) {
-	switch fn {
-	case "abs":
-		return math.Abs(vals[0]), true
-	case "sqrt":
-		if vals[0] < 0 {
-			return 0, true // helper semantics
-		}
-		return math.Sqrt(vals[0]), true
-	case "log2":
-		if vals[0] <= 0 {
-			return 0, true
-		}
-		return math.Log2(vals[0]), true
-	case "min":
-		return math.Min(vals[0], vals[1]), true
-	case "max":
-		return math.Max(vals[0], vals[1]), true
-	default: // now() and anything impure
 		return 0, false
-	}
-}
-
-func constVal(e spec.Expr) (float64, bool) {
-	switch n := e.(type) {
-	case *spec.NumLit:
-		return n.Value, true
-	case *spec.BoolLit:
-		if n.Value {
-			return 1, true
+	case *spec.CallExpr:
+		args := make([]float64, len(n.Args))
+		for i, a := range n.Args {
+			v, ok := ConstEval(a)
+			if !ok {
+				return 0, false
+			}
+			args[i] = v
 		}
-		return 0, true
+		switch n.Fn {
+		case "abs":
+			return foldUn(irAbs, args[0]), true
+		case "min":
+			return foldBin(irMin, args[0], args[1]), true
+		case "max":
+			return foldBin(irMax, args[0], args[1]), true
+		case "sqrt":
+			return foldHelper(vm.HelperSqrt, args[0])
+		case "log2":
+			return foldHelper(vm.HelperLog2, args[0])
+		}
+		return 0, false
 	}
 	return 0, false
 }
 
-func boolLit(v bool, pos spec.Pos) spec.Expr {
-	return &spec.BoolLit{Value: v, Pos: pos}
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
 }

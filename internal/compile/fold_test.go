@@ -29,125 +29,79 @@ func parseValueExpr(t *testing.T, exprSrc string) spec.Expr {
 	return g.Actions[0].(*spec.SaveAction).Value
 }
 
-func TestFoldConstants(t *testing.T) {
+func TestConstEvalValues(t *testing.T) {
 	cases := []struct {
 		src  string
-		want string
+		want float64
 	}{
-		{"1 + 2 * 3", "7"},
-		{"10 / 4", "2.5"},
-		{"10 / 0", "0"}, // VM division semantics
-		{"-(3 + 4)", "-7"},
-		{"abs(0 - 5)", "5"},
-		{"min(3, 7)", "3"},
-		{"max(3, 7)", "7"},
-		{"sqrt(16)", "4"},
-		{"sqrt(0 - 4)", "0"},
-		{"log2(8)", "3"},
-		{"log2(0)", "0"},
+		{"7", 7},
+		{"true", 1},
+		{"false", 0},
+		{"1 + 2 * 3", 7},
+		{"10 / 4", 2.5},
+		{"10 / 0", 0}, // VM division semantics
+		{"-(3 + 4)", -7},
+		{"abs(0 - 5)", 5},
+		{"min(3, 7)", 3},
+		{"max(3, 7)", 7},
+		{"sqrt(16)", 4},
+		{"sqrt(0 - 4)", 0},
+		{"log2(8)", 3},
+		{"log2(0)", 0},
 	}
 	for _, c := range cases {
-		got := spec.ExprString(Fold(parseValueExpr(t, c.src)))
+		got, ok := ConstEval(parseValueExpr(t, c.src))
+		if !ok {
+			t.Errorf("ConstEval(%q) not constant", c.src)
+			continue
+		}
 		if got != c.want {
-			t.Errorf("Fold(%q) = %s, want %s", c.src, got, c.want)
+			t.Errorf("ConstEval(%q) = %v, want %v", c.src, got, c.want)
 		}
 	}
 }
 
-func TestFoldPredicates(t *testing.T) {
+func TestConstEvalPredicates(t *testing.T) {
 	cases := []struct {
 		src  string
-		want string
+		want float64
 	}{
-		{"1 < 2", "true"},
-		{"2 < 1", "false"},
-		{"3 <= 3", "true"},
-		{"3 > 3", "false"},
-		{"3 >= 3", "true"},
-		{"1 == 1", "true"},
-		{"1 != 1", "false"},
-		{"1 < 2 && 3 < 4", "true"},
-		{"1 < 2 && 4 < 3", "false"},
-		{"2 < 1 || 3 < 4", "true"},
-		{"!(1 < 2)", "false"},
-		{"true && false", "false"},
+		{"1 < 2", 1},
+		{"2 < 1", 0},
+		{"3 <= 3", 1},
+		{"3 > 3", 0},
+		{"3 >= 3", 1},
+		{"1 == 1", 1},
+		{"1 != 1", 0},
+		{"1 < 2 && 3 < 4", 1},
+		{"1 < 2 && 4 < 3", 0},
+		{"2 < 1 || 3 < 4", 1},
+		{"!(1 < 2)", 0},
+		{"true && false", 0},
 	}
 	for _, c := range cases {
-		got := spec.ExprString(Fold(parseExpr(t, c.src)))
+		got, ok := ConstEval(parseExpr(t, c.src))
+		if !ok {
+			t.Errorf("ConstEval(%q) not constant", c.src)
+			continue
+		}
 		if got != c.want {
-			t.Errorf("Fold(%q) = %s, want %s", c.src, got, c.want)
+			t.Errorf("ConstEval(%q) = %v, want %v", c.src, got, c.want)
 		}
 	}
 }
 
-func TestFoldAlgebraicIdentities(t *testing.T) {
-	cases := []struct {
-		src  string
-		want string
-	}{
-		{"LOAD(x) + 0", "LOAD(x)"},
-		{"0 + LOAD(x)", "LOAD(x)"},
-		{"LOAD(x) - 0", "LOAD(x)"},
-		{"LOAD(x) * 1", "LOAD(x)"},
-		{"1 * LOAD(x)", "LOAD(x)"},
-		{"LOAD(x) * 0", "0"},
-		{"0 * LOAD(x)", "0"},
-		{"LOAD(x) / 1", "LOAD(x)"},
-		{"--LOAD(x)", "LOAD(x)"},
-	}
-	for _, c := range cases {
-		got := spec.ExprString(Fold(parseValueExpr(t, c.src)))
-		if got != c.want {
-			t.Errorf("Fold(%q) = %s, want %s", c.src, got, c.want)
+func TestConstEvalDynamic(t *testing.T) {
+	for _, src := range []string{
+		"LOAD(x)",
+		"LOAD(x) + 1",
+		"now()",
+		"now() + 1",
+		"min(now(), 3)",
+		"1 < 2 && LOAD(x) < 1",
+	} {
+		if v, ok := ConstEval(parseValueExpr(t, src)); ok {
+			t.Errorf("ConstEval(%q) = %v, want non-constant", src, v)
 		}
-	}
-}
-
-func TestFoldShortCircuitConstants(t *testing.T) {
-	// true && P reduces to a normalized P; false || P likewise.
-	got := spec.ExprString(Fold(parseExpr(t, "true && LOAD(x) < 1")))
-	if got != "(LOAD(x) < 1)" {
-		t.Errorf("true && P = %s", got)
-	}
-	got = spec.ExprString(Fold(parseExpr(t, "false || LOAD(x) < 1")))
-	if got != "(LOAD(x) < 1)" {
-		t.Errorf("false || P = %s", got)
-	}
-	got = spec.ExprString(Fold(parseExpr(t, "false && LOAD(x) < 1")))
-	if got != "false" {
-		t.Errorf("false && P = %s", got)
-	}
-	got = spec.ExprString(Fold(parseExpr(t, "true || LOAD(x) < 1")))
-	if got != "true" {
-		t.Errorf("true || P = %s", got)
-	}
-}
-
-func TestFoldNormalizationPreserved(t *testing.T) {
-	// "true && LOAD(x)" must NOT reduce to bare LOAD(x): AND yields 0/1,
-	// LOAD(x) yields its raw value. (Only reachable via SAVE values since
-	// rules require predicates.)
-	e := Fold(parseValueExpr(t, "true && LOAD(x)"))
-	got := spec.ExprString(e)
-	if got == "LOAD(x)" {
-		t.Errorf("normalization lost: %s", got)
-	}
-}
-
-func TestFoldLeavesDynamicAlone(t *testing.T) {
-	for _, src := range []string{"LOAD(x) < 1", "now() < 5", "LOAD(a) + LOAD(b) < 2"} {
-		before := spec.ExprString(parseExpr(t, src))
-		after := spec.ExprString(Fold(parseExpr(t, src)))
-		if before != after {
-			t.Errorf("Fold(%q): %s -> %s (should be unchanged)", src, before, after)
-		}
-	}
-}
-
-func TestFoldPartial(t *testing.T) {
-	got := spec.ExprString(Fold(parseExpr(t, "LOAD(x) + (2 * 3) < 4 + 4")))
-	want := "((LOAD(x) + 6) < 8)"
-	if got != want {
-		t.Errorf("got %s, want %s", got, want)
 	}
 }

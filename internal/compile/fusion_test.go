@@ -3,6 +3,7 @@ package compile
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"guardrails/internal/spec"
@@ -11,15 +12,17 @@ import (
 
 func TestBranchFusionShrinksListing2(t *testing.T) {
 	c := compileOne(t, listing2)
-	if got := len(c.Program.Code); got > 9 {
-		t.Errorf("listing2 compiled to %d insns, want <= 9 (branch fusion)\n%s", got, c.Program)
+	if got := len(c.Program.Code); got > 8 {
+		t.Errorf("listing2 compiled to %d insns, want <= 8 (optimizing pipeline)\n%s", got, c.Program)
 	}
-	// Exactly one conditional jump on the hot path; no boolean
+	// Exactly one conditional jump on the hot path (the peephole re-fuses
+	// the threshold constant into its immediate form); no boolean
 	// materialization (movi 0/movi 1 pair) before the test.
 	var cmpJumps, boolOps int
 	for _, in := range c.Program.Code {
 		switch in.Op {
-		case vm.OpJGt, vm.OpJLe, vm.OpJLt, vm.OpJGe, vm.OpJEq, vm.OpJNe:
+		case vm.OpJGt, vm.OpJLe, vm.OpJLt, vm.OpJGe, vm.OpJEq, vm.OpJNe,
+			vm.OpJGtI, vm.OpJLeI, vm.OpJLtI, vm.OpJGeI, vm.OpJEqI, vm.OpJNeI:
 			cmpJumps++
 		case vm.OpBoo, vm.OpNot:
 			boolOps++
@@ -27,6 +30,13 @@ func TestBranchFusionShrinksListing2(t *testing.T) {
 	}
 	if cmpJumps != 1 || boolOps != 0 {
 		t.Errorf("cmpJumps=%d boolOps=%d\n%s", cmpJumps, boolOps, c.Program)
+	}
+	// Optimization provenance is recorded for overhead accounting.
+	if c.Program.Meta.OptLevel != 1 || c.Program.Meta.PostOptInsns != len(c.Program.Code) {
+		t.Errorf("meta = %+v", c.Program.Meta)
+	}
+	if c.Program.Meta.PreOptInsns < c.Program.Meta.PostOptInsns {
+		t.Errorf("optimization grew the program: %+v", c.Program.Meta)
 	}
 }
 
@@ -195,9 +205,11 @@ func evalExpr(e spec.Expr, env map[string]float64) float64 {
 }
 
 // TestRandomRulesCompileAndAgree cross-checks the full pipeline: random
-// predicates are compiled (with folding and branch fusion) and executed
-// on the VM; the truth value must match the reference interpreter, and
-// Fold must preserve the reference semantics too.
+// predicates are compiled at both -O0 (straight lowering + codegen) and
+// -O1 (full pass pipeline + peephole) and executed on the VM across
+// several random cell environments; both truth values must match the
+// reference interpreter, so every IR pass is semantics-preserving on the
+// whole sampled expression space.
 func TestRandomRulesCompileAndAgree(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	for trial := 0; trial < 300; trial++ {
@@ -207,25 +219,41 @@ func TestRandomRulesCompileAndAgree(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: parse %q: %v", trial, exprSrc, err)
 		}
-		c, err := Guardrail(g)
+		o1, err := GuardrailWith(g, Options{Level: 1})
 		if err != nil {
 			// Depth overflow of the register stack is a legitimate
 			// rejection for very deep random expressions.
 			continue
 		}
-		env := map[string]float64{}
-		for _, k := range []string{"k0", "k1", "k2", "k3"} {
-			env[k] = float64(rng.Intn(7) - 3)
+		// -O0 may overflow the register file where -O1 fits (CSE and DCE
+		// shrink live ranges); any other -O0 failure is a bug.
+		o0, o0err := GuardrailWith(g, Options{Level: 0})
+		if o0err != nil && !strings.Contains(o0err.Error(), "too deep") {
+			t.Fatalf("trial %d: -O0 failed on %q: %v", trial, exprSrc, o0err)
 		}
-		want := evalExpr(g.Rules[0], env) != 0
-		folded := evalExpr(Fold(g.Rules[0]), env) != 0
-		if want != folded {
-			t.Fatalf("trial %d: Fold changed semantics of %q", trial, exprSrc)
+		if o1.Program.Meta.PostOptInsns > o1.Program.Meta.PreOptInsns {
+			t.Fatalf("trial %d: -O1 grew %q from %d to %d insns", trial, exprSrc,
+				o1.Program.Meta.PreOptInsns, o1.Program.Meta.PostOptInsns)
 		}
-		out, _ := runProg(t, c, env)
-		if (out != 0) != want {
-			t.Fatalf("trial %d: VM says %v, reference says %v for %q (env %v)\n%s",
-				trial, out != 0, want, exprSrc, env, c.Program)
+		for round := 0; round < 4; round++ {
+			env := map[string]float64{}
+			for _, k := range []string{"k0", "k1", "k2", "k3"} {
+				env[k] = float64(rng.Intn(7) - 3)
+			}
+			want := evalExpr(g.Rules[0], env) != 0
+			out1, _ := runProg(t, o1, env)
+			if (out1 != 0) != want {
+				t.Fatalf("trial %d: -O1 VM says %v, reference says %v for %q (env %v)\n%s",
+					trial, out1 != 0, want, exprSrc, env, o1.Program)
+			}
+			if o0err != nil {
+				continue
+			}
+			out0, _ := runProg(t, o0, env)
+			if (out0 != 0) != want {
+				t.Fatalf("trial %d: -O0 VM says %v, reference says %v for %q (env %v)\n%s",
+					trial, out0 != 0, want, exprSrc, env, o0.Program)
+			}
 		}
 	}
 }

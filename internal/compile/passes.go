@@ -1,0 +1,556 @@
+package compile
+
+import (
+	"math"
+	"strconv"
+
+	"guardrails/internal/vm"
+)
+
+// The optimization pipeline. Each pass rewrites the IR in place; the
+// pass manager in compile.go runs them in order and dumps the IR after
+// each when tracing (-S). All passes rely on two invariants the lowerer
+// establishes and every pass preserves: block edges only point forward
+// in layout order, and every vreg outside irFunc.multiDef has exactly
+// one defining instruction which precedes all of its uses.
+
+// irPass is one named rewrite over the IR.
+type irPass struct {
+	name string
+	run  func(*irFunc)
+}
+
+// passesForLevel returns the pipeline for an optimization level. -O0 is
+// lowering plus codegen only; -O1 runs the full pipeline.
+func passesForLevel(level int) []irPass {
+	if level <= 0 {
+		return nil
+	}
+	return []irPass{
+		{"constfold", passConstFold},
+		{"algebra", passAlgebra},
+		{"cse", passCSE},
+		{"copyprop", passCopyProp},
+		{"immsel", passImmSel},
+		{"dce", passDCE},
+	}
+}
+
+// ssaConsts maps every single-def vreg defined by irConst to its value.
+func ssaConsts(f *irFunc) map[vreg]float64 {
+	consts := make(map[vreg]float64)
+	for _, b := range f.blocks {
+		for _, in := range b.ins {
+			if in.Op == irConst && !f.multiDef[in.Dst] {
+				consts[in.Dst] = in.Imm
+			}
+		}
+	}
+	return consts
+}
+
+// ssaDefs maps every single-def vreg to its defining instruction.
+func ssaDefs(f *irFunc) map[vreg]*irInstr {
+	defs := make(map[vreg]*irInstr)
+	for _, b := range f.blocks {
+		for i := range b.ins {
+			in := &b.ins[i]
+			if in.Op != irStore && !f.multiDef[in.Dst] {
+				defs[in.Dst] = in
+			}
+		}
+	}
+	return defs
+}
+
+func truthy(v float64) bool { return v != 0 }
+
+// foldUn evaluates a unary op with VM semantics.
+func foldUn(op irOp, a float64) float64 {
+	switch op {
+	case irNeg:
+		return -a
+	case irAbs:
+		return math.Abs(a)
+	case irNot:
+		if truthy(a) {
+			return 0
+		}
+		return 1
+	default: // irBoo
+		if truthy(a) {
+			return 1
+		}
+		return 0
+	}
+}
+
+// foldBin evaluates a binary op with VM semantics (x/0 = 0).
+func foldBin(op irOp, a, b float64) float64 {
+	switch op {
+	case irAdd, irAddI:
+		return a + b
+	case irSub, irSubI:
+		return a - b
+	case irMul, irMulI:
+		return a * b
+	case irDiv, irDivI:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case irMin:
+		return math.Min(a, b)
+	default: // irMax
+		return math.Max(a, b)
+	}
+}
+
+// foldHelper evaluates the pure math helpers with their documented
+// clamping semantics. Only Sqrt and Log2 are foldable.
+func foldHelper(h vm.HelperID, a float64) (float64, bool) {
+	switch h {
+	case vm.HelperSqrt:
+		if a < 0 {
+			return 0, true
+		}
+		return math.Sqrt(a), true
+	case vm.HelperLog2:
+		if a <= 0 {
+			return 0, true
+		}
+		return math.Log2(a), true
+	}
+	return 0, false
+}
+
+// passConstFold propagates constants forward and folds every pure
+// operation whose operands are known, including the clamped sqrt/log2
+// helpers. Conditional branches over constants become unconditional
+// jumps, which passDCE then exploits to drop the untaken side.
+func passConstFold(f *irFunc) {
+	consts := make(map[vreg]float64)
+	for _, b := range f.blocks {
+		for i := range b.ins {
+			in := &b.ins[i]
+			if in.Op != irStore && f.multiDef[in.Dst] {
+				continue
+			}
+			switch in.Op {
+			case irConst:
+				consts[in.Dst] = in.Imm
+			case irCopy:
+				if v, ok := consts[in.A]; ok {
+					*in = irInstr{Op: irConst, Dst: in.Dst, Imm: v}
+					consts[in.Dst] = v
+				}
+			case irNeg, irAbs, irNot, irBoo:
+				if v, ok := consts[in.A]; ok {
+					r := foldUn(in.Op, v)
+					*in = irInstr{Op: irConst, Dst: in.Dst, Imm: r}
+					consts[in.Dst] = r
+				}
+			case irAdd, irSub, irMul, irDiv, irMin, irMax:
+				a, okA := consts[in.A]
+				bv, okB := consts[in.B]
+				if okA && okB {
+					r := foldBin(in.Op, a, bv)
+					*in = irInstr{Op: irConst, Dst: in.Dst, Imm: r}
+					consts[in.Dst] = r
+				}
+			case irAddI, irSubI, irMulI, irDivI:
+				if a, ok := consts[in.A]; ok {
+					r := foldBin(in.Op, a, in.Imm)
+					*in = irInstr{Op: irConst, Dst: in.Dst, Imm: r}
+					consts[in.Dst] = r
+				}
+			case irCall:
+				if len(in.Args) != 1 {
+					continue
+				}
+				a, ok := consts[in.Args[0]]
+				if !ok {
+					continue
+				}
+				if r, folded := foldHelper(in.Helper, a); folded {
+					*in = irInstr{Op: irConst, Dst: in.Dst, Imm: r}
+					consts[in.Dst] = r
+				}
+			}
+		}
+		t := &b.term
+		if t.Kind != termBr {
+			continue
+		}
+		a, okA := consts[t.A]
+		if !okA {
+			continue
+		}
+		bv, okB := t.Imm, t.UseImm
+		if !t.UseImm {
+			bv, okB = consts[t.B]
+		}
+		if okB {
+			dst := t.Else
+			if t.Cmp.eval(a, bv) {
+				dst = t.Then
+			}
+			*t = terminator{Kind: termJmp, Then: dst}
+		}
+	}
+}
+
+// passAlgebra applies identity simplifications: x+0, x-0, x*1, x/1
+// collapse to copies; x*0 and 0/x collapse to 0 (matching the AST-level
+// folder this pipeline replaces); neg(neg x) and not(not x) collapse to
+// copy/bool. Folds that are unsound for NaN operands beyond what the
+// old folder already assumed (x-x, comparisons of a value with itself)
+// are deliberately not performed.
+func passAlgebra(f *irFunc) {
+	consts := ssaConsts(f)
+	defs := ssaDefs(f)
+	isC := func(v vreg, c float64) bool {
+		got, ok := consts[v]
+		return ok && got == c
+	}
+	for _, b := range f.blocks {
+		for i := range b.ins {
+			in := &b.ins[i]
+			if in.Op != irStore && f.multiDef[in.Dst] {
+				continue
+			}
+			switch in.Op {
+			case irAdd:
+				if isC(in.A, 0) {
+					*in = irInstr{Op: irCopy, Dst: in.Dst, A: in.B}
+				} else if isC(in.B, 0) {
+					*in = irInstr{Op: irCopy, Dst: in.Dst, A: in.A}
+				}
+			case irSub:
+				if isC(in.B, 0) {
+					*in = irInstr{Op: irCopy, Dst: in.Dst, A: in.A}
+				}
+			case irMul:
+				switch {
+				case isC(in.A, 0) || isC(in.B, 0):
+					*in = irInstr{Op: irConst, Dst: in.Dst, Imm: 0}
+				case isC(in.A, 1):
+					*in = irInstr{Op: irCopy, Dst: in.Dst, A: in.B}
+				case isC(in.B, 1):
+					*in = irInstr{Op: irCopy, Dst: in.Dst, A: in.A}
+				}
+			case irDiv:
+				if isC(in.A, 0) {
+					*in = irInstr{Op: irConst, Dst: in.Dst, Imm: 0}
+				} else if isC(in.B, 1) {
+					*in = irInstr{Op: irCopy, Dst: in.Dst, A: in.A}
+				}
+			case irNeg:
+				if d, ok := defs[in.A]; ok && d.Op == irNeg {
+					*in = irInstr{Op: irCopy, Dst: in.Dst, A: d.A}
+				}
+			case irNot:
+				if d, ok := defs[in.A]; ok && d.Op == irNot {
+					*in = irInstr{Op: irBoo, Dst: in.Dst, A: d.A}
+				}
+			}
+		}
+	}
+}
+
+// cseKey returns the value-numbering key for an instruction, or "" when
+// the instruction is not a candidate (stores, calls, copies).
+func cseKey(in *irInstr) string {
+	fb := func(v float64) string {
+		return strconv.FormatUint(math.Float64bits(v), 16)
+	}
+	vs := func(v vreg) string { return strconv.Itoa(int(v)) }
+	switch in.Op {
+	case irConst:
+		return "C:" + fb(in.Imm)
+	case irLoad:
+		return "L:" + in.Sym
+	case irNeg, irAbs, irNot, irBoo:
+		return "U:" + in.Op.String() + ":" + vs(in.A)
+	case irAdd, irMul, irMin, irMax: // commutative: canonicalize operand order
+		a, b := in.A, in.B
+		if b < a {
+			a, b = b, a
+		}
+		return "B:" + in.Op.String() + ":" + vs(a) + ":" + vs(b)
+	case irSub, irDiv:
+		return "B:" + in.Op.String() + ":" + vs(in.A) + ":" + vs(in.B)
+	case irAddI, irSubI, irMulI, irDivI:
+		return "I:" + in.Op.String() + ":" + vs(in.A) + ":" + fb(in.Imm)
+	}
+	return ""
+}
+
+// passCSE eliminates common subexpressions with local value numbering
+// extended across single-predecessor chains: a block with exactly one
+// predecessor inherits its predecessor's available-expression table.
+// In particular, repeated LOADs of one key within a rule collapse to a
+// single feature-store read. A store kills the loaded value of its key;
+// a helper call conservatively kills all loads (the action helper can
+// write the feature store through the runtime).
+func passCSE(f *irFunc) {
+	npred := make(map[*block]int)
+	pred := make(map[*block]*block)
+	for _, b := range f.blocks {
+		for _, s := range b.term.succs() {
+			npred[s]++
+			pred[s] = b
+		}
+	}
+	tables := make(map[*block]map[string]vreg)
+	for _, b := range f.blocks {
+		avail := make(map[string]vreg)
+		if npred[b] == 1 {
+			for k, v := range tables[pred[b]] {
+				avail[k] = v
+			}
+		}
+		for i := range b.ins {
+			in := &b.ins[i]
+			switch in.Op {
+			case irStore:
+				delete(avail, "L:"+in.Sym)
+				continue
+			case irCall:
+				for k := range avail {
+					if len(k) > 1 && k[0] == 'L' {
+						delete(avail, k)
+					}
+				}
+				continue
+			}
+			if f.multiDef[in.Dst] || f.multiDef[in.A] || f.multiDef[in.B] {
+				continue
+			}
+			key := cseKey(in)
+			if key == "" {
+				continue
+			}
+			if w, ok := avail[key]; ok {
+				*in = irInstr{Op: irCopy, Dst: in.Dst, A: w}
+			} else {
+				avail[key] = in.Dst
+			}
+		}
+		tables[b] = avail
+	}
+}
+
+// succs returns the terminator's successor blocks.
+func (t *terminator) succs() []*block {
+	switch t.Kind {
+	case termJmp:
+		return []*block{t.Then}
+	case termBr:
+		return []*block{t.Then, t.Else}
+	}
+	return nil
+}
+
+// passCopyProp rewrites uses of copy destinations to the copy source,
+// leaving the (now dead) copies for passDCE. Only single-def vregs on
+// both sides participate: a multi-def source could in principle be
+// redefined between the copy and a use, so it is left alone.
+func passCopyProp(f *irFunc) {
+	repl := make(map[vreg]vreg)
+	for _, b := range f.blocks {
+		for _, in := range b.ins {
+			if in.Op == irCopy && !f.multiDef[in.Dst] && !f.multiDef[in.A] {
+				src := in.A
+				if r, ok := repl[src]; ok {
+					src = r
+				}
+				repl[in.Dst] = src
+			}
+		}
+	}
+	if len(repl) == 0 {
+		return
+	}
+	sub := func(v vreg) vreg {
+		if r, ok := repl[v]; ok {
+			return r
+		}
+		return v
+	}
+	for _, b := range f.blocks {
+		for i := range b.ins {
+			in := &b.ins[i]
+			switch in.Op {
+			case irConst, irLoad:
+				// no vreg operands
+			case irCall:
+				for j := range in.Args {
+					in.Args[j] = sub(in.Args[j])
+				}
+			default:
+				in.A = sub(in.A)
+				in.B = sub(in.B)
+			}
+		}
+		switch b.term.Kind {
+		case termBr:
+			b.term.A = sub(b.term.A)
+			if !b.term.UseImm {
+				b.term.B = sub(b.term.B)
+			}
+		case termRet:
+			b.term.Ret = sub(b.term.Ret)
+		}
+	}
+}
+
+// passImmSel selects register-immediate forms: a binary op with one
+// constant operand becomes addi/subi/muli/divi (using commutativity
+// where the ISA lacks a reversed form), and a conditional branch
+// against a constant becomes the immediate comparison the VM's fused
+// compare-and-jump opcodes support, swapping the comparison when the
+// constant is on the left.
+func passImmSel(f *irFunc) {
+	consts := ssaConsts(f)
+	for _, b := range f.blocks {
+		for i := range b.ins {
+			in := &b.ins[i]
+			if in.Op != irStore && f.multiDef[in.Dst] {
+				continue
+			}
+			switch in.Op {
+			case irAdd, irMul:
+				immOp := irAddI
+				if in.Op == irMul {
+					immOp = irMulI
+				}
+				if v, ok := consts[in.B]; ok {
+					*in = irInstr{Op: immOp, Dst: in.Dst, A: in.A, Imm: v}
+				} else if v, ok := consts[in.A]; ok {
+					*in = irInstr{Op: immOp, Dst: in.Dst, A: in.B, Imm: v}
+				}
+			case irSub, irDiv:
+				immOp := irSubI
+				if in.Op == irDiv {
+					immOp = irDivI
+				}
+				if v, ok := consts[in.B]; ok {
+					*in = irInstr{Op: immOp, Dst: in.Dst, A: in.A, Imm: v}
+				}
+			}
+		}
+		t := &b.term
+		if t.Kind != termBr || t.UseImm {
+			continue
+		}
+		if v, ok := consts[t.B]; ok {
+			t.UseImm, t.Imm, t.B = true, v, 0
+		} else if v, ok := consts[t.A]; ok {
+			t.Cmp, t.A, t.B = t.Cmp.swap(), t.B, 0
+			t.UseImm, t.Imm = true, v
+		}
+	}
+}
+
+// instrUses appends the vregs an instruction reads to buf.
+func instrUses(in *irInstr, buf []vreg) []vreg {
+	switch in.Op {
+	case irConst, irLoad:
+		return buf
+	case irCall:
+		return append(buf, in.Args...)
+	case irStore, irCopy, irNeg, irAbs, irNot, irBoo, irAddI, irSubI, irMulI, irDivI:
+		return append(buf, in.A)
+	default: // binary register forms
+		return append(buf, in.A, in.B)
+	}
+}
+
+// termUses appends the vregs a terminator reads to buf.
+func termUses(t *terminator, buf []vreg) []vreg {
+	switch t.Kind {
+	case termBr:
+		buf = append(buf, t.A)
+		if !t.UseImm {
+			buf = append(buf, t.B)
+		}
+	case termRet:
+		buf = append(buf, t.Ret)
+	}
+	return buf
+}
+
+// sideEffecting reports whether an instruction must be kept even when
+// its result is unused. Feature-store writes and the report/action
+// helpers are effects; the pure math helpers and now() are not.
+func sideEffecting(in *irInstr) bool {
+	switch in.Op {
+	case irStore:
+		return true
+	case irCall:
+		switch in.Helper {
+		case vm.HelperSqrt, vm.HelperLog2, vm.HelperNow:
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// passDCE removes blocks unreachable from the entry (e.g. the untaken
+// side of a branch passConstFold decided) and then strips pure
+// instructions whose results are never read, iterating to a fixpoint so
+// whole dead expression trees disappear.
+func passDCE(f *irFunc) {
+	if len(f.blocks) == 0 {
+		return
+	}
+	reach := map[*block]bool{f.blocks[0]: true}
+	kept := f.blocks[:0]
+	for _, b := range f.blocks {
+		if !reach[b] {
+			continue
+		}
+		for _, s := range b.term.succs() {
+			reach[s] = true
+		}
+		b.id = len(kept)
+		kept = append(kept, b)
+	}
+	f.blocks = kept
+
+	uses := make(map[vreg]int)
+	var buf []vreg
+	for _, b := range f.blocks {
+		for i := range b.ins {
+			buf = instrUses(&b.ins[i], buf[:0])
+			for _, v := range buf {
+				uses[v]++
+			}
+		}
+		buf = termUses(&b.term, buf[:0])
+		for _, v := range buf {
+			uses[v]++
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.blocks {
+			live := b.ins[:0]
+			for i := range b.ins {
+				in := b.ins[i]
+				if !sideEffecting(&in) && uses[in.Dst] == 0 {
+					buf = instrUses(&in, buf[:0])
+					for _, v := range buf {
+						uses[v]--
+					}
+					changed = true
+					continue
+				}
+				live = append(live, in)
+			}
+			b.ins = live
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package compile
+
+import "guardrails/internal/vm"
+
+// Peephole: bytecode-level cleanup after codegen. Works on absolute jump
+// targets and iterates to a fixpoint:
+//
+//   - jump threading: a jump whose target is an unconditional jmp is
+//     retargeted past it (targets only move forward, so this terminates);
+//   - jumps (conditional or not) to the next instruction are deleted;
+//   - mov rX, rX is deleted;
+//   - movi rC, imm immediately followed by a compare-and-jump against rC
+//     re-fuses into the immediate jump form when rC is provably dead
+//     afterwards.
+//
+// Deleting an instruction shifts later targets down; a target pointing
+// at a deleted instruction falls through to its successor, which is
+// exactly the deleted no-op's behavior. The result still satisfies the
+// verifier's forward-only jump discipline.
+
+func isJumpOp(op vm.Op) bool {
+	switch op {
+	case vm.OpJmp, vm.OpJEq, vm.OpJNe, vm.OpJLt, vm.OpJLe, vm.OpJGt, vm.OpJGe,
+		vm.OpJEqI, vm.OpJNeI, vm.OpJLtI, vm.OpJLeI, vm.OpJGtI, vm.OpJGeI:
+		return true
+	}
+	return false
+}
+
+// immJumpOf maps a register-form compare-and-jump to its immediate form.
+func immJumpOf(op vm.Op) (vm.Op, bool) {
+	switch op {
+	case vm.OpJEq:
+		return vm.OpJEqI, true
+	case vm.OpJNe:
+		return vm.OpJNeI, true
+	case vm.OpJLt:
+		return vm.OpJLtI, true
+	case vm.OpJLe:
+		return vm.OpJLeI, true
+	case vm.OpJGt:
+		return vm.OpJGtI, true
+	case vm.OpJGe:
+		return vm.OpJGeI, true
+	}
+	return 0, false
+}
+
+// readsReg reports whether an instruction reads register r, per the
+// interpreter's semantics (two-address ALU ops read their destination).
+func readsReg(in vm.Instr, r uint8) bool {
+	switch in.Op {
+	case vm.OpMovI, vm.OpLoad, vm.OpJmp:
+		return false
+	case vm.OpMov:
+		return in.Src == r
+	case vm.OpAdd, vm.OpSub, vm.OpMul, vm.OpDiv, vm.OpMin, vm.OpMax,
+		vm.OpJEq, vm.OpJNe, vm.OpJLt, vm.OpJLe, vm.OpJGt, vm.OpJGe:
+		return in.Dst == r || in.Src == r
+	case vm.OpAddI, vm.OpSubI, vm.OpMulI, vm.OpDivI,
+		vm.OpNeg, vm.OpAbs, vm.OpNot, vm.OpBoo,
+		vm.OpJEqI, vm.OpJNeI, vm.OpJLtI, vm.OpJLeI, vm.OpJGtI, vm.OpJGeI:
+		return in.Dst == r
+	case vm.OpStore:
+		return in.Src == r
+	case vm.OpCall:
+		return r >= 1 && r <= 5
+	case vm.OpExit:
+		return r == 0
+	}
+	return false
+}
+
+// pin is an instruction with its jump offset resolved to an absolute
+// target index, the representation the transforms work on.
+type pin struct {
+	in     vm.Instr
+	target int
+}
+
+// Peephole returns an optimized copy of code. The input slice is not
+// modified.
+func Peephole(code []vm.Instr) []vm.Instr {
+	ins := make([]pin, len(code))
+	for i, in := range code {
+		t := -1
+		if isJumpOp(in.Op) {
+			t = i + 1 + int(in.Off)
+		}
+		ins[i] = pin{in: in, target: t}
+	}
+	remove := func(k int) {
+		ins = append(ins[:k], ins[k+1:]...)
+		for i := range ins {
+			if ins[i].target > k {
+				ins[i].target--
+			}
+		}
+	}
+	targeted := func(k int) bool {
+		for i := range ins {
+			if ins[i].target == k {
+				return true
+			}
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		// Jump threading: hop over unconditional jumps.
+		for i := range ins {
+			if ins[i].target >= 0 && ins[i].target < len(ins) &&
+				ins[ins[i].target].in.Op == vm.OpJmp {
+				nt := ins[ins[i].target].target
+				if nt > ins[i].target {
+					ins[i].target = nt
+					changed = true
+				}
+			}
+		}
+		// Delete no-ops: jumps to the next instruction, self-moves.
+		for i := 0; i < len(ins); i++ {
+			in := ins[i].in
+			if (isJumpOp(in.Op) && ins[i].target == i+1) ||
+				(in.Op == vm.OpMov && in.Dst == in.Src) {
+				remove(i)
+				changed = true
+				i--
+			}
+		}
+		// Re-fuse movi + compare-and-jump into the immediate form. Safe
+		// only when no control flow enters between the pair (a path that
+		// skipped the movi would compare a different value) and the
+		// scratch register is never read again.
+		for i := 0; i+1 < len(ins); i++ {
+			m, j := ins[i].in, ins[i+1].in
+			if m.Op != vm.OpMovI || j.Src != m.Dst || j.Dst == m.Dst {
+				continue
+			}
+			iop, ok := immJumpOf(j.Op)
+			if !ok || targeted(i+1) {
+				continue
+			}
+			dead := true
+			for k := i + 2; k < len(ins); k++ {
+				if readsReg(ins[k].in, m.Dst) {
+					dead = false
+					break
+				}
+			}
+			if !dead {
+				continue
+			}
+			ins[i+1].in = vm.Instr{Op: iop, Dst: j.Dst, Imm: m.Imm}
+			remove(i)
+			changed = true
+		}
+	}
+	out := make([]vm.Instr, len(ins))
+	for i := range ins {
+		out[i] = ins[i].in
+		if ins[i].target >= 0 {
+			out[i].Off = int32(ins[i].target - i - 1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package compile
+
+import (
+	"testing"
+
+	"guardrails/internal/vm"
+)
+
+func TestPeepholeJumpThreading(t *testing.T) {
+	// jmp +1 hops to a jmp +1 which hops to exit: both thread to the
+	// target and then die as jumps-to-next after deletions collapse.
+	code := []vm.Instr{
+		{Op: vm.OpJmp, Off: 1},          // 0 -> 2
+		{Op: vm.OpMovI, Dst: 0, Imm: 1}, // 1 unreachable
+		{Op: vm.OpJmp, Off: 1},          // 2 -> 4
+		{Op: vm.OpMovI, Dst: 0, Imm: 2}, // 3 unreachable
+		{Op: vm.OpMovI, Dst: 0, Imm: 3}, // 4
+		{Op: vm.OpExit},                 // 5
+	}
+	got := Peephole(code)
+	// 0 threads to 4; the chain's middle jump is bypassed.
+	if got[0].Op != vm.OpJmp || got[0].Off != 3 {
+		t.Errorf("jump not threaded: %+v", got)
+	}
+}
+
+func TestPeepholeDeletesJumpToNext(t *testing.T) {
+	code := []vm.Instr{
+		{Op: vm.OpJGt, Dst: 6, Src: 7, Off: 0}, // jump to next: no-op either way
+		{Op: vm.OpMovI, Dst: 0, Imm: 1},
+		{Op: vm.OpExit},
+	}
+	got := Peephole(code)
+	if len(got) != 2 || got[0].Op != vm.OpMovI {
+		t.Errorf("jump-to-next survived: %+v", got)
+	}
+}
+
+func TestPeepholeDeletesSelfMov(t *testing.T) {
+	code := []vm.Instr{
+		{Op: vm.OpMov, Dst: 6, Src: 6},
+		{Op: vm.OpMovI, Dst: 0, Imm: 1},
+		{Op: vm.OpExit},
+	}
+	got := Peephole(code)
+	if len(got) != 2 {
+		t.Errorf("self-mov survived: %+v", got)
+	}
+}
+
+func TestPeepholeRefusesCmpFusion(t *testing.T) {
+	// Register still read after the compare: fusion would lose its value.
+	live := []vm.Instr{
+		{Op: vm.OpMovI, Dst: 7, Imm: 5},
+		{Op: vm.OpJGt, Dst: 6, Src: 7, Off: 1},
+		{Op: vm.OpMov, Dst: 0, Src: 7}, // r7 read here
+		{Op: vm.OpExit},
+		{Op: vm.OpMovI, Dst: 0, Imm: 0},
+		{Op: vm.OpExit},
+	}
+	if got := Peephole(live); len(got) != len(live) || got[1].Op != vm.OpJGt {
+		t.Errorf("fused despite live register: %+v", got)
+	}
+	// Compare is itself a jump target: the path arriving there never ran
+	// the movi, so the immediate would be wrong.
+	targeted := []vm.Instr{
+		{Op: vm.OpJEq, Dst: 6, Src: 6, Off: 1}, // -> pc 2, the compare
+		{Op: vm.OpMovI, Dst: 7, Imm: 5},
+		{Op: vm.OpJGt, Dst: 6, Src: 7, Off: 1},
+		{Op: vm.OpExit},
+		{Op: vm.OpMovI, Dst: 0, Imm: 0},
+		{Op: vm.OpExit},
+	}
+	if got := Peephole(targeted); got[2].Op != vm.OpJGt {
+		t.Errorf("fused despite jump into the pair: %+v", got)
+	}
+}
+
+func TestPeepholeFusesDeadMoviCmp(t *testing.T) {
+	code := []vm.Instr{
+		{Op: vm.OpLoad, Dst: 6, Cell: 0},
+		{Op: vm.OpMovI, Dst: 7, Imm: 0.05},
+		{Op: vm.OpJGt, Dst: 6, Src: 7, Off: 2},
+		{Op: vm.OpMovI, Dst: 0, Imm: 1},
+		{Op: vm.OpExit},
+		{Op: vm.OpMovI, Dst: 0, Imm: 0},
+		{Op: vm.OpExit},
+	}
+	got := Peephole(code)
+	if len(got) != 6 {
+		t.Fatalf("len = %d, want 6: %+v", len(got), got)
+	}
+	j := got[1]
+	if j.Op != vm.OpJGtI || j.Dst != 6 || j.Imm != 0.05 || j.Off != 2 {
+		t.Errorf("bad fusion: %+v", got)
+	}
+	// The fused program still verifies.
+	p := &vm.Program{Name: "fused", Code: got, Symbols: []string{"x"}}
+	if err := vm.Verify(p, vm.NumBuiltinHelpers); err != nil {
+		t.Errorf("fused program fails verification: %v\n%s", err, p)
+	}
+}
+
+func TestPeepholeDoesNotModifyInput(t *testing.T) {
+	code := []vm.Instr{
+		{Op: vm.OpMov, Dst: 6, Src: 6},
+		{Op: vm.OpMovI, Dst: 0, Imm: 1},
+		{Op: vm.OpExit},
+	}
+	orig := make([]vm.Instr, len(code))
+	copy(orig, code)
+	Peephole(code)
+	for i := range code {
+		if code[i] != orig[i] {
+			t.Fatalf("input mutated at %d: %+v != %+v", i, code[i], orig[i])
+		}
+	}
+}

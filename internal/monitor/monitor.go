@@ -500,21 +500,30 @@ func (m *Monitor) dispatchAction(idx int, vals []float64) {
 		})
 		return
 	}
-	// Copy vals: the retry closure may outlive the VM's argument array.
-	name, exec := m.actionExec(m.c.Actions[idx], append([]float64(nil), vals...))
+	// vals aliases the VM's argument registers; actionExec copies what it
+	// needs before any closure can outlive this call, so no allocation
+	// happens on the dispatch path.
+	name, exec := m.actionExec(m.c.Actions[idx], vals)
 	m.runAction(name, exec, 0)
 }
 
 // actionExec binds a compiled action to its backend, returning the
 // rendered action name (for logs and the dead-letter queue) and an
-// idempotent-enough closure the retry machinery can re-run.
+// idempotent-enough closure the retry machinery can re-run. vals may
+// alias the VM's argument registers, which are reused by the next
+// dispatch: anything a closure needs is copied out eagerly here.
 func (m *Monitor) actionExec(act spec.Action, vals []float64) (string, func() error) {
 	switch a := act.(type) {
 	case *spec.ReportAction:
+		var saved [compile.MaxReportArgs]float64
+		n := 0
+		if k := len(a.Args); k > 0 && k <= len(vals) && k <= len(saved) {
+			n = copy(saved[:], vals[:k])
+		}
 		return "REPORT", func() error {
 			v := actions.Violation{Time: m.rt.k.Now(), Guardrail: m.Name(), Context: m.recorderContext()}
-			if n := len(a.Args); n > 0 && n <= len(vals) {
-				v.Values = append(v.Values, vals[:n]...)
+			if n > 0 {
+				v.Values = append(v.Values, saved[:n]...)
 			}
 			m.rt.Log.Append(v)
 			return nil
@@ -545,19 +554,12 @@ func (m *Monitor) actionExec(act spec.Action, vals []float64) (string, func() er
 		// only runs for out-of-band dispatch (fail-closed quarantine):
 		// the VM is unavailable, so only constant values can be applied.
 		return fmt.Sprintf("SAVE(%s)", a.Key), func() error {
-			switch v := compile.Fold(a.Value).(type) {
-			case *spec.NumLit:
-				m.rt.store.Save(a.Key, v.Value)
-			case *spec.BoolLit:
-				var f float64
-				if v.Value {
-					f = 1
-				}
-				m.rt.store.Save(a.Key, f)
-			default:
+			v, ok := compile.ConstEval(a.Value)
+			if !ok {
 				return fmt.Errorf("save %q: value %s is not constant outside the VM",
 					a.Key, spec.ExprString(a.Value))
 			}
+			m.rt.store.Save(a.Key, v)
 			return nil
 		}
 	default:

@@ -10,11 +10,24 @@ import (
 )
 
 // mustCompile asserts that generated spec text goes through the real
-// parser, checker, and compiler.
+// parser, checker, and compiler — at both optimization levels, so the
+// library-generated P1–P6 guardrails keep working whichever way the
+// operator builds them.
 func mustCompile(t *testing.T, src string) {
 	t.Helper()
-	if _, err := compile.Source(src); err != nil {
-		t.Fatalf("generated spec does not compile: %v\n%s", err, src)
+	unopt, err := compile.SourceWith(src, compile.Options{Level: 0})
+	if err != nil {
+		t.Fatalf("generated spec does not compile at -O0: %v\n%s", err, src)
+	}
+	opt, err := compile.SourceWith(src, compile.Options{Level: 1})
+	if err != nil {
+		t.Fatalf("generated spec does not compile at -O1: %v\n%s", err, src)
+	}
+	for i := range opt {
+		if o, u := len(opt[i].Program.Code), len(unopt[i].Program.Code); o > u {
+			t.Errorf("optimization grew %q from %d to %d insns\n%s",
+				opt[i].Name, u, o, opt[i].Program)
+		}
 	}
 }
 

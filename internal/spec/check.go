@@ -62,7 +62,7 @@ func CheckGuardrail(g *Guardrail) error {
 		}
 	}
 	for _, r := range g.Rules {
-		if !isPredicate(r) {
+		if !IsPredicate(r) {
 			return errAt(r.ExprPos(), "rule %s is not a predicate (use a comparison or logical expression)", ExprString(r))
 		}
 		if err := checkExpr(r); err != nil {
@@ -77,9 +77,11 @@ func CheckGuardrail(g *Guardrail) error {
 	return nil
 }
 
-// isPredicate reports whether the expression's top-level construct
-// yields a truth value.
-func isPredicate(e Expr) bool {
+// IsPredicate reports whether the expression's top-level construct
+// yields a truth value. The checker uses it to validate rules and the
+// compiler's lowerer uses it to pick condition lowering (direct
+// conditional branches) over value lowering.
+func IsPredicate(e Expr) bool {
 	switch n := e.(type) {
 	case *BoolLit:
 		return true
@@ -90,7 +92,7 @@ func isPredicate(e Expr) bool {
 		case TokLt, TokLe, TokGt, TokGe, TokEq, TokNe:
 			return true
 		case TokAnd, TokOr:
-			return isPredicate(n.X) && isPredicate(n.Y)
+			return IsPredicate(n.X) && IsPredicate(n.Y)
 		}
 	}
 	return false

@@ -1,0 +1,48 @@
+package spec
+
+// Static expression facts the compiler's lowerer and IR passes need.
+// They live here rather than in package compile because they are
+// properties of the language, not of any particular backend.
+
+// ConstValue returns the value of a literal expression. BoolLit follows
+// the numeric truthiness convention (true = 1, false = 0). Non-literal
+// expressions return (0, false); use the compiler's constant-folding
+// pass to reduce compound constant expressions first.
+func ConstValue(e Expr) (float64, bool) {
+	switch n := e.(type) {
+	case *NumLit:
+		return n.Value, true
+	case *BoolLit:
+		if n.Value {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// Pure reports whether evaluating e is free of environment reads other
+// than the feature store: it contains no now() call. Pure expressions
+// over constant operands may be evaluated at compile time; impure ones
+// must reach the runtime.
+func Pure(e Expr) bool {
+	switch n := e.(type) {
+	case *NumLit, *BoolLit, *LoadExpr, *IdentExpr:
+		return true
+	case *UnaryExpr:
+		return Pure(n.X)
+	case *BinaryExpr:
+		return Pure(n.X) && Pure(n.Y)
+	case *CallExpr:
+		if n.Fn == "now" {
+			return false
+		}
+		for _, a := range n.Args {
+			if !Pure(a) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

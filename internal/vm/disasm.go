@@ -1,0 +1,57 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Annotated disassembles the program with basic-block structure made
+// explicit: every jump target gets an L<n> label line, and jump
+// instructions are annotated with the label they resolve to instead of
+// leaving the reader to add offsets. The compiler's -S output uses this
+// form so the bytecode can be read side by side with the IR dump.
+func (p *Program) Annotated() string {
+	// Label jump targets in program order.
+	labels := map[int]int{}
+	for i, in := range p.Code {
+		switch in.Op {
+		case OpJmp, OpJEq, OpJNe, OpJLt, OpJLe, OpJGt, OpJGe,
+			OpJEqI, OpJNeI, OpJLtI, OpJLeI, OpJGtI, OpJGeI:
+			t := i + 1 + int(in.Off)
+			if _, ok := labels[t]; !ok {
+				labels[t] = 0
+			}
+		}
+	}
+	order := make([]int, 0, len(labels))
+	for t := range labels {
+		order = append(order, t)
+	}
+	for i := range order { // insertion sort: target sets are tiny
+		for j := i; j > 0 && order[j] < order[j-1]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for n, t := range order {
+		labels[t] = n
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "; program %q (%d insns, %d symbols)\n", p.Name, len(p.Code), len(p.Symbols))
+	if p.Meta.OptLevel > 0 && p.Meta.PreOptInsns > 0 {
+		fmt.Fprintf(&b, "; -O%d: %d insns before optimization\n", p.Meta.OptLevel, p.Meta.PreOptInsns)
+	}
+	for i, in := range p.Code {
+		if n, ok := labels[i]; ok {
+			fmt.Fprintf(&b, "L%d:\n", n)
+		}
+		fmt.Fprintf(&b, "%4d: %s", i, p.fmtInstr(in))
+		switch in.Op {
+		case OpJmp, OpJEq, OpJNe, OpJLt, OpJLe, OpJGt, OpJGe,
+			OpJEqI, OpJNeI, OpJLtI, OpJLeI, OpJGtI, OpJGeI:
+			fmt.Fprintf(&b, "  ; -> L%d", labels[i+1+int(in.Off)])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

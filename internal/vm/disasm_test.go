@@ -1,0 +1,48 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnnotatedDisassembly(t *testing.T) {
+	b := NewBuilder("anno")
+	b.Sym("x")
+	b.Load(6, "x")
+	b.JmpIfI(OpJGtI, 6, 1, "big")
+	b.MovI(0, 0)
+	b.Exit()
+	b.Label("big")
+	b.Jmp("out")
+	b.MovI(0, 2) // unreachable, jumped over
+	b.Label("out")
+	b.MovI(0, 1)
+	b.Exit()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.Annotated()
+	for _, want := range []string{
+		"; program \"anno\"",
+		"L0:", "L1:", // both jump targets labeled
+		"; -> L0", "; -> L1", // both jumps annotated
+		"[x]",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Annotated() missing %q:\n%s", want, got)
+		}
+	}
+	// Labels appear in program order: L0 before L1.
+	if strings.Index(got, "L0:") > strings.Index(got, "L1:") {
+		t.Errorf("labels out of order:\n%s", got)
+	}
+	// Meta provenance line appears only for optimized programs.
+	if strings.Contains(got, "before optimization") {
+		t.Errorf("unoptimized program claims provenance:\n%s", got)
+	}
+	p.Meta = ProgramMeta{OptLevel: 1, PreOptInsns: 12, PostOptInsns: len(p.Code)}
+	if !strings.Contains(p.Annotated(), "; -O1: 12 insns before optimization") {
+		t.Errorf("missing provenance line:\n%s", p.Annotated())
+	}
+}

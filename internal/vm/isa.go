@@ -145,6 +145,23 @@ type Program struct {
 	// Symbols names the feature-store cells addressed by OpLoad/OpStore
 	// Cell indices.
 	Symbols []string
+	// Meta records how the program was produced. It is advisory (not part
+	// of the serialized image): programs decoded from an image carry a
+	// zero Meta.
+	Meta ProgramMeta
+}
+
+// ProgramMeta is compiler provenance attached to a Program: the
+// optimization level it was built at and the instruction counts before
+// and after optimization, for overhead accounting.
+type ProgramMeta struct {
+	// OptLevel is the compile.Options.Level the program was built at.
+	OptLevel int
+	// PreOptInsns is the instruction count of the straight-lowered
+	// program before any IR passes or peephole cleanup ran.
+	PreOptInsns int
+	// PostOptInsns is the final instruction count (len(Code)).
+	PostOptInsns int
 }
 
 // String disassembles the program.
