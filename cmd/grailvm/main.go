@@ -67,6 +67,7 @@ func main() {
 	}
 
 	sys := guardrails.NewSystem()
+	sink := sys.AttachTelemetry(256)
 	for _, kv := range sets {
 		parts := strings.SplitN(kv, "=", 2)
 		if len(parts) != 2 {
@@ -103,6 +104,10 @@ func main() {
 		fmt.Println("\nfeature store after evaluation:")
 		fmt.Print(indent(sys.Store.Dump()))
 	}
+	t := sink.Snapshot()
+	fmt.Printf("\ntelemetry: %d evals, %d violations, %d actions fired, %d VM steps, %d store loads, %d store saves\n",
+		t.Counters["evals_total"], t.Counters["violations_total"], t.Counters["actions_fired_total"],
+		t.Counters["vm_steps_total"], t.Counters["featurestore_loads_total"], t.Counters["featurestore_saves_total"])
 	os.Exit(exit)
 }
 

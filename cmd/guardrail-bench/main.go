@@ -6,26 +6,53 @@
 //
 //	guardrail-bench [-seed N] [-only fig2,p1,p2,p3,p4,p5,p6,osc,trig,vm,chaos]
 //	guardrail-bench -chaos        (just the fault-injection run)
+//	guardrail-bench -only fig2 -metrics-out metrics.json -trace-out trace.json
+//	guardrail-bench -only fig2 -bench-out BENCH_fig2.json
 //
 // The chaos experiment (also selectable as -only chaos) reruns Figure 2
 // under the standard fault plan and reports the fault audit and the
 // breaker's recovery latency.
+//
+// The telemetry flags apply to the Figure 2 run: -metrics-out writes
+// the guarded system's counter/histogram snapshot as JSON, -trace-out
+// writes its flight recorder as Chrome trace_event JSON (loadable in
+// Perfetto or chrome://tracing), and -bench-out writes the
+// deterministic per-config latency/violation summary committed as
+// BENCH_fig2.json.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"guardrails/internal/experiments"
 	"guardrails/internal/kernel"
+	"guardrails/internal/telemetry"
 )
+
+// writeFile streams one export (snapshot, trace, bench summary) to path.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	chaos := flag.Bool("chaos", false, "run only the fault-injection chaos experiment")
+	metricsOut := flag.String("metrics-out", "", "write the fig2 guarded system's telemetry snapshot (JSON) to this file")
+	traceOut := flag.String("trace-out", "", "write the fig2 guarded system's flight recorder (Chrome trace_event JSON) to this file")
+	benchOut := flag.String("bench-out", "", "write the fig2 per-config benchmark summary (JSON) to this file")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -45,9 +72,32 @@ func main() {
 	}
 	exps := []experiment{
 		{"fig2", func() (string, error) {
-			r, err := experiments.RunFig2(experiments.DefaultFig2Config(*seed))
+			cfg := experiments.DefaultFig2Config(*seed)
+			cfg.CollectLatencies = *benchOut != ""
+			var sink *telemetry.Sink
+			if *metricsOut != "" || *traceOut != "" {
+				sink = telemetry.New(nil, 8192)
+				cfg.Telemetry = sink
+			}
+			r, err := experiments.RunFig2(cfg)
 			if err != nil {
 				return "", err
+			}
+			if *metricsOut != "" {
+				if err := writeFile(*metricsOut, sink.WriteJSON); err != nil {
+					return "", fmt.Errorf("fig2: metrics-out: %w", err)
+				}
+			}
+			if *traceOut != "" {
+				if err := writeFile(*traceOut, sink.WriteTrace); err != nil {
+					return "", fmt.Errorf("fig2: trace-out: %w", err)
+				}
+			}
+			if *benchOut != "" {
+				b := experiments.NewBenchFig2(cfg, r)
+				if err := writeFile(*benchOut, b.WriteJSON); err != nil {
+					return "", fmt.Errorf("fig2: bench-out: %w", err)
+				}
 			}
 			return r.Render(), nil
 		}},

@@ -1,11 +1,13 @@
 // Command quickstart shows the guardrails framework end to end in fifty
 // lines: declare a guardrail over a (mock) learned policy's signals,
 // load it into a simulated system, and watch it detect a violation and
-// flip the policy's control knob.
+// flip the policy's control knob — with the telemetry plane attached,
+// so the run ends with a Prometheus-style metrics page.
 package main
 
 import (
 	"fmt"
+	"os"
 
 	"guardrails"
 )
@@ -28,6 +30,7 @@ guardrail low-false-submit {
 
 func main() {
 	sys := guardrails.NewSystem()
+	telemetry := sys.AttachTelemetry(1024)
 	sys.Store.Save("ml_enabled", 1)
 
 	mons, err := sys.LoadGuardrails(spec, guardrails.Options{})
@@ -61,5 +64,10 @@ func main() {
 		st.Evals, st.Violations, st.ActionsFired)
 	for _, v := range sys.Runtime.Log.Recent(3) {
 		fmt.Println("violation:", v)
+	}
+
+	fmt.Println("\n-- telemetry (Prometheus exposition) --")
+	if err := telemetry.WritePrometheus(os.Stdout); err != nil {
+		panic(err)
 	}
 }

@@ -62,6 +62,7 @@ import (
 	"guardrails/internal/kernel"
 	"guardrails/internal/monitor"
 	"guardrails/internal/spec"
+	"guardrails/internal/telemetry"
 	"guardrails/internal/vm"
 )
 
@@ -132,6 +133,18 @@ type (
 	FaultInjectorImpl = faults.Injector
 	// Injection is one delivered fault, for auditing.
 	Injection = faults.Injection
+	// Telemetry is the kernel-wide observability plane: counters,
+	// latency histograms, and a flight-recorder event ring. A nil
+	// *Telemetry is the disabled plane (zero overhead); attach one with
+	// System.AttachTelemetry.
+	Telemetry = telemetry.Sink
+	// TelemetrySnapshot is a point-in-time, diffable export of a
+	// telemetry sink.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TelemetryEvent is one flight-recorder event.
+	TelemetryEvent = telemetry.Event
+	// FlightRecorder is the bounded event ring inside a telemetry sink.
+	FlightRecorder = telemetry.Flight
 )
 
 // Simulated-time units.
@@ -214,6 +227,24 @@ func NewSystem() *System {
 func (s *System) LoadGuardrails(src string, opts Options) ([]*Monitor, error) {
 	return s.Runtime.LoadSource(src, opts)
 }
+
+// AttachTelemetry builds a telemetry sink whose flight recorder retains
+// eventCap events, binds its clock to the system's simulated kernel,
+// and wires it into the kernel's hook dispatch, the monitor runtime,
+// and the feature store. Storage devices and arrays are wired
+// separately (Device.SetTelemetry / Array.SetTelemetry) since the
+// System does not own them. Returns the sink for export
+// (WriteJSON / WritePrometheus / WriteTrace).
+func (s *System) AttachTelemetry(eventCap int) *Telemetry {
+	sink := telemetry.New(func() telemetry.Time { return int64(s.Kernel.Now()) }, eventCap)
+	s.Kernel.SetTelemetry(sink)
+	s.Store.SetTelemetry(sink)
+	s.Runtime.SetTelemetry(sink)
+	return sink
+}
+
+// Telemetry returns the sink attached to the system's runtime, or nil.
+func (s *System) Telemetry() *Telemetry { return s.Runtime.Telemetry() }
 
 // ParseSpec parses and semantically checks guardrail specification text.
 func ParseSpec(src string) (*File, error) {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"guardrails/internal/featurestore"
@@ -9,6 +10,7 @@ import (
 	"guardrails/internal/linnos"
 	"guardrails/internal/monitor"
 	"guardrails/internal/storage"
+	"guardrails/internal/telemetry"
 	"guardrails/internal/trace"
 )
 
@@ -37,6 +39,13 @@ type Fig2Config struct {
 	ShiftSeconds int
 	// SampleEvery is the moving-average sampling period.
 	SampleEvery kernel.Time
+	// Telemetry, when non-nil, is attached to the guarded stack (kernel
+	// hook dispatch, monitor runtime, feature store, storage array); its
+	// clock is bound to the guarded kernel.
+	Telemetry *telemetry.Sink
+	// CollectLatencies gathers every read's latency for the exact
+	// percentile summaries in Fig2Result (BENCH_fig2.json input).
+	CollectLatencies bool
 }
 
 // DefaultFig2Config returns the standard experiment: 20 s calm phase,
@@ -74,6 +83,46 @@ type Fig2Result struct {
 	CalmUS float64
 	// FalseSubmitRateAtTrigger is the rate the guardrail saw.
 	FalseSubmitRateAtTrigger float64
+	// GuardedRead / UnguardedRead are exact whole-run read-latency
+	// percentiles, filled when Fig2Config.CollectLatencies is set.
+	GuardedRead   LatencySummary
+	UnguardedRead LatencySummary
+	// GuardedMonitorStats is the Listing 2 monitor's final accounting.
+	GuardedMonitorStats monitor.Stats
+}
+
+// LatencySummary is an exact (sorted-sample) latency summary in
+// microseconds.
+type LatencySummary struct {
+	Count  int     `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
+}
+
+// summarizeLatencies computes exact percentiles from per-read latencies
+// (simulated ns), reported in µs. The input slice is sorted in place.
+func summarizeLatencies(ns []float64) LatencySummary {
+	if len(ns) == 0 {
+		return LatencySummary{}
+	}
+	sort.Float64s(ns)
+	var sum float64
+	for _, v := range ns {
+		sum += v
+	}
+	q := func(p float64) float64 {
+		i := int(p * float64(len(ns)-1))
+		return ns[i] / 1e3
+	}
+	return LatencySummary{
+		Count:  len(ns),
+		MeanUS: sum / float64(len(ns)) / 1e3,
+		P50US:  q(0.50),
+		P95US:  q(0.95),
+		P99US:  q(0.99),
+	}
 }
 
 // fig2System is one complete LinnOS stack (kernel, store, array, engine).
@@ -83,6 +132,11 @@ type fig2System struct {
 	arr    *storage.Array
 	engine *linnos.Engine
 	wl     *linnos.MixedWorkload
+
+	// readLats accumulates per-read latencies (simulated ns) when
+	// collect is set, for the exact bench percentiles.
+	collect  bool
+	readLats []float64
 }
 
 // stackParams tune the LinnOS stack for an experiment.
@@ -172,7 +226,10 @@ func (s *fig2System) run(until kernel.Time) {
 		if op.Write {
 			s.engine.Write(op.At, op.LBA)
 		} else {
-			s.engine.Read(op.At, op.LBA)
+			lat, _ := s.engine.Read(op.At, op.LBA)
+			if s.collect {
+				s.readLats = append(s.readLats, float64(lat))
+			}
 		}
 	}
 }
@@ -232,7 +289,20 @@ func RunFig2(cfg Fig2Config) (*Fig2Result, error) {
 		return nil, err
 	}
 
+	guarded.collect = cfg.CollectLatencies
+	unguarded.collect = cfg.CollectLatencies
+
 	rt := monitor.New(guarded.k, guarded.st)
+	if cfg.Telemetry != nil {
+		// The guarded stack is the instrumented one: hook dispatch,
+		// monitor evaluations, feature-store traffic, and storage GC all
+		// flow into the one sink.
+		cfg.Telemetry.SetClock(func() telemetry.Time { return int64(guarded.k.Now()) })
+		guarded.k.SetTelemetry(cfg.Telemetry)
+		guarded.st.SetTelemetry(cfg.Telemetry)
+		guarded.arr.SetTelemetry(cfg.Telemetry)
+		rt.SetTelemetry(cfg.Telemetry)
+	}
 	ms, err := rt.LoadSource(Listing2, monitor.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("fig2: loading guardrail: %w", err)
@@ -279,6 +349,11 @@ func RunFig2(cfg Fig2Config) (*Fig2Result, error) {
 	}
 	res.GuardedTailUS = gSum / float64(tail)
 	res.UnguardedTailUS = uSum / float64(tail)
+	res.GuardedMonitorStats = mon.Stats()
+	if cfg.CollectLatencies {
+		res.GuardedRead = summarizeLatencies(guarded.readLats)
+		res.UnguardedRead = summarizeLatencies(unguarded.readLats)
+	}
 	return res, nil
 }
 

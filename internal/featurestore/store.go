@@ -18,6 +18,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"guardrails/internal/telemetry"
 )
 
 // ID is a dense handle for an interned key.
@@ -44,6 +46,7 @@ type Store struct {
 	names    []string
 	cells    atomic.Pointer[[]*cell] // copy-on-write slice, grown under mu
 	watchers atomic.Pointer[map[ID][]WatchFunc]
+	tsink    atomic.Pointer[telemetry.Sink]
 
 	objMu   sync.RWMutex
 	objects map[string]any
@@ -61,6 +64,11 @@ func New() *Store {
 	s.watchers.Store(&w)
 	return s
 }
+
+// SetTelemetry attaches (or with nil, detaches) a telemetry sink that
+// counts cell reads and writes — the feature-store traffic guardrail
+// monitors generate. Safe to call concurrently with readers.
+func (s *Store) SetTelemetry(t *telemetry.Sink) { s.tsink.Store(t) }
 
 // Intern returns the ID for name, creating the cell if needed.
 func (s *Store) Intern(name string) ID {
@@ -138,6 +146,7 @@ func (s *Store) SaveID(id ID, value float64) {
 	if c == nil {
 		return
 	}
+	s.tsink.Load().StoreSave()
 	c.bits.Store(math.Float64bits(value))
 	c.seq.Add(1)
 	ws := *s.watchers.Load()
@@ -155,6 +164,7 @@ func (s *Store) LoadID(id ID) float64 {
 	if c == nil {
 		return 0
 	}
+	s.tsink.Load().StoreLoad()
 	return math.Float64frombits(c.bits.Load())
 }
 

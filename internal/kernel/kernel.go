@@ -24,6 +24,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"guardrails/internal/telemetry"
 )
 
 // Time is simulated time in nanoseconds since boot.
@@ -105,6 +108,8 @@ type Kernel struct {
 	fireCount  map[string]uint64
 	panicGuard atomic.Value // PanicHandler
 	hookPanics atomic.Uint64
+
+	tsink atomic.Pointer[telemetry.Sink]
 
 	tasksMu sync.Mutex
 	tasks   map[TaskID]*Task
@@ -276,6 +281,16 @@ func (k *Kernel) SetHookPanicHandler(h PanicHandler) {
 // HookPanics returns how many hook panics the panic handler absorbed.
 func (k *Kernel) HookPanics() uint64 { return k.hookPanics.Load() }
 
+// SetTelemetry attaches (or with nil, detaches) a telemetry sink.
+// Every subsequent Fire records a hook-fire event and charges the
+// wall-clock cost of dispatching the site's callbacks — the real
+// overhead the attached monitors add — to the site's latency histogram.
+// Safe to call while the kernel runs.
+func (k *Kernel) SetTelemetry(s *telemetry.Sink) { k.tsink.Store(s) }
+
+// Telemetry returns the attached sink, or nil.
+func (k *Kernel) Telemetry() *telemetry.Sink { return k.tsink.Load() }
+
 // Fire invokes all hooks attached to site, in attach order. Subsystem
 // simulators call this at their instrumentation points — the analogue of
 // a kprobe firing.
@@ -288,12 +303,25 @@ func (k *Kernel) Fire(site string, args ...float64) {
 	if h, ok := k.panicGuard.Load().(PanicHandler); ok && h != nil {
 		guard = h
 	}
+	sink := k.tsink.Load()
+	var wallStart time.Time
+	if sink != nil {
+		arg := 0.0
+		if len(args) > 0 {
+			arg = args[0]
+		}
+		sink.HookFire(int64(k.Now()), site, arg)
+		wallStart = time.Now()
+	}
 	for _, s := range slots {
 		if guard == nil {
 			s.fn(k, site, args)
 			continue
 		}
 		k.fireGuarded(s.fn, site, args, guard)
+	}
+	if sink != nil {
+		sink.HookDispatched(site, float64(time.Since(wallStart)))
 	}
 }
 

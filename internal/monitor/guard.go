@@ -5,6 +5,7 @@ import (
 
 	"guardrails/internal/actions"
 	"guardrails/internal/kernel"
+	"guardrails/internal/telemetry"
 	"guardrails/internal/vm"
 )
 
@@ -116,6 +117,7 @@ func (m *Monitor) recordFault(kind string, err error) {
 	m.mu.Lock()
 	m.stats.Traps++
 	m.mu.Unlock()
+	m.rt.Telemetry().Fault(int64(now), m.Name(), kind)
 	m.rt.Log.Append(actions.Violation{
 		Time: now, Guardrail: m.Name(),
 		Note: fmt.Sprintf("monitor fault [%s]: %v", kind, err),
@@ -171,6 +173,7 @@ func (m *Monitor) quarantine(reason string) {
 	policy := m.opts.OnFault
 	cooldown := m.opts.Cooldown
 	m.mu.Unlock()
+	m.rt.Telemetry().Transition(int64(now), m.Name(), telemetry.KindQuarantine, reason)
 	m.rt.Log.Append(actions.Violation{
 		Time: now, Guardrail: m.Name(),
 		Note: fmt.Sprintf("quarantined (%s): %s", policy, reason),
@@ -180,7 +183,7 @@ func (m *Monitor) quarantine(reason string) {
 			m.opts.Fallback(m)
 		} else {
 			for i := range m.c.Actions {
-				m.dispatchAction(i, nil)
+				m.dispatchAction(i, nil, now)
 			}
 		}
 	}
@@ -201,6 +204,7 @@ func (m *Monitor) rearm(how string) {
 	m.faultTimes = m.faultTimes[:0]
 	policy := m.opts.OnFault
 	m.mu.Unlock()
+	m.rt.Telemetry().Transition(int64(m.rt.k.Now()), m.Name(), telemetry.KindRearm, how)
 	m.rt.Log.Append(actions.Violation{
 		Time: m.rt.k.Now(), Guardrail: m.Name(),
 		Note: fmt.Sprintf("rearmed (%s)", how),
@@ -228,6 +232,7 @@ func (m *Monitor) accountBudget(steps uint64, now kernel.Time) {
 			m.state = StateActive
 			m.stats.ShadowPromotions++
 			m.mu.Unlock()
+			m.rt.Telemetry().Transition(int64(now), m.Name(), telemetry.KindShadowExit, "budget window reset")
 			m.rt.Log.Append(actions.Violation{
 				Time: now, Guardrail: m.Name(),
 				Note: "budget window reset: promoted from shadow mode",
@@ -241,6 +246,7 @@ func (m *Monitor) accountBudget(steps uint64, now kernel.Time) {
 		m.stats.ShadowDemotions++
 		used := m.windowSteps
 		m.mu.Unlock()
+		m.rt.Telemetry().Transition(int64(now), m.Name(), telemetry.KindShadowEnter, "over budget")
 		m.rt.Log.Append(actions.Violation{
 			Time: now, Guardrail: m.Name(),
 			Note: fmt.Sprintf("over budget (%d VM steps > %d per %s): degraded to shadow mode",
@@ -254,8 +260,11 @@ func (m *Monitor) accountBudget(steps uint64, now kernel.Time) {
 // runAction executes one dispatched action with injection, retry, and
 // dead-letter semantics. attempt is zero-based; failures retry with
 // exponential backoff (RetryBase << attempt) until RetryMax retries
-// are spent, then land in the runtime's dead-letter queue.
-func (m *Monitor) runAction(name string, exec func() error, attempt int) {
+// are spent, then land in the runtime's dead-letter queue. trig is the
+// simulated time of the triggering hook; retry notes carry it so a log
+// reader can correlate a late retry back to the violation that caused
+// it.
+func (m *Monitor) runAction(name string, exec func() error, attempt int, trig kernel.Time) {
 	var err error
 	if inj := m.rt.injector(); inj != nil {
 		err = inj.ActionFault(m.Name(), name)
@@ -264,11 +273,13 @@ func (m *Monitor) runAction(name string, exec func() error, attempt int) {
 		err = exec()
 	}
 	now := m.rt.k.Now()
+	sink := m.rt.Telemetry()
+	sink.Action(int64(now), m.Name(), name, attempt, err == nil)
 	if err == nil {
 		if attempt > 0 {
 			m.rt.Log.Append(actions.Violation{
 				Time: now, Guardrail: m.Name(),
-				Note: fmt.Sprintf("action %s recovered (attempt %d)", name, attempt+1),
+				Note: fmt.Sprintf("action %s recovered (attempt %d) [triggered at %s]", name, attempt+1, trig),
 			})
 		}
 		return
@@ -280,13 +291,14 @@ func (m *Monitor) runAction(name string, exec func() error, attempt int) {
 	m.mu.Unlock()
 	m.rt.Log.Append(actions.Violation{
 		Time: now, Guardrail: m.Name(),
-		Note: fmt.Sprintf("action %s failed (attempt %d): %v", name, attempt+1, err),
+		Note: fmt.Sprintf("action %s failed (attempt %d) [triggered at %s]: %v", name, attempt+1, trig, err),
 	})
 	m.breakerHit(now)
 	if attempt >= retryMax {
 		m.mu.Lock()
 		m.stats.DeadLetters++
 		m.mu.Unlock()
+		sink.DeadLetter(int64(now), m.Name(), name)
 		if m.rt.DeadLetter != nil {
 			m.rt.DeadLetter.Add(actions.FailedAction{
 				Time: now, Guardrail: m.Name(), Action: name,
@@ -298,5 +310,6 @@ func (m *Monitor) runAction(name string, exec func() error, attempt int) {
 	m.mu.Lock()
 	m.stats.Retries++
 	m.mu.Unlock()
-	m.rt.k.After(base<<attempt, func() { m.runAction(name, exec, attempt+1) })
+	sink.ActionRetry(int64(now), m.Name(), name, attempt+1)
+	m.rt.k.After(base<<attempt, func() { m.runAction(name, exec, attempt+1, trig) })
 }

@@ -133,6 +133,10 @@ type Stats struct {
 	VMSteps uint64
 	// LastResult is 1 if the most recent evaluation held, 0 if violated.
 	LastResult float64
+	// LastTriggerAt is the simulated time of the hook fire or timer tick
+	// that caused the most recent evaluation. Reports and retry notes
+	// carry this trigger time, not the (possibly later) dispatch time.
+	LastTriggerAt kernel.Time
 
 	// --- self-protection counters (see guard.go) ----------------------
 
@@ -185,6 +189,11 @@ type Monitor struct {
 	// substitute served when a read comes back corrupt. Only touched
 	// while running is held.
 	lastGood []float64
+
+	// trigAt is the simulated time of the trigger that started the
+	// in-flight evaluation. Only touched while running is held; action
+	// closures copy it out so retries keep the original trigger time.
+	trigAt kernel.Time
 
 	mu      sync.Mutex // guards everything below
 	enabled bool
@@ -310,6 +319,14 @@ func (m *Monitor) Evaluate(arg float64) bool {
 	shadow := m.opts.ShadowMode || m.state == StateShadow
 	m.mu.Unlock()
 
+	// The trigger time: hook fires and timer ticks run at the current
+	// simulated instant, so Now() here is the triggering hook's
+	// timestamp. Reports and retries carry this, not their own later
+	// dispatch times.
+	trig := m.rt.k.Now()
+	m.trigAt = trig
+	sink := m.rt.Telemetry()
+
 	if inj := m.rt.injector(); inj != nil {
 		if err := inj.EvalFault(m.Name()); err != nil {
 			m.recordFault("injected-trap", err)
@@ -326,9 +343,11 @@ func (m *Monitor) Evaluate(arg float64) bool {
 	m.mu.Lock()
 	m.stats.Evals++
 	m.stats.VMSteps = m.machine.Steps
+	m.stats.LastTriggerAt = trig
 	m.mu.Unlock()
 
 	if err != nil {
+		sink.Eval(int64(trig), m.Name(), m.machine.Steps-before, true)
 		m.recordFault(trapKind(err), err)
 		m.accountBudget(m.machine.Steps-before, now)
 		return true
@@ -339,6 +358,7 @@ func (m *Monitor) Evaluate(arg float64) bool {
 	held := out != 0
 	fireRecover := false
 	twoPhase := false
+	fired := false
 	if held {
 		m.violStreak = 0
 		if m.inEpisode {
@@ -363,6 +383,7 @@ func (m *Monitor) Evaluate(arg float64) bool {
 				twoPhase = true
 			default:
 				m.stats.ActionsFired++
+				fired = true
 			}
 		}
 	}
@@ -379,6 +400,7 @@ func (m *Monitor) Evaluate(arg float64) bool {
 		m.stats.VMSteps = m.machine.Steps
 		if err == nil {
 			m.stats.ActionsFired++
+			fired = true
 		} else {
 			m.stats.DispatchErrors++
 		}
@@ -396,6 +418,13 @@ func (m *Monitor) Evaluate(arg float64) bool {
 			v = 1
 		}
 		m.rt.store.Save("guardrail."+m.Name()+".violated", v)
+	}
+	// The eval record covers both phases of a two-phase evaluation, so
+	// its step count (and virtual trace duration) is the evaluation's
+	// whole overhead.
+	sink.Eval(int64(trig), m.Name(), m.machine.Steps-before, held)
+	if fired {
+		sink.ActionsFired(int64(trig), m.Name())
 	}
 	m.accountBudget(m.machine.Steps-before, now)
 	return held
@@ -460,18 +489,18 @@ func (m *Monitor) Helper(h vm.HelperID, args *[5]float64) (float64, error) {
 	case vm.HelperReport:
 		if !m.suppressActions {
 			v := actions.Violation{
-				Time: m.rt.k.Now(), Guardrail: m.Name(), Values: []float64{args[0]},
+				Time: m.trigAt, Guardrail: m.Name(), Values: []float64{args[0]},
 				Context: m.recorderContext(),
 			}
 			m.runAction("REPORT", func() error {
 				m.rt.Log.Append(v)
 				return nil
-			}, 0)
+			}, 0, m.trigAt)
 		}
 		return 0, nil
 	case vm.HelperAction:
 		if !m.suppressActions {
-			m.dispatchAction(int(args[0]), args[1:])
+			m.dispatchAction(int(args[0]), args[1:], m.trigAt)
 		}
 		return 0, nil
 	default:
@@ -489,13 +518,16 @@ func (m *Monitor) recorderContext() []featurestore.Write {
 
 // dispatchAction interprets a compiled action index against the
 // guardrail's action list and runs it through the retry machinery.
-func (m *Monitor) dispatchAction(idx int, vals []float64) {
+// trig is the simulated time of the triggering hook (or, for
+// out-of-band dispatch such as a fail-closed fallback, the dispatch
+// time itself).
+func (m *Monitor) dispatchAction(idx int, vals []float64, trig kernel.Time) {
 	if idx < 0 || idx >= len(m.c.Actions) {
 		m.mu.Lock()
 		m.stats.DispatchErrors++
 		m.mu.Unlock()
 		m.rt.Log.Append(actions.Violation{
-			Time: m.rt.k.Now(), Guardrail: m.Name(),
+			Time: trig, Guardrail: m.Name(),
 			Note: fmt.Sprintf("action dispatch failed: no action at index %d", idx),
 		})
 		return
@@ -503,8 +535,8 @@ func (m *Monitor) dispatchAction(idx int, vals []float64) {
 	// vals aliases the VM's argument registers; actionExec copies what it
 	// needs before any closure can outlive this call, so no allocation
 	// happens on the dispatch path.
-	name, exec := m.actionExec(m.c.Actions[idx], vals)
-	m.runAction(name, exec, 0)
+	name, exec := m.actionExec(m.c.Actions[idx], vals, trig)
+	m.runAction(name, exec, 0, trig)
 }
 
 // actionExec binds a compiled action to its backend, returning the
@@ -512,7 +544,7 @@ func (m *Monitor) dispatchAction(idx int, vals []float64) {
 // idempotent-enough closure the retry machinery can re-run. vals may
 // alias the VM's argument registers, which are reused by the next
 // dispatch: anything a closure needs is copied out eagerly here.
-func (m *Monitor) actionExec(act spec.Action, vals []float64) (string, func() error) {
+func (m *Monitor) actionExec(act spec.Action, vals []float64, trig kernel.Time) (string, func() error) {
 	switch a := act.(type) {
 	case *spec.ReportAction:
 		var saved [compile.MaxReportArgs]float64
@@ -521,7 +553,7 @@ func (m *Monitor) actionExec(act spec.Action, vals []float64) (string, func() er
 			n = copy(saved[:], vals[:k])
 		}
 		return "REPORT", func() error {
-			v := actions.Violation{Time: m.rt.k.Now(), Guardrail: m.Name(), Context: m.recorderContext()}
+			v := actions.Violation{Time: trig, Guardrail: m.Name(), Context: m.recorderContext()}
 			if n > 0 {
 				v.Values = append(v.Values, saved[:n]...)
 			}

@@ -24,6 +24,7 @@ import (
 	"guardrails/internal/compile"
 	"guardrails/internal/featurestore"
 	"guardrails/internal/kernel"
+	"guardrails/internal/telemetry"
 )
 
 // Runtime hosts loaded guardrail monitors and the shared action
@@ -45,6 +46,7 @@ type Runtime struct {
 	DeadLetter *actions.DeadLetter
 
 	faultInj atomic.Value // injBox
+	tsink    atomic.Pointer[telemetry.Sink]
 
 	mu       sync.Mutex
 	monitors map[string]*Monitor
@@ -66,6 +68,16 @@ func (r *Runtime) injector() FaultInjector {
 	}
 	return nil
 }
+
+// SetTelemetry attaches (or with nil, detaches) a telemetry sink. With
+// a sink attached, every evaluation, violation, action dispatch, retry,
+// dead letter, monitor fault, and degradation-ladder transition is
+// counted and recorded in the flight ring. Safe to call while the
+// kernel runs.
+func (r *Runtime) SetTelemetry(s *telemetry.Sink) { r.tsink.Store(s) }
+
+// Telemetry returns the attached sink, or nil (the disabled plane).
+func (r *Runtime) Telemetry() *telemetry.Sink { return r.tsink.Load() }
 
 // New returns a runtime bound to a kernel and feature store, with
 // default-capacity action components (a 4096-entry report log and a

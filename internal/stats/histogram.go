@@ -11,14 +11,13 @@ import (
 // normalization, and distribution-distance computations used by drift
 // properties (P1).
 type Histogram struct {
-	lo, hi   float64
-	width    float64
-	bins     []uint64
-	under    uint64
-	over     uint64
-	total    uint64
-	sum      float64
-	readOnly bool
+	lo, hi float64
+	width  float64
+	bins   []uint64
+	under  uint64
+	over   uint64
+	total  uint64
+	sum    float64
 }
 
 // NewHistogram returns a histogram over [lo, hi) with n equal bins.
@@ -53,10 +52,11 @@ func (h *Histogram) Add(x float64) {
 // Count returns the total number of observations including out-of-range.
 func (h *Histogram) Count() uint64 { return h.total }
 
-// Mean returns the mean of all observations.
+// Mean returns the mean of all observations. An empty histogram has no
+// mean: it returns NaN (not 0, which is a legitimate observed mean).
 func (h *Histogram) Mean() float64 {
 	if h.total == 0 {
-		return 0
+		return math.NaN()
 	}
 	return h.sum / float64(h.total)
 }
@@ -86,9 +86,10 @@ func (h *Histogram) Reset() {
 
 // Quantile returns an approximate p-quantile assuming uniform density
 // within each bin. Out-of-range mass is attributed to the boundary bins.
+// An empty histogram has no quantiles: it returns NaN, matching Mean.
 func (h *Histogram) Quantile(p float64) float64 {
 	if h.total == 0 {
-		return 0
+		return math.NaN()
 	}
 	p = Clamp(p, 0, 1)
 	target := p * float64(h.total)
@@ -105,6 +106,25 @@ func (h *Histogram) Quantile(p float64) float64 {
 		acc = next
 	}
 	return h.hi
+}
+
+// Merge folds o's observations into h. The histograms must be
+// identically shaped (same bounds and bin count); merging differently
+// shaped histograms is an error, not a silent re-bin. o is unchanged.
+// Merging is how per-shard telemetry histograms aggregate.
+func (h *Histogram) Merge(o *Histogram) error {
+	if len(h.bins) != len(o.bins) || h.lo != o.lo || h.hi != o.hi {
+		return fmt.Errorf("stats: cannot merge histogram [%g,%g)/%d bins into [%g,%g)/%d bins",
+			o.lo, o.hi, len(o.bins), h.lo, h.hi, len(h.bins))
+	}
+	for i, c := range o.bins {
+		h.bins[i] += c
+	}
+	h.under += o.under
+	h.over += o.over
+	h.total += o.total
+	h.sum += o.sum
+	return nil
 }
 
 // Probabilities returns the normalized in-range bin probabilities with
@@ -189,19 +209,20 @@ func (h *LogHistogram) Add(x float64) {
 // Count returns the number of observations.
 func (h *LogHistogram) Count() uint64 { return h.total }
 
-// Mean returns the mean of all observations.
+// Mean returns the mean of all observations, or NaN when empty
+// (matching Histogram.Mean).
 func (h *LogHistogram) Mean() float64 {
 	if h.total == 0 {
-		return 0
+		return math.NaN()
 	}
 	return h.sum / float64(h.total)
 }
 
 // Quantile returns an approximate p-quantile using log-linear
-// interpolation within the matched bucket.
+// interpolation within the matched bucket, or NaN when empty.
 func (h *LogHistogram) Quantile(p float64) float64 {
 	if h.total == 0 {
-		return 0
+		return math.NaN()
 	}
 	p = Clamp(p, 0, 1)
 	target := p * float64(h.total)
@@ -222,10 +243,69 @@ func (h *LogHistogram) Quantile(p float64) float64 {
 	return math.Exp2(float64(len(h.bins)))
 }
 
+// Merge folds o's observations into h. Both histograms must have the
+// same maxExp; a shape mismatch is an error. o is unchanged.
+func (h *LogHistogram) Merge(o *LogHistogram) error {
+	if len(h.bins) != len(o.bins) {
+		return fmt.Errorf("stats: cannot merge log histogram with maxExp %d into maxExp %d",
+			len(o.bins), len(h.bins))
+	}
+	for i, c := range o.bins {
+		h.bins[i] += c
+	}
+	h.zero += o.zero
+	h.total += o.total
+	h.sum += o.sum
+	return nil
+}
+
 // Reset zeroes all counters.
 func (h *LogHistogram) Reset() {
 	for i := range h.bins {
 		h.bins[i] = 0
 	}
 	h.zero, h.total, h.sum = 0, 0, 0
+}
+
+// Summary is the fixed quantile export shared by telemetry snapshots
+// and benchmark emission: count, mean, and the conventional latency
+// quantiles. An empty histogram summarizes to the zero Summary (not
+// NaN) so summaries stay JSON-marshalable.
+type Summary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Summary exports the fixed quantile set.
+func (h *Histogram) Summary() Summary {
+	if h.total == 0 {
+		return Summary{}
+	}
+	return Summary{
+		Count: h.total,
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// Summary exports the fixed quantile set.
+func (h *LogHistogram) Summary() Summary {
+	if h.total == 0 {
+		return Summary{}
+	}
+	return Summary{
+		Count: h.total,
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
 }

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -55,8 +56,8 @@ func TestHistogramQuantile(t *testing.T) {
 		}
 	}
 	empty := NewHistogram(0, 1, 4)
-	if empty.Quantile(0.5) != 0 {
-		t.Error("empty histogram quantile should be 0")
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
 	}
 }
 
@@ -68,8 +69,75 @@ func TestHistogramMeanAndReset(t *testing.T) {
 		t.Errorf("mean = %v", h.Mean())
 	}
 	h.Reset()
-	if h.Count() != 0 || h.Mean() != 0 {
+	if h.Count() != 0 || !math.IsNaN(h.Mean()) {
 		t.Error("reset failed")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(0, 10, 5)
+	b := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 1, 3} {
+		a.Add(x)
+	}
+	for _, x := range []float64{5, 7, 20} {
+		b.Add(x)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 6 {
+		t.Errorf("merged count = %d, want 6", a.Count())
+	}
+	under, over := a.OutOfRange()
+	if under != 1 || over != 1 {
+		t.Errorf("merged under/over = %d/%d, want 1/1", under, over)
+	}
+	if !almostEqual(a.Mean(), 35.0/6, 1e-12) {
+		t.Errorf("merged mean = %v", a.Mean())
+	}
+	if b.Count() != 3 {
+		t.Error("merge mutated its argument")
+	}
+}
+
+func TestHistogramMergeShapeMismatch(t *testing.T) {
+	a := NewHistogram(0, 10, 5)
+	for _, b := range []*Histogram{
+		NewHistogram(0, 10, 4),
+		NewHistogram(0, 20, 5),
+		NewHistogram(1, 10, 5),
+	} {
+		if err := a.Merge(b); err == nil {
+			t.Errorf("merging %v into %v should error", b, a)
+		}
+	}
+	if a.Count() != 0 {
+		t.Error("failed merge must not modify the receiver")
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i%100) + 0.5)
+	}
+	s := h.Summary()
+	if s.Count != 1000 {
+		t.Errorf("summary count = %d", s.Count)
+	}
+	if s.P50 < 45 || s.P50 > 55 || s.P99 < 95 || s.P99 > 100 {
+		t.Errorf("summary quantiles = %+v", s)
+	}
+	if !(s.P50 <= s.P90 && s.P90 <= s.P95 && s.P95 <= s.P99) {
+		t.Errorf("quantiles not monotone: %+v", s)
+	}
+	var zero Summary
+	if NewHistogram(0, 1, 4).Summary() != zero {
+		t.Error("empty histogram must summarize to the zero Summary")
+	}
+	if NewLogHistogram(10).Summary() != zero {
+		t.Error("empty log histogram must summarize to the zero Summary")
 	}
 }
 
@@ -175,8 +243,28 @@ func TestLogHistogramQuantile(t *testing.T) {
 		t.Error("p99 should exceed p50")
 	}
 	h.Reset()
-	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+	if h.Count() != 0 || !math.IsNaN(h.Quantile(0.5)) {
 		t.Error("reset failed")
+	}
+}
+
+func TestLogHistogramMerge(t *testing.T) {
+	a := NewLogHistogram(20)
+	b := NewLogHistogram(20)
+	a.Add(0.5)
+	a.Add(100)
+	b.Add(200)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 3 {
+		t.Errorf("merged count = %d, want 3", a.Count())
+	}
+	if !almostEqual(a.Mean(), 300.5/3, 1e-12) {
+		t.Errorf("merged mean = %v", a.Mean())
+	}
+	if err := a.Merge(NewLogHistogram(10)); err == nil {
+		t.Error("maxExp mismatch should error")
 	}
 }
 

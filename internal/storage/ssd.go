@@ -16,6 +16,7 @@ import (
 	"math/rand"
 
 	"guardrails/internal/kernel"
+	"guardrails/internal/telemetry"
 	"guardrails/internal/trace"
 )
 
@@ -92,6 +93,7 @@ type Device struct {
 	chips []chip
 	rng   *rand.Rand
 	stats DeviceStats
+	tsink *telemetry.Sink
 
 	// completion ring for queue-depth estimation
 	completions [64]kernel.Time
@@ -132,6 +134,11 @@ func (d *Device) Config() DeviceConfig { return d.cfg }
 // Stats returns a copy of the device's counters.
 func (d *Device) Stats() DeviceStats { return d.stats }
 
+// SetTelemetry attaches (or with nil, detaches) a telemetry sink: every
+// GC pause becomes a flight-recorder span and every I/O completion
+// feeds the device's latency histogram.
+func (d *Device) SetTelemetry(s *telemetry.Sink) { d.tsink = s }
+
 func (d *Device) nextBackgroundGC(now kernel.Time) kernel.Time {
 	if d.cfg.BackgroundGCRate <= 0 {
 		return 1<<62 - 1 // effectively never
@@ -160,6 +167,7 @@ func (d *Device) Submit(now kernel.Time, lba uint64, write bool) kernel.Time {
 			c.gcUntil = start + d.cfg.GCDuration
 		}
 		d.stats.GCs++
+		d.tsink.GCPause(int64(start), int64(d.cfg.GCDuration), d.cfg.Name)
 		c.nextBgGC = d.nextBackgroundGC(now)
 	}
 
@@ -181,6 +189,7 @@ func (d *Device) Submit(now kernel.Time, lba uint64, write bool) kernel.Time {
 			c.gcUntil = start + service + d.cfg.GCDuration
 			c.writesSinceGC = 0
 			d.stats.GCs++
+			d.tsink.GCPause(int64(start+service), int64(d.cfg.GCDuration), d.cfg.Name)
 		}
 	} else {
 		service = d.cfg.ReadBase + kernel.Time(d.rng.Int63n(int64(d.cfg.ReadJitter)+1))
@@ -198,6 +207,7 @@ func (d *Device) Submit(now kernel.Time, lba uint64, write bool) kernel.Time {
 	d.compHead = (d.compHead + 1) % len(d.completions)
 	copy(d.recent[1:], d.recent[:3])
 	d.recent[0] = lat
+	d.tsink.IO(d.cfg.Name, int64(lat), write)
 	return lat
 }
 
@@ -240,6 +250,7 @@ type Array struct {
 	replicas []*Device
 	down     []bool
 	notify   func(i int, alive bool)
+	tsink    *telemetry.Sink
 }
 
 // NewArray groups devices into a replica set. At least two devices are
@@ -262,6 +273,16 @@ func (a *Array) Len() int { return len(a.replicas) }
 // runs synchronously from Fail and Heal.
 func (a *Array) SetNotify(fn func(i int, alive bool)) { a.notify = fn }
 
+// SetTelemetry attaches a telemetry sink to the array and all its
+// replicas: replica fail/heal transitions become failover events, and
+// each replica's GC pauses and I/O latencies flow to the sink.
+func (a *Array) SetTelemetry(s *telemetry.Sink) {
+	a.tsink = s
+	for _, d := range a.replicas {
+		d.SetTelemetry(s)
+	}
+}
+
 // Fail takes replica i out of service. It reports whether the replica
 // was failed: failing an already-down replica is a no-op, and the last
 // live replica cannot be failed (a full-array loss has no failover
@@ -271,6 +292,7 @@ func (a *Array) Fail(i int) bool {
 		return false
 	}
 	a.down[i] = true
+	a.tsink.Failover(a.tsink.Now(), a.replicas[i].Name(), false)
 	if a.notify != nil {
 		a.notify(i, false)
 	}
@@ -283,6 +305,7 @@ func (a *Array) Heal(i int) bool {
 		return false
 	}
 	a.down[i] = false
+	a.tsink.Failover(a.tsink.Now(), a.replicas[i].Name(), true)
 	if a.notify != nil {
 		a.notify(i, true)
 	}

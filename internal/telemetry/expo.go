@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"guardrails/internal/stats"
+)
+
+// Snapshot is a point-in-time JSON-marshalable export of a sink:
+// counter values plus histogram summaries. Two snapshots of the same
+// sink diff cleanly for before/after comparisons.
+type Snapshot struct {
+	// AtNS is the simulated time the snapshot was taken.
+	AtNS Time `json:"at_ns"`
+	// Counters maps exposition names (e.g. "evals_total") to values.
+	Counters map[string]uint64 `json:"counters"`
+	// HookDispatchNS summarizes wall-clock hook dispatch latency per
+	// site, in real nanoseconds.
+	HookDispatchNS map[string]stats.Summary `json:"hook_dispatch_ns,omitempty"`
+	// EvalVMSteps summarizes VM steps per evaluation, per monitor.
+	EvalVMSteps map[string]stats.Summary `json:"eval_vm_steps,omitempty"`
+	// IOLatencyNS summarizes simulated I/O latency per device.
+	IOLatencyNS map[string]stats.Summary `json:"io_latency_ns,omitempty"`
+	// EventsTotal counts all flight-recorder events ever recorded;
+	// EventsRetained is how many the ring still holds.
+	EventsTotal    uint64 `json:"events_total"`
+	EventsRetained int    `json:"events_retained"`
+}
+
+// Snapshot captures the sink's current state. Nil sinks snapshot to the
+// zero value.
+func (s *Sink) Snapshot() Snapshot {
+	snap := Snapshot{Counters: map[string]uint64{}}
+	if s == nil {
+		return snap
+	}
+	snap.AtNS = s.clock()
+	for _, c := range s.Counters.byName() {
+		snap.Counters[c.name] = c.ctr.Value()
+	}
+	summarize := func(m map[string]*Hist) map[string]stats.Summary {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		if len(m) == 0 {
+			return nil
+		}
+		out := make(map[string]stats.Summary, len(m))
+		for name, h := range m {
+			if sum := h.Summary(); sum.Count > 0 {
+				out[name] = sum
+			}
+		}
+		return out
+	}
+	snap.HookDispatchNS = summarize(s.hookNS)
+	snap.EvalVMSteps = summarize(s.evalSteps)
+	snap.IOLatencyNS = summarize(s.ioNS)
+	snap.EventsTotal = s.rec.Total()
+	snap.EventsRetained = s.rec.Len()
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Sink) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Snapshot())
+}
+
+// Diff returns the change from prev to snap: counter and event-count
+// deltas, with the histogram summaries taken from the later snapshot
+// (histogram quantiles do not subtract). Counters present only in prev
+// appear with a zero delta.
+func (snap Snapshot) Diff(prev Snapshot) Snapshot {
+	out := Snapshot{
+		AtNS:           snap.AtNS,
+		Counters:       make(map[string]uint64, len(snap.Counters)),
+		HookDispatchNS: snap.HookDispatchNS,
+		EvalVMSteps:    snap.EvalVMSteps,
+		IOLatencyNS:    snap.IOLatencyNS,
+		EventsTotal:    snap.EventsTotal - prev.EventsTotal,
+		EventsRetained: snap.EventsRetained,
+	}
+	for name, v := range snap.Counters {
+		out.Counters[name] = v - prev.Counters[name]
+	}
+	for name := range prev.Counters {
+		if _, ok := snap.Counters[name]; !ok {
+			out.Counters[name] = 0
+		}
+	}
+	return out
+}
+
+// WritePrometheus renders the sink in the Prometheus text exposition
+// format (one family per counter, summaries with quantile labels),
+// deterministically ordered. The metric prefix is "guardrails_".
+func (s *Sink) WritePrometheus(w io.Writer) error {
+	snap := s.Snapshot()
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p("# TYPE guardrails_%s counter\nguardrails_%s %d\n", name, name, snap.Counters[name])
+	}
+	family := func(metric, label string, m map[string]stats.Summary) {
+		if len(m) == 0 {
+			return
+		}
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		p("# TYPE guardrails_%s summary\n", metric)
+		for _, k := range keys {
+			sum := m[k]
+			for _, q := range []struct {
+				q string
+				v float64
+			}{{"0.5", sum.P50}, {"0.9", sum.P90}, {"0.95", sum.P95}, {"0.99", sum.P99}} {
+				p("guardrails_%s{%s=%q,quantile=%q} %g\n", metric, label, k, q.q, q.v)
+			}
+			p("guardrails_%s_count{%s=%q} %d\n", metric, label, k, sum.Count)
+			p("guardrails_%s_mean{%s=%q} %g\n", metric, label, k, sum.Mean)
+		}
+	}
+	family("hook_dispatch_ns", "site", snap.HookDispatchNS)
+	family("eval_vm_steps", "monitor", snap.EvalVMSteps)
+	family("io_latency_ns", "device", snap.IOLatencyNS)
+	p("# TYPE guardrails_flight_events counter\nguardrails_flight_events %d\n", snap.EventsTotal)
+	return err
+}

@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Kind classifies a flight-recorder event. The taxonomy covers the
+// kernel hook plane, the monitor lifecycle, the action pipeline, and
+// the storage substrate — every place simulated-kernel time is spent or
+// a guardrail decision is made.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindHookFire: a kernel hook site fired (Value = first hook arg).
+	KindHookFire Kind = iota
+	// KindEval: one monitor evaluation (Value = VM steps; Dur renders
+	// the steps as virtual nanoseconds for timeline viewing).
+	KindEval
+	// KindViolation: an evaluation whose rule conjunction failed.
+	KindViolation
+	// KindAction: an action dispatch reached its backend (Detail names
+	// the action; Value = attempt, 0 for the first try).
+	KindAction
+	// KindActionRetry: a failed dispatch was scheduled for retry.
+	KindActionRetry
+	// KindDeadLetter: an action exhausted its retries.
+	KindDeadLetter
+	// KindFault: a monitor fault (VM trap, corrupt load, injected).
+	KindFault
+	// KindQuarantine: a circuit breaker tripped.
+	KindQuarantine
+	// KindRearm: a quarantined monitor returned to duty.
+	KindRearm
+	// KindShadowEnter: budget enforcement demoted a monitor to shadow.
+	KindShadowEnter
+	// KindShadowExit: a budget window reset promoted a monitor back.
+	KindShadowExit
+	// KindGCPause: an SSD chip entered a garbage-collection pause
+	// (Dur = pause length).
+	KindGCPause
+	// KindFailover: a storage replica left (Value=0) or rejoined
+	// (Value=1) service.
+	KindFailover
+	numKinds
+)
+
+// String names the kind (stable: these appear in trace files).
+func (k Kind) String() string {
+	switch k {
+	case KindHookFire:
+		return "hook_fire"
+	case KindEval:
+		return "eval"
+	case KindViolation:
+		return "violation"
+	case KindAction:
+		return "action"
+	case KindActionRetry:
+		return "action_retry"
+	case KindDeadLetter:
+		return "dead_letter"
+	case KindFault:
+		return "fault"
+	case KindQuarantine:
+		return "quarantine"
+	case KindRearm:
+		return "rearm"
+	case KindShadowEnter:
+		return "shadow_enter"
+	case KindShadowExit:
+		return "shadow_exit"
+	case KindGCPause:
+		return "gc_pause"
+	case KindFailover:
+		return "failover"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Category groups kinds into trace lanes: kernel, monitor, action,
+// storage.
+func (k Kind) Category() string {
+	switch k {
+	case KindHookFire:
+		return "kernel"
+	case KindEval, KindViolation, KindFault, KindQuarantine, KindRearm,
+		KindShadowEnter, KindShadowExit:
+		return "monitor"
+	case KindAction, KindActionRetry, KindDeadLetter:
+		return "action"
+	case KindGCPause, KindFailover:
+		return "storage"
+	default:
+		return "other"
+	}
+}
+
+// Event is one flight-recorder record. Events are plain values — the
+// ring stores them inline, so recording never allocates.
+type Event struct {
+	// Seq is the global record order (1-based, never reused). Because
+	// the ring is bounded, retained events form a contiguous suffix of
+	// the sequence.
+	Seq uint64
+	// At is the simulated start time in nanoseconds.
+	At Time
+	// Dur is the event's duration in simulated (or, for evaluations,
+	// virtual) nanoseconds; 0 marks an instant event.
+	Dur Time
+	// Kind classifies the event.
+	Kind Kind
+	// Subject is the hook site, monitor, or device the event concerns.
+	Subject string
+	// Detail is optional context: an action name, a transition reason.
+	Detail string
+	// Value is a kind-specific payload (VM steps, hook argument, ...).
+	Value float64
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	s := fmt.Sprintf("#%d @%dns %s %s", e.Seq, e.At, e.Kind, e.Subject)
+	if e.Dur > 0 {
+		s += fmt.Sprintf(" dur=%dns", e.Dur)
+	}
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// Flight is the bounded flight-recorder ring: the most recent capacity
+// events, overwritten oldest-first, with a total count that keeps
+// advancing. Safe for concurrent writers; recording is one short
+// critical section and zero allocations.
+type Flight struct {
+	mu   sync.Mutex
+	ring []Event
+	head int // index of the oldest retained event
+	size int
+	seq  uint64
+}
+
+// NewFlight returns a recorder retaining the most recent capacity
+// events.
+func NewFlight(capacity int) *Flight {
+	if capacity <= 0 {
+		panic("telemetry: flight recorder capacity must be positive")
+	}
+	return &Flight{ring: make([]Event, capacity)}
+}
+
+// Record appends one event, assigning its sequence number, and returns
+// that number. Safe for concurrent use.
+func (f *Flight) Record(e Event) uint64 {
+	f.mu.Lock()
+	f.seq++
+	e.Seq = f.seq
+	if f.size == len(f.ring) {
+		f.ring[f.head] = e
+		f.head = (f.head + 1) % len(f.ring)
+	} else {
+		f.ring[(f.head+f.size)%len(f.ring)] = e
+		f.size++
+	}
+	f.mu.Unlock()
+	return e.Seq
+}
+
+// Total returns how many events have ever been recorded, including
+// those the ring has since overwritten.
+func (f *Flight) Total() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seq
+}
+
+// Len returns the number of retained events.
+func (f *Flight) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.size
+}
+
+// Cap returns the ring capacity.
+func (f *Flight) Cap() int { return len(f.ring) }
+
+// Events returns the retained events in record order (ascending Seq).
+func (f *Flight) Events() []Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Event, 0, f.size)
+	for i := 0; i < f.size; i++ {
+		out = append(out, f.ring[(f.head+i)%len(f.ring)])
+	}
+	return out
+}

@@ -1,0 +1,431 @@
+// Package telemetry is the kernel-wide observability plane: sharded
+// counters, latency/VM-step histograms, and a bounded flight-recorder
+// event ring, all fed from instrumentation points in the simulated
+// kernel (hook dispatch), the monitor runtime (evaluate/action/guard
+// paths), the storage substrate (GC pauses, failover), and the feature
+// store (read/write volume). A run exports as a Prometheus-style text
+// page, a JSON snapshot (diffable for before/after comparisons), or a
+// Chrome trace_event file for timeline viewing in Perfetto.
+//
+// The plane is disabled by a nil *Sink: every method nil-checks its
+// receiver and returns immediately, so instrumented hot paths stay
+// zero-allocation and branch-predictable when telemetry is off — the
+// same discipline eBPF applies to disabled tracepoints. With a sink
+// attached, counters are lock-free atomic adds, histograms take one
+// short mutex, and flight-recorder appends copy one Event value into a
+// preallocated ring; the steady-state paths still do not allocate.
+//
+// Time: the package deliberately does not import the kernel (the kernel
+// itself is instrumented, which would cycle); simulated timestamps
+// travel as int64 nanoseconds (the representation of kernel.Time).
+// Wall-clock durations — the real cost of hook dispatch, the paper's
+// "accountable overhead" — are measured with time.Now at the
+// instrumentation site and recorded in nanoseconds.
+package telemetry
+
+import (
+	"sync"
+
+	"guardrails/internal/stats"
+)
+
+// Time is a simulated timestamp in nanoseconds since boot — the value
+// representation of kernel.Time, kept as int64 here to avoid an import
+// cycle with the instrumented kernel.
+type Time = int64
+
+// histMaxExp covers values up to 2^40 ns (~18 simulated minutes) in
+// log2 buckets — wide enough for any latency this repo simulates.
+const histMaxExp = 40
+
+// Hist is a mutex-guarded log2 histogram handle. Like Counter it is
+// nil-safe: a nil *Hist ignores observations and summarizes to zero.
+type Hist struct {
+	mu sync.Mutex
+	h  *stats.LogHistogram
+}
+
+func newHist() *Hist { return &Hist{h: stats.NewLogHistogram(histMaxExp)} }
+
+// Observe incorporates one non-negative observation.
+func (h *Hist) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.h.Add(v)
+	h.mu.Unlock()
+}
+
+// Summary exports the fixed quantile set (zero Summary when empty).
+func (h *Hist) Summary() stats.Summary {
+	if h == nil {
+		return stats.Summary{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Summary()
+}
+
+// Merge folds o into h. Always shape-compatible: every telemetry
+// histogram shares histMaxExp.
+func (h *Hist) Merge(o *Hist) {
+	if h == nil || o == nil {
+		return
+	}
+	o.mu.Lock()
+	snapshot := stats.NewLogHistogram(histMaxExp)
+	_ = snapshot.Merge(o.h)
+	o.mu.Unlock()
+	h.mu.Lock()
+	_ = h.h.Merge(snapshot)
+	h.mu.Unlock()
+}
+
+// Counters is the fixed counter set every sink carries. Field names
+// mirror the monitor's Stats so a snapshot reconciles 1:1 with
+// per-monitor accounting (summed over monitors).
+type Counters struct {
+	HookFires        Counter
+	Evals            Counter
+	Violations       Counter
+	ActionsFired     Counter
+	ActionDispatches Counter
+	ActionErrors     Counter
+	Retries          Counter
+	DeadLetters      Counter
+	Faults           Counter
+	Quarantines      Counter
+	Rearms           Counter
+	ShadowDemotions  Counter
+	ShadowPromotions Counter
+	VMSteps          Counter
+	GCPauses         Counter
+	Failovers        Counter
+	StoreLoads       Counter
+	StoreSaves       Counter
+	IOReads          Counter
+	IOWrites         Counter
+}
+
+// counterNames returns the exposition name → counter mapping. The
+// names follow Prometheus conventions (snake case, _total suffix).
+func (c *Counters) byName() []struct {
+	name string
+	ctr  *Counter
+} {
+	return []struct {
+		name string
+		ctr  *Counter
+	}{
+		{"hook_fires_total", &c.HookFires},
+		{"evals_total", &c.Evals},
+		{"violations_total", &c.Violations},
+		{"actions_fired_total", &c.ActionsFired},
+		{"action_dispatches_total", &c.ActionDispatches},
+		{"action_errors_total", &c.ActionErrors},
+		{"action_retries_total", &c.Retries},
+		{"dead_letters_total", &c.DeadLetters},
+		{"monitor_faults_total", &c.Faults},
+		{"quarantines_total", &c.Quarantines},
+		{"rearms_total", &c.Rearms},
+		{"shadow_demotions_total", &c.ShadowDemotions},
+		{"shadow_promotions_total", &c.ShadowPromotions},
+		{"vm_steps_total", &c.VMSteps},
+		{"ssd_gc_pauses_total", &c.GCPauses},
+		{"replica_transitions_total", &c.Failovers},
+		{"featurestore_loads_total", &c.StoreLoads},
+		{"featurestore_saves_total", &c.StoreSaves},
+		{"io_reads_total", &c.IOReads},
+		{"io_writes_total", &c.IOWrites},
+	}
+}
+
+// Sink is one telemetry plane: attach it to a kernel, monitor runtime,
+// feature store, and storage devices, run the system, then export.
+// A nil *Sink is the disabled plane — every method is a nil-check away
+// from free, so instrumentation points never need their own guards.
+type Sink struct {
+	clock func() Time
+	rec   *Flight
+
+	// Counters is the fixed counter set; exported so callers can read
+	// (or Merge) individual counters directly.
+	Counters Counters
+
+	mu sync.RWMutex
+	// hookNS: per hook site, wall-clock nanoseconds spent dispatching
+	// that site's callbacks (the monitors' real overhead).
+	hookNS map[string]*Hist
+	// evalSteps: per monitor, VM steps per evaluation.
+	evalSteps map[string]*Hist
+	// ioNS: per device, simulated I/O latency in nanoseconds.
+	ioNS map[string]*Hist
+}
+
+// New returns a sink whose flight recorder retains eventCap events and
+// whose snapshots are stamped with clock (typically the simulated
+// kernel's Now). A nil clock stamps zero.
+func New(clock func() Time, eventCap int) *Sink {
+	if clock == nil {
+		clock = func() Time { return 0 }
+	}
+	return &Sink{
+		clock:     clock,
+		rec:       NewFlight(eventCap),
+		hookNS:    make(map[string]*Hist),
+		evalSteps: make(map[string]*Hist),
+		ioNS:      make(map[string]*Hist),
+	}
+}
+
+// SetClock replaces the sink's snapshot clock. Callers that construct
+// the sink before the simulated kernel exists (e.g. a CLI wiring
+// telemetry into an experiment it is about to build) bind the clock
+// here once the kernel is up. Nil-safe; a nil fn restores the zero
+// clock.
+func (s *Sink) SetClock(fn func() Time) {
+	if s == nil {
+		return
+	}
+	if fn == nil {
+		fn = func() Time { return 0 }
+	}
+	s.clock = fn
+}
+
+// Now returns the sink's clock reading — the simulated time snapshots
+// are stamped with. A nil sink (or nil clock) reads zero. Event sources
+// without a timestamp of their own (e.g. replica fail/heal) use this.
+func (s *Sink) Now() Time {
+	if s == nil {
+		return 0
+	}
+	return s.clock()
+}
+
+// Flight returns the sink's flight recorder (nil on a nil sink).
+func (s *Sink) Flight() *Flight {
+	if s == nil {
+		return nil
+	}
+	return s.rec
+}
+
+// Emit records one flight-recorder event verbatim. Instrumentation
+// sites mostly use the typed helpers below, which also maintain the
+// matching counters and histograms.
+func (s *Sink) Emit(e Event) {
+	if s == nil {
+		return
+	}
+	s.rec.Record(e)
+}
+
+// hist returns the named histogram from m, creating it on first use.
+// The read path takes only the RLock; creation is rare (one per site).
+func (s *Sink) hist(m map[string]*Hist, name string) *Hist {
+	s.mu.RLock()
+	h := m[name]
+	s.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h = m[name]; h == nil {
+		h = newHist()
+		m[name] = h
+	}
+	return h
+}
+
+// HookHist returns the wall-clock dispatch-latency histogram for a
+// hook site (created on first use).
+func (s *Sink) HookHist(site string) *Hist {
+	if s == nil {
+		return nil
+	}
+	return s.hist(s.hookNS, site)
+}
+
+// EvalHist returns the VM-steps-per-evaluation histogram for a monitor.
+func (s *Sink) EvalHist(monitor string) *Hist {
+	if s == nil {
+		return nil
+	}
+	return s.hist(s.evalSteps, monitor)
+}
+
+// IOHist returns the simulated-I/O-latency histogram for a device.
+func (s *Sink) IOHist(device string) *Hist {
+	if s == nil {
+		return nil
+	}
+	return s.hist(s.ioNS, device)
+}
+
+// --- typed instrumentation points ------------------------------------
+
+// HookFire records one kernel hook-site firing: the fire event (Value =
+// first hook argument) and the global counter. The kernel calls this
+// before dispatching the site's callbacks, so the fire event precedes
+// the evaluations it triggers in the flight recorder; the dispatch cost
+// arrives afterwards via HookDispatched.
+func (s *Sink) HookFire(at Time, site string, arg float64) {
+	if s == nil {
+		return
+	}
+	s.Counters.HookFires.Inc()
+	s.rec.Record(Event{At: at, Kind: KindHookFire, Subject: site, Value: arg})
+}
+
+// HookDispatched charges the wall-clock cost of one completed hook
+// dispatch (all callbacks at the site) to the site's latency histogram.
+func (s *Sink) HookDispatched(site string, wallNS float64) {
+	if s == nil {
+		return
+	}
+	s.hist(s.hookNS, site).Observe(wallNS)
+}
+
+// Eval records one monitor evaluation at its trigger time. steps is the
+// evaluation's VM instruction count; it doubles as the event's virtual
+// duration (1 step = 1ns) so evaluations have width on a timeline. A
+// violated evaluation additionally records a violation event.
+func (s *Sink) Eval(at Time, monitor string, steps uint64, held bool) {
+	if s == nil {
+		return
+	}
+	s.Counters.Evals.Inc()
+	s.Counters.VMSteps.Add(steps)
+	s.hist(s.evalSteps, monitor).Observe(float64(steps))
+	s.rec.Record(Event{At: at, Dur: Time(steps), Kind: KindEval, Subject: monitor, Value: float64(steps)})
+	if !held {
+		s.Counters.Violations.Inc()
+		s.rec.Record(Event{At: at, Kind: KindViolation, Subject: monitor})
+	}
+}
+
+// ActionsFired records that a violation episode crossed its hysteresis
+// threshold and dispatched its actions (the monitor's ActionsFired).
+func (s *Sink) ActionsFired(at Time, monitor string) {
+	if s == nil {
+		return
+	}
+	s.Counters.ActionsFired.Inc()
+}
+
+// Action records one action dispatch reaching its backend. ok reports
+// whether the backend (and any injected fault) succeeded.
+func (s *Sink) Action(at Time, monitor, action string, attempt int, ok bool) {
+	if s == nil {
+		return
+	}
+	s.Counters.ActionDispatches.Inc()
+	if !ok {
+		s.Counters.ActionErrors.Inc()
+	}
+	s.rec.Record(Event{At: at, Kind: KindAction, Subject: monitor, Detail: action, Value: float64(attempt)})
+}
+
+// ActionRetry records a failed dispatch being scheduled for retry.
+func (s *Sink) ActionRetry(at Time, monitor, action string, attempt int) {
+	if s == nil {
+		return
+	}
+	s.Counters.Retries.Inc()
+	s.rec.Record(Event{At: at, Kind: KindActionRetry, Subject: monitor, Detail: action, Value: float64(attempt)})
+}
+
+// DeadLetter records an action exhausting its retries.
+func (s *Sink) DeadLetter(at Time, monitor, action string) {
+	if s == nil {
+		return
+	}
+	s.Counters.DeadLetters.Inc()
+	s.rec.Record(Event{At: at, Kind: KindDeadLetter, Subject: monitor, Detail: action})
+}
+
+// Fault records a monitor fault (VM trap, corrupt load, injection).
+func (s *Sink) Fault(at Time, monitor, kind string) {
+	if s == nil {
+		return
+	}
+	s.Counters.Faults.Inc()
+	s.rec.Record(Event{At: at, Kind: KindFault, Subject: monitor, Detail: kind})
+}
+
+// Transition records a degradation-ladder move: kind must be one of
+// KindQuarantine, KindRearm, KindShadowEnter, KindShadowExit.
+func (s *Sink) Transition(at Time, monitor string, kind Kind, reason string) {
+	if s == nil {
+		return
+	}
+	switch kind {
+	case KindQuarantine:
+		s.Counters.Quarantines.Inc()
+	case KindRearm:
+		s.Counters.Rearms.Inc()
+	case KindShadowEnter:
+		s.Counters.ShadowDemotions.Inc()
+	case KindShadowExit:
+		s.Counters.ShadowPromotions.Inc()
+	}
+	s.rec.Record(Event{At: at, Kind: kind, Subject: monitor, Detail: reason})
+}
+
+// GCPause records an SSD chip garbage-collection pause beginning at
+// start and lasting dur.
+func (s *Sink) GCPause(start, dur Time, device string) {
+	if s == nil {
+		return
+	}
+	s.Counters.GCPauses.Inc()
+	s.rec.Record(Event{At: start, Dur: dur, Kind: KindGCPause, Subject: device})
+}
+
+// Failover records a replica leaving (alive=false) or rejoining service.
+func (s *Sink) Failover(at Time, device string, alive bool) {
+	if s == nil {
+		return
+	}
+	s.Counters.Failovers.Inc()
+	v := 0.0
+	detail := "down"
+	if alive {
+		v, detail = 1, "up"
+	}
+	s.rec.Record(Event{At: at, Kind: KindFailover, Subject: device, Detail: detail, Value: v})
+}
+
+// IO records one device I/O completion with its simulated latency.
+// Only the histogram and counters are touched — per-I/O ring events
+// would evict everything else from the flight recorder.
+func (s *Sink) IO(device string, latNS Time, write bool) {
+	if s == nil {
+		return
+	}
+	if write {
+		s.Counters.IOWrites.Inc()
+	} else {
+		s.Counters.IOReads.Inc()
+	}
+	s.hist(s.ioNS, device).Observe(float64(latNS))
+}
+
+// StoreLoad counts one feature-store read.
+func (s *Sink) StoreLoad() {
+	if s == nil {
+		return
+	}
+	s.Counters.StoreLoads.Inc()
+}
+
+// StoreSave counts one feature-store write.
+func (s *Sink) StoreSave() {
+	if s == nil {
+		return
+	}
+	s.Counters.StoreSaves.Inc()
+}

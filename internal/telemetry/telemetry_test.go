@@ -1,0 +1,263 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTelemetryCounterAddValueMerge(t *testing.T) {
+	var a, b Counter
+	for i := 0; i < 100; i++ {
+		a.Inc()
+		b.Add(2)
+	}
+	if a.Value() != 100 || b.Value() != 200 {
+		t.Fatalf("values = %d, %d", a.Value(), b.Value())
+	}
+	a.Merge(&b)
+	if a.Value() != 300 {
+		t.Errorf("merged value = %d, want 300", a.Value())
+	}
+	if b.Value() != 200 {
+		t.Error("merge mutated its argument")
+	}
+}
+
+func TestTelemetryCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*perWorker {
+		t.Errorf("value = %d, want %d", c.Value(), workers*perWorker)
+	}
+}
+
+// TestTelemetryNilSinkIsFree: every instrumentation entry point must be
+// callable on a nil sink (the disabled plane) without panicking or
+// allocating.
+func TestTelemetryNilSinkIsFree(t *testing.T) {
+	var s *Sink
+	var c *Counter
+	var h *Hist
+	exercise := func() {
+		s.HookFire(1, "site", 0)
+		s.HookDispatched("site", 10)
+		s.Eval(1, "mon", 5, false)
+		s.ActionsFired(1, "mon")
+		s.Action(1, "mon", "REPORT", 0, true)
+		s.ActionRetry(1, "mon", "REPORT", 1)
+		s.DeadLetter(1, "mon", "REPORT")
+		s.Fault(1, "mon", "vm-trap")
+		s.Transition(1, "mon", KindQuarantine, "test")
+		s.GCPause(1, 2, "dev")
+		s.Failover(1, "dev", false)
+		s.IO("dev", 100, true)
+		s.StoreLoad()
+		s.StoreSave()
+		s.Emit(Event{})
+		c.Add(1)
+		h.Observe(1)
+		_ = c.Value()
+		_ = h.Summary()
+		_ = s.Flight()
+		_ = s.HookHist("site")
+	}
+	exercise()
+	if n := testing.AllocsPerRun(1000, exercise); n != 0 {
+		t.Errorf("nil sink instrumentation allocates %v times per run, want 0", n)
+	}
+	snap := s.Snapshot()
+	if snap.EventsTotal != 0 || len(snap.Counters) != 0 {
+		t.Errorf("nil sink snapshot = %+v", snap)
+	}
+}
+
+// TestTelemetryEnabledHotPathAllocationFree: with a sink attached, the
+// per-event hot paths (counter add, histogram observe, ring record)
+// must still not allocate once the site's histogram exists.
+func TestTelemetryEnabledHotPathAllocationFree(t *testing.T) {
+	s := New(nil, 64)
+	s.HookFire(1, "site", 0)
+	s.HookDispatched("site", 10) // create the site histogram
+	s.IO("dev", 100, false)
+	if n := testing.AllocsPerRun(1000, func() {
+		s.HookFire(2, "site", 1)
+		s.HookDispatched("site", 20)
+		s.Eval(2, "site", 7, true)
+		s.IO("dev", 200, true)
+		s.StoreLoad()
+	}); n != 0 {
+		t.Errorf("enabled hot path allocates %v times per run, want 0", n)
+	}
+}
+
+func TestTelemetryFlightWraparoundOrdering(t *testing.T) {
+	f := NewFlight(4)
+	for i := 1; i <= 10; i++ {
+		f.Record(Event{At: Time(i), Kind: KindHookFire, Subject: "s"})
+	}
+	if f.Total() != 10 || f.Len() != 4 {
+		t.Fatalf("total=%d len=%d", f.Total(), f.Len())
+	}
+	evs := f.Events()
+	if len(evs) != 4 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	// The retained window is the contiguous suffix 7..10, oldest first.
+	for i, e := range evs {
+		want := uint64(7 + i)
+		if e.Seq != want || e.At != Time(want) {
+			t.Errorf("event %d: seq=%d at=%d, want %d", i, e.Seq, e.At, want)
+		}
+	}
+}
+
+func TestTelemetryFlightConcurrentWriters(t *testing.T) {
+	f := NewFlight(128)
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				f.Record(Event{At: Time(i), Kind: Kind(w % int(numKinds)), Subject: "w"})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if f.Total() != workers*perWorker {
+		t.Fatalf("total = %d, want %d", f.Total(), workers*perWorker)
+	}
+	evs := f.Events()
+	if len(evs) != 128 {
+		t.Fatalf("retained = %d", len(evs))
+	}
+	// Sequence numbers must be strictly increasing and form the exact
+	// suffix of the global order, regardless of writer interleaving.
+	for i, e := range evs {
+		want := uint64(workers*perWorker - 128 + i + 1)
+		if e.Seq != want {
+			t.Fatalf("event %d: seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+func TestTelemetrySinkConcurrentWriters(t *testing.T) {
+	s := New(nil, 256)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.HookFire(Time(i), "site", 0)
+				s.HookDispatched("site", float64(i))
+				s.Eval(Time(i), "mon", 9, i%3 == 0)
+				s.IO("dev", Time(i), i%2 == 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if snap.Counters["hook_fires_total"] != 1600 || snap.Counters["evals_total"] != 1600 {
+		t.Errorf("counters = %v", snap.Counters)
+	}
+	if snap.HookDispatchNS["site"].Count != 1600 {
+		t.Errorf("hook hist count = %d", snap.HookDispatchNS["site"].Count)
+	}
+}
+
+func TestTelemetrySnapshotDiff(t *testing.T) {
+	now := Time(0)
+	s := New(func() Time { return now }, 64)
+	s.Eval(1, "m", 10, true)
+	before := s.Snapshot()
+	now = 5000
+	s.Eval(2, "m", 10, false) // eval + violation
+	s.HookFire(3, "site", 0)
+	after := s.Snapshot()
+	d := after.Diff(before)
+	if d.AtNS != 5000 {
+		t.Errorf("diff at = %d", d.AtNS)
+	}
+	if d.Counters["evals_total"] != 1 || d.Counters["violations_total"] != 1 ||
+		d.Counters["hook_fires_total"] != 1 || d.Counters["vm_steps_total"] != 10 {
+		t.Errorf("diff counters = %v", d.Counters)
+	}
+	if d.EventsTotal != 3 { // eval, violation, hook fire
+		t.Errorf("diff events = %d", d.EventsTotal)
+	}
+}
+
+func TestTelemetryPrometheusExposition(t *testing.T) {
+	s := New(nil, 64)
+	s.Eval(1, "low-false-submit", 8, false)
+	s.HookFire(2, "io_complete", 42)
+	s.HookDispatched("io_complete", 150)
+	var a, b strings.Builder
+	if err := s.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("exposition is not deterministic across writes")
+	}
+	for _, want := range []string{
+		"# TYPE guardrails_evals_total counter\nguardrails_evals_total 1\n",
+		"guardrails_violations_total 1\n",
+		"guardrails_vm_steps_total 8\n",
+		`guardrails_eval_vm_steps{monitor="low-false-submit",quantile="0.5"}`,
+		`guardrails_hook_dispatch_ns_count{site="io_complete"} 1`,
+	} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, a.String())
+		}
+	}
+}
+
+func TestTelemetryTransitionCounters(t *testing.T) {
+	s := New(nil, 16)
+	s.Transition(1, "m", KindQuarantine, "breaker")
+	s.Transition(2, "m", KindRearm, "cooldown")
+	s.Transition(3, "m", KindShadowEnter, "over budget")
+	s.Transition(4, "m", KindShadowExit, "window reset")
+	snap := s.Snapshot()
+	for name, want := range map[string]uint64{
+		"quarantines_total":       1,
+		"rearms_total":            1,
+		"shadow_demotions_total":  1,
+		"shadow_promotions_total": 1,
+	} {
+		if snap.Counters[name] != want {
+			t.Errorf("%s = %d, want %d", name, snap.Counters[name], want)
+		}
+	}
+	if got := s.Flight().Len(); got != 4 {
+		t.Errorf("transition events = %d, want 4", got)
+	}
+}
+
+func TestTelemetryKindStringsAndCategories(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		if k.Category() == "other" {
+			t.Errorf("kind %s has no category", k)
+		}
+	}
+}

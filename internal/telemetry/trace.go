@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Chrome trace_event export: the flight recorder renders as a JSON
+// object Perfetto and chrome://tracing load directly. Mapping:
+//
+//   - trace "ts"/"dur" are microseconds; simulated nanoseconds divide
+//     by 1e3 (fractional microseconds are kept, so nothing collapses).
+//   - each event subject (hook site, monitor, device) becomes one
+//     thread lane (tid), named via thread_name metadata; all lanes
+//     share pid 1 ("guardrails kernel").
+//   - events with a duration (evaluations, whose virtual duration is
+//     their VM step count at 1 step = 1ns; SSD GC pauses) render as
+//     complete ("X") spans; everything else is a thread-scoped instant
+//     ("i").
+//
+// Export is deterministic: lanes are assigned in sorted subject order
+// and events are emitted in sequence order, so a seeded run produces a
+// byte-identical trace file.
+
+// traceEvent is one trace_event record.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON object format of the trace_event spec.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace renders the flight recorder's retained events as Chrome
+// trace_event JSON. A nil sink writes an empty (still loadable) trace.
+func (s *Sink) WriteTrace(w io.Writer) error {
+	var events []Event
+	if s != nil {
+		events = s.rec.Events()
+	}
+
+	// Assign one lane per subject, in sorted order for determinism.
+	subjects := make(map[string]int)
+	var names []string
+	for _, e := range events {
+		if _, ok := subjects[e.Subject]; !ok {
+			subjects[e.Subject] = 0
+			names = append(names, e.Subject)
+		}
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		subjects[n] = i + 1
+	}
+
+	out := traceFile{DisplayTimeUnit: "ns", TraceEvents: make([]traceEvent, 0, len(events)+len(names))}
+	for _, n := range names {
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: subjects[n],
+			Args: map[string]any{"name": n},
+		})
+	}
+	for _, e := range events {
+		te := traceEvent{
+			Name: e.Kind.String(),
+			Cat:  e.Kind.Category(),
+			TS:   float64(e.At) / 1e3,
+			PID:  1,
+			TID:  subjects[e.Subject],
+			Args: map[string]any{"seq": e.Seq},
+		}
+		if e.Detail != "" {
+			te.Args["detail"] = e.Detail
+		}
+		if e.Value != 0 {
+			te.Args["value"] = e.Value
+		}
+		if e.Dur > 0 {
+			te.Phase = "X"
+			te.Dur = float64(e.Dur) / 1e3
+		} else {
+			te.Phase = "i"
+			te.Scope = "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, te)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
