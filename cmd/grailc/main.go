@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	grailc [-O0|-O1] [-S] [-json] [-check-only] [-o out.img] file.grail...
+//	grailc [-O0|-O1] [-S] [-json] [-check-only] [-vet] [-o out.img] file.grail...
 //	grailc -e 'guardrail g { ... }'
 //
 // With no flags it reports each guardrail's name, trigger count, and
@@ -12,7 +12,9 @@
 // after lowering and after each optimization pass, then the annotated
 // disassembly; -json the program as JSON; -o writes binary monitor
 // images (one file per guardrail, named <out>.<guardrail>.img when
-// multiple); -check-only stops after semantic checking. -O1 (constant
+// multiple); -check-only stops after semantic checking; -vet lints the
+// checked specs (package internal/spec/vet) and fails on any
+// warning-severity diagnostic. -O1 (constant
 // folding, algebraic simplification, CSE, copy propagation, immediate
 // selection, DCE, and a bytecode peephole) is the default; -O0 compiles
 // by straight lowering and codegen.
@@ -27,12 +29,14 @@ import (
 
 	"guardrails/internal/compile"
 	"guardrails/internal/spec"
+	"guardrails/internal/spec/vet"
 )
 
 func main() {
 	asm := flag.Bool("S", false, "dump per-pass IR and program disassembly")
 	jsonOut := flag.Bool("json", false, "emit compiled programs as JSON")
 	checkOnly := flag.Bool("check-only", false, "parse and check only; do not compile")
+	vetFlag := flag.Bool("vet", false, "lint specifications (GV001… diagnostics); warnings fail the build")
 	expr := flag.String("e", "", "compile specification text from the command line")
 	imgOut := flag.String("o", "", "write binary monitor image(s) to this path")
 	o0 := flag.Bool("O0", false, "disable optimization (straight lowering and codegen)")
@@ -66,7 +70,7 @@ func main() {
 	for name, src := range sources {
 		if err := processOne(os.Stdout, name, src, options{
 			asm: *asm, jsonOut: *jsonOut, checkOnly: *checkOnly, imageOut: *imgOut,
-			level: level,
+			level: level, vet: *vetFlag,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			exit = 1
@@ -81,6 +85,7 @@ type options struct {
 	checkOnly bool
 	imageOut  string
 	level     int
+	vet       bool
 }
 
 func processOne(w io.Writer, name, src string, opt options) error {
@@ -90,6 +95,23 @@ func processOne(w io.Writer, name, src string, opt options) error {
 	}
 	if err := spec.Check(f); err != nil {
 		return err
+	}
+	if opt.vet {
+		ds := vet.File(f)
+		warns := 0
+		for _, d := range ds {
+			fmt.Fprintf(w, "%s:%s\n", name, d)
+			if d.Severity == vet.Warn {
+				warns++
+			}
+		}
+		fmt.Fprintf(w, "%s: vet: %s\n", name, vet.Summary(ds))
+		if warns > 0 {
+			return fmt.Errorf("vet: %d warning(s)", warns)
+		}
+		if opt.checkOnly {
+			return nil
+		}
 	}
 	if opt.checkOnly {
 		fmt.Fprintf(w, "%s: %d guardrail(s) OK\n", name, len(f.Guardrails))

@@ -14,7 +14,10 @@
 // Image and assembly modes evaluate the raw monitor program against the
 // supplied feature-store state: rules and SAVE actions execute; REPORT/
 // REPLACE/RETRAIN/DEPRIORITIZE dispatches are counted but have no
-// bindings outside a full runtime.
+// bindings outside a full runtime. Both modes re-verify the program
+// through the abstract interpreter before running it; -max-steps N
+// additionally rejects programs whose certified worst-case step bound
+// exceeds N.
 package main
 
 import (
@@ -43,12 +46,14 @@ func main() {
 	expr := flag.String("e", "", "guardrail specification text")
 	imagePath := flag.String("image", "", "binary monitor image (grailc -o)")
 	asmPath := flag.String("asm", "", "monitor assembly file")
+	maxSteps := flag.Int("max-steps", 0,
+		"reject programs whose certified worst-case step count exceeds this (0 = no limit; image/asm modes)")
 	var sets setFlags
 	flag.Var(&sets, "set", "feature store assignment key=value (repeatable)")
 	flag.Parse()
 
 	if *imagePath != "" || *asmPath != "" {
-		runRaw(*imagePath, *asmPath, sets)
+		runRaw(*imagePath, *asmPath, *maxSteps, sets)
 		return
 	}
 
@@ -145,8 +150,12 @@ func (e *rawEnv) Helper(h vm.HelperID, args *[5]float64) (float64, error) {
 	return 0, nil
 }
 
-// runRaw evaluates a monitor image or assembly file once.
-func runRaw(imagePath, asmPath string, sets setFlags) {
+// runRaw evaluates a monitor image or assembly file once. Decoded
+// images carry no verifier proof (Program.Meta is not serialized), so
+// they are re-verified through the abstract interpreter here before any
+// instruction runs; maxSteps > 0 additionally rejects programs whose
+// certified worst-case step bound exceeds the budget.
+func runRaw(imagePath, asmPath string, maxSteps int, sets setFlags) {
 	var p *vm.Program
 	switch {
 	case imagePath != "":
@@ -167,7 +176,11 @@ func runRaw(imagePath, asmPath string, sets setFlags) {
 			fail("%v", err)
 		}
 	}
-	if err := vm.Verify(p, vm.NumBuiltinHelpers); err != nil {
+	if maxSteps > 0 {
+		if err := vm.VerifySteps(p, vm.NumBuiltinHelpers, maxSteps); err != nil {
+			fail("program rejected by verifier: %v", err)
+		}
+	} else if err := vm.Verify(p, vm.NumBuiltinHelpers); err != nil {
 		fail("program rejected by verifier: %v", err)
 	}
 	store := featurestore.New()

@@ -265,7 +265,17 @@ func CompileSpec(src string) ([]*Compiled, error) {
 }
 
 // Verify statically checks a monitor program for in-kernel safety; it
-// is run automatically by CompileSpec and at load time.
+// is run automatically by CompileSpec and at load time. On success the
+// program's Meta carries the verifier proof (certified worst-case step
+// bound, trap-freedom, proven-nonzero divisors) and the interpreter
+// runs it without per-step runtime guards.
 func Verify(p *Program) error {
 	return vm.Verify(p, vm.NumBuiltinHelpers)
+}
+
+// VerifySteps verifies p and additionally rejects it when the certified
+// worst-case step count exceeds maxSteps — a load-time admission test
+// for hook sites with a hard per-evaluation budget.
+func VerifySteps(p *Program, maxSteps int) error {
+	return vm.VerifySteps(p, vm.NumBuiltinHelpers, maxSteps)
 }

@@ -152,6 +152,16 @@ func compileChecked(g *spec.Guardrail, o Options) (*Compiled, error) {
 	if err := vm.Verify(p, vm.NumBuiltinHelpers); err != nil {
 		return nil, fmt.Errorf("compile: guardrail %q failed verification: %w", g.Name, err)
 	}
+	// Differential gate: an optimized build must also verify in its
+	// unoptimized form. A guardrail whose -O0 lowering the verifier
+	// rejects but whose -O1 form passes (because an IR pass folded the
+	// unsafe construct away) would make safety depend on the optimizer —
+	// exactly the coupling the static verifier exists to rule out.
+	if o.Level > 0 && preErr == nil {
+		if err := vm.Verify(pre, vm.NumBuiltinHelpers); err != nil {
+			return nil, fmt.Errorf("compile: guardrail %q: -O0 baseline failed verification (differential gate): %w", g.Name, err)
+		}
+	}
 	return &Compiled{
 		Name:     g.Name,
 		Source:   g,

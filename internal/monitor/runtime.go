@@ -125,6 +125,7 @@ func (r *Runtime) Load(c *compile.Compiled, opts Options) (*Monitor, error) {
 	}
 	m.arm()
 	r.monitors[c.Name] = m
+	r.Telemetry().MonitorLoad(c.Name, c.Program.Meta.TrapFree)
 	return m, nil
 }
 
@@ -177,6 +178,7 @@ func (r *Runtime) Update(c *compile.Compiled, opts Options) (*Monitor, error) {
 	old.disarm()
 	m.arm()
 	r.monitors[c.Name] = m
+	r.Telemetry().MonitorLoad(c.Name, c.Program.Meta.TrapFree)
 	return m, nil
 }
 

@@ -7,12 +7,16 @@ import (
 
 	"guardrails/internal/compile"
 	"guardrails/internal/featurestore"
+	"guardrails/internal/spec"
+	"guardrails/internal/spec/vet"
 )
 
 // mustCompile asserts that generated spec text goes through the real
 // parser, checker, and compiler — at both optimization levels, so the
 // library-generated P1–P6 guardrails keep working whichever way the
-// operator builds them.
+// operator builds them — with the abstract interpreter proving every
+// emitted program trap-free, and that the spec lints clean (no
+// warning-severity vet diagnostics).
 func mustCompile(t *testing.T, src string) {
 	t.Helper()
 	unopt, err := compile.SourceWith(src, compile.Options{Level: 0})
@@ -27,6 +31,27 @@ func mustCompile(t *testing.T, src string) {
 		if o, u := len(opt[i].Program.Code), len(unopt[i].Program.Code); o > u {
 			t.Errorf("optimization grew %q from %d to %d insns\n%s",
 				opt[i].Name, u, o, opt[i].Program)
+		}
+	}
+	for _, cs := range [][]*compile.Compiled{unopt, opt} {
+		for _, c := range cs {
+			m := c.Program.Meta
+			if !m.TrapFree || m.MaxSteps <= 0 {
+				t.Errorf("%q at -O%d carries no trap-freedom proof: %+v",
+					c.Name, m.OptLevel, m)
+			}
+		}
+	}
+	f, err := spec.Parse(src)
+	if err != nil {
+		t.Fatalf("reparse for vet: %v", err)
+	}
+	if err := spec.Check(f); err != nil {
+		t.Fatalf("recheck for vet: %v", err)
+	}
+	for _, d := range vet.File(f) {
+		if d.Severity == vet.Warn {
+			t.Errorf("generated spec does not lint clean: %s\n%s", d, src)
 		}
 	}
 }

@@ -1,0 +1,413 @@
+// Package vet lints checked guardrail specifications for constructs
+// that are well-formed and compilable but almost certainly not what the
+// author meant: rules that can never fail (so the guardrail silently
+// watches nothing), rules that can never hold (so the action fires on
+// every evaluation), mutually contradictory rules, tautological
+// comparisons, feedback loops between a guardrail's SAVE actions and
+// its own rules, and divisions by a constant zero.
+//
+// Each finding is a Diagnostic with a stable code (GV001…), a severity,
+// and the source position of the offending construct. Warn-severity
+// diagnostics indicate a spec that is very likely wrong; Info ones flag
+// conventions worth a look (e.g. a SAVEd key no rule reads — often a
+// deliberate control knob for the instrumented policy, as in the
+// paper's ml_enabled example).
+//
+// The linter reasons over ordinary real values only: it does not model
+// NaN propagation. That is deliberate — vet is a heuristic authoring
+// aid, while the VM verifier (internal/vm) is the sound layer that
+// proves trap-freedom over the full float64 domain including NaN.
+package vet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"guardrails/internal/compile"
+	"guardrails/internal/spec"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+// Severities.
+const (
+	// Info flags a convention worth a look; clean specs may carry Info
+	// diagnostics.
+	Info Severity = iota
+	// Warn flags a construct that is very likely a spec bug. A spec
+	// "lints clean" when it produces zero Warn diagnostics.
+	Warn
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	if s == Warn {
+		return "warning"
+	}
+	return "info"
+}
+
+// Diagnostic codes.
+const (
+	CodeAlwaysTrue      = "GV001" // rule is always true: guards nothing
+	CodeAlwaysFalse     = "GV002" // rule is always false: fires every evaluation
+	CodeContradiction   = "GV003" // two rules cannot hold together
+	CodeTautologicalCmp = "GV004" // comparison with identical sides
+	CodeUnreadKey       = "GV005" // SAVEd key never LOADed in the file
+	CodeFeedbackLoop    = "GV006" // guardrail SAVEs a key its own rules LOAD
+	CodeDeadActions     = "GV007" // every rule always true: actions never fire
+	CodeDuplicateRule   = "GV008" // identical rule repeated
+	CodeConstZeroDiv    = "GV009" // division by constant zero
+)
+
+// Diagnostic is one linter finding.
+type Diagnostic struct {
+	// Code is the stable diagnostic code (GV001…).
+	Code string
+	// Severity grades the finding.
+	Severity Severity
+	// Pos is the source position of the offending construct.
+	Pos spec.Pos
+	// Guardrail names the guardrail the finding is in.
+	Guardrail string
+	// Message explains the finding.
+	Message string
+}
+
+// String renders "line:col: severity: [CODE] (guardrail) message".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: [%s] guardrail %s: %s",
+		d.Pos, d.Severity, d.Code, d.Guardrail, d.Message)
+}
+
+// File lints every guardrail in a checked file, plus the cross-guardrail
+// checks (GV005 consults LOADs from all guardrails: one guardrail's
+// SAVEd knob may be read by another's rules). Diagnostics are ordered by
+// source position, then code.
+func File(f *spec.File) []Diagnostic {
+	var ds []Diagnostic
+	loaded := map[string]bool{}
+	for _, g := range f.Guardrails {
+		for _, r := range g.Rules {
+			for k := range loadedKeys(r) {
+				loaded[k] = true
+			}
+		}
+		for _, a := range g.Actions {
+			for _, e := range actionExprs(a) {
+				for k := range loadedKeys(e) {
+					loaded[k] = true
+				}
+			}
+		}
+	}
+	for _, g := range f.Guardrails {
+		ds = append(ds, lintGuardrail(g, loaded)...)
+	}
+	sortDiags(ds)
+	return ds
+}
+
+// Guardrail lints a single checked guardrail in isolation (GV005 then
+// only sees that guardrail's own LOADs).
+func Guardrail(g *spec.Guardrail) []Diagnostic {
+	loaded := map[string]bool{}
+	for _, r := range g.Rules {
+		for k := range loadedKeys(r) {
+			loaded[k] = true
+		}
+	}
+	ds := lintGuardrail(g, loaded)
+	sortDiags(ds)
+	return ds
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		return a.Code < b.Code
+	})
+}
+
+func lintGuardrail(g *spec.Guardrail, fileLoaded map[string]bool) []Diagnostic {
+	var ds []Diagnostic
+	emit := func(code string, sev Severity, pos spec.Pos, format string, args ...any) {
+		ds = append(ds, Diagnostic{Code: code, Severity: sev, Pos: pos,
+			Guardrail: g.Name, Message: fmt.Sprintf(format, args...)})
+	}
+
+	allTrue := len(g.Rules) > 0
+	seen := map[string]spec.Pos{}
+	for _, r := range g.Rules {
+		if v, ok := compile.ConstEval(r); ok {
+			if v != 0 {
+				emit(CodeAlwaysTrue, Warn, r.ExprPos(),
+					"rule %s is always true: it can never be violated", spec.ExprString(r))
+			} else {
+				emit(CodeAlwaysFalse, Warn, r.ExprPos(),
+					"rule %s is always false: the action fires on every evaluation", spec.ExprString(r))
+				allTrue = false
+			}
+		} else {
+			allTrue = false
+		}
+		s := spec.ExprString(r)
+		if prev, dup := seen[s]; dup {
+			emit(CodeDuplicateRule, Warn, r.ExprPos(),
+				"rule %s duplicates the rule at %s", s, prev)
+		} else {
+			seen[s] = r.ExprPos()
+		}
+		walkExprs(r, func(e spec.Expr) {
+			checkTautologicalCmp(e, emit)
+			checkConstZeroDiv(e, emit)
+		})
+	}
+	if allTrue {
+		emit(CodeDeadActions, Warn, g.Pos,
+			"every rule is always true, so the guardrail's actions can never fire")
+	}
+	checkContradictions(g, emit)
+
+	saved := map[string]spec.Pos{}
+	ownLoads := map[string]bool{}
+	for _, r := range g.Rules {
+		for k := range loadedKeys(r) {
+			ownLoads[k] = true
+		}
+	}
+	for _, a := range g.Actions {
+		for _, e := range actionExprs(a) {
+			walkExprs(e, func(e spec.Expr) {
+				checkConstZeroDiv(e, emit)
+			})
+		}
+		sa, ok := a.(*spec.SaveAction)
+		if !ok {
+			continue
+		}
+		if _, dup := saved[sa.Key]; !dup {
+			saved[sa.Key] = sa.Pos
+		}
+		if ownLoads[sa.Key] {
+			emit(CodeFeedbackLoop, Warn, sa.Pos,
+				"SAVE(%s, …) writes a key this guardrail's own rules LOAD: the action changes the property it enforces (feedback loop)", sa.Key)
+		}
+	}
+	for k, pos := range saved {
+		if !fileLoaded[k] {
+			emit(CodeUnreadKey, Info, pos,
+				"SAVEd key %q is never LOADed in this file (fine if it is a control knob the instrumented policy reads)", k)
+		}
+	}
+	return ds
+}
+
+// checkTautologicalCmp flags comparisons whose two sides render to the
+// same source text: x == x, LOAD(k) <= LOAD(k), and the like. Reflexive
+// ==/<=/>= are always true and <//>//!= always false (over ordinary
+// values; NaN is out of scope here — see the package comment).
+func checkTautologicalCmp(e spec.Expr, emit func(string, Severity, spec.Pos, string, ...any)) {
+	b, ok := e.(*spec.BinaryExpr)
+	if !ok {
+		return
+	}
+	switch b.Op {
+	case spec.TokEq, spec.TokNe, spec.TokLt, spec.TokLe, spec.TokGt, spec.TokGe:
+	default:
+		return
+	}
+	if spec.ExprString(b.X) != spec.ExprString(b.Y) {
+		return
+	}
+	outcome := "always true"
+	switch b.Op {
+	case spec.TokNe, spec.TokLt, spec.TokGt:
+		outcome = "always false"
+	}
+	emit(CodeTautologicalCmp, Warn, b.Pos,
+		"comparison %s has identical sides: %s", spec.ExprString(b), outcome)
+}
+
+func checkConstZeroDiv(e spec.Expr, emit func(string, Severity, spec.Pos, string, ...any)) {
+	b, ok := e.(*spec.BinaryExpr)
+	if !ok || b.Op != spec.TokSlash {
+		return
+	}
+	if v, ok := compile.ConstEval(b.Y); ok && v == 0 {
+		emit(CodeConstZeroDiv, Warn, b.Pos,
+			"division %s has a constant-zero divisor (the VM defines x/0 = 0, which is rarely intended)", spec.ExprString(b))
+	}
+}
+
+// keyBound is a half-open constraint a simple comparison rule places on
+// one feature key: lo <= k <= hi (bounds may be infinite; strict edges
+// are nudged since only emptiness of the intersection matters).
+type keyBound struct {
+	lo, hi float64
+	rule   spec.Expr
+}
+
+// checkContradictions intersects, per feature key, the intervals implied
+// by simple comparison rules of the shape LOAD(k) op const (either
+// operand order). Rules must hold conjointly; an empty intersection
+// means the property can never be satisfied, so the guardrail fires on
+// every evaluation without any single rule looking wrong.
+func checkContradictions(g *spec.Guardrail, emit func(string, Severity, spec.Pos, string, ...any)) {
+	bounds := map[string]keyBound{}
+	for _, r := range g.Rules {
+		key, lo, hi, ok := simpleKeyConstraint(r)
+		if !ok {
+			continue
+		}
+		prev, have := bounds[key]
+		if !have {
+			bounds[key] = keyBound{lo: lo, hi: hi, rule: r}
+			continue
+		}
+		nlo, nhi := math.Max(prev.lo, lo), math.Min(prev.hi, hi)
+		if nlo > nhi {
+			emit(CodeContradiction, Warn, r.ExprPos(),
+				"rule %s contradicts rule %s: no value of %s satisfies both, so the guardrail fires on every evaluation",
+				spec.ExprString(r), spec.ExprString(prev.rule), key)
+			continue
+		}
+		bounds[key] = keyBound{lo: nlo, hi: nhi, rule: prev.rule}
+	}
+}
+
+// simpleKeyConstraint recognizes LOAD(k) op const / ident op const (and
+// the mirrored const op LOAD(k)) and returns the interval of key values
+// for which the rule holds. Strict bounds are nudged one ulp inward so
+// the interval comparison can stay closed.
+func simpleKeyConstraint(r spec.Expr) (key string, lo, hi float64, ok bool) {
+	b, isBin := r.(*spec.BinaryExpr)
+	if !isBin {
+		return "", 0, 0, false
+	}
+	op := b.Op
+	k, kOK := loadKey(b.X)
+	c, cOK := compile.ConstEval(b.Y)
+	if !kOK || !cOK {
+		// Mirror: const op LOAD(k) ⇒ LOAD(k) flipped-op const.
+		c, cOK = compile.ConstEval(b.X)
+		k, kOK = loadKey(b.Y)
+		if !kOK || !cOK {
+			return "", 0, 0, false
+		}
+		switch op {
+		case spec.TokLt:
+			op = spec.TokGt
+		case spec.TokLe:
+			op = spec.TokGe
+		case spec.TokGt:
+			op = spec.TokLt
+		case spec.TokGe:
+			op = spec.TokLe
+		}
+	}
+	switch op {
+	case spec.TokEq:
+		return k, c, c, true
+	case spec.TokLt:
+		return k, math.Inf(-1), math.Nextafter(c, math.Inf(-1)), true
+	case spec.TokLe:
+		return k, math.Inf(-1), c, true
+	case spec.TokGt:
+		return k, math.Nextafter(c, math.Inf(1)), math.Inf(1), true
+	case spec.TokGe:
+		return k, c, math.Inf(1), true
+	}
+	return "", 0, 0, false
+}
+
+func loadKey(e spec.Expr) (string, bool) {
+	switch n := e.(type) {
+	case *spec.LoadExpr:
+		return n.Key, true
+	case *spec.IdentExpr:
+		return n.Name, true
+	}
+	return "", false
+}
+
+// loadedKeys collects every feature key an expression reads.
+func loadedKeys(e spec.Expr) map[string]bool {
+	keys := map[string]bool{}
+	walkExprs(e, func(e spec.Expr) {
+		if k, ok := loadKey(e); ok {
+			keys[k] = true
+		}
+	})
+	return keys
+}
+
+// actionExprs returns the expression operands embedded in an action.
+func actionExprs(a spec.Action) []spec.Expr {
+	switch n := a.(type) {
+	case *spec.ReportAction:
+		return n.Args
+	case *spec.DeprioritizeAction:
+		if n.Priority != nil {
+			return []spec.Expr{n.Priority}
+		}
+	case *spec.SaveAction:
+		return []spec.Expr{n.Value}
+	}
+	return nil
+}
+
+func walkExprs(e spec.Expr, visit func(spec.Expr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch n := e.(type) {
+	case *spec.UnaryExpr:
+		walkExprs(n.X, visit)
+	case *spec.BinaryExpr:
+		walkExprs(n.X, visit)
+		walkExprs(n.Y, visit)
+	case *spec.CallExpr:
+		for _, a := range n.Args {
+			walkExprs(a, visit)
+		}
+	}
+}
+
+// Summary renders a one-line count of findings by severity, e.g.
+// "2 warnings, 1 info".
+func Summary(ds []Diagnostic) string {
+	var warns, infos int
+	for _, d := range ds {
+		if d.Severity == Warn {
+			warns++
+		} else {
+			infos++
+		}
+	}
+	var parts []string
+	if warns > 0 {
+		s := "s"
+		if warns == 1 {
+			s = ""
+		}
+		parts = append(parts, fmt.Sprintf("%d warning%s", warns, s))
+	}
+	if infos > 0 {
+		parts = append(parts, fmt.Sprintf("%d info", infos))
+	}
+	if len(parts) == 0 {
+		return "no findings"
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,194 @@
+package vet
+
+import (
+	"strings"
+	"testing"
+
+	"guardrails/internal/spec"
+)
+
+func parse(t *testing.T, src string) *spec.File {
+	t.Helper()
+	f, err := spec.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := spec.Check(f); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return f
+}
+
+func codes(ds []Diagnostic) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Code
+	}
+	return out
+}
+
+func hasCode(ds []Diagnostic, code string) bool {
+	for _, d := range ds {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCleanSpecNoWarnings(t *testing.T) {
+	f := parse(t, `
+guardrail g {
+    trigger: { TIMER(start_time, 1e9) },
+    rule: { LOAD(rate) <= 0.05; LOAD(rate) >= 0 },
+    action: { SAVE(knob, false) }
+}`)
+	for _, d := range File(f) {
+		if d.Severity == Warn {
+			t.Errorf("unexpected warning on clean spec: %s", d)
+		}
+	}
+}
+
+func TestAlwaysTrueAndDeadActions(t *testing.T) {
+	f := parse(t, `
+guardrail g {
+    trigger: { TIMER(start_time, 1e9) },
+    rule: { 3 > 2 },
+    action: { REPORT(1) }
+}`)
+	ds := File(f)
+	if !hasCode(ds, CodeAlwaysTrue) || !hasCode(ds, CodeDeadActions) {
+		t.Errorf("want GV001+GV007, got %v", codes(ds))
+	}
+}
+
+func TestAlwaysFalse(t *testing.T) {
+	f := parse(t, `
+guardrail g {
+    trigger: { TIMER(start_time, 1e9) },
+    rule: { 1 > 2; LOAD(x) > 0 },
+    action: { REPORT(1) }
+}`)
+	ds := File(f)
+	if !hasCode(ds, CodeAlwaysFalse) {
+		t.Errorf("want GV002, got %v", codes(ds))
+	}
+	if hasCode(ds, CodeDeadActions) {
+		t.Errorf("GV007 must not fire when a rule is falsifiable: %v", codes(ds))
+	}
+}
+
+func TestContradictionBothOperandOrders(t *testing.T) {
+	// Mirrored constant-first comparison must normalize: 10 < LOAD(x)
+	// means x > 10, contradicting x <= 5.
+	f := parse(t, `
+guardrail g {
+    trigger: { TIMER(start_time, 1e9) },
+    rule: { 10 < LOAD(x); LOAD(x) <= 5 },
+    action: { REPORT(1) }
+}`)
+	if ds := File(f); !hasCode(ds, CodeContradiction) {
+		t.Errorf("want GV003, got %v", codes(ds))
+	}
+	// Overlapping intervals must stay silent.
+	f = parse(t, `
+guardrail g {
+    trigger: { TIMER(start_time, 1e9) },
+    rule: { LOAD(x) >= 1; LOAD(x) <= 5 },
+    action: { REPORT(1) }
+}`)
+	if ds := File(f); hasCode(ds, CodeContradiction) {
+		t.Errorf("false GV003 on satisfiable bounds: %v", codes(ds))
+	}
+}
+
+func TestTautologicalComparisonOutcomes(t *testing.T) {
+	f := parse(t, `
+guardrail g {
+    trigger: { TIMER(start_time, 1e9) },
+    rule: { LOAD(x) >= LOAD(x); LOAD(x) != LOAD(x) },
+    action: { REPORT(1) }
+}`)
+	var tauto []Diagnostic
+	for _, d := range File(f) {
+		if d.Code == CodeTautologicalCmp {
+			tauto = append(tauto, d)
+		}
+	}
+	if len(tauto) != 2 {
+		t.Fatalf("want 2 GV004, got %d", len(tauto))
+	}
+	if !strings.Contains(tauto[0].Message, "always true") ||
+		!strings.Contains(tauto[1].Message, "always false") {
+		t.Errorf("wrong outcomes: %q / %q", tauto[0].Message, tauto[1].Message)
+	}
+}
+
+func TestUnreadKeyIsInfoAndCrossGuardrail(t *testing.T) {
+	// knob is SAVEd in g1 but LOADed by g2's rules: File-level lint must
+	// not flag it; Guardrail-level lint of g1 alone must (as Info).
+	f := parse(t, `
+guardrail g1 {
+    trigger: { TIMER(start_time, 1e9) },
+    rule: { LOAD(rate) <= 1 },
+    action: { SAVE(knob, 0) }
+}
+guardrail g2 {
+    trigger: { TIMER(start_time, 1e9) },
+    rule: { LOAD(knob) == 0 },
+    action: { REPORT(1) }
+}`)
+	if ds := File(f); hasCode(ds, CodeUnreadKey) {
+		t.Errorf("GV005 fired despite cross-guardrail LOAD: %v", codes(ds))
+	}
+	ds := Guardrail(f.Guardrails[0])
+	if !hasCode(ds, CodeUnreadKey) {
+		t.Fatalf("want GV005 from isolated lint, got %v", codes(ds))
+	}
+	for _, d := range ds {
+		if d.Code == CodeUnreadKey && d.Severity != Info {
+			t.Errorf("GV005 must be Info, got %s", d.Severity)
+		}
+	}
+}
+
+func TestFeedbackLoop(t *testing.T) {
+	f := parse(t, `
+guardrail g {
+    trigger: { TIMER(start_time, 1e9) },
+    rule: { LOAD(mode) == 1 },
+    action: { SAVE(mode, 0) }
+}`)
+	if ds := File(f); !hasCode(ds, CodeFeedbackLoop) {
+		t.Errorf("want GV006, got %v", codes(ds))
+	}
+}
+
+func TestConstZeroDivInActionExpr(t *testing.T) {
+	f := parse(t, `
+guardrail g {
+    trigger: { TIMER(start_time, 1e9) },
+    rule: { LOAD(x) > 0 },
+    action: { SAVE(y, LOAD(x) / (2 - 2)) }
+}`)
+	if ds := File(f); !hasCode(ds, CodeConstZeroDiv) {
+		t.Errorf("want GV009 in action operand, got %v", codes(ds))
+	}
+}
+
+func TestDiagnosticsSortedByPosition(t *testing.T) {
+	f := parse(t, `
+guardrail g {
+    trigger: { TIMER(start_time, 1e9) },
+    rule: { 1 > 2; 2 > 3; LOAD(x) > 0 },
+    action: { REPORT(1) }
+}`)
+	ds := File(f)
+	for i := 1; i < len(ds); i++ {
+		a, b := ds[i-1].Pos, ds[i].Pos
+		if a.Line > b.Line || (a.Line == b.Line && a.Col > b.Col) {
+			t.Errorf("diagnostics out of order: %s before %s", a, b)
+		}
+	}
+}

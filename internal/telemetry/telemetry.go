@@ -106,6 +106,8 @@ type Counters struct {
 	StoreSaves       Counter
 	IOReads          Counter
 	IOWrites         Counter
+	ProvenLoads      Counter
+	GuardedLoads     Counter
 }
 
 // counterNames returns the exposition name → counter mapping. The
@@ -138,6 +140,8 @@ func (c *Counters) byName() []struct {
 		{"featurestore_saves_total", &c.StoreSaves},
 		{"io_reads_total", &c.IOReads},
 		{"io_writes_total", &c.IOWrites},
+		{"monitor_loads_proven_total", &c.ProvenLoads},
+		{"monitor_loads_guarded_total", &c.GuardedLoads},
 	}
 }
 
@@ -278,6 +282,21 @@ func (s *Sink) HookFire(at Time, site string, arg float64) {
 	}
 	s.Counters.HookFires.Inc()
 	s.rec.Record(Event{At: at, Kind: KindHookFire, Subject: site, Value: arg})
+}
+
+// MonitorLoad records one monitor program load, split by whether the
+// verifier proved it trap-free (the interpreter's guard-free fast path)
+// or it fell back to the fully-guarded path. Counter-only by design —
+// loads are configuration events, not flight-recorder traffic.
+func (s *Sink) MonitorLoad(monitor string, proven bool) {
+	if s == nil {
+		return
+	}
+	if proven {
+		s.Counters.ProvenLoads.Inc()
+	} else {
+		s.Counters.GuardedLoads.Inc()
+	}
 }
 
 // HookDispatched charges the wall-clock cost of one completed hook

@@ -2,6 +2,7 @@ package vm
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -105,5 +106,47 @@ func TestDecodedInvalidProgramFailsVerify(t *testing.T) {
 	}
 	if err := Verify(q, NumBuiltinHelpers); err == nil {
 		t.Error("decoded unsafe program passed verification")
+	}
+}
+
+// TestDecodedTrappingImageRejected is the regression for the
+// structural-verifier gap the abstract interpreter closed: a program
+// that is structurally valid (in-range registers, forward jumps, known
+// helper) yet traps at runtime — its HelperAction dispatch index comes
+// straight from a feature-store cell that may hold NaN. The image
+// round-trips cleanly; only the dataflow analysis rejects it.
+func TestDecodedTrappingImageRejected(t *testing.T) {
+	b := NewBuilder("trapping-image")
+	b.Load(1, "idx")
+	b.Call(HelperAction)
+	b.Exit()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structure alone cannot fault it...
+	if err := verifyStructure(q, NumBuiltinHelpers); err != nil {
+		t.Fatalf("fixture is meant to be structurally valid: %v", err)
+	}
+	// ...and the decoded image carries no proof, so it would run on the
+	// guarded path if loaded unverified.
+	if q.Meta.TrapFree {
+		t.Error("decoded image claims a verifier proof")
+	}
+	verr := Verify(q, NumBuiltinHelpers)
+	if verr == nil {
+		t.Fatal("decoded trapping image passed the analyzer")
+	}
+	var ve *VerifyError
+	if !errors.As(verr, &ve) || ve.Reason == "" {
+		t.Fatalf("want positioned *VerifyError, got %T %v", verr, verr)
 	}
 }

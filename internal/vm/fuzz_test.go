@@ -1,0 +1,175 @@
+package vm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fuzzEnv is a benign environment for soundness fuzzing: cells hold
+// arbitrary float64s (the adversarial part) and helpers never error, so
+// any trap an accepted program hits is a verifier soundness bug, not an
+// environment fault.
+type fuzzEnv struct {
+	cells []float64
+}
+
+func (e *fuzzEnv) LoadCell(i int32) float64     { return e.cells[i] }
+func (e *fuzzEnv) StoreCell(i int32, v float64) { e.cells[i] = v }
+func (e *fuzzEnv) Helper(h HelperID, args *[5]float64) (float64, error) {
+	switch h {
+	case HelperSqrt:
+		if args[0] < 0 {
+			return 0, nil
+		}
+		return math.Sqrt(args[0]), nil
+	case HelperLog2:
+		if args[0] <= 0 {
+			return 0, nil
+		}
+		return math.Log2(args[0]), nil
+	}
+	return float64(h), nil
+}
+
+// randProgram generates a random program. Register and cell choices are
+// biased toward valid ranges so a useful fraction of programs survive
+// the structural pass and exercise the dataflow analysis; jumps are
+// always forward and in range (backward jumps are boring rejections).
+func randProgram(rng *rand.Rand, symbols []string) *Program {
+	n := 1 + rng.Intn(20)
+	code := make([]Instr, 0, n+1)
+	randImm := func() float64 {
+		switch rng.Intn(8) {
+		case 0:
+			return 0
+		case 1:
+			return math.NaN()
+		case 2:
+			return math.Inf(1)
+		case 3:
+			return -1
+		default:
+			return float64(rng.Intn(40) - 10)
+		}
+	}
+	ops := []Op{
+		OpMov, OpMovI, OpMovI, OpAdd, OpAddI, OpSub, OpSubI, OpMul, OpMulI,
+		OpDiv, OpDivI, OpNeg, OpAbs, OpMin, OpMax, OpNot, OpBoo,
+		OpJmp, OpJEq, OpJNe, OpJLt, OpJLe, OpJGt, OpJGe,
+		OpJEqI, OpJNeI, OpJLtI, OpJLeI, OpJGtI, OpJGeI,
+		OpLoad, OpStore, OpCall, OpExit,
+	}
+	// Bias registers toward a small working set: uniform choices over
+	// all 16 registers make uninitialized reads so likely that almost
+	// nothing reaches the interval analysis.
+	randReg := func() uint8 {
+		if rng.Intn(2) == 0 {
+			return uint8(rng.Intn(3))
+		}
+		return uint8(rng.Intn(NumRegs))
+	}
+	for pc := 0; pc < n; pc++ {
+		in := Instr{
+			Op:  ops[rng.Intn(len(ops))],
+			Dst: randReg(),
+			Src: randReg(),
+		}
+		switch in.Op {
+		case OpJmp, OpJEq, OpJNe, OpJLt, OpJLe, OpJGt, OpJGe,
+			OpJEqI, OpJNeI, OpJLtI, OpJLeI, OpJGtI, OpJGeI:
+			// Forward target in (pc, n]; n is the virtual end (the
+			// analyzer rejects reachable fall-off, which is fine).
+			in.Off = 1 + int32(rng.Intn(n-pc))
+			in.Imm = randImm()
+		case OpLoad, OpStore:
+			in.Cell = int32(rng.Intn(len(symbols)))
+		case OpCall:
+			in.Imm = float64(rng.Intn(NumBuiltinHelpers))
+		case OpMovI, OpAddI, OpSubI, OpMulI, OpDivI:
+			in.Imm = randImm()
+		}
+		code = append(code, in)
+	}
+	code = append(code, Instr{Op: OpExit})
+	return &Program{Name: "fuzz", Code: code, Symbols: symbols}
+}
+
+// TestVerifierSoundnessFuzz is the differential soundness test: every
+// program the verifier accepts must run trap-free on randomized feature
+// stores (including NaN and infinite cell values), within its certified
+// step bound, and agree exactly with the fully-guarded interpreter;
+// every rejection must carry a positioned, non-empty reason.
+func TestVerifierSoundnessFuzz(t *testing.T) {
+	const trials = 500
+	rng := rand.New(rand.NewSource(0x5eed))
+	symbols := []string{"a", "b", "c"}
+	randCell := func() float64 {
+		switch rng.Intn(6) {
+		case 0:
+			return 0
+		case 1:
+			return math.NaN()
+		case 2:
+			return math.Inf(1)
+		case 3:
+			return math.Inf(-1)
+		default:
+			return rng.NormFloat64() * 100
+		}
+	}
+
+	accepted, rejected := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		p := randProgram(rng, symbols)
+		err := Verify(p, NumBuiltinHelpers)
+		if err != nil {
+			rejected++
+			var ve *VerifyError
+			if !errors.As(err, &ve) {
+				t.Fatalf("trial %d: rejection is not a *VerifyError: %T %v", trial, err, err)
+			}
+			if ve.Reason == "" {
+				t.Fatalf("trial %d: empty rejection reason\n%s", trial, p)
+			}
+			continue
+		}
+		accepted++
+		if !p.Meta.TrapFree || p.Meta.MaxSteps <= 0 {
+			t.Fatalf("trial %d: accepted program has no proof: %+v", trial, p.Meta)
+		}
+		for run := 0; run < 4; run++ {
+			cells := []float64{randCell(), randCell(), randCell()}
+			arg := randCell()
+
+			var mp Machine
+			provenOut, perr := mp.Run(p, &fuzzEnv{cells: append([]float64(nil), cells...)}, arg)
+			if perr != nil {
+				t.Fatalf("trial %d: verified program trapped: %v\ncells=%v arg=%v\n%s",
+					trial, perr, cells, arg, p)
+			}
+			if int(mp.Steps) > p.Meta.MaxSteps {
+				t.Fatalf("trial %d: %d steps exceed certified bound %d\n%s",
+					trial, mp.Steps, p.Meta.MaxSteps, p)
+			}
+
+			guarded := *p
+			guarded.Meta = ProgramMeta{}
+			var mg Machine
+			guardedOut, gerr := mg.Run(&guarded, &fuzzEnv{cells: append([]float64(nil), cells...)}, arg)
+			if gerr != nil {
+				t.Fatalf("trial %d: guarded interpreter trapped where proven did not: %v", trial, gerr)
+			}
+			if !sameFloat(provenOut, guardedOut) || mp.Steps != mg.Steps {
+				t.Fatalf("trial %d: paths disagree: proven (%v, %d steps) vs guarded (%v, %d steps)\ncells=%v arg=%v\n%s",
+					trial, provenOut, mp.Steps, guardedOut, mg.Steps, cells, arg, p)
+			}
+		}
+	}
+	// The generator must exercise both verdicts meaningfully.
+	if accepted < 20 || rejected < 20 {
+		t.Fatalf("degenerate fuzz mix: %d accepted, %d rejected", accepted, rejected)
+	}
+	t.Logf("fuzz: %d accepted, %d rejected", accepted, rejected)
+}

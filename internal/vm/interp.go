@@ -39,10 +39,166 @@ type Machine struct {
 
 // Run executes p against env with r0 preset to arg (the trigger
 // argument: e.g. the instrumented function's observed value). It returns
-// the value of r0 at OpExit. The program must have passed Verify; Run
-// still guards divisions and bounds as defense in depth but does not
-// re-verify. Failures are returned as classified *Trap errors.
+// the value of r0 at OpExit. Failures are returned as classified *Trap
+// errors.
+//
+// Programs whose Meta carries a verifier proof (Meta.TrapFree, set by
+// Verify) execute on a fast path that skips the per-step budget and pc
+// guards — the proof makes them redundant — and, when Meta.DivProven,
+// uses raw IEEE division. Unproven programs (decoded images before
+// re-verification, hand-built test programs) run with every guard as
+// defense in depth.
 func (m *Machine) Run(p *Program, env Env, arg float64) (float64, error) {
+	if p.Meta.TrapFree {
+		return m.runProven(p, env, arg)
+	}
+	return m.runGuarded(p, env, arg)
+}
+
+// runProven is the guard-free interpreter loop for verifier-proven
+// programs: no budget decrement, no pc bounds test. Step accounting is
+// kept in a local and folded into m.Steps at exit so the hot loop
+// touches no memory beyond the register file.
+func (m *Machine) runProven(p *Program, env Env, arg float64) (float64, error) {
+	m.regs = [NumRegs]float64{}
+	m.regs[0] = arg
+	r := &m.regs
+	code := p.Code
+	rawDiv := p.Meta.DivProven
+	var steps uint64
+	pc := 0
+	for {
+		steps++
+		in := code[pc]
+		switch in.Op {
+		case OpMov:
+			r[in.Dst] = r[in.Src]
+		case OpMovI:
+			r[in.Dst] = in.Imm
+		case OpAdd:
+			r[in.Dst] += r[in.Src]
+		case OpAddI:
+			r[in.Dst] += in.Imm
+		case OpSub:
+			r[in.Dst] -= r[in.Src]
+		case OpSubI:
+			r[in.Dst] -= in.Imm
+		case OpMul:
+			r[in.Dst] *= r[in.Src]
+		case OpMulI:
+			r[in.Dst] *= in.Imm
+		case OpDiv:
+			if rawDiv {
+				r[in.Dst] /= r[in.Src]
+			} else {
+				r[in.Dst] = safeDiv(r[in.Dst], r[in.Src])
+			}
+		case OpDivI:
+			if rawDiv {
+				r[in.Dst] /= in.Imm
+			} else {
+				r[in.Dst] = safeDiv(r[in.Dst], in.Imm)
+			}
+		case OpNeg:
+			r[in.Dst] = -r[in.Dst]
+		case OpAbs:
+			r[in.Dst] = math.Abs(r[in.Dst])
+		case OpMin:
+			r[in.Dst] = math.Min(r[in.Dst], r[in.Src])
+		case OpMax:
+			r[in.Dst] = math.Max(r[in.Dst], r[in.Src])
+		case OpNot:
+			if r[in.Dst] == 0 {
+				r[in.Dst] = 1
+			} else {
+				r[in.Dst] = 0
+			}
+		case OpBoo:
+			if r[in.Dst] != 0 {
+				r[in.Dst] = 1
+			}
+		case OpJmp:
+			pc += int(in.Off)
+		case OpJEq:
+			if r[in.Dst] == r[in.Src] {
+				pc += int(in.Off)
+			}
+		case OpJNe:
+			if r[in.Dst] != r[in.Src] {
+				pc += int(in.Off)
+			}
+		case OpJLt:
+			if r[in.Dst] < r[in.Src] {
+				pc += int(in.Off)
+			}
+		case OpJLe:
+			if r[in.Dst] <= r[in.Src] {
+				pc += int(in.Off)
+			}
+		case OpJGt:
+			if r[in.Dst] > r[in.Src] {
+				pc += int(in.Off)
+			}
+		case OpJGe:
+			if r[in.Dst] >= r[in.Src] {
+				pc += int(in.Off)
+			}
+		case OpJEqI:
+			if r[in.Dst] == in.Imm {
+				pc += int(in.Off)
+			}
+		case OpJNeI:
+			if r[in.Dst] != in.Imm {
+				pc += int(in.Off)
+			}
+		case OpJLtI:
+			if r[in.Dst] < in.Imm {
+				pc += int(in.Off)
+			}
+		case OpJLeI:
+			if r[in.Dst] <= in.Imm {
+				pc += int(in.Off)
+			}
+		case OpJGtI:
+			if r[in.Dst] > in.Imm {
+				pc += int(in.Off)
+			}
+		case OpJGeI:
+			if r[in.Dst] >= in.Imm {
+				pc += int(in.Off)
+			}
+		case OpLoad:
+			r[in.Dst] = env.LoadCell(in.Cell)
+		case OpStore:
+			env.StoreCell(in.Cell, r[in.Src])
+		case OpCall:
+			args := [5]float64{r[1], r[2], r[3], r[4], r[5]}
+			out, err := env.Helper(HelperID(in.Imm), &args)
+			if err != nil {
+				m.Steps += steps
+				return 0, &Trap{Code: TrapHelper, PC: pc, Program: p.Name,
+					Instr: p.fmtInstr(in), Cause: err}
+			}
+			r[0] = out
+			r[1], r[2], r[3], r[4], r[5] = 0, 0, 0, 0, 0
+		case OpExit:
+			m.Steps += steps
+			return r[0], nil
+		default:
+			// Unreachable for a verified program; kept as defense in
+			// depth against post-verification code mutation.
+			m.Steps += steps
+			return 0, &Trap{Code: TrapBadOpcode, PC: pc, Program: p.Name,
+				Instr: p.fmtInstr(in), Cause: fmt.Errorf("invalid opcode %v", in.Op)}
+		}
+		pc++
+	}
+}
+
+// runGuarded is the fully-guarded interpreter loop for unproven
+// programs: a per-step instruction budget bounds runaway code and every
+// pc is bounds-tested before the fetch.
+func (m *Machine) runGuarded(p *Program, env Env, arg float64) (float64, error) {
 	m.regs = [NumRegs]float64{}
 	m.regs[0] = arg
 	budget := len(p.Code) + 1
@@ -50,7 +206,8 @@ func (m *Machine) Run(p *Program, env Env, arg float64) (float64, error) {
 	pc := 0
 	for {
 		if budget <= 0 {
-			return 0, &Trap{Code: TrapBudget, PC: pc, Program: p.Name, Cause: ErrBudget}
+			return 0, &Trap{Code: TrapBudget, PC: pc, Program: p.Name,
+				Instr: p.InstrString(pc), Cause: ErrBudget}
 		}
 		budget--
 		m.Steps++
@@ -156,7 +313,8 @@ func (m *Machine) Run(p *Program, env Env, arg float64) (float64, error) {
 			args := [5]float64{r[1], r[2], r[3], r[4], r[5]}
 			out, err := env.Helper(HelperID(in.Imm), &args)
 			if err != nil {
-				return 0, &Trap{Code: TrapHelper, PC: pc, Program: p.Name, Cause: err}
+				return 0, &Trap{Code: TrapHelper, PC: pc, Program: p.Name,
+					Instr: p.fmtInstr(in), Cause: err}
 			}
 			r[0] = out
 			r[1], r[2], r[3], r[4], r[5] = 0, 0, 0, 0, 0
@@ -164,7 +322,7 @@ func (m *Machine) Run(p *Program, env Env, arg float64) (float64, error) {
 			return r[0], nil
 		default:
 			return 0, &Trap{Code: TrapBadOpcode, PC: pc, Program: p.Name,
-				Cause: fmt.Errorf("invalid opcode %v", in.Op)}
+				Instr: p.fmtInstr(in), Cause: fmt.Errorf("invalid opcode %v", in.Op)}
 		}
 		pc++
 	}

@@ -151,9 +151,12 @@ type Program struct {
 	Meta ProgramMeta
 }
 
-// ProgramMeta is compiler provenance attached to a Program: the
-// optimization level it was built at and the instruction counts before
-// and after optimization, for overhead accounting.
+// ProgramMeta is compiler and verifier provenance attached to a
+// Program: the optimization level it was built at, the instruction
+// counts before and after optimization (for overhead accounting), and
+// the verifier's proof outcome. The proof fields are written only by
+// Verify; a decoded image carries a zero Meta until it is re-verified,
+// so unproven programs always take the interpreter's guarded path.
 type ProgramMeta struct {
 	// OptLevel is the compile.Options.Level the program was built at.
 	OptLevel int
@@ -162,6 +165,22 @@ type ProgramMeta struct {
 	PreOptInsns int
 	// PostOptInsns is the final instruction count (len(Code)).
 	PostOptInsns int
+
+	// MaxSteps is the verifier-certified worst-case interpreter step
+	// count (executed instructions, including the final OpExit) over
+	// every path through the program. Zero means unverified.
+	MaxSteps int
+	// TrapFree records that the abstract interpreter proved the program
+	// cannot trap by its own doing (no uninitialized reads, no helper
+	// contract violations, bounded by MaxSteps); the interpreter skips
+	// its per-step budget and pc guards for such programs. Helper
+	// backends may still fail at runtime (TrapHelper) — that is an
+	// environment fault, not a program fault.
+	TrapFree bool
+	// DivProven records that every division's divisor was proven unable
+	// to be ordinary zero, so the interpreter may use raw IEEE division
+	// instead of the guarded x/0 = 0 form.
+	DivProven bool
 }
 
 // String disassembles the program.
@@ -172,6 +191,16 @@ func (p *Program) String() string {
 		fmt.Fprintf(&b, "%4d: %s\n", i, p.fmtInstr(in))
 	}
 	return b.String()
+}
+
+// InstrString disassembles the instruction at pc, resolving cell
+// indices through the program's symbol table. Out-of-range pcs yield a
+// placeholder rather than panicking, so error paths can call it freely.
+func (p *Program) InstrString(pc int) string {
+	if pc < 0 || pc >= len(p.Code) {
+		return fmt.Sprintf("<pc %d outside [0,%d)>", pc, len(p.Code))
+	}
+	return p.fmtInstr(p.Code[pc])
 }
 
 func (p *Program) fmtInstr(in Instr) string {

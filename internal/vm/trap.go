@@ -57,16 +57,23 @@ type Trap struct {
 	PC int
 	// Program names the trapping program.
 	Program string
+	// Instr is the disassembled faulting instruction, when the trap pc
+	// addresses one.
+	Instr string
 	// Cause is the underlying error, when any.
 	Cause error
 }
 
 // Error renders the trap.
 func (t *Trap) Error() string {
-	if t.Cause != nil {
-		return fmt.Sprintf("vm: trap [%s] at pc=%d in %q: %v", t.Code, t.PC, t.Program, t.Cause)
+	at := fmt.Sprintf("pc=%d", t.PC)
+	if t.Instr != "" {
+		at = fmt.Sprintf("pc=%d (%s)", t.PC, t.Instr)
 	}
-	return fmt.Sprintf("vm: trap [%s] at pc=%d in %q", t.Code, t.PC, t.Program)
+	if t.Cause != nil {
+		return fmt.Sprintf("vm: trap [%s] at %s in %q: %v", t.Code, at, t.Program, t.Cause)
+	}
+	return fmt.Sprintf("vm: trap [%s] at %s in %q", t.Code, at, t.Program)
 }
 
 // Unwrap exposes the cause to errors.Is/As.

@@ -7,187 +7,131 @@ import (
 // VerifyError describes why a program was rejected, pointing at the
 // offending instruction.
 type VerifyError struct {
-	PC     int
+	// PC is the faulting instruction's index.
+	PC int
+	// Instr is the disassembled faulting instruction, when PC addresses
+	// a decodable instruction.
+	Instr string
+	// Reason explains the rejection.
 	Reason string
 }
 
 // Error implements error.
 func (e *VerifyError) Error() string {
+	if e.Instr != "" {
+		return fmt.Sprintf("vm: verify failed at pc=%d (%s): %s", e.PC, e.Instr, e.Reason)
+	}
 	return fmt.Sprintf("vm: verify failed at pc=%d: %s", e.PC, e.Reason)
 }
 
-func vErr(pc int, format string, args ...any) error {
-	return &VerifyError{PC: pc, Reason: fmt.Sprintf(format, args...)}
+func vErr(p *Program, pc int, format string, args ...any) error {
+	e := &VerifyError{PC: pc, Reason: fmt.Sprintf(format, args...)}
+	if p != nil && pc >= 0 && pc < len(p.Code) {
+		e.Instr = p.fmtInstr(p.Code[pc])
+	}
+	return e
 }
 
 // Verify statically checks a program for in-kernel safety, mirroring the
-// eBPF verifier's guarantees scaled to this ISA:
+// eBPF verifier's guarantees scaled to this ISA. A structural pass
+// checks the program shape:
 //
 //   - program is non-empty and at most MaxInsns instructions;
 //   - every opcode is known and its register operands are in range;
 //   - all jumps are strictly forward (loop freedom ⇒ termination) and
 //     land inside the program;
-//   - execution cannot fall off the end: every reachable path reaches
-//     an OpExit;
-//   - every register read is preceded by a write on all paths (r0 is
-//     the only register defined at entry, carrying the trigger argument);
 //   - OpLoad/OpStore cell indices are within the symbol table;
 //   - OpCall helper IDs are within the provided helper set.
 //
-// Verify returns nil if the program is safe to load.
+// A worklist-driven abstract interpreter (analysis.go) then proves the
+// program trap-free: execution cannot fall off the end, every register
+// read is preceded by a write on all paths (r0 is the only register
+// defined at entry, carrying the trigger argument), helper arguments
+// satisfy their per-helper contracts (HelperAction's dispatch index must
+// be a provably small non-negative number), and no division has a
+// provably-always-zero divisor.
+//
+// On success Verify records the proof in p.Meta: the certified
+// worst-case step bound (MaxSteps), trap-freedom (TrapFree — the
+// interpreter skips its per-step runtime guards), and whether every
+// divisor was proven non-zero (DivProven — the interpreter uses raw IEEE
+// division). Verify returns nil if the program is safe to load.
 func Verify(p *Program, numHelpers int) error {
+	if err := verifyStructure(p, numHelpers); err != nil {
+		return err
+	}
+	a, err := analyze(p, numHelpers)
+	if err != nil {
+		return err
+	}
+	p.Meta.MaxSteps = a.MaxSteps
+	p.Meta.TrapFree = true
+	p.Meta.DivProven = a.DivProven
+	return nil
+}
+
+// VerifySteps verifies p and additionally rejects it when the certified
+// worst-case step count exceeds maxSteps — a load-time admission test
+// for hook sites with a hard per-evaluation budget.
+func VerifySteps(p *Program, numHelpers, maxSteps int) error {
+	if err := Verify(p, numHelpers); err != nil {
+		return err
+	}
+	if p.Meta.MaxSteps > maxSteps {
+		return vErr(p, 0, "certified worst-case step count %d exceeds the budget of %d steps",
+			p.Meta.MaxSteps, maxSteps)
+	}
+	return nil
+}
+
+// Analyze runs the abstract interpreter on a structurally-checked
+// program and returns the proof object without mutating p.Meta.
+func Analyze(p *Program, numHelpers int) (*Analysis, error) {
+	if err := verifyStructure(p, numHelpers); err != nil {
+		return nil, err
+	}
+	return analyze(p, numHelpers)
+}
+
+// verifyStructure is the per-instruction structural pass; the abstract
+// interpreter assumes it has run.
+func verifyStructure(p *Program, numHelpers int) error {
 	n := len(p.Code)
 	if n == 0 {
-		return vErr(0, "empty program")
+		return vErr(p, 0, "empty program")
 	}
 	if n > MaxInsns {
-		return vErr(0, "program too long: %d > %d", n, MaxInsns)
+		return vErr(p, 0, "program too long: %d > %d", n, MaxInsns)
 	}
-
-	// Pass 1: structural checks per instruction.
 	for pc, in := range p.Code {
 		if in.Op <= OpInvalid || in.Op >= opMax {
-			return vErr(pc, "unknown opcode %d", in.Op)
+			return vErr(p, pc, "unknown opcode %d", in.Op)
 		}
 		if int(in.Dst) >= NumRegs {
-			return vErr(pc, "dst register r%d out of range", in.Dst)
+			return vErr(p, pc, "dst register r%d out of range", in.Dst)
 		}
 		if int(in.Src) >= NumRegs {
-			return vErr(pc, "src register r%d out of range", in.Src)
+			return vErr(p, pc, "src register r%d out of range", in.Src)
 		}
 		switch in.Op {
 		case OpJmp, OpJEq, OpJNe, OpJLt, OpJLe, OpJGt, OpJGe,
 			OpJEqI, OpJNeI, OpJLtI, OpJLeI, OpJGtI, OpJGeI:
 			if in.Off < 1 {
-				return vErr(pc, "non-forward jump offset %d", in.Off)
+				return vErr(p, pc, "non-forward jump offset %d", in.Off)
 			}
 			if pc+1+int(in.Off) > n {
-				return vErr(pc, "jump target %d outside program", pc+1+int(in.Off))
+				return vErr(p, pc, "jump target %d outside program", pc+1+int(in.Off))
 			}
 		case OpLoad, OpStore:
 			if in.Cell < 0 || int(in.Cell) >= len(p.Symbols) {
-				return vErr(pc, "cell index %d outside symbol table (%d symbols)", in.Cell, len(p.Symbols))
+				return vErr(p, pc, "cell index %d outside symbol table (%d symbols)", in.Cell, len(p.Symbols))
 			}
 		case OpCall:
 			h := int(in.Imm)
 			if float64(h) != in.Imm || h < 0 || h >= numHelpers {
-				return vErr(pc, "helper id %v not in [0,%d)", in.Imm, numHelpers)
+				return vErr(p, pc, "helper id %v not in [0,%d)", in.Imm, numHelpers)
 			}
 		}
-	}
-
-	// Pass 2: dataflow over the (acyclic, forward-only) CFG. Because all
-	// jumps are forward, a single in-order pass visiting each pc once
-	// sees all predecessors before the instruction itself.
-	const allRegs = 1<<NumRegs - 1
-	type state struct {
-		reachable bool
-		init      uint32 // bitset of provably-initialized registers
-	}
-	states := make([]state, n+1) // states[n] = fallthrough off the end
-	states[0] = state{reachable: true, init: 1 << 0}
-
-	merge := func(idx int, init uint32) {
-		if !states[idx].reachable {
-			states[idx] = state{reachable: true, init: init}
-			return
-		}
-		states[idx].init &= init // must hold on all paths
-	}
-
-	readReg := func(pc int, s state, r uint8) error {
-		if s.init&(1<<r) == 0 {
-			return vErr(pc, "read of uninitialized register r%d", r)
-		}
-		return nil
-	}
-
-	for pc := 0; pc < n; pc++ {
-		s := states[pc]
-		if !s.reachable {
-			continue
-		}
-		in := p.Code[pc]
-		next := s.init
-		switch in.Op {
-		case OpMovI:
-			next |= 1 << in.Dst
-		case OpMov:
-			if err := readReg(pc, s, in.Src); err != nil {
-				return err
-			}
-			next |= 1 << in.Dst
-		case OpAdd, OpSub, OpMul, OpDiv, OpMin, OpMax:
-			if err := readReg(pc, s, in.Dst); err != nil {
-				return err
-			}
-			if err := readReg(pc, s, in.Src); err != nil {
-				return err
-			}
-		case OpAddI, OpSubI, OpMulI, OpDivI, OpNeg, OpAbs, OpNot, OpBoo:
-			if err := readReg(pc, s, in.Dst); err != nil {
-				return err
-			}
-		case OpJmp:
-			merge(pc+1+int(in.Off), next)
-			continue // no fallthrough
-		case OpJEq, OpJNe, OpJLt, OpJLe, OpJGt, OpJGe:
-			if err := readReg(pc, s, in.Dst); err != nil {
-				return err
-			}
-			if err := readReg(pc, s, in.Src); err != nil {
-				return err
-			}
-			merge(pc+1+int(in.Off), next)
-		case OpJEqI, OpJNeI, OpJLtI, OpJLeI, OpJGtI, OpJGeI:
-			if err := readReg(pc, s, in.Dst); err != nil {
-				return err
-			}
-			merge(pc+1+int(in.Off), next)
-		case OpLoad:
-			next |= 1 << in.Dst
-		case OpStore:
-			if err := readReg(pc, s, in.Src); err != nil {
-				return err
-			}
-		case OpCall:
-			// Helper convention: r1..r5 are arguments. Requiring them all
-			// initialized would force dead stores, so only r1 (the
-			// near-universal first argument) is checked for helpers that
-			// take arguments; helpers ignore registers beyond their arity.
-			if helperArity(HelperID(in.Imm)) > 0 {
-				if err := readReg(pc, s, 1); err != nil {
-					return err
-				}
-			}
-			next |= 1 << 0 // r0 = return value
-			// r1-r5 are clobbered (become uninitialized).
-			next &^= 0b111110
-		case OpExit:
-			if err := readReg(pc, s, 0); err != nil {
-				return err
-			}
-			continue // no fallthrough
-		}
-		merge(pc+1, next)
-		_ = allRegs
-	}
-
-	if states[n].reachable {
-		return vErr(n-1, "execution can fall off the end of the program")
 	}
 	return nil
-}
-
-// helperArity returns the number of declared arguments for built-in
-// helpers; unknown (runtime-extended) helpers report 1.
-func helperArity(h HelperID) int {
-	switch h {
-	case HelperNow:
-		return 0
-	case HelperReport, HelperAction, HelperSqrt, HelperLog2:
-		return 1
-	default:
-		return 1
-	}
 }

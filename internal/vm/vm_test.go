@@ -65,14 +65,19 @@ func TestArithmeticOps(t *testing.T) {
 		op   Op
 		a, b float64
 		want float64
+		// skipVerify runs the program unverified (guarded interpreter
+		// path): the verifier rejects a provably-constant-zero divisor,
+		// but the runtime x/0 = 0 semantics must still hold for programs
+		// that bypass it.
+		skipVerify bool
 	}{
-		{"add", OpAdd, 2, 3, 5},
-		{"sub", OpSub, 2, 3, -1},
-		{"mul", OpMul, 2, 3, 6},
-		{"div", OpDiv, 6, 3, 2},
-		{"div0", OpDiv, 6, 0, 0},
-		{"min", OpMin, 2, 3, 2},
-		{"max", OpMax, 2, 3, 3},
+		{"add", OpAdd, 2, 3, 5, false},
+		{"sub", OpSub, 2, 3, -1, false},
+		{"mul", OpMul, 2, 3, 6, false},
+		{"div", OpDiv, 6, 3, 2, false},
+		{"div0", OpDiv, 6, 0, 0, true},
+		{"min", OpMin, 2, 3, 2, false},
+		{"max", OpMax, 2, 3, 3, false},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -86,7 +91,9 @@ func TestArithmeticOps(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			mustVerify(t, p)
+			if !c.skipVerify {
+				mustVerify(t, p)
+			}
 			if got := run(t, p, &testEnv{}, 0); got != c.want {
 				t.Errorf("%s(%v,%v) = %v, want %v", c.name, c.a, c.b, got, c.want)
 			}
@@ -101,7 +108,7 @@ func TestImmediateOps(t *testing.T) {
 	b.ALUI(OpSubI, 1, 3)  // 12
 	b.ALUI(OpMulI, 1, 2)  // 24
 	b.ALUI(OpDivI, 1, 4)  // 6
-	b.ALUI(OpDivI, 1, 0)  // 0 (div-by-zero)
+	b.ALUI(OpMulI, 1, 0)  // 0
 	b.ALUI(OpAddI, 1, -7) // -7
 	b.Un(OpAbs, 1)        // 7
 	b.Un(OpNeg, 1)        // -7
@@ -114,6 +121,23 @@ func TestImmediateOps(t *testing.T) {
 	mustVerify(t, p)
 	if got := run(t, p, &testEnv{}, 0); got != -7 {
 		t.Errorf("got %v, want -7", got)
+	}
+}
+
+// TestDivIByZeroUnverified pins the guarded interpreter's x/0 = 0
+// semantics for the immediate form; the verifier rejects such programs,
+// so this runs unverified.
+func TestDivIByZeroUnverified(t *testing.T) {
+	b := NewBuilder("divi0")
+	b.MovI(0, 42)
+	b.ALUI(OpDivI, 0, 0)
+	b.Exit()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := run(t, p, &testEnv{}, 0); got != 0 {
+		t.Errorf("42 divi 0 = %v, want 0", got)
 	}
 }
 

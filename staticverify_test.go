@@ -1,0 +1,81 @@
+package guardrails
+
+// Integration tests for the static-verification plane: compiled
+// guardrails arrive at the monitor runtime carrying the abstract
+// interpreter's proof, the load split (proven fast path vs. guarded
+// fallback) is observable in the Prometheus exposition, and the facade
+// surfaces the certified step bound.
+
+import (
+	"strings"
+	"testing"
+
+	"guardrails/internal/vm"
+)
+
+const staticVerifySpec = `
+guardrail static-verify-watch {
+    trigger: { TIMER(0, 1e8) },
+    rule: { LOAD(sig) <= 1.0 },
+    action: { REPORT(LOAD(sig)) }
+}`
+
+// TestProvenLoadVisibleInPrometheus: loading a compiled (and therefore
+// verifier-proven) guardrail must increment monitor_loads_proven_total,
+// and force-loading an unproven copy of the same program must increment
+// the guarded-fallback counter instead.
+func TestProvenLoadVisibleInPrometheus(t *testing.T) {
+	sys := NewSystem()
+	sink := sys.AttachTelemetry(64)
+	if _, err := sys.LoadGuardrails(staticVerifySpec, Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	cs, err := CompileSpec(staticVerifySpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unproven := *cs[0]
+	prog := *unproven.Program
+	prog.Meta = vm.ProgramMeta{} // what a decoded image looks like
+	prog.Name = "decoded-image-twin"
+	unproven.Program = &prog
+	unproven.Name = prog.Name
+	if _, err := sys.Runtime.Load(&unproven, Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := sink.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"monitor_loads_proven_total 1",
+		"monitor_loads_guarded_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCompiledProgramsCarryProof: every program out of CompileSpec has
+// Meta proof fields set, and the facade's VerifySteps admission test
+// works against the certified bound.
+func TestCompiledProgramsCarryProof(t *testing.T) {
+	cs, err := CompileSpec(staticVerifySpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cs[0].Program
+	if !p.Meta.TrapFree || p.Meta.MaxSteps <= 0 {
+		t.Fatalf("compiled program carries no proof: %+v", p.Meta)
+	}
+	if err := VerifySteps(p, p.Meta.MaxSteps); err != nil {
+		t.Errorf("program rejected by its own certified bound: %v", err)
+	}
+	if err := VerifySteps(p, p.Meta.MaxSteps-1); err == nil {
+		t.Error("VerifySteps accepted a budget below the certified bound")
+	}
+}
