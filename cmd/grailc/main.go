@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	grailc [-O0|-O1] [-S] [-json] [-check-only] [-vet] [-o out.img] file.grail...
+//	grailc [-O0|-O1] [-S] [-json] [-check-only] [-vet] [-interfere] [-o out.img] file.grail...
 //	grailc -e 'guardrail g { ... }'
 //
 // With no flags it reports each guardrail's name, trigger count, and
@@ -14,7 +14,10 @@
 // images (one file per guardrail, named <out>.<guardrail>.img when
 // multiple); -check-only stops after semantic checking; -vet lints the
 // checked specs (package internal/spec/vet) and fails on any
-// warning-severity diagnostic. -O1 (constant
+// warning-severity diagnostic; -interfere treats each file as one
+// deployment and runs the whole-deployment interference analysis
+// (package internal/spec/interfere, GI001… diagnostics — cross-file
+// deployments use cmd/grailcheck), failing on warnings. -O1 (constant
 // folding, algebraic simplification, CSE, copy propagation, immediate
 // selection, DCE, and a bytecode peephole) is the default; -O0 compiles
 // by straight lowering and codegen.
@@ -29,6 +32,7 @@ import (
 
 	"guardrails/internal/compile"
 	"guardrails/internal/spec"
+	"guardrails/internal/spec/interfere"
 	"guardrails/internal/spec/vet"
 )
 
@@ -37,6 +41,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit compiled programs as JSON")
 	checkOnly := flag.Bool("check-only", false, "parse and check only; do not compile")
 	vetFlag := flag.Bool("vet", false, "lint specifications (GV001… diagnostics); warnings fail the build")
+	interfereFlag := flag.Bool("interfere", false, "analyze each file as one deployment (GI001… diagnostics); warnings fail the build")
 	expr := flag.String("e", "", "compile specification text from the command line")
 	imgOut := flag.String("o", "", "write binary monitor image(s) to this path")
 	o0 := flag.Bool("O0", false, "disable optimization (straight lowering and codegen)")
@@ -70,7 +75,7 @@ func main() {
 	for name, src := range sources {
 		if err := processOne(os.Stdout, name, src, options{
 			asm: *asm, jsonOut: *jsonOut, checkOnly: *checkOnly, imageOut: *imgOut,
-			level: level, vet: *vetFlag,
+			level: level, vet: *vetFlag, interfere: *interfereFlag,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			exit = 1
@@ -86,6 +91,7 @@ type options struct {
 	imageOut  string
 	level     int
 	vet       bool
+	interfere bool
 }
 
 func processOne(w io.Writer, name, src string, opt options) error {
@@ -109,11 +115,13 @@ func processOne(w io.Writer, name, src string, opt options) error {
 		if warns > 0 {
 			return fmt.Errorf("vet: %d warning(s)", warns)
 		}
-		if opt.checkOnly {
+		if opt.checkOnly && !opt.interfere {
 			return nil
 		}
 	}
-	if opt.checkOnly {
+	// Interference analysis needs the compiled programs' certificates,
+	// so -interfere compiles even under -check-only.
+	if opt.checkOnly && !opt.interfere {
 		fmt.Fprintf(w, "%s: %d guardrail(s) OK\n", name, len(f.Guardrails))
 		return nil
 	}
@@ -126,6 +134,19 @@ func processOne(w io.Writer, name, src string, opt options) error {
 	compiled, err := compile.FileWith(f, copts)
 	if err != nil {
 		return err
+	}
+	if opt.interfere {
+		report := interfere.Analyze(&interfere.Deployment{Monitors: compiled, Features: f.Features})
+		for _, d := range report.Diagnostics {
+			fmt.Fprintf(w, "%s:%s\n", name, d)
+		}
+		fmt.Fprintf(w, "%s: interfere: %s\n", name, report.Summary())
+		if warns := report.Warnings(); warns > 0 {
+			return fmt.Errorf("interfere: %d warning(s)", warns)
+		}
+		if opt.checkOnly {
+			return nil
+		}
 	}
 	for _, c := range compiled {
 		if opt.imageOut != "" {

@@ -50,6 +50,40 @@ func TestVetGoldenDiagnostics(t *testing.T) {
 	}
 }
 
+// TestVetRangeGolden pins the -vet output for the declared-range check
+// (GV010): a threshold the declared feature range always satisfies, a
+// threshold it can never satisfy, and a third guardrail whose threshold
+// cuts the range properly and stays silent.
+func TestVetRangeGolden(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "vet_range.grail"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	perr := processOne(&sb, "vet_range.grail", string(src), options{vet: true, level: 1})
+	if perr == nil {
+		t.Fatal("vet accepted out-of-range thresholds")
+	}
+	got := sb.String()
+
+	path := filepath.Join("testdata", "vet_range.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("-vet range diagnostics drifted from golden file (run with -update to regenerate)\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	if strings.Contains(got, "ok-watch") {
+		t.Errorf("GV010 flagged a threshold inside the declared range:\n%s", got)
+	}
+}
+
 // TestVetCleanSpec runs the linter over the paper's Listing 2: it must
 // produce no warnings (the SAVEd ml_enabled control knob is Info-level
 // by design — the instrumented policy reads it, not the spec).

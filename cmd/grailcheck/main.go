@@ -1,0 +1,162 @@
+// Command grailcheck is the whole-deployment interference checker: it
+// takes the set of guardrail specification files that will be deployed
+// together and reports cross-guardrail interference no per-file check
+// can see — contradictory co-firing actions, SAVE→LOAD feedback cycles
+// across monitors, hook sites whose aggregate certified worst-case cost
+// exceeds their step budget, dead guardrails, and duplicate names —
+// as stable GI-coded diagnostics (package internal/spec/interfere).
+//
+// Usage:
+//
+//	grailcheck [-budget N] [-warn] [-json] file.grail...
+//	grailcheck -manifest deploy.json
+//
+// A deployment manifest names the spec files and budgets in one place:
+//
+//	{
+//	  "specs": ["latency.grail", "failover.grail"],
+//	  "hook_budget": 200,
+//	  "hook_budgets": {"io_uring_submit": 64}
+//	}
+//
+// Spec paths in a manifest resolve relative to the manifest's
+// directory. -budget sets the default per-hook-site certified step
+// budget (0 = unlimited); the manifest's hook_budget, when present,
+// takes precedence. -json emits the full report (diagnostics plus the
+// per-site worst-case load table) as JSON, the CI artifact format.
+//
+// Exit status: 0 when the deployment checks clean, 1 when the analysis
+// finds warnings, 2 on usage or spec errors. With -warn, findings are
+// reported but warnings do not fail the check (exit 0) — the
+// counterpart of loading with guardrails.DeployWarn, which quarantines
+// the implicated monitors instead of refusing the deployment.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"guardrails/internal/compile"
+	"guardrails/internal/spec"
+	"guardrails/internal/spec/interfere"
+)
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+// manifest is the deployment manifest file format.
+type manifest struct {
+	Specs       []string       `json:"specs"`
+	HookBudget  int            `json:"hook_budget"`
+	HookBudgets map[string]int `json:"hook_budgets"`
+}
+
+func run(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("grailcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	budget := fs.Int("budget", 0, "default per-hook-site certified step budget (0 = unlimited)")
+	warnOnly := fs.Bool("warn", false, "report findings but do not fail on warnings")
+	jsonOut := fs.Bool("json", false, "emit the full report as JSON")
+	manifestPath := fs.String("manifest", "", "deployment manifest (JSON: specs, hook_budget, hook_budgets)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	paths := fs.Args()
+	dep := &interfere.Deployment{HookBudget: *budget}
+	if *manifestPath != "" {
+		data, err := os.ReadFile(*manifestPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "grailcheck: %v\n", err)
+			return 2
+		}
+		var m manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			fmt.Fprintf(stderr, "grailcheck: %s: %v\n", *manifestPath, err)
+			return 2
+		}
+		dir := filepath.Dir(*manifestPath)
+		for _, p := range m.Specs {
+			if !filepath.IsAbs(p) {
+				p = filepath.Join(dir, p)
+			}
+			paths = append(paths, p)
+		}
+		if m.HookBudget != 0 {
+			dep.HookBudget = m.HookBudget
+		}
+		dep.HookBudgets = m.HookBudgets
+	}
+	if len(paths) == 0 {
+		fmt.Fprintln(stderr, "usage: grailcheck [-budget N] [-warn] [-json] file.grail... | grailcheck -manifest deploy.json")
+		return 2
+	}
+
+	// fileOf attributes each guardrail to its source file so multi-file
+	// diagnostics print a resolvable position.
+	fileOf := map[string]string{}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "grailcheck: %v\n", err)
+			return 2
+		}
+		f, err := spec.Parse(string(data))
+		if err != nil {
+			fmt.Fprintf(stderr, "grailcheck: %s: %v\n", path, err)
+			return 2
+		}
+		if err := spec.Check(f); err != nil {
+			fmt.Fprintf(stderr, "grailcheck: %s: %v\n", path, err)
+			return 2
+		}
+		cs, err := compile.File(f)
+		if err != nil {
+			fmt.Fprintf(stderr, "grailcheck: %s: %v\n", path, err)
+			return 2
+		}
+		for _, c := range cs {
+			if _, dup := fileOf[c.Name]; !dup {
+				fileOf[c.Name] = path
+			}
+		}
+		dep.Monitors = append(dep.Monitors, cs...)
+		dep.Features = append(dep.Features, f.Features...)
+	}
+
+	report := interfere.Analyze(dep)
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(stderr, "grailcheck: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range report.Diagnostics {
+			fmt.Fprintf(stdout, "%s:%s\n", fileOf[d.Guardrail], d)
+		}
+		for _, s := range report.Sites {
+			line := fmt.Sprintf("hook %s: worst case %d certified steps", s.Site, s.Total)
+			if s.Budget > 0 {
+				line += fmt.Sprintf(" (budget %d)", s.Budget)
+			}
+			for _, l := range s.Monitors {
+				line += fmt.Sprintf(" %s=%d", l.Guardrail, l.MaxSteps)
+			}
+			fmt.Fprintln(stdout, line)
+		}
+		fmt.Fprintf(stdout, "grailcheck: %d guardrail(s): %s\n", len(dep.Monitors), report.Summary())
+	}
+
+	if report.Warnings() > 0 && !*warnOnly {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func runCheck(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(&out, &errb, args)
+	return out.String(), errb.String(), code
+}
+
+// TestCleanDeployment: the P1-P6-style deployment must check clean —
+// six guardrails, zero warnings, exit 0 — and the report must carry the
+// hook-site load table within budget.
+func TestCleanDeployment(t *testing.T) {
+	out, errb, code := runCheck(t, "-manifest", filepath.Join("testdata", "clean.json"))
+	if code != 0 {
+		t.Fatalf("clean deployment exited %d\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+	for _, want := range []string{"6 guardrail(s)", "no findings", "hook io_uring_submit", "(budget 64)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("clean output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestConflictingPairGolden pins the complete output for the seeded
+// conflicting pair: contradictory SAVEs of ml_enabled (GI001) and a
+// REPLACE ping-pong (GI002) on one hook site, exit 1.
+func TestConflictingPairGolden(t *testing.T) {
+	out, _, code := runCheck(t, "-manifest", filepath.Join("testdata", "conflict.json"))
+	if code != 1 {
+		t.Fatalf("conflicting deployment exited %d, want 1\n%s", code, out)
+	}
+	compareGolden(t, filepath.Join("testdata", "conflict.golden"), out)
+	for _, want := range []string{"GI001", "GI002", "ml_enabled", "dispatch order"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("conflict output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFeedbackCycleGolden pins the output for the seeded SAVE→LOAD
+// feedback cycle (GI004), exit 1.
+func TestFeedbackCycleGolden(t *testing.T) {
+	out, _, code := runCheck(t, filepath.Join("testdata", "feedback.grail"))
+	if code != 1 {
+		t.Fatalf("feedback deployment exited %d, want 1\n%s", code, out)
+	}
+	compareGolden(t, filepath.Join("testdata", "feedback.golden"), out)
+	if !strings.Contains(out, "GI004") || !strings.Contains(out, "feedback cycle") {
+		t.Errorf("feedback output missing GI004 finding:\n%s", out)
+	}
+}
+
+// TestBudgetManifest: a per-site override below the pair's summed
+// certified steps adds GI005 on top of the conflicts.
+func TestBudgetManifest(t *testing.T) {
+	out, _, code := runCheck(t, "-manifest", filepath.Join("testdata", "budget.json"))
+	if code != 1 {
+		t.Fatalf("over-budget deployment exited %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "GI005") || !strings.Contains(out, "exceeds its budget of 4") {
+		t.Errorf("budget output missing GI005 finding:\n%s", out)
+	}
+}
+
+// TestWarnFlag: -warn reports the findings but exits 0, mirroring the
+// runtime's DeployWarn quarantine-instead-of-refuse policy.
+func TestWarnFlag(t *testing.T) {
+	out, _, code := runCheck(t, "-warn", "-manifest", filepath.Join("testdata", "conflict.json"))
+	if code != 0 {
+		t.Fatalf("-warn exited %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "GI001") {
+		t.Errorf("-warn suppressed the findings:\n%s", out)
+	}
+}
+
+// TestJSONReport: -json emits a machine-readable report whose
+// diagnostics carry the stable codes — the CI artifact format.
+func TestJSONReport(t *testing.T) {
+	out, _, code := runCheck(t, "-json", "-manifest", filepath.Join("testdata", "conflict.json"))
+	if code != 1 {
+		t.Fatalf("-json exited %d, want 1", code)
+	}
+	var report struct {
+		Diagnostics []struct {
+			Code     string `json:"code"`
+			Severity string `json:"severity"`
+		} `json:"diagnostics"`
+		Sites []struct {
+			Site  string `json:"site"`
+			Total int    `json:"total_max_steps"`
+		} `json:"sites"`
+	}
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("bad JSON report: %v\n%s", err, out)
+	}
+	codes := map[string]bool{}
+	for _, d := range report.Diagnostics {
+		codes[d.Code] = true
+		if d.Severity != "warning" {
+			t.Errorf("diagnostic %s severity = %q, want warning", d.Code, d.Severity)
+		}
+	}
+	if !codes["GI001"] || !codes["GI002"] {
+		t.Errorf("JSON report missing codes: %v", codes)
+	}
+	if len(report.Sites) != 1 || report.Sites[0].Site != "io_uring_submit" || report.Sites[0].Total != 16 {
+		t.Errorf("JSON site table wrong: %+v", report.Sites)
+	}
+}
+
+// TestDuplicateAcrossFiles: the same guardrail name in two files of one
+// deployment is GI007 — per-file checking cannot see it.
+func TestDuplicateAcrossFiles(t *testing.T) {
+	dir := t.TempDir()
+	src, err := os.ReadFile(filepath.Join("testdata", "clean_hook.grail"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := filepath.Join(dir, "a.grail")
+	b := filepath.Join(dir, "b.grail")
+	for _, p := range []string{a, b} {
+		if err := os.WriteFile(p, src, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, _, code := runCheck(t, a, b)
+	if code != 1 {
+		t.Fatalf("duplicate deployment exited %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "GI007") || !strings.Contains(out, "appears twice") {
+		t.Errorf("missing GI007 finding:\n%s", out)
+	}
+}
+
+// TestUsageErrors: no inputs, unreadable files, and broken specs or
+// manifests exit 2.
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"testdata/does_not_exist.grail"},
+		{"-manifest", "testdata/does_not_exist.json"},
+	}
+	for _, args := range cases {
+		if _, _, code := runCheck(t, args...); code != 2 {
+			t.Errorf("run(%q) exited %d, want 2", args, code)
+		}
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.grail")
+	if err := os.WriteFile(bad, []byte("guardrail g { rule: { 5 } }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, code := runCheck(t, bad); code != 2 {
+		t.Errorf("broken spec exited %d, want 2", 2)
+	}
+}
+
+func compareGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from golden file %s (run with -update to regenerate)\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}

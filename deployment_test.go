@@ -1,0 +1,155 @@
+package guardrails
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// The paper's failover/failback interference example in this repo's
+// action taxonomy: both guardrails watch the io_uring submission hook;
+// one disables the ML predictor and fails over, the other re-enables
+// it and fails back. Each verifies alone; together their actions
+// contradict on every shared dispatch.
+const conflictingDeployment = `
+guardrail ml-off-on-errors {
+    trigger: { FUNCTION(io_uring_submit) },
+    rule: { LOAD(io_err_rate) <= 0.01 },
+    action: {
+        SAVE(ml_enabled, 0)
+        REPLACE(linnos, heuristic)
+    }
+}
+guardrail ml-on-for-latency {
+    trigger: { FUNCTION(io_uring_submit) },
+    rule: { LOAD(io_lat_p99) <= 5e6 },
+    action: {
+        SAVE(ml_enabled, 1)
+        REPLACE(heuristic, linnos)
+    }
+}`
+
+// TestAnalyzeDeploymentFindsInterference: the library surface reports
+// the conflict pair (GI001 contradictory SAVEs, GI002 REPLACE
+// ping-pong) without loading anything.
+func TestAnalyzeDeploymentFindsInterference(t *testing.T) {
+	report, err := AnalyzeDeployment(conflictingDeployment, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Clean() {
+		t.Fatal("conflicting deployment analyzed clean")
+	}
+	found := map[string]bool{}
+	for _, d := range report.Diagnostics {
+		found[d.Code] = true
+	}
+	if !found["GI001"] || !found["GI002"] {
+		t.Errorf("diagnostics = %v, want GI001 and GI002", found)
+	}
+}
+
+// TestSystemRefusesConflictingDeployment: System.LoadDeployment under
+// the default enforce policy refuses atomically; nothing is armed.
+func TestSystemRefusesConflictingDeployment(t *testing.T) {
+	sys := NewSystem()
+	res, err := sys.LoadDeployment(conflictingDeployment, DeployConfig{})
+	var derr *DeployError
+	if !errors.As(err, &derr) {
+		t.Fatalf("got %v, want *DeployError", err)
+	}
+	if len(res.Monitors) != 0 || len(sys.Runtime.Monitors()) != 0 {
+		t.Error("refused deployment left monitors loaded")
+	}
+
+	// The same deployment under DeployWarn loads quarantined: the
+	// conflicting SAVEs never reach the store.
+	sys2 := NewSystem()
+	sys2.Store.Save("ml_enabled", 1)
+	sys2.Store.Save("io_err_rate", 0.9)
+	sys2.Store.Save("io_lat_p99", 1e9)
+	res2, err := sys2.LoadDeployment(conflictingDeployment, DeployConfig{Policy: DeployWarn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Shadowed) != 2 {
+		t.Fatalf("Shadowed = %v, want both guardrails", res2.Shadowed)
+	}
+	sys2.Kernel.Fire("io_uring_submit")
+	sys2.Kernel.RunUntil(Second)
+	if got := sys2.Store.Load("ml_enabled"); got != 1 {
+		t.Errorf("quarantined deployment still wrote ml_enabled = %v", got)
+	}
+}
+
+// TestSystemDuplicateLoad: loading the same spec twice into one System
+// fails with the GI007-coded duplicate-deployment error and leaves the
+// first load armed.
+func TestSystemDuplicateLoad(t *testing.T) {
+	const src = `
+guardrail low-false-submit {
+    trigger: { TIMER(start_time, 1e9) },
+    rule: { LOAD(false_submit_rate) <= 0.05 },
+    action: { SAVE(ml_enabled, false) }
+}`
+	sys := NewSystem()
+	sys.Store.Save("false_submit_rate", 0.01)
+	if _, err := sys.LoadGuardrails(src, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := sys.LoadGuardrails(src, Options{})
+	var dup *DuplicateLoadError
+	if !errors.As(err, &dup) {
+		t.Fatalf("second load returned %v, want *DuplicateLoadError", err)
+	}
+	if !strings.Contains(err.Error(), "GI007") {
+		t.Errorf("duplicate-load error %q missing GI007", err)
+	}
+	if sys.Runtime.Monitor("low-false-submit") == nil {
+		t.Error("failed duplicate load unloaded the original monitor")
+	}
+}
+
+// TestSystemBudgetRejectionTelemetry: an over-budget deployment is
+// refused by the kernel admission test and the rejection is visible in
+// the telemetry exposition.
+func TestSystemBudgetRejectionTelemetry(t *testing.T) {
+	sys := NewSystem()
+	sink := sys.AttachTelemetry(64)
+	const twoOnOneHook = `
+guardrail watch-a {
+    trigger: { FUNCTION(io_uring_submit) },
+    rule: { LOAD(a) <= 1 },
+    action: { REPORT(LOAD(a)) }
+}
+guardrail watch-b {
+    trigger: { FUNCTION(io_uring_submit) },
+    rule: { LOAD(b) <= 1 },
+    action: { REPORT(LOAD(b)) }
+}`
+	_, err := sys.LoadDeployment(twoOnOneHook, DeployConfig{HookBudget: 4})
+	var derr *DeployError
+	if !errors.As(err, &derr) {
+		t.Fatalf("got %v, want *DeployError", err)
+	}
+	var aerr *AdmissionError
+	if !errors.As(derr.Admission, &aerr) {
+		t.Fatalf("DeployError.Admission = %v, want *AdmissionError", derr.Admission)
+	}
+	if got := sink.Counters.DeployRejected.Value(); got != 1 {
+		t.Errorf("deployment_rejected_total = %d, want 1", got)
+	}
+	var buf strings.Builder
+	if err := sink.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "deployment_rejected_total 1") {
+		t.Errorf("exposition missing rejection:\n%s", buf.String())
+	}
+
+	// Raising the budget admits the same deployment.
+	sys2 := NewSystem()
+	if _, err := sys2.LoadDeployment(twoOnOneHook, DeployConfig{HookBudget: 64}); err != nil {
+		t.Fatalf("within-budget deployment refused: %v", err)
+	}
+}

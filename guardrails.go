@@ -62,6 +62,7 @@ import (
 	"guardrails/internal/kernel"
 	"guardrails/internal/monitor"
 	"guardrails/internal/spec"
+	"guardrails/internal/spec/interfere"
 	"guardrails/internal/telemetry"
 	"guardrails/internal/vm"
 )
@@ -145,6 +146,41 @@ type (
 	TelemetryEvent = telemetry.Event
 	// FlightRecorder is the bounded event ring inside a telemetry sink.
 	FlightRecorder = telemetry.Flight
+	// Deployment is the whole-deployment interference analyzer's input:
+	// the compiled guardrails that will run together plus declared
+	// feature ranges and hook budgets.
+	Deployment = interfere.Deployment
+	// DeploymentReport is the analyzer's output: GI-coded diagnostics
+	// plus the per-hook-site worst-case load table.
+	DeploymentReport = interfere.Report
+	// DeploymentDiagnostic is one deployment-level finding (GI001…).
+	DeploymentDiagnostic = interfere.Diagnostic
+	// DeployConfig parameterizes System.LoadDeployment.
+	DeployConfig = monitor.DeployConfig
+	// DeployResult reports what LoadDeployment loaded, shadowed,
+	// disabled, or skipped.
+	DeployResult = monitor.DeployResult
+	// DeployError is LoadDeployment's refusal under DeployEnforce.
+	DeployError = monitor.DeployError
+	// DuplicateLoadError is the GI007-coded duplicate-load refusal.
+	DuplicateLoadError = monitor.DuplicateLoadError
+	// FeatureDecl is a declared feature range (feature k range(lo, hi)).
+	FeatureDecl = spec.FeatureDecl
+	// AdmissionError is the kernel's aggregate-budget refusal.
+	AdmissionError = kernel.AdmissionError
+	// HookLoad is one monitor's intended hook attachment with its
+	// certified cost, the kernel admission test's input.
+	HookLoad = kernel.HookLoad
+)
+
+// Deployment analysis policies (DeployConfig.Policy).
+const (
+	// DeployEnforce refuses the whole deployment on any interference
+	// warning.
+	DeployEnforce = monitor.DeployEnforce
+	// DeployWarn loads the deployment but quarantines implicated
+	// monitors (shadow mode, or disabled for over-budget hooks).
+	DeployWarn = monitor.DeployWarn
 )
 
 // Simulated-time units.
@@ -226,6 +262,48 @@ func NewSystem() *System {
 // guardrail in src.
 func (s *System) LoadGuardrails(src string, opts Options) ([]*Monitor, error) {
 	return s.Runtime.LoadSource(src, opts)
+}
+
+// AnalyzeDeployment runs the whole-deployment interference analysis on
+// specification text without loading anything: cross-guardrail action
+// conflicts, SAVE→LOAD feedback cycles, aggregate hook budgets, and
+// dead guardrails, reported as stable GI-coded diagnostics. Declared
+// feature ranges in src refine the analysis. This is the library
+// surface behind cmd/grailcheck and grailc -interfere.
+func AnalyzeDeployment(src string, hookBudget int, hookBudgets map[string]int) (*DeploymentReport, error) {
+	f, err := ParseSpec(src)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := compile.File(f)
+	if err != nil {
+		return nil, err
+	}
+	return interfere.Analyze(&Deployment{
+		Monitors:    cs,
+		Features:    f.Features,
+		HookBudget:  hookBudget,
+		HookBudgets: hookBudgets,
+	}), nil
+}
+
+// LoadDeployment parses, compiles, and loads every guardrail in src as
+// one deployment: the interference analysis and the kernel's
+// aggregate-budget admission test run before anything arms, so a
+// conflicting deployment is refused atomically (DeployEnforce) or
+// loaded with the implicated monitors quarantined (DeployWarn).
+// Declared feature ranges in src feed the analysis automatically.
+func (s *System) LoadDeployment(src string, cfg DeployConfig) (*DeployResult, error) {
+	f, err := ParseSpec(src)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := compile.File(f)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Features = append(cfg.Features, f.Features...)
+	return s.Runtime.LoadDeployment(cs, cfg)
 }
 
 // AttachTelemetry builds a telemetry sink whose flight recorder retains

@@ -1,0 +1,88 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// HookLoad declares one monitor's intended attachment to a hook site,
+// with the verifier's certified worst-case step count for its program.
+// The monitor runtime builds these from compiled guardrails; the type
+// is self-contained so the kernel stays independent of the compiler.
+type HookLoad struct {
+	// Site is the hook site the monitor attaches to.
+	Site string
+	// Monitor names the guardrail (for the rejection message).
+	Monitor string
+	// MaxSteps is the program's certified worst-case VM step count.
+	MaxSteps int
+}
+
+// AdmissionError reports a deployment the kernel refused: the sites
+// whose aggregate certified cost exceeds their budget, with the
+// per-monitor breakdown the operator needs to decide what to shed.
+type AdmissionError struct {
+	// Sites lists the over-budget sites in sorted order.
+	Sites []OverloadedSite
+}
+
+// OverloadedSite is one hook site whose summed certified worst-case
+// steps exceed its budget.
+type OverloadedSite struct {
+	Site   string
+	Budget int
+	Total  int
+	Loads  []HookLoad
+}
+
+// Error implements error.
+func (e *AdmissionError) Error() string {
+	parts := make([]string, len(e.Sites))
+	for i, s := range e.Sites {
+		mons := make([]string, len(s.Loads))
+		for j, l := range s.Loads {
+			mons[j] = fmt.Sprintf("%s=%d", l.Monitor, l.MaxSteps)
+		}
+		parts[i] = fmt.Sprintf("hook %s: %d certified steps > budget %d (%s)",
+			s.Site, s.Total, s.Budget, strings.Join(mons, " + "))
+	}
+	return "kernel: deployment rejected: " + strings.Join(parts, "; ")
+}
+
+// AdmitDeployment is the kernel-side admission test for a whole
+// deployment: for every hook site the loads attach to, the worst case
+// of one firing is the *sum* of the attached programs' certified
+// MaxSteps — each program may fit a per-program budget while the site
+// blows its envelope. budget is the default per-site step budget (0 =
+// unlimited); overrides adjusts it per site. The outcome is recorded on
+// the attached telemetry sink (deployment_admitted_total /
+// deployment_rejected_total). A non-nil error is an *AdmissionError
+// listing every over-budget site; nothing is attached either way —
+// admission is a pure check the monitor runtime runs before attaching.
+func (k *Kernel) AdmitDeployment(budget int, overrides map[string]int, loads []HookLoad) error {
+	totals := make(map[string]int)
+	bySite := make(map[string][]HookLoad)
+	for _, l := range loads {
+		totals[l.Site] += l.MaxSteps
+		bySite[l.Site] = append(bySite[l.Site], l)
+	}
+	var over []OverloadedSite
+	for site, total := range totals {
+		b := budget
+		if o, ok := overrides[site]; ok {
+			b = o
+		}
+		if b > 0 && total > b {
+			over = append(over, OverloadedSite{Site: site, Budget: b, Total: total, Loads: bySite[site]})
+		}
+	}
+	sink := k.Telemetry()
+	if len(over) == 0 {
+		sink.Deployment(true)
+		return nil
+	}
+	sort.Slice(over, func(i, j int) bool { return over[i].Site < over[j].Site })
+	sink.Deployment(false)
+	return &AdmissionError{Sites: over}
+}

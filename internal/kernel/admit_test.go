@@ -1,0 +1,86 @@
+package kernel
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"guardrails/internal/telemetry"
+)
+
+func TestAdmitDeploymentWithinBudget(t *testing.T) {
+	k := New()
+	sink := telemetry.New(nil, 16)
+	k.SetTelemetry(sink)
+	loads := []HookLoad{
+		{Site: "io_submit", Monitor: "a", MaxSteps: 10},
+		{Site: "io_submit", Monitor: "b", MaxSteps: 20},
+		{Site: "sched_tick", Monitor: "c", MaxSteps: 50},
+	}
+	if err := k.AdmitDeployment(64, nil, loads); err != nil {
+		t.Fatalf("within-budget deployment rejected: %v", err)
+	}
+	if got := sink.Counters.DeployAdmitted.Value(); got != 1 {
+		t.Errorf("deployment_admitted_total = %d, want 1", got)
+	}
+	if got := sink.Counters.DeployRejected.Value(); got != 0 {
+		t.Errorf("deployment_rejected_total = %d, want 0", got)
+	}
+}
+
+func TestAdmitDeploymentAggregateOverflow(t *testing.T) {
+	k := New()
+	sink := telemetry.New(nil, 16)
+	k.SetTelemetry(sink)
+	// Each monitor fits a 64-step budget alone; the site does not.
+	loads := []HookLoad{
+		{Site: "io_submit", Monitor: "a", MaxSteps: 40},
+		{Site: "io_submit", Monitor: "b", MaxSteps: 40},
+	}
+	err := k.AdmitDeployment(64, nil, loads)
+	var aerr *AdmissionError
+	if !errors.As(err, &aerr) {
+		t.Fatalf("got %v, want *AdmissionError", err)
+	}
+	if len(aerr.Sites) != 1 || aerr.Sites[0].Total != 80 || aerr.Sites[0].Budget != 64 {
+		t.Errorf("AdmissionError.Sites = %+v", aerr.Sites)
+	}
+	msg := err.Error()
+	for _, want := range []string{"io_submit", "80", "a=40", "b=40"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+	if got := sink.Counters.DeployRejected.Value(); got != 1 {
+		t.Errorf("deployment_rejected_total = %d, want 1", got)
+	}
+
+	var buf strings.Builder
+	if err := sink.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "deployment_rejected_total 1") {
+		t.Errorf("exposition missing rejection counter:\n%s", buf.String())
+	}
+}
+
+func TestAdmitDeploymentOverrides(t *testing.T) {
+	k := New()
+	loads := []HookLoad{
+		{Site: "hot", Monitor: "a", MaxSteps: 30},
+		{Site: "cold", Monitor: "b", MaxSteps: 30},
+	}
+	// Default budget admits both; the per-site override tightens "hot".
+	err := k.AdmitDeployment(64, map[string]int{"hot": 10}, loads)
+	var aerr *AdmissionError
+	if !errors.As(err, &aerr) {
+		t.Fatalf("override ignored: %v", err)
+	}
+	if len(aerr.Sites) != 1 || aerr.Sites[0].Site != "hot" {
+		t.Errorf("Sites = %+v, want only hot", aerr.Sites)
+	}
+	// Zero default = unlimited; nil telemetry must be safe.
+	if err := k.AdmitDeployment(0, nil, loads); err != nil {
+		t.Errorf("unlimited budget rejected: %v", err)
+	}
+}

@@ -1,0 +1,203 @@
+package monitor
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"guardrails/internal/compile"
+	"guardrails/internal/kernel"
+	"guardrails/internal/spec"
+	"guardrails/internal/telemetry"
+)
+
+const conflictingPair = `
+guardrail ml-off {
+    trigger: { FUNCTION(io_submit) },
+    rule: { LOAD(err_rate) <= 0.01 },
+    action: { SAVE(ml_enabled, 0) }
+}
+guardrail ml-on {
+    trigger: { FUNCTION(io_submit) },
+    rule: { LOAD(lat_p99) <= 5e6 },
+    action: { SAVE(ml_enabled, 1) }
+}`
+
+const cleanPair = `
+guardrail watch-a {
+    trigger: { FUNCTION(io_submit) },
+    rule: { LOAD(err_rate) <= 0.01 },
+    action: { REPORT(LOAD(err_rate)) }
+}
+guardrail watch-b {
+    trigger: { FUNCTION(page_alloc) },
+    rule: { LOAD(lat_p99) <= 5e6 },
+    action: { REPORT(LOAD(lat_p99)) }
+}`
+
+func compileAll(t *testing.T, src string) ([]*compile.Compiled, []*spec.FeatureDecl) {
+	t.Helper()
+	f, err := spec.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Check(f); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := compile.File(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs, f.Features
+}
+
+// TestDuplicateLoadIsCoded: loading the same spec twice into one
+// runtime fails with the GI007-coded duplicate-deployment error, and
+// the failed second load does not disturb the first.
+func TestDuplicateLoadIsCoded(t *testing.T) {
+	rt, k, st := newRT()
+	st.Save("false_submit_rate", 0.01)
+	if _, err := rt.LoadSource(listing2, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := rt.LoadSource(listing2, Options{})
+	var dup *DuplicateLoadError
+	if !errors.As(err, &dup) {
+		t.Fatalf("second load returned %v, want *DuplicateLoadError", err)
+	}
+	if dup.Name != "low-false-submit" {
+		t.Errorf("DuplicateLoadError.Name = %q", dup.Name)
+	}
+	if !strings.Contains(err.Error(), "GI007") {
+		t.Errorf("error %q missing the GI007 code", err)
+	}
+	if m := rt.Monitor("low-false-submit"); m == nil {
+		t.Fatal("first load was disturbed by the failed duplicate")
+	}
+	k.RunUntil(1500 * kernel.Millisecond)
+	if got := rt.Monitor("low-false-submit").Stats().Evals; got == 0 {
+		t.Error("original monitor stopped evaluating after duplicate load attempt")
+	}
+}
+
+// TestLoadDeploymentEnforceRefusesConflicts: the default policy refuses
+// a conflicting deployment atomically — nothing loaded, the error
+// carries the report.
+func TestLoadDeploymentEnforceRefusesConflicts(t *testing.T) {
+	rt, _, _ := newRT()
+	cs, feats := compileAll(t, conflictingPair)
+	res, err := rt.LoadDeployment(cs, DeployConfig{Features: feats})
+	var derr *DeployError
+	if !errors.As(err, &derr) {
+		t.Fatalf("got %v, want *DeployError", err)
+	}
+	if !strings.Contains(err.Error(), "GI001") {
+		t.Errorf("refusal does not cite GI001: %s", err)
+	}
+	if len(res.Monitors) != 0 || len(rt.Monitors()) != 0 {
+		t.Error("refused deployment still loaded monitors")
+	}
+	if res.Report == nil || res.Report.Clean() {
+		t.Error("result must carry the dirty report")
+	}
+}
+
+// TestLoadDeploymentEnforceAdmitsClean: a clean deployment loads every
+// monitor and records the kernel-side admission.
+func TestLoadDeploymentEnforceAdmitsClean(t *testing.T) {
+	rt, k, _ := newRT()
+	sink := telemetry.New(nil, 16)
+	k.SetTelemetry(sink)
+	cs, feats := compileAll(t, cleanPair)
+	res, err := rt.LoadDeployment(cs, DeployConfig{Features: feats, HookBudget: 64})
+	if err != nil {
+		t.Fatalf("clean deployment refused: %v", err)
+	}
+	if len(res.Monitors) != 2 {
+		t.Fatalf("loaded %d monitors, want 2", len(res.Monitors))
+	}
+	if got := sink.Counters.DeployAdmitted.Value(); got != 1 {
+		t.Errorf("deployment_admitted_total = %d, want 1", got)
+	}
+}
+
+// TestLoadDeploymentWarnQuarantines: under DeployWarn a conflicting
+// pair loads in shadow mode — rules evaluate, actions are suppressed —
+// so the conflict cannot reach the feature store.
+func TestLoadDeploymentWarnQuarantines(t *testing.T) {
+	rt, k, st := newRT()
+	st.Save("ml_enabled", 1)
+	st.Save("err_rate", 0.5) // ml-off's rule is violated
+	st.Save("lat_p99", 1e9)  // ml-on's rule is violated
+	cs, feats := compileAll(t, conflictingPair)
+	res, err := rt.LoadDeployment(cs, DeployConfig{Policy: DeployWarn, Features: feats})
+	if err != nil {
+		t.Fatalf("DeployWarn refused: %v", err)
+	}
+	if len(res.Monitors) != 2 || len(res.Shadowed) != 2 {
+		t.Fatalf("monitors=%d shadowed=%v, want both loaded and shadowed", len(res.Monitors), res.Shadowed)
+	}
+	k.Fire("io_submit")
+	k.RunUntil(100 * kernel.Millisecond)
+	for _, m := range res.Monitors {
+		if m.Stats().Evals == 0 {
+			t.Errorf("shadowed monitor %s did not evaluate", m.Name())
+		}
+	}
+	if got := st.Load("ml_enabled"); got != 1 {
+		t.Errorf("quarantined deployment wrote ml_enabled = %v; conflicting SAVEs must be suppressed", got)
+	}
+}
+
+// TestLoadDeploymentWarnDisablesOverBudget: a hook site over its step
+// budget loads its monitors disabled under DeployWarn.
+func TestLoadDeploymentWarnDisablesOverBudget(t *testing.T) {
+	rt, k, st := newRT()
+	st.Save("err_rate", 0.5)
+	cs, feats := compileAll(t, `
+guardrail watch-a {
+    trigger: { FUNCTION(io_submit) },
+    rule: { LOAD(err_rate) <= 0.01 },
+    action: { REPORT(LOAD(err_rate)) }
+}
+guardrail watch-b {
+    trigger: { FUNCTION(io_submit) },
+    rule: { LOAD(err_rate) >= 0 },
+    action: { REPORT(LOAD(err_rate)) }
+}`)
+	res, err := rt.LoadDeployment(cs, DeployConfig{Policy: DeployWarn, Features: feats, HookBudget: 4})
+	if err != nil {
+		t.Fatalf("DeployWarn refused: %v", err)
+	}
+	if len(res.Disabled) != 2 {
+		t.Fatalf("Disabled = %v, want both monitors", res.Disabled)
+	}
+	k.Fire("io_submit")
+	k.RunUntil(100 * kernel.Millisecond)
+	for _, m := range res.Monitors {
+		if m.Stats().Evals != 0 {
+			t.Errorf("disabled monitor %s evaluated on the over-budget hook", m.Name())
+		}
+	}
+}
+
+// TestLoadDeploymentWarnSkipsDuplicates: duplicate names load once.
+func TestLoadDeploymentWarnSkipsDuplicates(t *testing.T) {
+	rt, _, _ := newRT()
+	a, _ := compileAll(t, testDupSolo)
+	b, _ := compileAll(t, testDupSolo)
+	res, err := rt.LoadDeployment(append(a, b...), DeployConfig{Policy: DeployWarn})
+	if err != nil {
+		t.Fatalf("DeployWarn refused: %v", err)
+	}
+	if len(res.Monitors) != 1 || len(res.Skipped) != 1 {
+		t.Errorf("monitors=%d skipped=%v, want 1 loaded + 1 skipped", len(res.Monitors), res.Skipped)
+	}
+}
+
+const testDupSolo = `
+guardrail solo {
+    trigger: { TIMER(start_time, 1e9) },
+    rule: { LOAD(x) <= 1 },
+    action: { REPORT(LOAD(x)) }
+}`

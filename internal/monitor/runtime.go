@@ -109,7 +109,7 @@ func (r *Runtime) Load(c *compile.Compiled, opts Options) (*Monitor, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.monitors[c.Name]; dup {
-		return nil, fmt.Errorf("monitor: guardrail %q already loaded", c.Name)
+		return nil, &DuplicateLoadError{Name: c.Name}
 	}
 
 	m := &Monitor{

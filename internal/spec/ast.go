@@ -5,9 +5,34 @@ import (
 	"strings"
 )
 
-// File is a parsed specification source: one or more guardrails.
+// File is a parsed specification source: one or more guardrails, plus
+// any top-level feature range declarations.
 type File struct {
 	Guardrails []*Guardrail
+	// Features are the file's feature range declarations, in source
+	// order. They are advisory metadata for static analysis (vet's GV010
+	// threshold check, the deployment interference analyzer's input
+	// refinement); the compiler and runtime ignore them.
+	Features []*FeatureDecl
+}
+
+// FeatureDecl declares the legal range of a feature-store key:
+//
+//	feature false_submit_rate range(0, 1)
+//
+// The declaration is a contract about the producer (the instrumented
+// subsystem or another guardrail's SAVE): consumers may assume LOADs of
+// the key yield ordinary values in [Lo, Hi]. Static analyses use it to
+// tighten value intervals; nothing enforces it at runtime.
+type FeatureDecl struct {
+	Key    string
+	Lo, Hi float64
+	Pos    Pos
+}
+
+// String renders the declaration in source form.
+func (d *FeatureDecl) String() string {
+	return fmt.Sprintf("feature %s range(%g, %g)", d.Key, d.Lo, d.Hi)
 }
 
 // Guardrail is one named guardrail: triggers say when to evaluate,

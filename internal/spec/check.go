@@ -1,5 +1,7 @@
 package spec
 
+import "math"
+
 // Builtins maps the rule-expression builtin function names to their
 // arities. now() reads the kernel clock in nanoseconds.
 var Builtins = map[string]int{
@@ -22,11 +24,26 @@ var Builtins = map[string]int{
 //     logical operator, or boolean literal, so "rule: { 5 }" is caught;
 //   - builtin calls have correct arity, and only known builtins are
 //     called;
-//   - DEPRIORITIZE priorities, when constant, are within [-20, 19].
+//   - DEPRIORITIZE priorities, when constant, are within [-20, 19];
+//   - feature declarations have ordinary, non-empty ranges and are not
+//     repeated.
 //
 // Bare identifiers in expressions are implicit feature-store loads; the
 // compiler treats IdentExpr exactly like LoadExpr.
 func Check(f *File) error {
+	features := make(map[string]bool)
+	for _, d := range f.Features {
+		if features[d.Key] {
+			return errAt(d.Pos, "duplicate feature declaration for %q", d.Key)
+		}
+		features[d.Key] = true
+		if math.IsNaN(d.Lo) || math.IsNaN(d.Hi) {
+			return errAt(d.Pos, "feature %q range bounds must be ordinary numbers", d.Key)
+		}
+		if d.Lo > d.Hi {
+			return errAt(d.Pos, "feature %q range is empty: lo %g > hi %g", d.Key, d.Lo, d.Hi)
+		}
+	}
 	names := make(map[string]bool)
 	for _, g := range f.Guardrails {
 		if names[g.Name] {
@@ -38,6 +55,16 @@ func Check(f *File) error {
 		}
 	}
 	return nil
+}
+
+// FeatureRanges returns the file's declared feature ranges keyed by
+// feature name. Files without declarations return an empty map.
+func FeatureRanges(f *File) map[string]*FeatureDecl {
+	out := make(map[string]*FeatureDecl, len(f.Features))
+	for _, d := range f.Features {
+		out[d.Key] = d
+	}
+	return out
 }
 
 // CheckGuardrail validates a single guardrail (see Check).

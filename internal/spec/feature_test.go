@@ -1,0 +1,86 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseFeatureDecls: top-level feature range declarations parse
+// alongside guardrails, in any order, with signed and scientific
+// bounds.
+func TestParseFeatureDecls(t *testing.T) {
+	f, err := Parse(`
+feature cpu_util range(0, 1)
+
+guardrail g {
+    trigger: { TIMER(start_time, 1e9) },
+    rule: { LOAD(cpu_util) <= 0.9 },
+    action: { REPORT(LOAD(cpu_util)) }
+}
+
+feature temp_delta range(-40, 1e2)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Features) != 2 || len(f.Guardrails) != 1 {
+		t.Fatalf("got %d features, %d guardrails", len(f.Features), len(f.Guardrails))
+	}
+	d := f.Features[1]
+	if d.Key != "temp_delta" || d.Lo != -40 || d.Hi != 100 {
+		t.Errorf("feature decl = %+v", d)
+	}
+	if got := d.String(); got != "feature temp_delta range(-40, 100)" {
+		t.Errorf("String() = %q", got)
+	}
+
+	ranges := FeatureRanges(f)
+	if ranges["cpu_util"] == nil || ranges["cpu_util"].Hi != 1 {
+		t.Errorf("FeatureRanges = %v", ranges)
+	}
+}
+
+func TestParseFeatureDeclErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"feature range(0, 1)", "range"},
+		{"feature k span(0, 1)", `"range"`},
+		{"feature k range(0)", "','"},
+		{"feature k range(0, 1", "')'"},
+		{"feature k range(lo, 1)", "number"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("Parse(%q) accepted", c.src)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error = %v, want mention of %s", c.src, err, c.want)
+		}
+	}
+}
+
+func TestCheckFeatureDecls(t *testing.T) {
+	guard := `
+guardrail g {
+    trigger: { TIMER(start_time, 1e9) },
+    rule: { LOAD(k) <= 1 },
+    action: { REPORT(1) }
+}`
+	cases := []struct{ decls, want string }{
+		{"feature k range(0, 1)\nfeature k range(0, 2)", "duplicate feature"},
+		{"feature k range(2, 1)", "empty"},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.decls + "\n" + guard)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.decls, err)
+		}
+		err = Check(f)
+		if err == nil {
+			t.Errorf("Check accepted %q", c.decls)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Check(%q) error = %v, want mention of %q", c.decls, err, c.want)
+		}
+	}
+}

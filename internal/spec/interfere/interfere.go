@@ -1,0 +1,847 @@
+// Package interfere is the whole-deployment static analyzer: where the
+// VM verifier (internal/vm) proves one monitor program safe in
+// isolation and the spec linter (internal/spec/vet) checks one file's
+// guardrails for authoring bugs, this package reasons about a
+// *deployment* — a set of compiled guardrails that will share kernel
+// hook sites and feature-store keys — and reports interference that no
+// per-program check can see:
+//
+//   - action conflicts: two monitors that can fire on the same hook
+//     whose certified value intervals (vm.Analyze store facts) admit
+//     contradictory simultaneous actions — SAVEs of provably-disjoint
+//     values to one key, REPLACE ping-pong or divergent replacement of
+//     one policy, duplicate demotion of one task group;
+//   - feedback cycles: SAVE→LOAD dataflow cycles across monitors
+//     (monitor A's corrective SAVE feeds a key monitor B's rules read,
+//     and B's SAVE feeds A), found by SCC over the inter-monitor graph;
+//   - aggregate hook budgets: the worst-case cost of one hook firing is
+//     the *sum* of the attached monitors' certified MaxSteps — each may
+//     fit a per-program budget while the site blows its envelope;
+//   - dead guardrails: monitors whose rules are unsatisfiable — so their
+//     actions can never fire — given the declared feature ranges and the
+//     certified SAVE ranges of every in-deployment producer of their
+//     inputs.
+//
+// The analysis is closed-world: declared feature ranges and producer
+// SAVE certificates are trusted as the only writers of those keys.
+// Findings are Diagnostics with stable positioned codes (GI001…), the
+// deployment analogue of vet's GV codes. The kernel's admission test
+// (kernel.AdmitDeployment) enforces the budget half at load time;
+// cmd/grailcheck and grailc -interfere surface the rest offline.
+package interfere
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"guardrails/internal/compile"
+	"guardrails/internal/spec"
+	"guardrails/internal/vm"
+)
+
+// Severity grades a diagnostic, mirroring vet's convention: a
+// deployment "checks clean" when it produces zero Warn diagnostics.
+type Severity int
+
+// Severities.
+const (
+	// Info flags a property of the deployment worth a look.
+	Info Severity = iota
+	// Warn flags interference that is very likely a deployment bug.
+	Warn
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	if s == Warn {
+		return "warning"
+	}
+	return "info"
+}
+
+// MarshalJSON renders the severity name, keeping report artifacts
+// readable without this package's constants.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", s.String())), nil
+}
+
+// Diagnostic codes. GI codes are stable: tooling and CI gates match on
+// them.
+const (
+	// CodeSaveConflict: two co-firing monitors SAVE provably-disjoint
+	// value ranges to the same feature key.
+	CodeSaveConflict = "GI001"
+	// CodeReplaceConflict: co-firing REPLACE actions that ping-pong a
+	// policy pair or replace one policy with different targets.
+	CodeReplaceConflict = "GI002"
+	// CodeDuplicateAction: co-firing monitors apply the same corrective
+	// action to the same subject (duplicate DEPRIORITIZE / RETRAIN).
+	CodeDuplicateAction = "GI003"
+	// CodeFeedbackCycle: a SAVE→LOAD cycle across monitors.
+	CodeFeedbackCycle = "GI004"
+	// CodeHookBudget: a hook site's summed certified MaxSteps exceeds
+	// its step budget.
+	CodeHookBudget = "GI005"
+	// CodeDeadGuardrail: a monitor's rules cannot be violated given the
+	// deployment's certified input ranges.
+	CodeDeadGuardrail = "GI006"
+	// CodeDuplicateName: the deployment contains two guardrails with
+	// the same name (the runtime would reject the second load).
+	CodeDuplicateName = "GI007"
+	// CodeRefinedVerify: a program that verifies open-world fails
+	// verification under the deployment's certified input ranges (e.g.
+	// a divisor a producer proves constant zero).
+	CodeRefinedVerify = "GI008"
+)
+
+// Diagnostic is one deployment-level finding.
+type Diagnostic struct {
+	// Code is the stable diagnostic code (GI001…).
+	Code string `json:"code"`
+	// Severity grades the finding.
+	Severity Severity `json:"severity"`
+	// Pos is the source position of the primary offending construct.
+	Pos spec.Pos `json:"pos"`
+	// Guardrail names the primary guardrail the finding is anchored to.
+	Guardrail string `json:"guardrail"`
+	// Others names the other guardrails implicated (conflict partners,
+	// cycle members, budget contributors).
+	Others []string `json:"others,omitempty"`
+	// Site is the shared hook site for hook-scoped findings ("TIMER"
+	// for timer-coincidence findings).
+	Site string `json:"site,omitempty"`
+	// Message explains the finding.
+	Message string `json:"message"`
+}
+
+// String renders "line:col: severity: [CODE] guardrail g: message".
+func (d Diagnostic) String() string {
+	name := d.Guardrail
+	if len(d.Others) > 0 {
+		name += " (with " + strings.Join(d.Others, ", ") + ")"
+	}
+	return fmt.Sprintf("%s: %s: [%s] guardrail %s: %s",
+		d.Pos, d.Severity, d.Code, name, d.Message)
+}
+
+// Implicates reports whether the diagnostic names the guardrail as
+// primary or partner.
+func (d Diagnostic) Implicates(name string) bool {
+	if d.Guardrail == name {
+		return true
+	}
+	for _, o := range d.Others {
+		if o == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Deployment is the analyzer's input: the compiled guardrails that will
+// be loaded together, the declared feature ranges they operate under,
+// and the per-hook-site step budgets to check aggregate load against.
+type Deployment struct {
+	// Monitors are the compiled guardrails of the deployment.
+	Monitors []*compile.Compiled
+	// Features are the declared feature ranges (merged across the
+	// deployment's spec files; the first declaration of a key wins).
+	Features []*spec.FeatureDecl
+	// HookBudget is the default per-hook-site certified step budget
+	// (the sum of attached monitors' worst-case steps); 0 = unlimited.
+	HookBudget int
+	// HookBudgets overrides the budget per site.
+	HookBudgets map[string]int
+}
+
+// budgetFor resolves the budget for one hook site (0 = unlimited).
+func (d *Deployment) budgetFor(site string) int {
+	if b, ok := d.HookBudgets[site]; ok {
+		return b
+	}
+	return d.HookBudget
+}
+
+// MonitorLoad is one guardrail's contribution to a hook site's
+// worst-case cost.
+type MonitorLoad struct {
+	Guardrail string `json:"guardrail"`
+	MaxSteps  int    `json:"max_steps"`
+}
+
+// SiteLoad summarizes one hook site's aggregate worst-case load.
+type SiteLoad struct {
+	Site string `json:"site"`
+	// Budget is the site's step budget (0 = unlimited).
+	Budget int `json:"budget,omitempty"`
+	// Total is the summed certified MaxSteps of the attached monitors —
+	// the worst-case interpreter steps one hook firing can cost.
+	Total    int           `json:"total_max_steps"`
+	Monitors []MonitorLoad `json:"monitors"`
+}
+
+// Report is the analyzer's output: the findings plus the per-site load
+// table (reported for every site, within budget or not, so the report
+// doubles as the deployment's overhead inventory).
+type Report struct {
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	Sites       []SiteLoad   `json:"sites,omitempty"`
+}
+
+// Warnings counts warn-severity diagnostics.
+func (r *Report) Warnings() int {
+	n := 0
+	for _, d := range r.Diagnostics {
+		if d.Severity == Warn {
+			n++
+		}
+	}
+	return n
+}
+
+// Clean reports a deployment with no warn-severity findings.
+func (r *Report) Clean() bool { return r.Warnings() == 0 }
+
+// Summary renders a one-line count of findings by severity.
+func (r *Report) Summary() string {
+	warns := r.Warnings()
+	infos := len(r.Diagnostics) - warns
+	var parts []string
+	if warns > 0 {
+		s := "s"
+		if warns == 1 {
+			s = ""
+		}
+		parts = append(parts, fmt.Sprintf("%d warning%s", warns, s))
+	}
+	if infos > 0 {
+		parts = append(parts, fmt.Sprintf("%d info", infos))
+	}
+	if len(parts) == 0 {
+		return "no findings"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// monFacts is the per-monitor certificate bundle the cross-monitor
+// checks consume.
+type monFacts struct {
+	c      *compile.Compiled
+	sites  []string // sorted unique FUNCTION sites
+	timers []*spec.TimerTrigger
+
+	loads map[string]bool // keys the program LOADs
+
+	// saves maps SAVEd keys to their certified value ranges, from the
+	// deployment-refined analysis when it succeeded (baseline
+	// otherwise). Only reachable stores contribute.
+	saves map[string]vm.Interval
+
+	// canFire: some exit may return 0 under the deployment env — the
+	// violation path (and thus every action) is live.
+	canFire bool
+	// rangedKeys lists the env keys the refined analysis constrained,
+	// for diagnostics.
+	rangedKeys []string
+	// refinedErr is a verification failure under the deployment env.
+	refinedErr error
+
+	maxSteps int
+}
+
+// Analyze runs every deployment-level check and returns the report.
+// The input is not mutated. Diagnostics are ordered by code, then
+// primary guardrail, then message.
+func Analyze(d *Deployment) *Report {
+	r := &Report{}
+	facts := make([]*monFacts, 0, len(d.Monitors))
+
+	// GI007 duplicate names first: the runtime keys monitors by name,
+	// so later same-name entries shadow rather than compose. Facts are
+	// still computed for every entry so other findings stay visible.
+	seen := map[string]int{}
+	for i, c := range d.Monitors {
+		if j, dup := seen[c.Name]; dup {
+			r.Diagnostics = append(r.Diagnostics, Diagnostic{
+				Code: CodeDuplicateName, Severity: Warn,
+				Pos: c.Source.Pos, Guardrail: c.Name,
+				Message: fmt.Sprintf("guardrail %q appears twice in the deployment (entries %d and %d): the runtime rejects duplicate loads",
+					c.Name, j, i),
+			})
+		} else {
+			seen[c.Name] = i
+		}
+	}
+
+	// Pass 1: open-world facts — every monitor's baseline store
+	// certificates, which become the producer ranges of pass 2.
+	baseline := make([]*vm.Analysis, len(d.Monitors))
+	for i, c := range d.Monitors {
+		f := newMonFacts(c)
+		a, err := vm.Analyze(c.Program, vm.NumBuiltinHelpers)
+		if err == nil {
+			baseline[i] = a
+			f.maxSteps = a.MaxSteps
+			f.fillSaves(a)
+			f.canFire = a.CanViolate()
+		} else {
+			// A program that does not verify open-world (e.g. a decoded
+			// image assembled by hand) gets conservative facts: it may
+			// fire, and its cost falls back to Meta.
+			f.canFire = true
+			f.maxSteps = c.Program.Meta.MaxSteps
+		}
+		if m := c.Program.Meta.MaxSteps; m > 0 {
+			f.maxSteps = m
+		}
+		facts = append(facts, f)
+	}
+
+	// Pass 2: refine each monitor under the deployment env (declared
+	// feature ranges + the other monitors' certified SAVE ranges).
+	features := map[string]*spec.FeatureDecl{}
+	for _, fd := range d.Features {
+		if _, dup := features[fd.Key]; !dup {
+			features[fd.Key] = fd
+		}
+	}
+	for i, f := range facts {
+		if baseline[i] == nil {
+			continue
+		}
+		env, ranged := deployEnv(f.c, i, facts, features)
+		if len(ranged) == 0 {
+			continue // open-world facts are already exact
+		}
+		a, err := vm.AnalyzeWith(f.c.Program, vm.NumBuiltinHelpers, env)
+		if err != nil {
+			f.refinedErr = err
+			f.rangedKeys = ranged
+			continue
+		}
+		f.rangedKeys = ranged
+		f.canFire = a.CanViolate()
+		f.saves = map[string]vm.Interval{}
+		f.fillSaves(a)
+	}
+
+	for _, f := range facts {
+		if f.refinedErr != nil {
+			r.Diagnostics = append(r.Diagnostics, Diagnostic{
+				Code: CodeRefinedVerify, Severity: Warn,
+				Pos: f.c.Source.Pos, Guardrail: f.c.Name,
+				Message: fmt.Sprintf("verification fails under the deployment's value ranges (%s): %v",
+					strings.Join(f.rangedKeys, ", "), f.refinedErr),
+			})
+		} else if !f.canFire {
+			ctx := "independent of deployment context"
+			if len(f.rangedKeys) > 0 {
+				ctx = "given the certified ranges of " + strings.Join(f.rangedKeys, ", ")
+			}
+			r.Diagnostics = append(r.Diagnostics, Diagnostic{
+				Code: CodeDeadGuardrail, Severity: Warn,
+				Pos: f.c.Source.Pos, Guardrail: f.c.Name,
+				Message: fmt.Sprintf("dead guardrail: the rules cannot be violated %s, so its actions never fire", ctx),
+			})
+		}
+	}
+
+	checkConflicts(r, facts)
+	checkCycles(r, facts)
+	checkBudgets(r, d, facts)
+
+	sort.SliceStable(r.Diagnostics, func(i, j int) bool {
+		a, b := r.Diagnostics[i], r.Diagnostics[j]
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		if a.Guardrail != b.Guardrail {
+			return a.Guardrail < b.Guardrail
+		}
+		return a.Message < b.Message
+	})
+	return r
+}
+
+func newMonFacts(c *compile.Compiled) *monFacts {
+	f := &monFacts{
+		c:     c,
+		loads: map[string]bool{},
+		saves: map[string]vm.Interval{},
+	}
+	siteSet := map[string]bool{}
+	for _, t := range c.Triggers {
+		switch tt := t.(type) {
+		case *spec.FuncTrigger:
+			siteSet[tt.Site] = true
+		case *spec.TimerTrigger:
+			f.timers = append(f.timers, tt)
+		}
+	}
+	for s := range siteSet {
+		f.sites = append(f.sites, s)
+	}
+	sort.Strings(f.sites)
+	for _, in := range c.Program.Code {
+		if in.Op == vm.OpLoad {
+			f.loads[c.Program.Symbols[in.Cell]] = true
+		}
+	}
+	return f
+}
+
+// fillSaves joins a's reachable store certificates into f.saves.
+func (f *monFacts) fillSaves(a *vm.Analysis) {
+	for _, s := range a.Stores {
+		key := f.c.Program.Symbols[s.Cell]
+		if prev, ok := f.saves[key]; ok {
+			f.saves[key] = prev.Join(s.Val)
+		} else {
+			f.saves[key] = s.Val
+		}
+	}
+}
+
+// savePos locates the SAVE action writing key, for diagnostics.
+func (f *monFacts) savePos(key string) spec.Pos {
+	for _, a := range f.c.Actions {
+		if sa, ok := a.(*spec.SaveAction); ok && sa.Key == key {
+			return sa.Pos
+		}
+	}
+	return f.c.Source.Pos
+}
+
+// deployEnv builds monitor i's input environment: per feature-store
+// cell, the declared range when one exists, else the join of the other
+// monitors' certified SAVE ranges of that key. Returns the env plus the
+// sorted list of keys it constrains (empty = nothing to refine). A
+// monitor's own SAVEs never constrain its own LOADs — self-feedback is
+// vet's GV006, not a certificate.
+func deployEnv(c *compile.Compiled, self int, facts []*monFacts, features map[string]*spec.FeatureDecl) (vm.CellEnv, []string) {
+	byCell := map[int32]vm.Interval{}
+	var ranged []string
+	for cell, key := range c.Program.Symbols {
+		if fd, ok := features[key]; ok {
+			byCell[int32(cell)] = vm.RangeInterval(fd.Lo, fd.Hi)
+			ranged = append(ranged, key)
+			continue
+		}
+		var acc vm.Interval
+		found := false
+		for j, p := range facts {
+			if j == self {
+				continue
+			}
+			if iv, ok := p.saves[key]; ok {
+				if !found {
+					acc, found = iv, true
+				} else {
+					acc = acc.Join(iv)
+				}
+			}
+		}
+		if found {
+			byCell[int32(cell)] = acc
+			ranged = append(ranged, key)
+		}
+	}
+	sort.Strings(ranged)
+	env := func(cell int32) (vm.Interval, bool) {
+		iv, ok := byCell[cell]
+		return iv, ok
+	}
+	return env, ranged
+}
+
+// --- co-firing -------------------------------------------------------
+
+// sharedGroups returns the hook groups on which two monitors can fire
+// at the same instant: every FUNCTION site both attach to, plus the
+// "TIMER" pseudo-group when both have timers that can tick
+// coincidentally. Monitors on unrelated triggers (or a timer vs a hook
+// site) do not co-fire — the conflict checks are per-hook by design.
+func sharedGroups(a, b *monFacts) []string {
+	var groups []string
+	i, j := 0, 0
+	for i < len(a.sites) && j < len(b.sites) {
+		switch {
+		case a.sites[i] == b.sites[j]:
+			groups = append(groups, a.sites[i])
+			i++
+			j++
+		case a.sites[i] < b.sites[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	if timersCanCoincide(a.timers, b.timers) {
+		groups = append(groups, "TIMER")
+	}
+	return groups
+}
+
+// timersCanCoincide reports whether any pair of timer triggers can tick
+// at the same simulated instant. Two arithmetic progressions
+// start+k·interval coincide iff their start offset is divisible by
+// gcd(i1, i2); non-integral parameters are handled conservatively
+// (assume coincidence). Stop windows that provably do not overlap rule
+// coincidence out.
+func timersCanCoincide(as, bs []*spec.TimerTrigger) bool {
+	for _, a := range as {
+		for _, b := range bs {
+			if timerPairCoincides(a, b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func timerPairCoincides(a, b *spec.TimerTrigger) bool {
+	// Disjoint active windows cannot coincide. A window is
+	// [start, stop) with stop 0 = forever.
+	if a.Stop > 0 && a.Stop <= b.Start {
+		return false
+	}
+	if b.Stop > 0 && b.Stop <= a.Start {
+		return false
+	}
+	s1, i1 := a.Start, a.Interval
+	s2, i2 := b.Start, b.Interval
+	if !integral(s1) || !integral(i1) || !integral(s2) || !integral(i2) {
+		return true // conservative: cannot reason exactly
+	}
+	g := gcd64(int64(i1), int64(i2))
+	if g == 0 {
+		return s1 == s2
+	}
+	return int64(s1-s2)%g == 0
+}
+
+func integral(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) &&
+		v == math.Trunc(v) && math.Abs(v) < 1<<62
+}
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// --- action conflicts (GI001–GI003) ----------------------------------
+
+func checkConflicts(r *Report, facts []*monFacts) {
+	for i := 0; i < len(facts); i++ {
+		for j := i + 1; j < len(facts); j++ {
+			a, b := facts[i], facts[j]
+			if !a.canFire || !b.canFire {
+				continue
+			}
+			groups := sharedGroups(a, b)
+			if len(groups) == 0 {
+				continue
+			}
+			// Conflicts are per-pair properties; report them once
+			// against the first shared group.
+			site := groups[0]
+			checkSaveConflict(r, a, b, site)
+			checkReplaceConflict(r, a, b, site)
+			checkDuplicateActions(r, a, b, site)
+		}
+	}
+}
+
+// checkSaveConflict reports GI001: both monitors SAVE the same key and
+// their certified value ranges share no value — when both fire on one
+// hook dispatch, the key's final value is a dispatch-order accident and
+// one monitor's corrective write is always lost.
+func checkSaveConflict(r *Report, a, b *monFacts, site string) {
+	keys := make([]string, 0, len(a.saves))
+	for k := range a.saves {
+		if _, ok := b.saves[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		va, vb := a.saves[k], b.saves[k]
+		if !va.DisjointFrom(vb) {
+			continue
+		}
+		r.Diagnostics = append(r.Diagnostics, Diagnostic{
+			Code: CodeSaveConflict, Severity: Warn,
+			Pos: a.savePos(k), Guardrail: a.c.Name, Others: []string{b.c.Name},
+			Site: site,
+			Message: fmt.Sprintf("both SAVE %q on hook %s with contradictory certified values (%s vs %s): the surviving value depends on dispatch order",
+				k, site, va, vb),
+		})
+	}
+}
+
+// checkReplaceConflict reports GI002: REPLACE ping-pong (A installs
+// what B removes and vice versa) or divergent replacement (both replace
+// one policy with different targets).
+func checkReplaceConflict(r *Report, a, b *monFacts, site string) {
+	for _, actA := range a.c.Actions {
+		ra, ok := actA.(*spec.ReplaceAction)
+		if !ok {
+			continue
+		}
+		for _, actB := range b.c.Actions {
+			rb, ok := actB.(*spec.ReplaceAction)
+			if !ok {
+				continue
+			}
+			switch {
+			case ra.Old == rb.New && ra.New == rb.Old:
+				r.Diagnostics = append(r.Diagnostics, Diagnostic{
+					Code: CodeReplaceConflict, Severity: Warn,
+					Pos: ra.Pos, Guardrail: a.c.Name, Others: []string{b.c.Name},
+					Site: site,
+					Message: fmt.Sprintf("REPLACE ping-pong on hook %s: %s vs %s — each undoes the other's failover",
+						site, ra, rb),
+				})
+			case ra.Old == rb.Old && ra.New != rb.New:
+				r.Diagnostics = append(r.Diagnostics, Diagnostic{
+					Code: CodeReplaceConflict, Severity: Warn,
+					Pos: ra.Pos, Guardrail: a.c.Name, Others: []string{b.c.Name},
+					Site: site,
+					Message: fmt.Sprintf("divergent replacement of policy %q on hook %s: %s vs %s — the installed policy depends on dispatch order",
+						ra.Old, site, ra, rb),
+				})
+			}
+		}
+	}
+}
+
+// checkDuplicateActions reports GI003: both monitors demote the same
+// task group (double demotion compounds: the second DEPRIORITIZE sees
+// the already-demoted priority) or retrain the same model (burning the
+// retrainer's rate budget twice per incident).
+func checkDuplicateActions(r *Report, a, b *monFacts, site string) {
+	for _, actA := range a.c.Actions {
+		switch na := actA.(type) {
+		case *spec.DeprioritizeAction:
+			for _, actB := range b.c.Actions {
+				if nb, ok := actB.(*spec.DeprioritizeAction); ok && na.Target == nb.Target {
+					r.Diagnostics = append(r.Diagnostics, Diagnostic{
+						Code: CodeDuplicateAction, Severity: Warn,
+						Pos: na.Pos, Guardrail: a.c.Name, Others: []string{b.c.Name},
+						Site: site,
+						Message: fmt.Sprintf("both DEPRIORITIZE task group %q on hook %s: one hook firing demotes it twice",
+							na.Target, site),
+					})
+				}
+			}
+		case *spec.RetrainAction:
+			for _, actB := range b.c.Actions {
+				if nb, ok := actB.(*spec.RetrainAction); ok && na.Model == nb.Model {
+					r.Diagnostics = append(r.Diagnostics, Diagnostic{
+						Code: CodeDuplicateAction, Severity: Info,
+						Pos: na.Pos, Guardrail: a.c.Name, Others: []string{b.c.Name},
+						Site: site,
+						Message: fmt.Sprintf("both RETRAIN model %q on hook %s: one incident spends the retraining budget twice",
+							na.Model, site),
+					})
+				}
+			}
+		}
+	}
+}
+
+// --- feedback cycles (GI004) -----------------------------------------
+
+// checkCycles finds SAVE→LOAD cycles across monitors: edge A→B when a
+// reachable SAVE of A writes a key B's rules LOAD. Strongly connected
+// components of two or more monitors are reported once each (a
+// monitor's own SAVE feeding its own rules is vet's GV006). Dead
+// monitors contribute no edges — their SAVEs cannot execute.
+func checkCycles(r *Report, facts []*monFacts) {
+	n := len(facts)
+	adj := make([][]int, n)
+	edgeKeys := map[[2]int][]string{}
+	for i, a := range facts {
+		if !a.canFire {
+			continue
+		}
+		keys := make([]string, 0, len(a.saves))
+		for k := range a.saves {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for j, b := range facts {
+			if i == j {
+				continue
+			}
+			for _, k := range keys {
+				if b.loads[k] {
+					if len(edgeKeys[[2]int{i, j}]) == 0 {
+						adj[i] = append(adj[i], j)
+					}
+					edgeKeys[[2]int{i, j}] = append(edgeKeys[[2]int{i, j}], k)
+				}
+			}
+		}
+	}
+
+	for _, scc := range tarjanSCC(adj) {
+		if len(scc) < 2 {
+			continue
+		}
+		sort.Slice(scc, func(a, b int) bool { return facts[scc[a]].c.Name < facts[scc[b]].c.Name })
+		names := make([]string, len(scc))
+		inSCC := map[int]bool{}
+		for k, idx := range scc {
+			names[k] = facts[idx].c.Name
+			inSCC[idx] = true
+		}
+		var edges []string
+		for _, i := range scc {
+			for _, j := range adj[i] {
+				if inSCC[j] {
+					edges = append(edges, fmt.Sprintf("%s —SAVE %s→ %s",
+						facts[i].c.Name, strings.Join(edgeKeys[[2]int{i, j}], ","), facts[j].c.Name))
+				}
+			}
+		}
+		sort.Strings(edges)
+		r.Diagnostics = append(r.Diagnostics, Diagnostic{
+			Code: CodeFeedbackCycle, Severity: Warn,
+			Pos: facts[scc[0]].c.Source.Pos, Guardrail: names[0], Others: names[1:],
+			Message: fmt.Sprintf("feedback cycle: each monitor's corrective SAVE feeds a key another's rules read (%s) — violations can re-trigger each other indefinitely",
+				strings.Join(edges, "; ")),
+		})
+	}
+}
+
+// tarjanSCC returns the strongly connected components of adj,
+// iteratively (no recursion; deployments can be large).
+func tarjanSCC(adj [][]int) [][]int {
+	n := len(adj)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack, sccs = []int{}, [][]int{}
+	next := 0
+
+	type frame struct{ v, ei int }
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		call := []frame{{start, 0}}
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			if f.ei == 0 {
+				index[v], low[v] = next, next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.ei < len(adj[v]) {
+				w := adj[v][f.ei]
+				f.ei++
+				if index[w] == -1 {
+					call = append(call, frame{w, 0})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[v] == index[v] {
+				var scc []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return sccs
+}
+
+// --- aggregate budgets (GI005) ---------------------------------------
+
+// checkBudgets sums certified MaxSteps per FUNCTION site, fills the
+// report's site table, and flags sites over budget. Every attached
+// monitor counts — shadow or not, its program still runs on the hook.
+func checkBudgets(r *Report, d *Deployment, facts []*monFacts) {
+	bySite := map[string][]MonitorLoad{}
+	firstPos := map[string]spec.Pos{}
+	firstName := map[string]string{}
+	for _, f := range facts {
+		for _, site := range f.sites {
+			bySite[site] = append(bySite[site], MonitorLoad{Guardrail: f.c.Name, MaxSteps: f.maxSteps})
+			if _, ok := firstPos[site]; !ok {
+				firstPos[site] = f.c.Source.Pos
+				firstName[site] = f.c.Name
+			}
+		}
+	}
+	sites := make([]string, 0, len(bySite))
+	for s := range bySite {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	for _, site := range sites {
+		loads := bySite[site]
+		total := 0
+		for _, l := range loads {
+			total += l.MaxSteps
+		}
+		budget := d.budgetFor(site)
+		r.Sites = append(r.Sites, SiteLoad{Site: site, Budget: budget, Total: total, Monitors: loads})
+		if budget > 0 && total > budget {
+			parts := make([]string, len(loads))
+			others := make([]string, 0, len(loads)-1)
+			for i, l := range loads {
+				parts[i] = fmt.Sprintf("%s=%d", l.Guardrail, l.MaxSteps)
+				if l.Guardrail != firstName[site] {
+					others = append(others, l.Guardrail)
+				}
+			}
+			r.Diagnostics = append(r.Diagnostics, Diagnostic{
+				Code: CodeHookBudget, Severity: Warn,
+				Pos: firstPos[site], Guardrail: firstName[site], Others: others,
+				Site: site,
+				Message: fmt.Sprintf("hook %s worst-case cost %d steps exceeds its budget of %d (%s): one firing may run all attached monitors",
+					site, total, budget, strings.Join(parts, " + ")),
+			})
+		}
+	}
+}

@@ -22,6 +22,15 @@ func Parse(src string) (*File, error) {
 	}
 	f := &File{}
 	for p.cur.Kind != TokEOF {
+		if p.cur.Kind == TokIdent && p.cur.Text == "feature" {
+			d, err := p.parseFeatureDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Features = append(f.Features, d)
+			p.skipSeparators()
+			continue
+		}
 		g, err := p.parseGuardrail()
 		if err != nil {
 			return nil, err
@@ -159,6 +168,58 @@ func (p *Parser) parseGuardrail() (*Guardrail, error) {
 		return nil, err
 	}
 	return g, nil
+}
+
+// parseFeatureDecl parses a top-level feature range declaration:
+//
+//	feature <key> range(<lo>, <hi>)
+func (p *Parser) parseFeatureDecl() (*FeatureDecl, error) {
+	pos := p.cur.Pos
+	if err := p.expectIdent("feature"); err != nil {
+		return nil, err
+	}
+	key, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectIdent("range"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	lo, err := p.parseSignedNumber()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokComma); err != nil {
+		return nil, err
+	}
+	hi, err := p.parseSignedNumber()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return &FeatureDecl{Key: key.Text, Lo: lo, Hi: hi, Pos: pos}, nil
+}
+
+// parseSignedNumber parses an optionally negated numeric literal.
+func (p *Parser) parseSignedNumber() (float64, error) {
+	neg := false
+	if p.cur.Kind == TokMinus {
+		neg = true
+		p.next()
+	}
+	t, err := p.expect(TokNumber)
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -t.Num, nil
+	}
+	return t.Num, nil
 }
 
 // parseHyphenName parses identifiers joined by hyphens

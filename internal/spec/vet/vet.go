@@ -4,7 +4,8 @@
 // watches nothing), rules that can never hold (so the action fires on
 // every evaluation), mutually contradictory rules, tautological
 // comparisons, feedback loops between a guardrail's SAVE actions and
-// its own rules, and divisions by a constant zero.
+// its own rules, divisions by a constant zero, and constant thresholds
+// that lie outside a feature's declared range.
 //
 // Each finding is a Diagnostic with a stable code (GV001…), a severity,
 // and the source position of the offending construct. Warn-severity
@@ -61,6 +62,7 @@ const (
 	CodeDeadActions     = "GV007" // every rule always true: actions never fire
 	CodeDuplicateRule   = "GV008" // identical rule repeated
 	CodeConstZeroDiv    = "GV009" // division by constant zero
+	CodeThresholdRange  = "GV010" // constant threshold outside the feature's declared range
 )
 
 // Diagnostic is one linter finding.
@@ -104,15 +106,17 @@ func File(f *spec.File) []Diagnostic {
 			}
 		}
 	}
+	features := spec.FeatureRanges(f)
 	for _, g := range f.Guardrails {
-		ds = append(ds, lintGuardrail(g, loaded)...)
+		ds = append(ds, lintGuardrail(g, loaded, features)...)
 	}
 	sortDiags(ds)
 	return ds
 }
 
 // Guardrail lints a single checked guardrail in isolation (GV005 then
-// only sees that guardrail's own LOADs).
+// only sees that guardrail's own LOADs, and GV010 sees no feature
+// declarations).
 func Guardrail(g *spec.Guardrail) []Diagnostic {
 	loaded := map[string]bool{}
 	for _, r := range g.Rules {
@@ -120,7 +124,7 @@ func Guardrail(g *spec.Guardrail) []Diagnostic {
 			loaded[k] = true
 		}
 	}
-	ds := lintGuardrail(g, loaded)
+	ds := lintGuardrail(g, loaded, nil)
 	sortDiags(ds)
 	return ds
 }
@@ -138,7 +142,7 @@ func sortDiags(ds []Diagnostic) {
 	})
 }
 
-func lintGuardrail(g *spec.Guardrail, fileLoaded map[string]bool) []Diagnostic {
+func lintGuardrail(g *spec.Guardrail, fileLoaded map[string]bool, features map[string]*spec.FeatureDecl) []Diagnostic {
 	var ds []Diagnostic
 	emit := func(code string, sev Severity, pos spec.Pos, format string, args ...any) {
 		ds = append(ds, Diagnostic{Code: code, Severity: sev, Pos: pos,
@@ -171,6 +175,7 @@ func lintGuardrail(g *spec.Guardrail, fileLoaded map[string]bool) []Diagnostic {
 			checkTautologicalCmp(e, emit)
 			checkConstZeroDiv(e, emit)
 		})
+		checkThresholdRange(r, features, emit)
 	}
 	if allTrue {
 		emit(CodeDeadActions, Warn, g.Pos,
@@ -236,6 +241,36 @@ func checkTautologicalCmp(e spec.Expr, emit func(string, Severity, spec.Pos, str
 	}
 	emit(CodeTautologicalCmp, Warn, b.Pos,
 		"comparison %s has identical sides: %s", spec.ExprString(b), outcome)
+}
+
+// checkThresholdRange flags GV010: a simple comparison rule whose
+// constant threshold lies strictly outside the feature's declared range
+// (reusing the interval recognition that powers GV003). Such a rule is
+// either vacuous (every in-range value satisfies it) or unsatisfiable
+// (no in-range value does) — both mean the threshold and the
+// declaration disagree about the feature's units or scale.
+func checkThresholdRange(r spec.Expr, features map[string]*spec.FeatureDecl,
+	emit func(string, Severity, spec.Pos, string, ...any)) {
+	key, lo, hi, ok := simpleKeyConstraint(r)
+	if !ok {
+		return
+	}
+	d, declared := features[key]
+	if !declared {
+		return
+	}
+	switch {
+	case lo > d.Hi || hi < d.Lo:
+		// Satisfied interval and declared range are disjoint.
+		emit(CodeThresholdRange, Warn, r.ExprPos(),
+			"rule %s is unsatisfiable for %s declared in range(%g, %g): the guardrail fires on every evaluation",
+			spec.ExprString(r), key, d.Lo, d.Hi)
+	case lo <= d.Lo && d.Hi <= hi:
+		// Declared range fits entirely inside the satisfied interval.
+		emit(CodeThresholdRange, Warn, r.ExprPos(),
+			"rule %s holds for every value of %s declared in range(%g, %g): it guards nothing",
+			spec.ExprString(r), key, d.Lo, d.Hi)
+	}
 }
 
 func checkConstZeroDiv(e spec.Expr, emit func(string, Severity, spec.Pos, string, ...any)) {

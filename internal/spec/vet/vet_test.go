@@ -192,3 +192,95 @@ guardrail g {
 		}
 	}
 }
+
+// TestThresholdRange covers GV010: a constant threshold strictly
+// outside (or fully covering) a feature's declared range is a dead or
+// vacuous guard; thresholds that properly cut the range are silent, and
+// undeclared keys are never flagged.
+func TestThresholdRange(t *testing.T) {
+	f := parse(t, `
+feature util range(0, 1)
+
+guardrail vacuous {
+    trigger: { TIMER(start_time, 1e9) },
+    rule: { LOAD(util) <= 2 },
+    action: { REPORT(1) }
+}
+guardrail unsatisfiable {
+    trigger: { TIMER(start_time, 1e9) },
+    rule: { LOAD(util) >= 5 },
+    action: { REPORT(1) }
+}
+guardrail proper {
+    trigger: { TIMER(start_time, 1e9) },
+    rule: { LOAD(util) <= 0.9 },
+    action: { REPORT(1) }
+}
+guardrail undeclared {
+    trigger: { TIMER(start_time, 1e9) },
+    rule: { LOAD(other) <= 99 },
+    action: { REPORT(1) }
+}`)
+	ds := File(f)
+	var hits []Diagnostic
+	for _, d := range ds {
+		if d.Code == CodeThresholdRange {
+			hits = append(hits, d)
+		}
+	}
+	if len(hits) != 2 {
+		t.Fatalf("GV010 fired %d times, want 2: %v", len(hits), ds)
+	}
+	for _, d := range hits {
+		if d.Severity != Warn {
+			t.Errorf("GV010 severity = %v, want Warn", d.Severity)
+		}
+		switch d.Guardrail {
+		case "vacuous":
+			if !strings.Contains(d.Message, "holds for every value") {
+				t.Errorf("vacuous message = %q", d.Message)
+			}
+		case "unsatisfiable":
+			if !strings.Contains(d.Message, "unsatisfiable") {
+				t.Errorf("unsatisfiable message = %q", d.Message)
+			}
+		default:
+			t.Errorf("GV010 flagged %q", d.Guardrail)
+		}
+	}
+}
+
+// TestThresholdRangeBoundary: thresholds exactly at the declared bounds
+// still admit (or exclude) a real value, so they are not flagged as
+// unsatisfiable — only strictly-outside constants are.
+func TestThresholdRangeBoundary(t *testing.T) {
+	f := parse(t, `
+feature util range(0, 1)
+
+guardrail at-hi {
+    trigger: { TIMER(start_time, 1e9) },
+    rule: { LOAD(util) >= 1 },
+    action: { REPORT(1) }
+}`)
+	for _, d := range File(f) {
+		if d.Code == CodeThresholdRange {
+			t.Errorf("boundary threshold flagged: %s", d)
+		}
+	}
+}
+
+// TestGuardrailEntryPointSkipsRangeCheck: the single-guardrail entry
+// point has no file context, so declared ranges cannot apply.
+func TestGuardrailEntryPointSkipsRangeCheck(t *testing.T) {
+	f := parse(t, `
+feature util range(0, 1)
+
+guardrail vacuous {
+    trigger: { TIMER(start_time, 1e9) },
+    rule: { LOAD(util) <= 2 },
+    action: { REPORT(1) }
+}`)
+	if hasCode(Guardrail(f.Guardrails[0]), CodeThresholdRange) {
+		t.Error("Guardrail() flagged GV010 without file-level declarations")
+	}
+}

@@ -108,6 +108,8 @@ type Counters struct {
 	IOWrites         Counter
 	ProvenLoads      Counter
 	GuardedLoads     Counter
+	DeployAdmitted   Counter
+	DeployRejected   Counter
 }
 
 // counterNames returns the exposition name → counter mapping. The
@@ -142,6 +144,8 @@ func (c *Counters) byName() []struct {
 		{"io_writes_total", &c.IOWrites},
 		{"monitor_loads_proven_total", &c.ProvenLoads},
 		{"monitor_loads_guarded_total", &c.GuardedLoads},
+		{"deployment_admitted_total", &c.DeployAdmitted},
+		{"deployment_rejected_total", &c.DeployRejected},
 	}
 }
 
@@ -296,6 +300,21 @@ func (s *Sink) MonitorLoad(monitor string, proven bool) {
 		s.Counters.ProvenLoads.Inc()
 	} else {
 		s.Counters.GuardedLoads.Inc()
+	}
+}
+
+// Deployment records the outcome of a whole-deployment admission test
+// (kernel.AdmitDeployment): admitted, or rejected because a hook site's
+// aggregate certified cost exceeded its budget. Counter-only, like
+// MonitorLoad — admissions are configuration events.
+func (s *Sink) Deployment(admitted bool) {
+	if s == nil {
+		return
+	}
+	if admitted {
+		s.Counters.DeployAdmitted.Inc()
+	} else {
+		s.Counters.DeployRejected.Inc()
 	}
 }
 

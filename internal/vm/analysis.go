@@ -491,8 +491,99 @@ func (rs *regState) canon() {
 // kicks in (see widen).
 const widenAfter = 16
 
+// Interval is the exported face of the analyzer's value abstraction: a
+// (possibly absent) closed interval of ordinary float64 values plus a
+// NaN-possibility flag. Deployment-level analyses (internal/spec/
+// interfere) exchange certified value ranges in this form.
+type Interval struct {
+	// Num reports that the value may be an ordinary (non-NaN) float in
+	// [Lo, Hi]; Lo and Hi are meaningful only when Num is set.
+	Num    bool
+	Lo, Hi float64
+	// NaN reports that the value may be NaN.
+	NaN bool
+}
+
+// TopInterval admits every float64.
+func TopInterval() Interval {
+	return Interval{Num: true, Lo: math.Inf(-1), Hi: math.Inf(1), NaN: true}
+}
+
+// RangeInterval is the interval of ordinary values in [lo, hi].
+func RangeInterval(lo, hi float64) Interval {
+	return Interval{Num: true, Lo: lo, Hi: hi}
+}
+
+// Singleton reports whether the interval is exactly one ordinary value.
+func (iv Interval) Singleton() (float64, bool) {
+	if iv.Num && !iv.NaN && iv.Lo == iv.Hi {
+		return iv.Lo, true
+	}
+	return 0, false
+}
+
+// DisjointFrom reports that no ordinary value is admitted by both
+// intervals — the certificate behind "these two SAVEs are contradictory".
+// Intervals that may both be NaN are not considered disjoint.
+func (iv Interval) DisjointFrom(o Interval) bool {
+	if iv.NaN && o.NaN {
+		return false
+	}
+	if !iv.Num || !o.Num {
+		// A side with no ordinary part admits only NaN (or nothing);
+		// without a shared NaN possibility there is no common value.
+		return true
+	}
+	return iv.Hi < o.Lo || o.Hi < iv.Lo
+}
+
+// Join returns the least interval admitting everything either admits.
+func (iv Interval) Join(o Interval) Interval {
+	return join(fromInterval(iv), fromInterval(o)).iv()
+}
+
+// String renders "[lo,hi]" with a "|NaN" suffix when NaN is admitted.
+func (iv Interval) String() string {
+	s := "∅"
+	if iv.Num {
+		s = fmt.Sprintf("[%g,%g]", iv.Lo, iv.Hi)
+	}
+	if iv.NaN {
+		s += "|NaN"
+	}
+	return s
+}
+
+func (v absVal) iv() Interval { return Interval{Num: v.num, Lo: v.lo, Hi: v.hi, NaN: v.nan} }
+
+func fromInterval(iv Interval) absVal {
+	return absVal{num: iv.Num, lo: iv.Lo, hi: iv.Hi, nan: iv.NaN}.normalize()
+}
+
+// StoreFact is one OpStore site's certified behaviour: the abstract
+// value the instruction may write to its cell, valid whenever the
+// instruction is reachable.
+type StoreFact struct {
+	// PC is the OpStore instruction's index.
+	PC int
+	// Cell indexes the program symbol table (the SAVEd key).
+	Cell int32
+	// Val is the certified range of stored values.
+	Val Interval
+}
+
+// ExitFact is one reachable OpExit site's certified return value.
+type ExitFact struct {
+	// PC is the OpExit instruction's index.
+	PC int
+	// R0 is the certified range of returned values. Rule programs
+	// return 1 when the property holds and 0 when it is violated.
+	R0 Interval
+}
+
 // Analysis is the proof object produced by a successful abstract
-// interpretation; Verify copies it into Program.Meta.
+// interpretation; Verify copies the scalar fields into Program.Meta,
+// and the deployment interference analyzer consumes the per-site facts.
 type Analysis struct {
 	// MaxSteps is the certified worst-case number of interpreter steps
 	// (executed instructions, including the final OpExit) over every
@@ -502,6 +593,46 @@ type Analysis struct {
 	// to be ordinary zero, so raw IEEE division matches safeDiv and the
 	// interpreter's guarded division can be skipped.
 	DivProven bool
+	// Reachable records, per pc, whether the instruction is reachable
+	// from entry (dead comparison edges pruned).
+	Reachable []bool
+	// Stores lists every reachable OpStore with its certified value
+	// range, in pc order.
+	Stores []StoreFact
+	// Exits lists every reachable OpExit with its certified return
+	// range, in pc order.
+	Exits []ExitFact
+}
+
+// CanViolate reports whether any reachable exit may return 0 — i.e.
+// whether the rule conjunction can ever be violated (and so whether the
+// guardrail's actions can ever fire). An analysis with no reachable
+// exits trivially cannot violate.
+func (a *Analysis) CanViolate() bool {
+	for _, e := range a.Exits {
+		if e.R0.NaN || (e.R0.Num && e.R0.Lo <= 0 && 0 <= e.R0.Hi) {
+			return true
+		}
+	}
+	return false
+}
+
+// StoreRange joins the certified ranges of every reachable store to
+// cell; ok is false when no reachable store writes it.
+func (a *Analysis) StoreRange(cell int32) (Interval, bool) {
+	var acc Interval
+	found := false
+	for _, s := range a.Stores {
+		if s.Cell != cell {
+			continue
+		}
+		if !found {
+			acc, found = s.Val, true
+		} else {
+			acc = acc.Join(s.Val)
+		}
+	}
+	return acc, found
 }
 
 // pcState is the analyzer's per-instruction entry state.
@@ -511,10 +642,19 @@ type pcState struct {
 	rs        regState
 }
 
+// CellEnv supplies certified input ranges for feature-store cells: it
+// returns the abstract value LOADs of the cell may observe, or ok=false
+// for cells with no certificate (which then analyze as top). A nil
+// CellEnv is the open-world assumption every single-program verification
+// uses; the deployment analyzer passes declared feature ranges and
+// producer SAVE certificates to sharpen the analysis to one deployment.
+type CellEnv func(cell int32) (Interval, bool)
+
 // analyzer runs the worklist-driven abstract interpretation.
 type analyzer struct {
 	p          *Program
 	numHelpers int
+	env        CellEnv
 	states     []pcState // len n+1; index n = fall-through off the end
 	work       []bool
 	divProven  bool
@@ -525,10 +665,15 @@ type analyzer struct {
 // ascending-pc worklist reaches its fixpoint visiting each instruction
 // a small constant number of times.
 func analyze(p *Program, numHelpers int) (*Analysis, error) {
+	return analyzeEnv(p, numHelpers, nil)
+}
+
+func analyzeEnv(p *Program, numHelpers int, env CellEnv) (*Analysis, error) {
 	n := len(p.Code)
 	a := &analyzer{
 		p:          p,
 		numHelpers: numHelpers,
+		env:        env,
 		states:     make([]pcState, n+1),
 		work:       make([]bool, n),
 		divProven:  true,
@@ -556,7 +701,44 @@ func analyze(p *Program, numHelpers int) (*Analysis, error) {
 	if a.states[n].reachable {
 		return nil, vErr(p, n-1, "execution can fall off the end of the program")
 	}
-	return &Analysis{MaxSteps: a.maxSteps(), DivProven: a.divProven}, nil
+	return a.facts(), nil
+}
+
+// facts assembles the proof object from the fixpoint states.
+func (a *analyzer) facts() *Analysis {
+	n := len(a.p.Code)
+	out := &Analysis{
+		MaxSteps:  a.maxSteps(),
+		DivProven: a.divProven,
+		Reachable: make([]bool, n),
+	}
+	for pc := 0; pc < n; pc++ {
+		st := a.states[pc]
+		if !st.reachable {
+			continue
+		}
+		out.Reachable[pc] = true
+		in := a.p.Code[pc]
+		switch in.Op {
+		case OpStore:
+			out.Stores = append(out.Stores, StoreFact{PC: pc, Cell: in.Cell, Val: st.rs.vals[in.Src].iv()})
+		case OpExit:
+			out.Exits = append(out.Exits, ExitFact{PC: pc, R0: st.rs.vals[0].iv()})
+		}
+	}
+	return out
+}
+
+// loadVal is the abstract value an OpLoad of cell observes.
+func (a *analyzer) loadVal(cell int32) absVal {
+	if a.env != nil {
+		if iv, ok := a.env(cell); ok {
+			if v := fromInterval(iv); !v.isBottom() {
+				return v
+			}
+		}
+	}
+	return topVal()
 }
 
 // flowTo merges an edge's exit state into the target's entry state and
@@ -718,7 +900,9 @@ func (a *analyzer) step(pc int) error {
 		return nil
 	case OpLoad:
 		out.init |= 1 << in.Dst
-		out.vals[in.Dst] = topVal() // feature-store cells are unconstrained (and may be NaN)
+		// Feature-store cells are unconstrained (and may be NaN) unless
+		// the caller certified an input range for the deployment.
+		out.vals[in.Dst] = a.loadVal(in.Cell)
 	case OpStore:
 		if err := read(in.Src); err != nil {
 			return err

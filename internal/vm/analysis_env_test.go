@@ -1,0 +1,213 @@
+package vm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// branchProg returns a program that violates (returns 0) iff x > 10,
+// with the cell index of x.
+func branchProg(t *testing.T) (*Program, int32) {
+	t.Helper()
+	b := NewBuilder("branch")
+	cell := b.Sym("x")
+	b.Load(1, "x")
+	b.JmpIfI(OpJGtI, 1, 10, "viol")
+	b.MovI(0, 1)
+	b.Exit()
+	b.Label("viol")
+	b.MovI(0, 0)
+	b.Exit()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, cell
+}
+
+// TestAnalyzeWithRefinement: the same program can violate open-world
+// but is proven violation-free once the input is certified inside the
+// threshold — the deployment analyzer's dead-guardrail primitive.
+func TestAnalyzeWithRefinement(t *testing.T) {
+	p, cell := branchProg(t)
+
+	open, err := Analyze(p, NumBuiltinHelpers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !open.CanViolate() {
+		t.Error("open-world analysis proved violation-freedom of a violable program")
+	}
+
+	env := func(c int32) (Interval, bool) {
+		if c == cell {
+			return RangeInterval(0, 5), true
+		}
+		return Interval{}, false
+	}
+	refined, err := AnalyzeWith(p, NumBuiltinHelpers, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.CanViolate() {
+		t.Error("x certified in [0,5] but the x>10 branch still analyzed reachable")
+	}
+
+	hot := func(c int32) (Interval, bool) { return RangeInterval(20, 30), true }
+	always, err := AnalyzeWith(p, NumBuiltinHelpers, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !always.CanViolate() {
+		t.Error("x certified in [20,30] must keep the violation exit reachable")
+	}
+}
+
+// TestAnalysisStoreFacts: reachable OpStores surface as certified value
+// ranges — the producer certificates the interference analyzer joins.
+func TestAnalysisStoreFacts(t *testing.T) {
+	b := NewBuilder("storer")
+	kCell := b.Sym("k")
+	b.Load(1, "x")
+	b.MovI(2, 5)
+	b.JmpIfI(OpJGtI, 1, 0, "high")
+	b.Store("k", 2)
+	b.MovI(0, 1)
+	b.Exit()
+	b.Label("high")
+	b.MovI(3, 7)
+	b.Store("k", 3)
+	b.MovI(0, 1)
+	b.Exit()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(p, NumBuiltinHelpers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Stores) != 2 {
+		t.Fatalf("Stores = %+v, want 2 facts", a.Stores)
+	}
+	iv, ok := a.StoreRange(kCell)
+	if !ok {
+		t.Fatal("StoreRange found no reachable store of k")
+	}
+	if iv.Lo != 5 || iv.Hi != 7 || iv.NaN {
+		t.Errorf("StoreRange(k) = %s, want [5,7]", iv)
+	}
+	if a.CanViolate() {
+		t.Error("program always returns 1 yet CanViolate reported true")
+	}
+}
+
+// TestAnalyzeWithDivisorCollapse: a division that verifies open-world
+// (divisor unknown) must be rejected once the env proves the divisor
+// constant zero — the GI008 condition.
+func TestAnalyzeWithDivisorCollapse(t *testing.T) {
+	b := NewBuilder("divider")
+	dCell := b.Sym("d")
+	b.Load(1, "d")
+	b.Load(2, "x")
+	b.ALU(OpDiv, 2, 1)
+	b.MovI(0, 1)
+	b.Exit()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(p, NumBuiltinHelpers); err != nil {
+		t.Fatalf("open-world analysis rejected a guarded division: %v", err)
+	}
+	zero := func(c int32) (Interval, bool) {
+		if c == dCell {
+			return RangeInterval(0, 0), true
+		}
+		return Interval{}, false
+	}
+	if _, err := AnalyzeWith(p, NumBuiltinHelpers, zero); err == nil {
+		t.Error("divisor certified [0,0] but AnalyzeWith passed")
+	}
+}
+
+// TestAnalyzeWithBottomEnv: a nonsensical (empty) caller interval must
+// degrade to top, not poison the fixpoint.
+func TestAnalyzeWithBottomEnv(t *testing.T) {
+	p, cell := branchProg(t)
+	bottom := func(c int32) (Interval, bool) {
+		if c == cell {
+			return Interval{Num: true, Lo: 1, Hi: -1}, true
+		}
+		return Interval{}, false
+	}
+	a, err := AnalyzeWith(p, NumBuiltinHelpers, bottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.CanViolate() {
+		t.Error("bottom env interval must fall back to top (conservative)")
+	}
+}
+
+func TestIntervalOps(t *testing.T) {
+	a := RangeInterval(0, 1)
+	b := RangeInterval(2, 3)
+	if !a.DisjointFrom(b) || !b.DisjointFrom(a) {
+		t.Error("[0,1] and [2,3] must be disjoint")
+	}
+	if a.DisjointFrom(RangeInterval(1, 2)) {
+		t.Error("[0,1] and [1,2] share 1")
+	}
+	if a.DisjointFrom(TopInterval()) {
+		t.Error("nothing is disjoint from top")
+	}
+	// Two intervals that may both be NaN share that value: never
+	// disjoint, even when the ordinary parts are.
+	nanA := Interval{Num: true, Lo: 0, Hi: 1, NaN: true}
+	nanB := Interval{Num: true, Lo: 5, Hi: 6, NaN: true}
+	if nanA.DisjointFrom(nanB) {
+		t.Error("shared NaN possibility must block disjointness")
+	}
+	if !nanA.DisjointFrom(b) {
+		t.Error("[0,1]|NaN vs [2,3]: no ordinary value in common, must be disjoint")
+	}
+
+	j := a.Join(b)
+	if j.Lo != 0 || j.Hi != 3 {
+		t.Errorf("Join = %s, want [0,3]", j)
+	}
+	if v, ok := RangeInterval(5, 5).Singleton(); !ok || v != 5 {
+		t.Errorf("Singleton([5,5]) = %v, %v", v, ok)
+	}
+	if _, ok := a.Singleton(); ok {
+		t.Error("[0,1] reported as singleton")
+	}
+}
+
+// TestVerifyErrorNames: load-time verification failures name the
+// program so multi-guardrail deployment errors are attributable.
+func TestVerifyErrorNames(t *testing.T) {
+	p := &Program{
+		Name:    "bad-guardrail",
+		Code:    []Instr{{Op: OpJmp, Off: -1}, {Op: OpExit}},
+		Symbols: nil,
+	}
+	err := Verify(p, NumBuiltinHelpers)
+	var verr *VerifyError
+	if !errors.As(err, &verr) {
+		t.Fatalf("Verify returned %T, want *VerifyError", err)
+	}
+	if verr.Name != "bad-guardrail" {
+		t.Errorf("VerifyError.Name = %q", verr.Name)
+	}
+	if !strings.Contains(err.Error(), `"bad-guardrail"`) {
+		t.Errorf("Error() does not name the program: %s", err)
+	}
+
+	anon := &Program{Code: []Instr{{Op: OpJmp, Off: -1}, {Op: OpExit}}}
+	if msg := Verify(anon, NumBuiltinHelpers).Error(); strings.Contains(msg, `""`) {
+		t.Errorf("anonymous program error renders empty name: %s", msg)
+	}
+}

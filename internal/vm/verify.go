@@ -5,8 +5,12 @@ import (
 )
 
 // VerifyError describes why a program was rejected, pointing at the
-// offending instruction.
+// offending instruction and naming the program so that multi-guardrail
+// load failures are attributable to the spec that caused them.
 type VerifyError struct {
+	// Name is the rejected program's name (usually the guardrail name);
+	// empty for anonymous programs.
+	Name string
 	// PC is the faulting instruction's index.
 	PC int
 	// Instr is the disassembled faulting instruction, when PC addresses
@@ -18,16 +22,23 @@ type VerifyError struct {
 
 // Error implements error.
 func (e *VerifyError) Error() string {
-	if e.Instr != "" {
-		return fmt.Sprintf("vm: verify failed at pc=%d (%s): %s", e.PC, e.Instr, e.Reason)
+	prog := ""
+	if e.Name != "" {
+		prog = fmt.Sprintf(" %q", e.Name)
 	}
-	return fmt.Sprintf("vm: verify failed at pc=%d: %s", e.PC, e.Reason)
+	if e.Instr != "" {
+		return fmt.Sprintf("vm: verify%s failed at pc=%d (%s): %s", prog, e.PC, e.Instr, e.Reason)
+	}
+	return fmt.Sprintf("vm: verify%s failed at pc=%d: %s", prog, e.PC, e.Reason)
 }
 
 func vErr(p *Program, pc int, format string, args ...any) error {
 	e := &VerifyError{PC: pc, Reason: fmt.Sprintf(format, args...)}
-	if p != nil && pc >= 0 && pc < len(p.Code) {
-		e.Instr = p.fmtInstr(p.Code[pc])
+	if p != nil {
+		e.Name = p.Name
+		if pc >= 0 && pc < len(p.Code) {
+			e.Instr = p.fmtInstr(p.Code[pc])
+		}
 	}
 	return e
 }
@@ -87,10 +98,21 @@ func VerifySteps(p *Program, numHelpers, maxSteps int) error {
 // Analyze runs the abstract interpreter on a structurally-checked
 // program and returns the proof object without mutating p.Meta.
 func Analyze(p *Program, numHelpers int) (*Analysis, error) {
+	return AnalyzeWith(p, numHelpers, nil)
+}
+
+// AnalyzeWith is Analyze with certified input ranges for feature-store
+// cells: LOADs of cells the env covers analyze as the given interval
+// instead of top. Refining inputs can only shrink the reachable state
+// space, so a program that verifies open-world stays verifiable under
+// any env — except that a division whose divisor collapses to a
+// provable constant zero under the env is rejected, which is exactly
+// the deployment-level bug the refinement exists to surface.
+func AnalyzeWith(p *Program, numHelpers int, env CellEnv) (*Analysis, error) {
 	if err := verifyStructure(p, numHelpers); err != nil {
 		return nil, err
 	}
-	return analyze(p, numHelpers)
+	return analyzeEnv(p, numHelpers, env)
 }
 
 // verifyStructure is the per-instruction structural pass; the abstract
