@@ -1,0 +1,346 @@
+// Command grailctl is the fleet-operations CLI for guardrail
+// deployments: it diffs two deployment generations semantically and
+// rehearses a staged rollout (shadow → canary → fleet-wide) against a
+// deterministic synthetic workload before anyone touches a live fleet.
+//
+// Usage:
+//
+//	grailctl diff [-budget N] [-json] -old a.grail[,b.grail...] -new c.grail[,...]
+//	grailctl rollout [-seed N] [-budget N] [-json] [-shadow-ms N] [-canary-ms N]
+//	         [-canary-share num/den] -old a.grail[,...] -new c.grail[,...]
+//
+// diff prints each guardrail's change classification (added, removed,
+// retuned, modified, unchanged, with per-item details such as threshold
+// deltas), then re-runs interference analysis scoped to the changed
+// guardrails and their coupled neighbours. Exit status: 0 when the
+// scoped analysis is clean, 1 on warnings, 2 on usage or spec errors.
+//
+// rollout loads the old generation into a simulated kernel, drives a
+// seeded synthetic workload over every hook site and feature key the
+// deployment touches, then runs the new generation through the staged
+// rollout control plane with telemetry-gated promotion. Exit status: 0
+// when the candidate promotes, 1 when it is refused, rolls back, or
+// fails static, 2 on usage or spec errors — so a CI pipeline can
+// rehearse a rollout and block the real one on regression.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"guardrails/internal/compile"
+	"guardrails/internal/featurestore"
+	"guardrails/internal/kernel"
+	"guardrails/internal/monitor"
+	"guardrails/internal/rollout"
+	"guardrails/internal/spec"
+	"guardrails/internal/spec/interfere"
+	"guardrails/internal/telemetry"
+	"guardrails/internal/vm"
+)
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+func run(stdout, stderr io.Writer, args []string) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "diff":
+		return runDiff(stdout, stderr, args[1:])
+	case "rollout":
+		return runRollout(stdout, stderr, args[1:])
+	default:
+		fmt.Fprintf(stderr, "grailctl: unknown verb %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: grailctl diff    [-budget N] [-json] -old specs -new specs
+       grailctl rollout [-seed N] [-budget N] [-json] [-shadow-ms N] [-canary-ms N] [-canary-share num/den] -old specs -new specs
+specs is a comma-separated list of .grail files`)
+}
+
+// generation is one parsed deployment generation.
+type generation struct {
+	compiled []*compile.Compiled
+	features []*spec.FeatureDecl
+}
+
+// loadGeneration parses, checks, and compiles a comma-separated spec
+// list.
+func loadGeneration(stderr io.Writer, list string) (*generation, bool) {
+	g := &generation{}
+	for _, path := range strings.Split(list, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "grailctl: %v\n", err)
+			return nil, false
+		}
+		f, err := spec.Parse(string(data))
+		if err != nil {
+			fmt.Fprintf(stderr, "grailctl: %s: %v\n", path, err)
+			return nil, false
+		}
+		if err := spec.Check(f); err != nil {
+			fmt.Fprintf(stderr, "grailctl: %s: %v\n", path, err)
+			return nil, false
+		}
+		cs, err := compile.File(f)
+		if err != nil {
+			fmt.Fprintf(stderr, "grailctl: %s: %v\n", path, err)
+			return nil, false
+		}
+		g.compiled = append(g.compiled, cs...)
+		g.features = append(g.features, f.Features...)
+	}
+	return g, true
+}
+
+// loadGenerations parses the -old and -new spec lists.
+func loadGenerations(stderr io.Writer, oldList, newList string) (old, new *generation, ok bool) {
+	if newList == "" {
+		fmt.Fprintln(stderr, "grailctl: -new is required")
+		return nil, nil, false
+	}
+	old = &generation{}
+	if oldList != "" {
+		if old, ok = loadGeneration(stderr, oldList); !ok {
+			return nil, nil, false
+		}
+	}
+	if new, ok = loadGeneration(stderr, newList); !ok {
+		return nil, nil, false
+	}
+	return old, new, true
+}
+
+// --- diff ---------------------------------------------------------------
+
+func runDiff(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("grailctl diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	budget := fs.Int("budget", 0, "default per-hook-site certified step budget (0 = unlimited)")
+	jsonOut := fs.Bool("json", false, "emit the diff and scoped report as JSON")
+	oldList := fs.String("old", "", "comma-separated spec files of the incumbent generation")
+	newList := fs.String("new", "", "comma-separated spec files of the candidate generation")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	old, new, ok := loadGenerations(stderr, *oldList, *newList)
+	if !ok {
+		return 2
+	}
+
+	d := rollout.Compare(old.compiled, new.compiled)
+	dep := &interfere.Deployment{
+		Monitors: new.compiled, Features: new.features, HookBudget: *budget,
+	}
+	scoped, names := rollout.Scope(d, dep)
+	report := interfere.Analyze(scoped)
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Diff   *rollout.Diff     `json:"diff"`
+			Scope  []string          `json:"scope"`
+			Report *interfere.Report `json:"report"`
+		}{d, names, report}); err != nil {
+			fmt.Fprintf(stderr, "grailctl: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, ch := range d.Changes {
+			fmt.Fprintln(stdout, ch.String())
+		}
+		fmt.Fprintf(stdout, "diff: %s\n", d.Summary())
+		fmt.Fprintf(stdout, "scoped re-analysis (%d of %d guardrails: %s): %s\n",
+			len(names), len(new.compiled), strings.Join(names, ", "), report.Summary())
+		for _, diag := range report.Diagnostics {
+			fmt.Fprintf(stdout, "  %s\n", diag)
+		}
+	}
+	if report.Warnings() > 0 {
+		return 1
+	}
+	return 0
+}
+
+// --- rollout rehearsal --------------------------------------------------
+
+func runRollout(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("grailctl rollout", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "workload seed")
+	budget := fs.Int("budget", 0, "default per-hook-site certified step budget (0 = unlimited)")
+	jsonOut := fs.Bool("json", false, "emit the rehearsal outcome as JSON")
+	shadowMS := fs.Int("shadow-ms", 500, "shadow window (simulated milliseconds)")
+	canaryMS := fs.Int("canary-ms", 1000, "canary window (simulated milliseconds)")
+	share := fs.String("canary-share", "1/4", "canary action-traffic share (num/den)")
+	oldList := fs.String("old", "", "comma-separated spec files of the incumbent generation")
+	newList := fs.String("new", "", "comma-separated spec files of the candidate generation")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var num, den uint64
+	if _, err := fmt.Sscanf(*share, "%d/%d", &num, &den); err != nil || den == 0 || num == 0 {
+		fmt.Fprintf(stderr, "grailctl: bad -canary-share %q (want num/den)\n", *share)
+		return 2
+	}
+	old, new, ok := loadGenerations(stderr, *oldList, *newList)
+	if !ok {
+		return 2
+	}
+
+	k := kernel.New()
+	st := featurestore.New()
+	rt := monitor.New(k, st)
+	sink := telemetry.New(func() telemetry.Time { return int64(k.Now()) }, 1<<15)
+	rt.SetTelemetry(sink)
+	k.SetTelemetry(sink)
+
+	for _, c := range old.compiled {
+		if _, err := rt.Load(c, monitor.Options{}); err != nil {
+			fmt.Fprintf(stderr, "grailctl: loading incumbent %s: %v\n", c.Name, err)
+			return 2
+		}
+	}
+	ctl := rollout.NewController(rt)
+	ctl.Adopt(old.compiled)
+
+	driveWorkload(k, st, old, new, *seed)
+
+	cfg := rollout.Config{
+		ShadowWindow: kernel.Time(*shadowMS) * kernel.Millisecond,
+		CanaryWindow: kernel.Time(*canaryMS) * kernel.Millisecond,
+		CanaryNum:    num, CanaryDen: den,
+		HookBudget: *budget,
+		Features:   new.features,
+	}
+	err := ctl.Begin(new.compiled, cfg)
+	if err == nil {
+		// Rollouts run as kernel events; drive the clock until terminal.
+		deadline := kernel.Time(10*(*shadowMS+*canaryMS)) * kernel.Millisecond
+		for k.Now() < deadline && !ctl.Phase().Terminal() {
+			k.RunUntil(k.Now() + 100*kernel.Millisecond)
+		}
+	}
+
+	outcome := struct {
+		Phase   string           `json:"phase"`
+		Reason  string           `json:"reason,omitempty"`
+		Refused string           `json:"refused,omitempty"`
+		Gen     uint64           `json:"fleet_generation"`
+		Diff    *rollout.Diff    `json:"diff"`
+		History []rollout.Record `json:"history"`
+	}{
+		Phase: ctl.Phase().String(), Reason: ctl.Reason(),
+		Gen: ctl.FleetGeneration(), Diff: rollout.Compare(old.compiled, new.compiled),
+		History: ctl.History(),
+	}
+	if err != nil {
+		outcome.Refused = err.Error()
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(outcome); err != nil {
+			fmt.Fprintf(stderr, "grailctl: %v\n", err)
+			return 2
+		}
+	} else {
+		fmt.Fprintf(stdout, "diff: %s\n", outcome.Diff.Summary())
+		for _, rec := range outcome.History {
+			fmt.Fprintf(stdout, "%-12s gen=%d %s", rec.At, rec.Gen, rec.Event)
+			if rec.Note != "" {
+				fmt.Fprintf(stdout, "  (%s)", rec.Note)
+			}
+			fmt.Fprintln(stdout)
+		}
+		if outcome.Refused != "" {
+			fmt.Fprintf(stdout, "rollout rehearsal: refused: %s\n", outcome.Refused)
+		} else {
+			fmt.Fprintf(stdout, "rollout rehearsal: %s (fleet generation %d)\n", outcome.Phase, outcome.Gen)
+			if outcome.Reason != "" {
+				fmt.Fprintf(stdout, "  reason: %s\n", outcome.Reason)
+			}
+		}
+	}
+	if err != nil || ctl.Phase() != rollout.PhasePromoted {
+		return 1
+	}
+	return 0
+}
+
+// driveWorkload synthesizes deterministic traffic for the rehearsal:
+// every FUNCTION hook site either generation attaches to fires each
+// simulated millisecond, and every feature key any program loads is
+// refreshed from the seeded generator — uniform over its declared
+// range, or [0, 1) when undeclared.
+func driveWorkload(k *kernel.Kernel, st *featurestore.Store, old, new *generation, seed int64) {
+	sites := map[string]bool{}
+	loadKeys := map[string]bool{}
+	for _, g := range []*generation{old, new} {
+		for _, c := range g.compiled {
+			for _, t := range c.Triggers {
+				if ft, ok := t.(*spec.FuncTrigger); ok {
+					sites[ft.Site] = true
+				}
+			}
+			for _, in := range c.Program.Code {
+				if in.Op == vm.OpLoad {
+					loadKeys[c.Program.Symbols[in.Cell]] = true
+				}
+			}
+		}
+	}
+	ranges := map[string][2]float64{}
+	for _, g := range []*generation{old, new} {
+		for _, f := range g.features {
+			if _, ok := ranges[f.Key]; !ok {
+				ranges[f.Key] = [2]float64{f.Lo, f.Hi}
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var siteList []string
+	for s := range sites {
+		siteList = append(siteList, s)
+	}
+	var keyList []string
+	for key := range loadKeys {
+		keyList = append(keyList, key)
+	}
+	// Deterministic iteration order.
+	sort.Strings(siteList)
+	sort.Strings(keyList)
+	k.Every(0, kernel.Millisecond, 0, func(now kernel.Time) {
+		for _, key := range keyList {
+			lo, hi := 0.0, 1.0
+			if r, ok := ranges[key]; ok {
+				lo, hi = r[0], r[1]
+			}
+			st.Save(key, lo+rng.Float64()*(hi-lo))
+		}
+		for _, s := range siteList {
+			k.Fire(s, rng.Float64())
+		}
+	})
+}

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const (
+	ctlIncumbent = `
+feature lat_ma range(0.0, 1.0)
+
+guardrail lat-guard {
+    trigger: { FUNCTION(io_done) },
+    rule: { LOAD(lat_ma) <= 0.5 },
+    action: { SAVE(alert, 1) }
+}`
+
+	ctlRetuned = `
+feature lat_ma range(0.0, 1.0)
+
+guardrail lat-guard {
+    trigger: { FUNCTION(io_done) },
+    rule: { LOAD(lat_ma) <= 0.55 },
+    action: { SAVE(alert, 1) }
+}`
+
+	ctlStorm = `
+feature lat_ma range(0.0, 1.0)
+
+guardrail lat-guard {
+    trigger: { FUNCTION(io_done) },
+    rule: { LOAD(lat_ma) <= 0.01 },
+    action: { SAVE(alert, 1) }
+}`
+)
+
+func writeSpec(t *testing.T, name, src string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func runCtl(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(&out, &errb, args)
+	return code, out.String(), errb.String()
+}
+
+func TestUsageExitCodes(t *testing.T) {
+	if code, _, _ := runCtl(t); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code, _, _ := runCtl(t, "frobnicate"); code != 2 {
+		t.Errorf("unknown verb: exit %d, want 2", code)
+	}
+	if code, _, _ := runCtl(t, "diff"); code != 2 {
+		t.Errorf("diff without -new: exit %d, want 2", code)
+	}
+}
+
+func TestDiffClassifiesRetune(t *testing.T) {
+	old := writeSpec(t, "old.grail", ctlIncumbent)
+	new_ := writeSpec(t, "new.grail", ctlRetuned)
+	code, out, _ := runCtl(t, "diff", "-old", old, "-new", new_)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; out:\n%s", code, out)
+	}
+	if !strings.Contains(out, "retuned") || !strings.Contains(out, "0.5 -> 0.55") {
+		t.Errorf("diff output missing retune classification:\n%s", out)
+	}
+	if !strings.Contains(out, "scoped re-analysis") {
+		t.Errorf("diff output missing scoped analysis summary:\n%s", out)
+	}
+}
+
+func TestDiffSpecErrorExits2(t *testing.T) {
+	bad := writeSpec(t, "bad.grail", "guardrail oops {")
+	code, _, errb := runCtl(t, "diff", "-new", bad)
+	if code != 2 {
+		t.Errorf("exit %d, want 2; stderr: %s", code, errb)
+	}
+}
+
+func TestDiffJSON(t *testing.T) {
+	old := writeSpec(t, "old.grail", ctlIncumbent)
+	new_ := writeSpec(t, "new.grail", ctlRetuned)
+	code, out, _ := runCtl(t, "diff", "-json", "-old", old, "-new", new_)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	var doc struct {
+		Diff struct {
+			Changes []struct {
+				Name string `json:"name"`
+				Kind string `json:"kind"`
+			} `json:"changes"`
+		} `json:"diff"`
+		Scope []string `json:"scope"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("diff -json produced invalid JSON: %v\n%s", err, out)
+	}
+	if len(doc.Diff.Changes) != 1 || doc.Diff.Changes[0].Kind != "retuned" {
+		t.Errorf("changes = %+v, want one retuned", doc.Diff.Changes)
+	}
+	if len(doc.Scope) != 1 || doc.Scope[0] != "lat-guard" {
+		t.Errorf("scope = %v, want [lat-guard]", doc.Scope)
+	}
+}
+
+func TestRolloutRehearsalPromotes(t *testing.T) {
+	old := writeSpec(t, "old.grail", ctlIncumbent)
+	new_ := writeSpec(t, "new.grail", ctlRetuned)
+	code, out, _ := runCtl(t, "rollout", "-seed", "5", "-old", old, "-new", new_)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; out:\n%s", code, out)
+	}
+	for _, want := range []string{"phase:shadow", "phase:canary", "promoted", "fleet generation 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rehearsal output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRolloutRehearsalRollsBack(t *testing.T) {
+	old := writeSpec(t, "old.grail", ctlIncumbent)
+	storm := writeSpec(t, "storm.grail", ctlStorm)
+	code, out, _ := runCtl(t, "rollout", "-seed", "5", "-old", old, "-new", storm)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; out:\n%s", code, out)
+	}
+	if !strings.Contains(out, "rolled_back") || !strings.Contains(out, "violation rate") {
+		t.Errorf("rehearsal output missing rollback reason:\n%s", out)
+	}
+	if strings.Contains(out, "phase:canary") {
+		t.Errorf("storm candidate reached canary in rehearsal:\n%s", out)
+	}
+}
+
+func TestRolloutRehearsalJSON(t *testing.T) {
+	old := writeSpec(t, "old.grail", ctlIncumbent)
+	new_ := writeSpec(t, "new.grail", ctlRetuned)
+	code, out, _ := runCtl(t, "rollout", "-json", "-seed", "5", "-old", old, "-new", new_)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	var doc struct {
+		Phase string `json:"phase"`
+		Gen   uint64 `json:"fleet_generation"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("rollout -json produced invalid JSON: %v\n%s", err, out)
+	}
+	if doc.Phase != "promoted" || doc.Gen != 2 {
+		t.Errorf("phase=%q gen=%d, want promoted/2", doc.Phase, doc.Gen)
+	}
+}

@@ -4,14 +4,23 @@
 //
 // Usage:
 //
-//	guardrail-bench [-seed N] [-only fig2,p1,p2,p3,p4,p5,p6,osc,trig,vm,chaos]
+//	guardrail-bench [-seed N] [-only fig2,p1,p2,p3,p4,p5,p6,osc,trig,vm,chaos,rollout]
 //	guardrail-bench -chaos        (just the fault-injection run)
+//	guardrail-bench -rollout-chaos [-rollout-out report.json]
 //	guardrail-bench -only fig2 -metrics-out metrics.json -trace-out trace.json
 //	guardrail-bench -only fig2 -bench-out BENCH_fig2.json
 //
 // The chaos experiment (also selectable as -only chaos) reruns Figure 2
 // under the standard fault plan and reports the fault audit and the
 // breaker's recovery latency.
+//
+// The rollout chaos experiment (-rollout-chaos, or -only rollout) runs
+// staged fleet rollouts against the rollout control plane: a healthy
+// canary must auto-promote through transient admission failures, a
+// violation storm must roll back in shadow, a broken corrective action
+// must roll back at canary share, and breakglass must quarantine
+// fleet-wide. The process exits nonzero when any rollback is missed;
+// -rollout-out archives the JSON report.
 //
 // The telemetry flags apply to the Figure 2 run: -metrics-out writes
 // the guarded system's counter/histogram snapshot as JSON, -trace-out
@@ -22,6 +31,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -50,6 +60,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	chaos := flag.Bool("chaos", false, "run only the fault-injection chaos experiment")
+	rolloutChaos := flag.Bool("rollout-chaos", false, "run only the staged-rollout chaos experiment")
+	rolloutOut := flag.String("rollout-out", "", "write the rollout chaos report (JSON) to this file")
 	metricsOut := flag.String("metrics-out", "", "write the fig2 guarded system's telemetry snapshot (JSON) to this file")
 	traceOut := flag.String("trace-out", "", "write the fig2 guarded system's flight recorder (Chrome trace_event JSON) to this file")
 	benchOut := flag.String("bench-out", "", "write the fig2 per-config benchmark summary (JSON) to this file")
@@ -63,6 +75,9 @@ func main() {
 	}
 	if *chaos {
 		want["chaos"] = true
+	}
+	if *rolloutChaos {
+		want["rollout"] = true
 	}
 	run := func(id string) bool { return len(want) == 0 || want[id] }
 
@@ -176,6 +191,26 @@ func main() {
 			out := r.Render()
 			if r.Missed > 0 {
 				return out, fmt.Errorf("chaos: %d injected faults left no trace", r.Missed)
+			}
+			return out, nil
+		}},
+		{"rollout", func() (string, error) {
+			r, err := experiments.RunRolloutChaos(experiments.DefaultRolloutChaosConfig(*seed))
+			if err != nil {
+				return "", err
+			}
+			if *rolloutOut != "" {
+				if err := writeFile(*rolloutOut, func(w io.Writer) error {
+					enc := json.NewEncoder(w)
+					enc.SetIndent("", "  ")
+					return enc.Encode(r)
+				}); err != nil {
+					return "", fmt.Errorf("rollout: rollout-out: %w", err)
+				}
+			}
+			out := r.Render()
+			if !r.Pass {
+				return out, fmt.Errorf("rollout: %d acceptance check(s) failed (missed rollback or breakglass)", len(r.Failures))
 			}
 			return out, nil
 		}},

@@ -61,6 +61,7 @@ import (
 	"guardrails/internal/featurestore"
 	"guardrails/internal/kernel"
 	"guardrails/internal/monitor"
+	"guardrails/internal/rollout"
 	"guardrails/internal/spec"
 	"guardrails/internal/spec/interfere"
 	"guardrails/internal/telemetry"
@@ -171,6 +172,29 @@ type (
 	// HookLoad is one monitor's intended hook attachment with its
 	// certified cost, the kernel admission test's input.
 	HookLoad = kernel.HookLoad
+	// RolloutController stages candidate deployments through
+	// shadow → canary → fleet-wide with telemetry-gated promotion,
+	// auto-rollback to the last good generation, and breakglass
+	// quarantine (see internal/rollout and cmd/grailctl).
+	RolloutController = rollout.Controller
+	// RolloutConfig parameterizes one staged rollout (windows, canary
+	// share, gates, admission retry policy).
+	RolloutConfig = rollout.Config
+	// RolloutGates are the telemetry thresholds a candidate must clear
+	// at each stage boundary.
+	RolloutGates = rollout.Gates
+	// RolloutPhase is the rollout state machine's position.
+	RolloutPhase = rollout.Phase
+	// RolloutRecord is one timestamped rollout history event.
+	RolloutRecord = rollout.Record
+	// RolloutRefusedError is Begin's synchronous refusal when the scoped
+	// interference re-analysis finds warnings in the changed slice.
+	RolloutRefusedError = rollout.RefusedError
+	// DeploymentDiff is the semantic diff between two compiled
+	// generations (added/removed/retuned/modified guardrails).
+	DeploymentDiff = rollout.Diff
+	// DeploymentChange is one guardrail's classified change.
+	DeploymentChange = rollout.Change
 )
 
 // Deployment analysis policies (DeployConfig.Policy).
@@ -181,6 +205,17 @@ const (
 	// DeployWarn loads the deployment but quarantines implicated
 	// monitors (shadow mode, or disabled for over-budget hooks).
 	DeployWarn = monitor.DeployWarn
+)
+
+// Rollout state-machine phases (RolloutController.Phase).
+const (
+	RolloutIdle       = rollout.PhaseIdle
+	RolloutAdmitting  = rollout.PhaseAdmitting
+	RolloutShadow     = rollout.PhaseShadow
+	RolloutCanary     = rollout.PhaseCanary
+	RolloutPromoted   = rollout.PhasePromoted
+	RolloutRolledBack = rollout.PhaseRolledBack
+	RolloutFailed     = rollout.PhaseFailed
 )
 
 // Simulated-time units.
@@ -323,6 +358,24 @@ func (s *System) AttachTelemetry(eventCap int) *Telemetry {
 
 // Telemetry returns the sink attached to the system's runtime, or nil.
 func (s *System) Telemetry() *Telemetry { return s.Runtime.Telemetry() }
+
+// NewRolloutController returns a fleet rollout controller over the
+// system's runtime: Begin stages a candidate deployment through
+// shadow → canary → fleet-wide on the simulated clock, gating each
+// promotion on telemetry deltas and rolling back to the incumbent
+// generation on regression; Breakglass quarantines a named guardrail
+// fleet-wide in one call.
+func (s *System) NewRolloutController() *RolloutController {
+	return rollout.NewController(s.Runtime)
+}
+
+// CompareDeployments computes the semantic diff between two compiled
+// deployment generations: which guardrails were added, removed, retuned
+// (same structure, different thresholds), or structurally modified,
+// with per-threshold deltas in the change details.
+func CompareDeployments(old, new []*Compiled) *DeploymentDiff {
+	return rollout.Compare(old, new)
+}
 
 // ParseSpec parses and semantically checks guardrail specification text.
 func ParseSpec(src string) (*File, error) {

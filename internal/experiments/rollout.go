@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"guardrails/internal/compile"
+	"guardrails/internal/featurestore"
+	"guardrails/internal/kernel"
+	"guardrails/internal/monitor"
+	"guardrails/internal/rollout"
+	"guardrails/internal/telemetry"
+)
+
+// The rollout chaos experiment exercises the fleet rollout control
+// plane end to end on a seeded synthetic workload, proving the three
+// acceptance properties before anyone trusts it with a real
+// deployment:
+//
+//  1. a healthy candidate auto-promotes through shadow and canary —
+//     even when the admission check flakes transiently;
+//  2. a bad candidate (violation storm, then a broken corrective
+//     action) auto-rolls back before fleet-wide exposure: the fleet
+//     generation never advances and the candidate's actions never run
+//     at full traffic;
+//  3. Breakglass quarantines a guardrail fleet-wide in one call, and
+//     release restores it.
+//
+// Everything is deterministic under the seed: same seed, same phases,
+// same gate decisions.
+
+// rolloutIncumbent is the generation-1 guardrail: alert when the
+// latency moving average exceeds 0.5.
+const rolloutIncumbent = `
+guardrail lat-guard {
+    trigger: { FUNCTION(io_done) },
+    rule: { LOAD(lat_ma) <= 0.5 },
+    action: { SAVE(alert, 1) }
+}`
+
+// rolloutHealthy retunes the threshold to 0.55: strictly fewer
+// violations on the same workload, so every gate passes.
+const rolloutHealthy = `
+guardrail lat-guard {
+    trigger: { FUNCTION(io_done) },
+    rule: { LOAD(lat_ma) <= 0.55 },
+    action: { SAVE(alert, 1) }
+}`
+
+// rolloutStorm is a broken retune that violates on nearly every
+// sample — the shadow gate must catch it before it ever acts.
+const rolloutStorm = `
+guardrail lat-guard {
+    trigger: { FUNCTION(io_done) },
+    rule: { LOAD(lat_ma) <= 0.01 },
+    action: { SAVE(alert_storm, 1) }
+}`
+
+// rolloutBadAction keeps the healthy rule but swaps the corrective
+// action to a task group that does not exist: its violation profile
+// sails through shadow, and the canary action-failure gate must catch
+// the failing dispatches at partial traffic.
+const rolloutBadAction = `
+guardrail lat-guard {
+    trigger: { FUNCTION(io_done) },
+    rule: { LOAD(lat_ma) <= 0.55 },
+    action: { DEPRIORITIZE(batch_jobs) }
+}`
+
+// RolloutChaosConfig parameterizes the rollout chaos run.
+type RolloutChaosConfig struct {
+	// Seed drives the synthetic latency workload and is the experiment's
+	// determinism anchor.
+	Seed int64
+	// AdmitFlakes is how many consecutive transient admission failures
+	// the first rollout faces before admission succeeds.
+	AdmitFlakes int
+}
+
+// DefaultRolloutChaosConfig returns the standard run: two transient
+// admission flakes ahead of the healthy rollout.
+func DefaultRolloutChaosConfig(seed int64) RolloutChaosConfig {
+	return RolloutChaosConfig{Seed: seed, AdmitFlakes: 2}
+}
+
+// RolloutAct is the outcome of one staged rollout (or breakglass act)
+// within the run.
+type RolloutAct struct {
+	// Name identifies the act: "healthy", "violation-storm",
+	// "bad-action", "breakglass".
+	Name string `json:"name"`
+	// Phase is the terminal rollout phase ("" for the breakglass act).
+	Phase string `json:"phase,omitempty"`
+	// Reason is the gate reason for rollbacks.
+	Reason string `json:"reason,omitempty"`
+	// FleetGen is the fleet generation after the act.
+	FleetGen uint64 `json:"fleet_gen"`
+}
+
+// RolloutChaosResult is the outcome of the rollout chaos run — the
+// artifact the CI smoke job archives and gates on.
+type RolloutChaosResult struct {
+	// Pass is true when every acceptance check held.
+	Pass bool `json:"pass"`
+	// Failures lists the acceptance checks that did not hold.
+	Failures []string `json:"failures,omitempty"`
+	// Acts records each staged rollout's terminal state.
+	Acts []RolloutAct `json:"acts"`
+	// Promotions/Rollbacks/AdmitRetries/Breakglass mirror the telemetry
+	// counters after the run.
+	Promotions   uint64 `json:"rollout_promotions_total"`
+	Rollbacks    uint64 `json:"rollout_rollbacks_total"`
+	AdmitRetries uint64 `json:"rollout_admission_retries_total"`
+	Breakglass   uint64 `json:"breakglass_total"`
+	// FinalGeneration is the kernel's deployment generation at the end.
+	FinalGeneration uint64 `json:"final_generation"`
+	// History is the control plane's operation log.
+	History []rollout.Record `json:"history"`
+	// Monitors snapshots each loaded guardrail's counters.
+	Monitors map[string]monitor.Stats `json:"monitors"`
+}
+
+// fail records a missed acceptance check.
+func (r *RolloutChaosResult) fail(format string, args ...any) {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+}
+
+// RunRolloutChaos executes the rollout chaos experiment.
+func RunRolloutChaos(cfg RolloutChaosConfig) (*RolloutChaosResult, error) {
+	k := kernel.New()
+	st := featurestore.New()
+	rt := monitor.New(k, st)
+	sink := telemetry.New(func() telemetry.Time { return int64(k.Now()) }, 1<<15)
+	rt.SetTelemetry(sink)
+	k.SetTelemetry(sink)
+
+	// Synthetic workload: io_done fires every 1ms with lat_ma drawn in
+	// [0, 0.6) — ~17% of samples violate the incumbent's 0.5 threshold,
+	// ~8% violate the retuned 0.55 one, and nearly all violate the storm
+	// candidate's 0.01.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	k.Every(0, kernel.Millisecond, 0, func(now kernel.Time) {
+		st.Save("lat_ma", rng.Float64()*0.6)
+		k.Fire("io_done", 0)
+	})
+
+	inc, err := compile.Source(rolloutIncumbent)
+	if err != nil {
+		return nil, fmt.Errorf("rollout-chaos: compiling incumbent: %w", err)
+	}
+	if _, err := rt.Load(inc[0], monitor.Options{}); err != nil {
+		return nil, fmt.Errorf("rollout-chaos: loading incumbent: %w", err)
+	}
+	ctl := rollout.NewController(rt)
+	ctl.Adopt(inc)
+
+	res := &RolloutChaosResult{}
+	stageCfg := rollout.Config{
+		ShadowWindow: 200 * kernel.Millisecond,
+		CanaryWindow: 400 * kernel.Millisecond,
+		CanaryNum:    1, CanaryDen: 4,
+	}
+	begin := func(src string) error {
+		cs, err := compile.Source(src)
+		if err != nil {
+			return err
+		}
+		return ctl.Begin(cs, stageCfg)
+	}
+	act := func(name string) {
+		res.Acts = append(res.Acts, RolloutAct{
+			Name: name, Phase: ctl.Phase().String(),
+			Reason: ctl.Reason(), FleetGen: ctl.FleetGeneration(),
+		})
+	}
+
+	// --- Act 1: healthy retune under a flaky admission check ----------
+	flakes := cfg.AdmitFlakes
+	ctl.SetAdmitFunc(func(budget int, overrides map[string]int, loads []kernel.HookLoad) error {
+		if flakes > 0 {
+			flakes--
+			return fmt.Errorf("admission check unavailable (transient %d)", flakes+1)
+		}
+		return k.AdmitDeployment(budget, overrides, loads)
+	})
+	k.RunUntil(100 * kernel.Millisecond)
+	if err := begin(rolloutHealthy); err != nil {
+		return nil, fmt.Errorf("rollout-chaos: healthy Begin: %w", err)
+	}
+	k.RunUntil(2 * kernel.Second)
+	act("healthy")
+	if got := ctl.Phase(); got != rollout.PhasePromoted {
+		res.fail("healthy candidate: phase %s (reason %q), want promoted", got, ctl.Reason())
+	}
+	if got := ctl.FleetGeneration(); got != 2 {
+		res.fail("healthy candidate: fleet generation %d, want 2", got)
+	}
+	if cfg.AdmitFlakes > 0 && sink.Counters.RolloutAdmitRetries.Value() == 0 {
+		res.fail("transient admission flakes left no retry trace")
+	}
+	ctl.SetAdmitFunc(nil)
+
+	// --- Act 2: violation storm must roll back in shadow --------------
+	if err := begin(rolloutStorm); err != nil {
+		return nil, fmt.Errorf("rollout-chaos: storm Begin: %w", err)
+	}
+	k.RunUntil(4 * kernel.Second)
+	act("violation-storm")
+	if got := ctl.Phase(); got != rollout.PhaseRolledBack {
+		res.fail("storm candidate: phase %s, want rolled_back", got)
+	}
+	if st.Load("alert_storm") != 0 {
+		res.fail("storm candidate acted before rollback (alert_storm set)")
+	}
+	if got := ctl.FleetGeneration(); got != 2 {
+		res.fail("storm candidate reached fleet-wide exposure: generation %d", got)
+	}
+
+	// --- Act 3: broken corrective action must roll back at canary -----
+	if err := begin(rolloutBadAction); err != nil {
+		return nil, fmt.Errorf("rollout-chaos: bad-action Begin: %w", err)
+	}
+	k.RunUntil(7 * kernel.Second)
+	act("bad-action")
+	if got := ctl.Phase(); got != rollout.PhaseRolledBack {
+		res.fail("bad-action candidate: phase %s (reason %q), want rolled_back", got, ctl.Reason())
+	}
+	if !strings.Contains(ctl.Reason(), "action failure rate") {
+		res.fail("bad-action candidate: rollback reason %q, want the action-failure gate", ctl.Reason())
+	}
+	reachedCanary := false
+	for _, rec := range ctl.History() {
+		if rec.Gen == 4 && rec.Event == "phase:canary" {
+			reachedCanary = true
+		}
+	}
+	if !reachedCanary {
+		res.fail("bad-action candidate never reached canary (caught too early to test the gate)")
+	}
+	if got := ctl.FleetGeneration(); got != 2 {
+		res.fail("bad-action candidate reached fleet-wide exposure: generation %d", got)
+	}
+
+	// --- Act 4: breakglass quarantine and release ---------------------
+	st.Save("alert", 0)
+	if err := ctl.Breakglass("lat-guard", false); err != nil {
+		return nil, fmt.Errorf("rollout-chaos: breakglass: %w", err)
+	}
+	k.RunUntil(8 * kernel.Second)
+	if st.Load("alert") != 0 {
+		res.fail("breakglass: quarantined guardrail still acting")
+	}
+	if m := rt.Monitor("lat-guard"); m == nil || !m.ForcedShadow() {
+		res.fail("breakglass: monitor not forced to shadow")
+	}
+	if err := ctl.BreakglassRelease("lat-guard"); err != nil {
+		return nil, fmt.Errorf("rollout-chaos: breakglass release: %w", err)
+	}
+	k.RunUntil(9 * kernel.Second)
+	if st.Load("alert") != 1 {
+		res.fail("breakglass release: guardrail never acted again")
+	}
+	res.Acts = append(res.Acts, RolloutAct{Name: "breakglass", FleetGen: ctl.FleetGeneration()})
+
+	res.Promotions = sink.Counters.RolloutPromotions.Value()
+	res.Rollbacks = sink.Counters.RolloutRollbacks.Value()
+	res.AdmitRetries = sink.Counters.RolloutAdmitRetries.Value()
+	res.Breakglass = sink.Counters.Breakglass.Value()
+	res.FinalGeneration = k.Generation()
+	res.History = ctl.History()
+	res.Monitors = make(map[string]monitor.Stats)
+	for _, m := range rt.Monitors() {
+		res.Monitors[m.Name()] = m.Stats()
+	}
+	if res.Promotions != 1 {
+		res.fail("rollout_promotions_total = %d, want 1", res.Promotions)
+	}
+	if res.Rollbacks != 2 {
+		res.fail("rollout_rollbacks_total = %d, want 2", res.Rollbacks)
+	}
+	if res.FinalGeneration != 2 {
+		res.fail("final kernel generation = %d, want 2", res.FinalGeneration)
+	}
+	res.Pass = len(res.Failures) == 0
+	return res, nil
+}
+
+// Render prints the rollout chaos summary.
+func (r *RolloutChaosResult) Render() string {
+	var b strings.Builder
+	b.WriteString("== Rollout chaos: staged fleet rollouts under regression ==\n")
+	for _, a := range r.Acts {
+		fmt.Fprintf(&b, "act %-16s phase=%-12s fleet-gen=%d", a.Name, orDash(a.Phase), a.FleetGen)
+		if a.Reason != "" {
+			fmt.Fprintf(&b, "  (%s)", a.Reason)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "promotions=%d rollbacks=%d admit-retries=%d breakglass=%d final-generation=%d\n",
+		r.Promotions, r.Rollbacks, r.AdmitRetries, r.Breakglass, r.FinalGeneration)
+	for name, s := range r.Monitors {
+		fmt.Fprintf(&b, "monitor %-16s gen-evals=%d violations=%d actions=%d dispatch-errors=%d\n",
+			name, s.Evals, s.Violations, s.ActionsFired, s.DispatchErrors)
+	}
+	if r.Pass {
+		b.WriteString("PASS: bad canaries rolled back before fleet exposure; healthy canary promoted; breakglass engaged and released\n")
+	} else {
+		b.WriteString("FAIL:\n")
+		for _, f := range r.Failures {
+			fmt.Fprintf(&b, "  - %s\n", f)
+		}
+	}
+	return b.String()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"guardrails/internal/rollout"
+)
+
+// TestRolloutChaosAcceptance is the ISSUE acceptance gate: a healthy
+// canary auto-promotes (through transient admission flakes), bad
+// canaries auto-roll back before fleet-wide exposure, and breakglass
+// quarantines fleet-wide in one call.
+func TestRolloutChaosAcceptance(t *testing.T) {
+	res, err := RunRolloutChaos(DefaultRolloutChaosConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Fatalf("rollout chaos failed:\n%s", strings.Join(res.Failures, "\n"))
+	}
+	if res.Promotions != 1 || res.Rollbacks != 2 {
+		t.Errorf("promotions=%d rollbacks=%d, want 1/2", res.Promotions, res.Rollbacks)
+	}
+	if res.AdmitRetries == 0 {
+		t.Error("no admission retries recorded despite injected flakes")
+	}
+	if res.Breakglass != 1 {
+		t.Errorf("breakglass_total = %d, want 1", res.Breakglass)
+	}
+	// Every rollback must have happened at a generation that never
+	// became the fleet generation.
+	for _, rec := range res.History {
+		if rec.Event == "rolled_back" && rec.Gen <= res.FinalGeneration {
+			t.Errorf("rolled-back generation %d is at or below the promoted generation %d", rec.Gen, res.FinalGeneration)
+		}
+	}
+	if res.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+// TestRolloutChaosDeterministic reruns the experiment under the same
+// seed and expects an identical JSON artifact — the property the CI
+// smoke job relies on.
+func TestRolloutChaosDeterministic(t *testing.T) {
+	a, err := RunRolloutChaos(DefaultRolloutChaosConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunRolloutChaos(DefaultRolloutChaosConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Error("same seed produced different rollout chaos artifacts")
+	}
+}
+
+// TestRolloutChaosActOrder pins the phase sequence: the storm rollback
+// fires in shadow (never a canary record for gen 3), the bad-action
+// rollback fires in canary (gen 4 reached canary).
+func TestRolloutChaosActOrder(t *testing.T) {
+	res, err := RunRolloutChaos(DefaultRolloutChaosConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gen3Canary, gen4Canary bool
+	for _, rec := range res.History {
+		if rec.Event == "phase:canary" {
+			switch rec.Gen {
+			case 3:
+				gen3Canary = true
+			case 4:
+				gen4Canary = true
+			}
+		}
+	}
+	if gen3Canary {
+		t.Error("violation storm reached canary; the shadow gate should have caught it")
+	}
+	if !gen4Canary {
+		t.Error("bad-action candidate never reached canary")
+	}
+	if len(res.Acts) != 4 {
+		t.Fatalf("acts = %d, want 4", len(res.Acts))
+	}
+	if res.Acts[0].Phase != rollout.PhasePromoted.String() ||
+		res.Acts[1].Phase != rollout.PhaseRolledBack.String() ||
+		res.Acts[2].Phase != rollout.PhaseRolledBack.String() {
+		t.Errorf("act phases: %+v", res.Acts)
+	}
+}

@@ -111,23 +111,39 @@ type Kernel struct {
 
 	tsink atomic.Pointer[telemetry.Sink]
 
+	// generation is the active deployment generation number, advanced by
+	// the rollout control plane on fleet-wide promotion. Generation 1 is
+	// the boot deployment.
+	generation atomic.Uint64
+
 	tasksMu sync.Mutex
 	tasks   map[TaskID]*Task
 	nextTID TaskID
 }
 
-// New returns a kernel at time zero.
+// New returns a kernel at time zero, on deployment generation 1.
 func New() *Kernel {
-	return &Kernel{
+	k := &Kernel{
 		hooks:     make(map[string][]hookSlot),
 		tasks:     make(map[TaskID]*Task),
 		fireCount: make(map[string]uint64),
 		nextTID:   1,
 	}
+	k.generation.Store(1)
+	return k
 }
 
 // Now returns the current simulated time.
 func (k *Kernel) Now() Time { return Time(k.now.Load()) }
+
+// Generation returns the active deployment generation (1 at boot).
+func (k *Kernel) Generation() uint64 { return k.generation.Load() }
+
+// SetGeneration records a fleet-wide promotion to generation g. The
+// rollout control plane calls this when a canary goes fleet-wide;
+// rollback never rewinds it (the last-good generation simply stays
+// current). Safe from any goroutine.
+func (k *Kernel) SetGeneration(g uint64) { k.generation.Store(g) }
 
 // At schedules fn to run at absolute time t. Times in the past run at
 // the current time (immediately on the next Step).

@@ -1,0 +1,84 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"guardrails/internal/kernel"
+	"guardrails/internal/telemetry"
+)
+
+// TestUpdateTelemetryContinuity is the regression gate for hot updates:
+// counters must neither reset nor orphan across generations. Stats()
+// carries the cumulative totals forward, GenerationStats() isolates the
+// new generation, Generation() increments monotonically, and the
+// per-monitor telemetry lane (keyed by the guardrail name, not a
+// versioned alias) keeps accumulating in the same histogram.
+func TestUpdateTelemetryContinuity(t *testing.T) {
+	rt, k, st := newRT()
+	sink := telemetry.New(func() telemetry.Time { return int64(k.Now()) }, 1<<12)
+	rt.SetTelemetry(sink)
+	st.Save("ml_enabled", 1)
+	st.Save("false_submit_rate", 0.9) // violates every evaluation
+
+	ms, err := rt.LoadSource(listing2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := ms[0]
+	k.RunUntil(3500 * kernel.Millisecond)
+	s1 := m1.Stats()
+	if s1.Evals == 0 || s1.Violations == 0 {
+		t.Fatalf("generation 1 saw no traffic: %+v", s1)
+	}
+	lane1 := sink.EvalHist("low-false-submit").Summary().Count
+
+	// Generation 2: tightened threshold, same name.
+	m2, err := rt.UpdateSource(strings.Replace(listing2, "0.05", "0.02", 1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.Generation(); got != 2 {
+		t.Errorf("generation after first update = %d, want 2", got)
+	}
+	k.RunUntil(7500 * kernel.Millisecond)
+
+	s2 := m2.Stats()
+	g2 := m2.GenerationStats()
+	if s2.Evals <= s1.Evals {
+		t.Errorf("cumulative evals did not carry: gen1=%d gen2 total=%d", s1.Evals, s2.Evals)
+	}
+	if s2.Violations < s1.Violations {
+		t.Errorf("cumulative violations went backwards: gen1=%d gen2 total=%d", s1.Violations, s2.Violations)
+	}
+	if g2.Evals == 0 {
+		t.Error("generation 2 isolated stats saw no traffic")
+	}
+	if g2.Evals+s1.Evals != s2.Evals {
+		t.Errorf("per-generation evals do not sum: %d + %d != %d", g2.Evals, s1.Evals, s2.Evals)
+	}
+
+	// Generation 3: another update; the chain keeps accumulating.
+	m3, err := rt.UpdateSource(listing2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m3.Generation(); got != 3 {
+		t.Errorf("generation after second update = %d, want 3", got)
+	}
+	k.RunUntil(10 * kernel.Second)
+	if m3.Stats().Evals <= s2.Evals {
+		t.Error("cumulative evals did not carry into generation 3")
+	}
+
+	// Telemetry lane continuity: the eval histogram under the plain
+	// guardrail name accumulated across all three generations — never
+	// reset, never split into an orphan lane.
+	lane3 := sink.EvalHist("low-false-submit").Summary().Count
+	if lane3 <= lane1 {
+		t.Errorf("telemetry lane stalled across updates: before=%d after=%d", lane1, lane3)
+	}
+	if uint64(lane3) != m3.Stats().Evals {
+		t.Errorf("telemetry lane count %d != cumulative evals %d (lane reset or orphaned)", lane3, m3.Stats().Evals)
+	}
+}

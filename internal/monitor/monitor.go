@@ -200,6 +200,26 @@ type Monitor struct {
 	state   State
 	stats   Stats
 
+	// gen is the monitor's deployment generation under its name: 1 on
+	// first Load, incremented by every hot Update. base carries the
+	// cumulative counters of the generations this monitor replaced, so
+	// Stats() reads continuously across hot updates.
+	gen  int
+	base Stats
+
+	// evalIdx numbers evaluation attempts (including faulted ones) for
+	// the act gate's deterministic sampling. Monitors attached to the
+	// same trigger stream see aligned indices.
+	evalIdx uint64
+	// actGate, when non-nil, decides per evaluation whether this
+	// monitor's actions are live (true) or suppressed as in shadow mode
+	// (false). The rollout control plane uses complementary stride gates
+	// to split traffic between an incumbent and a canary.
+	actGate func(n uint64) bool
+	// forceShadow pins the monitor in shadow regardless of state or
+	// options — the breakglass quarantine.
+	forceShadow bool
+
 	violStreak int
 	passStreak int
 	inEpisode  bool
@@ -215,11 +235,88 @@ func (m *Monitor) Name() string { return m.c.Name }
 // Program returns the monitor's compiled VM program.
 func (m *Monitor) Program() *vm.Program { return m.c.Program }
 
-// Stats returns a snapshot of the monitor's counters.
+// Stats returns a snapshot of the monitor's counters. After a hot
+// Update the snapshot includes the counters accumulated by the replaced
+// generations under the same name, so telemetry reads continuously
+// across updates instead of silently resetting (see GenerationStats for
+// this generation alone).
 func (m *Monitor) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return mergeStats(m.base, m.stats)
+}
+
+// GenerationStats returns only this generation's counters, excluding
+// anything carried over from replaced generations.
+func (m *Monitor) GenerationStats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return m.stats
+}
+
+// Generation returns the monitor's deployment generation under its
+// name: 1 for a fresh Load, incremented by each hot Update.
+func (m *Monitor) Generation() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gen
+}
+
+// mergeStats folds the carried-over base counters into cur: counters
+// add; the Last* observations come from cur unless this generation has
+// not evaluated yet, in which case the previous generation's stand.
+func mergeStats(base, cur Stats) Stats {
+	out := cur
+	out.Evals += base.Evals
+	out.Violations += base.Violations
+	out.ActionsFired += base.ActionsFired
+	out.Recoveries += base.Recoveries
+	out.DispatchErrors += base.DispatchErrors
+	out.VMSteps += base.VMSteps
+	out.Traps += base.Traps
+	out.LoadFaults += base.LoadFaults
+	out.Quarantines += base.Quarantines
+	out.Rearms += base.Rearms
+	out.ShadowDemotions += base.ShadowDemotions
+	out.ShadowPromotions += base.ShadowPromotions
+	out.Retries += base.Retries
+	out.DeadLetters += base.DeadLetters
+	if cur.Evals == 0 {
+		out.LastResult = base.LastResult
+		out.LastTriggerAt = base.LastTriggerAt
+	}
+	return out
+}
+
+// SetActGate installs (or with nil, removes) a per-evaluation action
+// gate: before each evaluation the gate is consulted with the
+// evaluation's index, and a false answer runs that evaluation in shadow
+// (rules evaluate and violations count, actions are suppressed). The
+// rollout control plane uses complementary deterministic stride gates
+// on an incumbent/canary pair to split action traffic between
+// generations; breakglass uses an always-false gate's stronger cousin,
+// ForceShadow. Safe to call while the kernel runs.
+func (m *Monitor) SetActGate(gate func(n uint64) bool) {
+	m.mu.Lock()
+	m.actGate = gate
+	m.mu.Unlock()
+}
+
+// ForceShadow pins (or with false, releases) the monitor in shadow mode
+// regardless of its degradation-ladder state and options — the
+// breakglass quarantine. Safe to call while the kernel runs.
+func (m *Monitor) ForceShadow(v bool) {
+	m.mu.Lock()
+	m.forceShadow = v
+	m.mu.Unlock()
+}
+
+// ForcedShadow reports whether breakglass has pinned the monitor in
+// shadow mode.
+func (m *Monitor) ForcedShadow() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.forceShadow
 }
 
 // Enabled reports whether the monitor evaluates on triggers.
@@ -316,7 +413,11 @@ func (m *Monitor) Evaluate(arg float64) bool {
 		m.mu.Unlock()
 		return true
 	}
-	shadow := m.opts.ShadowMode || m.state == StateShadow
+	shadow := m.opts.ShadowMode || m.state == StateShadow || m.forceShadow
+	if m.actGate != nil && !shadow && !m.actGate(m.evalIdx) {
+		shadow = true
+	}
+	m.evalIdx++
 	m.mu.Unlock()
 
 	// The trigger time: hook fires and timer ticks run at the current

@@ -119,6 +119,7 @@ func (r *Runtime) Load(c *compile.Compiled, opts Options) (*Monitor, error) {
 		cells:    make([]featurestore.ID, len(c.Program.Symbols)),
 		lastGood: make([]float64, len(c.Program.Symbols)),
 		enabled:  true,
+		gen:      1,
 	}
 	for i, sym := range c.Program.Symbols {
 		m.cells[i] = r.store.Intern(sym)
@@ -155,6 +156,13 @@ func (r *Runtime) LoadSource(src string, opts Options) ([]*Monitor, error) {
 // runtime without requiring a kernel reboot". The old monitor is
 // disarmed only after the replacement compiled and its options were
 // validated, so a bad update never leaves the property unwatched.
+//
+// Telemetry is continuous across the swap: the replacement carries the
+// replaced generations' cumulative counters (Monitor.Stats merges them;
+// Monitor.GenerationStats isolates the new generation), its Generation
+// is the old one plus one, and per-monitor telemetry lanes keyed by
+// name keep accumulating under the same key — a hot update must not
+// silently reset or orphan a monitor's counters.
 func (r *Runtime) Update(c *compile.Compiled, opts Options) (*Monitor, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -170,6 +178,8 @@ func (r *Runtime) Update(c *compile.Compiled, opts Options) (*Monitor, error) {
 		cells:    make([]featurestore.ID, len(c.Program.Symbols)),
 		lastGood: make([]float64, len(c.Program.Symbols)),
 		enabled:  true,
+		gen:      old.Generation() + 1,
+		base:     old.Stats(),
 	}
 	for i, sym := range c.Program.Symbols {
 		m.cells[i] = r.store.Intern(sym)

@@ -43,6 +43,18 @@ const (
 	// KindFailover: a storage replica left (Value=0) or rejoined
 	// (Value=1) service.
 	KindFailover
+	// KindRolloutPhase: a staged rollout entered a phase (Detail names
+	// it; Value = target generation; Subject = the generation lane).
+	KindRolloutPhase
+	// KindPromotion: a rollout promoted a candidate generation
+	// fleet-wide (Value = new generation).
+	KindPromotion
+	// KindRollback: a rollout rolled back to the last-good generation
+	// (Detail = reason; Value = the generation rolled back to).
+	KindRollback
+	// KindBreakglass: an operator quarantined a guardrail fleet-wide
+	// (Detail = "shadow" or "disable").
+	KindBreakglass
 	numKinds
 )
 
@@ -75,6 +87,14 @@ func (k Kind) String() string {
 		return "gc_pause"
 	case KindFailover:
 		return "failover"
+	case KindRolloutPhase:
+		return "rollout_phase"
+	case KindPromotion:
+		return "rollout_promotion"
+	case KindRollback:
+		return "rollout_rollback"
+	case KindBreakglass:
+		return "breakglass"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -93,6 +113,8 @@ func (k Kind) Category() string {
 		return "action"
 	case KindGCPause, KindFailover:
 		return "storage"
+	case KindRolloutPhase, KindPromotion, KindRollback, KindBreakglass:
+		return "rollout"
 	default:
 		return "other"
 	}
@@ -197,4 +219,44 @@ func (f *Flight) Events() []Event {
 		out = append(out, f.ring[(f.head+i)%len(f.ring)])
 	}
 	return out
+}
+
+// EventsSince returns the retained events whose start time is at or
+// after t, in record order — the time-windowed query rollout gates use
+// to score a canary stage. Record times are non-decreasing (events are
+// recorded as simulated time advances), so the result is the contiguous
+// suffix of the retained events starting at the first event with
+// At >= t, found by binary search over the ring.
+//
+// The window is best-effort at the ring boundary: events older than the
+// ring's capacity have been overwritten, so a window reaching further
+// back than the oldest retained event silently starts there. Truncated
+// reports whether that happened — the oldest retained event is newer
+// than t while older events had already been recorded — so a gate can
+// tell "quiet window" from "window fell off the ring".
+func (f *Flight) EventsSince(t Time) (events []Event, truncated bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	// Binary search for the first retained index with At >= t.
+	lo, hi := 0, f.size
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if f.ring[(f.head+mid)%len(f.ring)].At < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	out := make([]Event, 0, f.size-lo)
+	for i := lo; i < f.size; i++ {
+		out = append(out, f.ring[(f.head+i)%len(f.ring)])
+	}
+	if f.size > 0 && lo == 0 {
+		oldest := f.ring[f.head]
+		// The window reaches to (or past) the oldest retained event and
+		// the ring has dropped events before it (Seq > 1 means history
+		// was overwritten) — dropped events may have been in-window.
+		truncated = oldest.At >= t && oldest.Seq > 1
+	}
+	return out, truncated
 }

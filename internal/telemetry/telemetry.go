@@ -24,6 +24,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"sync"
 
 	"guardrails/internal/stats"
@@ -86,30 +87,35 @@ func (h *Hist) Merge(o *Hist) {
 // mirror the monitor's Stats so a snapshot reconciles 1:1 with
 // per-monitor accounting (summed over monitors).
 type Counters struct {
-	HookFires        Counter
-	Evals            Counter
-	Violations       Counter
-	ActionsFired     Counter
-	ActionDispatches Counter
-	ActionErrors     Counter
-	Retries          Counter
-	DeadLetters      Counter
-	Faults           Counter
-	Quarantines      Counter
-	Rearms           Counter
-	ShadowDemotions  Counter
-	ShadowPromotions Counter
-	VMSteps          Counter
-	GCPauses         Counter
-	Failovers        Counter
-	StoreLoads       Counter
-	StoreSaves       Counter
-	IOReads          Counter
-	IOWrites         Counter
-	ProvenLoads      Counter
-	GuardedLoads     Counter
-	DeployAdmitted   Counter
-	DeployRejected   Counter
+	HookFires           Counter
+	Evals               Counter
+	Violations          Counter
+	ActionsFired        Counter
+	ActionDispatches    Counter
+	ActionErrors        Counter
+	Retries             Counter
+	DeadLetters         Counter
+	Faults              Counter
+	Quarantines         Counter
+	Rearms              Counter
+	ShadowDemotions     Counter
+	ShadowPromotions    Counter
+	VMSteps             Counter
+	GCPauses            Counter
+	Failovers           Counter
+	StoreLoads          Counter
+	StoreSaves          Counter
+	IOReads             Counter
+	IOWrites            Counter
+	ProvenLoads         Counter
+	GuardedLoads        Counter
+	DeployAdmitted      Counter
+	DeployRejected      Counter
+	RolloutPromotions   Counter
+	RolloutRollbacks    Counter
+	RolloutAdmitRetries Counter
+	Breakglass          Counter
+	BreakglassReleases  Counter
 }
 
 // counterNames returns the exposition name → counter mapping. The
@@ -146,6 +152,11 @@ func (c *Counters) byName() []struct {
 		{"monitor_loads_guarded_total", &c.GuardedLoads},
 		{"deployment_admitted_total", &c.DeployAdmitted},
 		{"deployment_rejected_total", &c.DeployRejected},
+		{"rollout_promotions_total", &c.RolloutPromotions},
+		{"rollout_rollbacks_total", &c.RolloutRollbacks},
+		{"rollout_admission_retries_total", &c.RolloutAdmitRetries},
+		{"breakglass_total", &c.Breakglass},
+		{"breakglass_releases_total", &c.BreakglassReleases},
 	}
 }
 
@@ -411,6 +422,76 @@ func (s *Sink) Transition(at Time, monitor string, kind Kind, reason string) {
 		s.Counters.ShadowPromotions.Inc()
 	}
 	s.rec.Record(Event{At: at, Kind: kind, Subject: monitor, Detail: reason})
+}
+
+// --- rollout control plane ---------------------------------------------
+//
+// Rollout events carry the target generation as their Value and record
+// on a per-generation lane ("gen<N>"), so a trace of a staged rollout
+// shows each generation's shadow/canary/fleet lifetime as its own
+// timeline row.
+
+// genLane renders the per-generation trace lane name.
+func genLane(gen uint64) string { return fmt.Sprintf("gen%d", gen) }
+
+// RolloutPhase records a staged rollout entering a phase (admitting,
+// shadow, canary, ...) for the given candidate generation.
+func (s *Sink) RolloutPhase(at Time, gen uint64, phase, detail string) {
+	if s == nil {
+		return
+	}
+	d := phase
+	if detail != "" {
+		d += ": " + detail
+	}
+	s.rec.Record(Event{At: at, Kind: KindRolloutPhase, Subject: genLane(gen), Detail: d, Value: float64(gen)})
+}
+
+// Promotion records a candidate generation going fleet-wide.
+func (s *Sink) Promotion(at Time, gen uint64) {
+	if s == nil {
+		return
+	}
+	s.Counters.RolloutPromotions.Inc()
+	s.rec.Record(Event{At: at, Kind: KindPromotion, Subject: genLane(gen), Value: float64(gen)})
+}
+
+// Rollback records a rollout aborting back to the last-good generation.
+// gen is the generation rolled back TO (the one that stays active).
+func (s *Sink) Rollback(at Time, gen uint64, reason string) {
+	if s == nil {
+		return
+	}
+	s.Counters.RolloutRollbacks.Inc()
+	s.rec.Record(Event{At: at, Kind: KindRollback, Subject: genLane(gen), Detail: reason, Value: float64(gen)})
+}
+
+// AdmitRetry records a transient deployment-admission failure being
+// retried by the rollout control plane.
+func (s *Sink) AdmitRetry(at Time, gen uint64, attempt int, reason string) {
+	if s == nil {
+		return
+	}
+	s.Counters.RolloutAdmitRetries.Inc()
+	s.rec.Record(Event{At: at, Kind: KindRolloutPhase, Subject: genLane(gen),
+		Detail: fmt.Sprintf("admission retry %d: %s", attempt, reason), Value: float64(gen)})
+}
+
+// BreakglassEvent records an operator quarantining (engaged=true) or
+// releasing (engaged=false) a guardrail fleet-wide. mode is "shadow" or
+// "disable".
+func (s *Sink) BreakglassEvent(at Time, guardrail, mode string, engaged bool) {
+	if s == nil {
+		return
+	}
+	detail := mode
+	if engaged {
+		s.Counters.Breakglass.Inc()
+	} else {
+		s.Counters.BreakglassReleases.Inc()
+		detail = "release: " + mode
+	}
+	s.rec.Record(Event{At: at, Kind: KindBreakglass, Subject: guardrail, Detail: detail})
 }
 
 // GCPause records an SSD chip garbage-collection pause beginning at
