@@ -208,8 +208,10 @@ type Monitor struct {
 	base Stats
 
 	// evalIdx numbers evaluation attempts (including faulted ones) for
-	// the act gate's deterministic sampling. Monitors attached to the
-	// same trigger stream see aligned indices.
+	// the act gate's deterministic sampling. SetActGate zeroes it, so
+	// monitors attached to the same trigger stream whose gates are
+	// installed in the same kernel step see aligned indices from then
+	// on — the property complementary stride gates rely on.
 	evalIdx uint64
 	// actGate, when non-nil, decides per evaluation whether this
 	// monitor's actions are live (true) or suppressed as in shadow mode
@@ -296,9 +298,17 @@ func mergeStats(base, cur Stats) Stats {
 // on an incumbent/canary pair to split action traffic between
 // generations; breakglass uses an always-false gate's stronger cousin,
 // ForceShadow. Safe to call while the kernel runs.
+//
+// Installing (or removing) a gate resets the evaluation index to zero:
+// an incumbent that has already evaluated thousands of times and a
+// freshly loaded candidate would otherwise consult complementary gates
+// at offset indices, making some firings act twice and others not at
+// all. Gating both members of a pair in the same kernel step restarts
+// their indices together, so the split really is complementary.
 func (m *Monitor) SetActGate(gate func(n uint64) bool) {
 	m.mu.Lock()
 	m.actGate = gate
+	m.evalIdx = 0
 	m.mu.Unlock()
 }
 

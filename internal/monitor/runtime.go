@@ -163,6 +163,11 @@ func (r *Runtime) LoadSource(src string, opts Options) ([]*Monitor, error) {
 // is the old one plus one, and per-monitor telemetry lanes keyed by
 // name keep accumulating under the same key — a hot update must not
 // silently reset or orphan a monitor's counters.
+//
+// Operator quarantine state carries over the same way: a monitor that
+// was disabled (SetEnabled(false)) or breakglass-pinned in shadow
+// (ForceShadow) stays that way in the replacement — an automated hot
+// update must never silently lift a quarantine an operator engaged.
 func (r *Runtime) Update(c *compile.Compiled, opts Options) (*Monitor, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -172,14 +177,15 @@ func (r *Runtime) Update(c *compile.Compiled, opts Options) (*Monitor, error) {
 	}
 	opts.fillDefaults()
 	m := &Monitor{
-		rt:       r,
-		c:        c,
-		opts:     opts,
-		cells:    make([]featurestore.ID, len(c.Program.Symbols)),
-		lastGood: make([]float64, len(c.Program.Symbols)),
-		enabled:  true,
-		gen:      old.Generation() + 1,
-		base:     old.Stats(),
+		rt:          r,
+		c:           c,
+		opts:        opts,
+		cells:       make([]featurestore.ID, len(c.Program.Symbols)),
+		lastGood:    make([]float64, len(c.Program.Symbols)),
+		enabled:     old.Enabled(),
+		forceShadow: old.ForcedShadow(),
+		gen:         old.Generation() + 1,
+		base:        old.Stats(),
 	}
 	for i, sym := range c.Program.Symbols {
 		m.cells[i] = r.store.Intern(sym)

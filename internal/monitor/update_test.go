@@ -84,6 +84,55 @@ guardrail extra {
 	}
 }
 
+func TestUpdateCarriesQuarantineState(t *testing.T) {
+	// An operator-engaged quarantine (breakglass forced-shadow or a
+	// disable) must survive a hot update: an automated swap may not
+	// silently lift what an operator explicitly engaged.
+	rt, k, st := newRT()
+	st.Save("ml_enabled", 1)
+	st.Save("false_submit_rate", 0.9)
+	if _, err := rt.LoadSource(listing2, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	name := rt.Monitors()[0].Name()
+	rt.Monitor(name).ForceShadow(true)
+
+	m2, err := rt.UpdateSource(listing2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.ForcedShadow() {
+		t.Fatal("hot update lifted the forced-shadow quarantine")
+	}
+	k.RunUntil(2 * kernel.Second)
+	if st.Load("ml_enabled") != 1 {
+		t.Error("quarantined replacement acted")
+	}
+
+	// Disable carries over the same way.
+	m2.ForceShadow(false)
+	m2.SetEnabled(false)
+	m3, err := rt.UpdateSource(listing2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Enabled() {
+		t.Fatal("hot update re-enabled a disabled monitor")
+	}
+	evals := m3.Stats().Evals
+	k.RunUntil(4 * kernel.Second)
+	if m3.Stats().Evals != evals {
+		t.Error("disabled replacement still evaluating")
+	}
+
+	// Releasing the quarantine restores enforcement on the replacement.
+	m3.SetEnabled(true)
+	k.RunUntil(6 * kernel.Second)
+	if st.Load("ml_enabled") != 0 {
+		t.Error("released replacement did not act")
+	}
+}
+
 func TestShadowModeObservesWithoutActing(t *testing.T) {
 	rt, k, st := newRT()
 	st.Save("ml_enabled", 1)

@@ -8,8 +8,10 @@ import (
 )
 
 // Gates are the telemetry thresholds a candidate generation must stay
-// inside during its shadow and canary windows. A zero Gates value means
-// DefaultGates.
+// inside during its shadow and canary windows. A nil *Gates in
+// Config means DefaultGates; the zero value itself is a legitimate
+// maximally strict configuration (no violation-rate regression, no
+// action failures, no faults tolerated).
 type Gates struct {
 	// MaxViolationRateDelta is how much higher the candidate's
 	// violation rate (violations per evaluation) may be than its

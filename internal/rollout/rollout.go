@@ -103,11 +103,15 @@ type Config struct {
 	// takes (evaluation indices n with n%Den < Num act on the
 	// candidate; the incumbent acts on the complement). Default 1/4.
 	CanaryNum, CanaryDen uint64
-	// Gates are the promotion thresholds; zero value = DefaultGates.
-	Gates Gates
+	// Gates are the promotion thresholds. nil means DefaultGates; an
+	// explicit &Gates{} is honored as-is (maximally strict
+	// zero-tolerance gates).
+	Gates *Gates
 	// AdmitRetries is how many times a *transient* admission failure is
 	// retried before the rollout fails static. Permanent refusals
-	// (kernel.AdmissionError) never retry. Default 3.
+	// (kernel.AdmissionError) never retry. 0 means the default of 3;
+	// any negative value means no retries (fail static on the first
+	// transient admission error).
 	AdmitRetries int
 	// RetryBackoff is the base delay before an admission retry,
 	// doubling per attempt. Default 50ms.
@@ -141,11 +145,15 @@ func (cfg *Config) fill() {
 	if cfg.CanaryNum > cfg.CanaryDen {
 		cfg.CanaryNum = cfg.CanaryDen
 	}
-	if cfg.Gates == (Gates{}) {
-		cfg.Gates = DefaultGates()
+	if cfg.Gates == nil {
+		g := DefaultGates()
+		cfg.Gates = &g
 	}
-	if cfg.AdmitRetries == 0 {
+	switch {
+	case cfg.AdmitRetries == 0:
 		cfg.AdmitRetries = 3
+	case cfg.AdmitRetries < 0:
+		cfg.AdmitRetries = 0
 	}
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 50 * kernel.Millisecond
@@ -320,19 +328,30 @@ func VersionedName(name string, gen uint64) string {
 }
 
 // BaseName strips a trial version suffix ("lat-guard@v3" → "lat-guard");
-// names without one pass through.
+// names without one pass through. Only the exact "@v<digits>" shape
+// VersionedName generates is treated as a suffix: a guardrail whose
+// real name merely contains "@v" (say "svc@v2-guard") is not conflated
+// with a trial lane.
 func BaseName(name string) string {
-	if i := strings.LastIndex(name, "@v"); i > 0 {
-		return name[:i]
+	i := strings.LastIndex(name, "@v")
+	if i <= 0 || i+2 == len(name) {
+		return name
 	}
-	return name
+	for _, r := range name[i+2:] {
+		if r < '0' || r > '9' {
+			return name
+		}
+	}
+	return name[:i]
 }
 
 // StrideGate returns a deterministic traffic-splitting act-gate
 // admitting num of every den evaluations (indices n with n%den < num);
 // invert selects the complement. A candidate and its incumbent attach
-// to the same trigger stream, so giving them complementary gates splits
-// action traffic with exactly one of the two acting per firing.
+// to the same trigger stream, and Monitor.SetActGate restarts a
+// monitor's evaluation index at zero: installing the pair's
+// complementary gates in the same kernel step (as gateShadow does)
+// aligns their indices, so exactly one of the two acts per firing.
 func StrideGate(num, den uint64, invert bool) func(uint64) bool {
 	if den == 0 {
 		den = 1
@@ -655,8 +674,10 @@ func (c *Controller) promote(st *rollout) {
 // shadow (disable=false: still evaluating, never acting) or disabled
 // outright (disable=true: not even evaluating). The engagement is
 // counted, flight-recorded, and written to the report log. It survives
-// promotions of the in-flight rollout only for monitors that existed
-// when it engaged; release with BreakglassRelease.
+// promotions of the in-flight rollout for monitors that existed when it
+// engaged (Runtime.Update carries quarantine state to the replacement);
+// a guardrail *added* by a later promotion was never quarantined and
+// loads live. Release with BreakglassRelease.
 func (c *Controller) Breakglass(name string, disable bool) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
