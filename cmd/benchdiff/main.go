@@ -1,0 +1,120 @@
+// Command benchdiff compares two shard-throughput benchmark snapshots
+// (BENCH_shards.json) and fails on regressions:
+//
+//	benchdiff [-tol 0.15] committed.json fresh.json
+//
+// The deterministic simulated quantities (events, hook fires, evals,
+// simulated duration) must match exactly for every shard count the two
+// snapshots share — a mismatch means the workload itself changed and
+// the committed snapshot must be regenerated deliberately. The
+// wall-clock fires/sec rate is machine-dependent: it is compared only
+// when both snapshots were measured under the same GOMAXPROCS, and
+// only downward — the fresh rate may beat the committed one freely but
+// must not fall more than the tolerance below it (default 15%).
+//
+// Shard counts present in only one snapshot (a different core count
+// swept a different NumCPU point) are reported but are not failures.
+// CI regenerates the snapshot on every run and diffs it against the
+// committed file, so a quiet throughput regression fails the build.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"guardrails/internal/experiments"
+)
+
+func load(path string) (*experiments.BenchShards, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b experiments.BenchShards
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Entries) == 0 {
+		return nil, fmt.Errorf("%s: no entries", path)
+	}
+	return &b, nil
+}
+
+// compare returns the failures (empty = pass) and the informational
+// notes from diffing fresh against committed.
+func compare(committed, fresh *experiments.BenchShards, tol float64) (failures, notes []string) {
+	old := map[int]experiments.ShardThroughputResult{}
+	for _, e := range committed.Entries {
+		old[e.Shards] = e
+	}
+	matched := 0
+	for _, n := range fresh.Entries {
+		o, ok := old[n.Shards]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("shards=%d: only in fresh snapshot (different sweep), skipped", n.Shards))
+			continue
+		}
+		matched++
+		delete(old, n.Shards)
+		if o.SimMS != n.SimMS || o.Events != n.Events || o.HookFires != n.HookFires || o.Evals != n.Evals {
+			failures = append(failures, fmt.Sprintf(
+				"shards=%d: deterministic quantities diverged: committed sim_ms=%g events=%d fires=%d evals=%d, fresh sim_ms=%g events=%d fires=%d evals=%d",
+				n.Shards, o.SimMS, o.Events, o.HookFires, o.Evals, n.SimMS, n.Events, n.HookFires, n.Evals))
+			continue
+		}
+		if committed.GOMAXPROCS != fresh.GOMAXPROCS {
+			notes = append(notes, fmt.Sprintf("shards=%d: GOMAXPROCS %d vs %d, throughput not compared",
+				n.Shards, committed.GOMAXPROCS, fresh.GOMAXPROCS))
+			continue
+		}
+		floor := o.FiresPerSec * (1 - tol)
+		switch {
+		case n.FiresPerSec < floor:
+			failures = append(failures, fmt.Sprintf(
+				"shards=%d: throughput regression: %.0f fires/sec vs committed %.0f (floor %.0f at tol %.0f%%)",
+				n.Shards, n.FiresPerSec, o.FiresPerSec, floor, tol*100))
+		default:
+			notes = append(notes, fmt.Sprintf("shards=%d: %.0f fires/sec vs committed %.0f, ok",
+				n.Shards, n.FiresPerSec, o.FiresPerSec))
+		}
+	}
+	for s := range old {
+		notes = append(notes, fmt.Sprintf("shards=%d: only in committed snapshot (different sweep), skipped", s))
+	}
+	if matched == 0 {
+		failures = append(failures, "no shard count is present in both snapshots; nothing was compared")
+	}
+	return failures, notes
+}
+
+func main() {
+	tol := flag.Float64("tol", 0.15, "allowed fractional throughput drop before failing")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol 0.15] committed.json fresh.json")
+		os.Exit(2)
+	}
+	committed, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	failures, notes := compare(committed, fresh, *tol)
+	for _, n := range notes {
+		fmt.Println("note:", n)
+	}
+	for _, f := range failures {
+		fmt.Println("FAIL:", f)
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: ok (%d note(s))\n", len(notes))
+}

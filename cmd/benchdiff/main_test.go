@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"guardrails/internal/experiments"
+)
+
+func snap(gomaxprocs int, entries ...experiments.ShardThroughputResult) *experiments.BenchShards {
+	return &experiments.BenchShards{GOMAXPROCS: gomaxprocs, Entries: entries}
+}
+
+func entry(shards int, fires uint64, rate float64) experiments.ShardThroughputResult {
+	return experiments.ShardThroughputResult{
+		Shards:      shards,
+		SimMS:       200,
+		Events:      int(shards) * 20000,
+		HookFires:   fires,
+		Evals:       fires,
+		WallMS:      10,
+		FiresPerSec: rate,
+	}
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	a := snap(4, entry(1, 160000, 6e6), entry(4, 640000, 1.8e7))
+	fails, notes := compare(a, a, 0.15)
+	if len(fails) != 0 {
+		t.Fatalf("identical snapshots failed: %v", fails)
+	}
+	if len(notes) != 2 {
+		t.Fatalf("want one ok-note per entry, got %v", notes)
+	}
+}
+
+func TestCompareFlagsDeterministicDrift(t *testing.T) {
+	old := snap(4, entry(4, 640000, 1.8e7))
+	fresh := snap(4, entry(4, 640001, 1.8e7))
+	fails, _ := compare(old, fresh, 0.15)
+	if len(fails) != 1 || !strings.Contains(fails[0], "deterministic quantities diverged") {
+		t.Fatalf("fires drift not flagged: %v", fails)
+	}
+}
+
+func TestCompareThroughputRegressionOnly(t *testing.T) {
+	old := snap(4, entry(4, 640000, 1e7))
+	// 20% drop fails at 15% tolerance...
+	fails, _ := compare(old, snap(4, entry(4, 640000, 0.8e7)), 0.15)
+	if len(fails) != 1 || !strings.Contains(fails[0], "throughput regression") {
+		t.Fatalf("20%% drop not flagged: %v", fails)
+	}
+	// ...a 10% drop passes...
+	if fails, _ := compare(old, snap(4, entry(4, 640000, 0.9e7)), 0.15); len(fails) != 0 {
+		t.Fatalf("10%% drop flagged: %v", fails)
+	}
+	// ...and a speedup always passes.
+	if fails, _ := compare(old, snap(4, entry(4, 640000, 5e7)), 0.15); len(fails) != 0 {
+		t.Fatalf("speedup flagged: %v", fails)
+	}
+}
+
+func TestCompareSkipsThroughputAcrossCoreCounts(t *testing.T) {
+	old := snap(1, entry(4, 640000, 6e6))
+	fresh := snap(8, entry(4, 640000, 1e6)) // would be an 83% "drop"
+	fails, notes := compare(old, fresh, 0.15)
+	if len(fails) != 0 {
+		t.Fatalf("cross-GOMAXPROCS rates compared: %v", fails)
+	}
+	found := false
+	for _, n := range notes {
+		if strings.Contains(n, "GOMAXPROCS") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no GOMAXPROCS skip note: %v", notes)
+	}
+}
+
+func TestCompareDisjointSweepsFail(t *testing.T) {
+	old := snap(4, entry(1, 160000, 6e6))
+	fresh := snap(4, entry(8, 1280000, 3e7))
+	fails, notes := compare(old, fresh, 0.15)
+	if len(fails) != 1 || !strings.Contains(fails[0], "nothing was compared") {
+		t.Fatalf("disjoint sweeps passed: %v", fails)
+	}
+	if len(notes) != 2 {
+		t.Fatalf("want both unmatched entries noted, got %v", notes)
+	}
+}

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	grailcheck [-budget N] [-warn] [-json] file.grail...
+//	grailcheck [-budget N] [-shards N] [-warn] [-json] file.grail...
 //	grailcheck -manifest deploy.json
 //
 // A deployment manifest names the spec files and budgets in one place:
@@ -16,13 +16,18 @@
 //	{
 //	  "specs": ["latency.grail", "failover.grail"],
 //	  "hook_budget": 200,
-//	  "hook_budgets": {"io_uring_submit": 64}
+//	  "hook_budgets": {"io_uring_submit": 64},
+//	  "shards": 4
 //	}
 //
 // Spec paths in a manifest resolve relative to the manifest's
 // directory. -budget sets the default per-hook-site certified step
 // budget (0 = unlimited); the manifest's hook_budget, when present,
-// takes precedence. -json emits the full report (diagnostics plus the
+// takes precedence. Budgets declare one event loop's per-firing step
+// capacity; shards (or -shards) declares the kernel pool width the
+// deployment runs on, so the GI005 aggregate-budget check scales each
+// site's effective budget by the shard count instead of silently
+// assuming one loop. -json emits the full report (diagnostics plus the
 // per-site worst-case load table) as JSON, the CI artifact format.
 //
 // Exit status: 0 when the deployment checks clean, 1 when the analysis
@@ -54,21 +59,25 @@ type manifest struct {
 	Specs       []string       `json:"specs"`
 	HookBudget  int            `json:"hook_budget"`
 	HookBudgets map[string]int `json:"hook_budgets"`
+	// Shards is the kernel pool width the deployment targets (0 or 1 =
+	// single loop); GI005 budgets scale with it.
+	Shards int `json:"shards"`
 }
 
 func run(stdout, stderr io.Writer, args []string) int {
 	fs := flag.NewFlagSet("grailcheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	budget := fs.Int("budget", 0, "default per-hook-site certified step budget (0 = unlimited)")
+	shards := fs.Int("shards", 0, "kernel pool width the deployment runs on (scales hook budgets; 0 or 1 = single loop)")
 	warnOnly := fs.Bool("warn", false, "report findings but do not fail on warnings")
 	jsonOut := fs.Bool("json", false, "emit the full report as JSON")
-	manifestPath := fs.String("manifest", "", "deployment manifest (JSON: specs, hook_budget, hook_budgets)")
+	manifestPath := fs.String("manifest", "", "deployment manifest (JSON: specs, hook_budget, hook_budgets, shards)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	paths := fs.Args()
-	dep := &interfere.Deployment{HookBudget: *budget}
+	dep := &interfere.Deployment{HookBudget: *budget, Shards: *shards}
 	if *manifestPath != "" {
 		data, err := os.ReadFile(*manifestPath)
 		if err != nil {
@@ -91,6 +100,9 @@ func run(stdout, stderr io.Writer, args []string) int {
 			dep.HookBudget = m.HookBudget
 		}
 		dep.HookBudgets = m.HookBudgets
+		if m.Shards != 0 {
+			dep.Shards = m.Shards
+		}
 	}
 	if len(paths) == 0 {
 		fmt.Fprintln(stderr, "usage: grailcheck [-budget N] [-warn] [-json] file.grail... | grailcheck -manifest deploy.json")
@@ -144,7 +156,10 @@ func run(stdout, stderr io.Writer, args []string) int {
 		}
 		for _, s := range report.Sites {
 			line := fmt.Sprintf("hook %s: worst case %d certified steps", s.Site, s.Total)
-			if s.Budget > 0 {
+			switch {
+			case s.Budget > 0 && s.Shards > 1:
+				line += fmt.Sprintf(" (budget %d × %d shards = %d)", s.Budget, s.Shards, s.EffectiveBudget)
+			case s.Budget > 0:
 				line += fmt.Sprintf(" (budget %d)", s.Budget)
 			}
 			for _, l := range s.Monitors {

@@ -74,6 +74,33 @@ func TestBudgetManifest(t *testing.T) {
 	}
 }
 
+// TestShardedManifest: the same deployment that overflows the per-site
+// budget on one loop (budget.json) checks within budget when the
+// manifest declares the 4-shard pool it actually runs on — the GI005
+// budget scales to budget × shards and the site table shows the
+// arithmetic. The -shards flag is the manifest-less spelling.
+func TestShardedManifest(t *testing.T) {
+	out, _, code := runCheck(t, "-manifest", filepath.Join("testdata", "sharded.json"))
+	if code != 1 {
+		t.Fatalf("sharded deployment exited %d, want 1 (the GI001/GI002 conflicts remain)\n%s", code, out)
+	}
+	if strings.Contains(out, "GI005") {
+		t.Errorf("budget within shard-scaled capacity still flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "(budget 4 × 4 shards = 16)") {
+		t.Errorf("site table does not show the scaled budget:\n%s", out)
+	}
+
+	flagged, _, _ := runCheck(t, "-manifest", filepath.Join("testdata", "budget.json"))
+	if !strings.Contains(flagged, "GI005") {
+		t.Fatalf("single-loop baseline lost its GI005 finding:\n%s", flagged)
+	}
+	cleared, _, _ := runCheck(t, "-shards", "4", "-manifest", filepath.Join("testdata", "budget.json"))
+	if strings.Contains(cleared, "GI005") {
+		t.Errorf("-shards flag did not scale the manifest budget:\n%s", cleared)
+	}
+}
+
 // TestWarnFlag: -warn reports the findings but exits 0, mirroring the
 // runtime's DeployWarn quarantine-instead-of-refuse policy.
 func TestWarnFlag(t *testing.T) {

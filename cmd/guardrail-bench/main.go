@@ -4,11 +4,13 @@
 //
 // Usage:
 //
-//	guardrail-bench [-seed N] [-only fig2,p1,p2,p3,p4,p5,p6,osc,trig,vm,chaos,rollout]
+//	guardrail-bench [-seed N] [-only fig2,p1,p2,p3,p4,p5,p6,osc,trig,vm,chaos,rollout,shards]
 //	guardrail-bench -chaos        (just the fault-injection run)
 //	guardrail-bench -rollout-chaos [-rollout-out report.json]
 //	guardrail-bench -only fig2 -metrics-out metrics.json -trace-out trace.json
 //	guardrail-bench -only fig2 -bench-out BENCH_fig2.json
+//	guardrail-bench -throughput [-shards N]
+//	guardrail-bench -throughput -shards-out BENCH_shards.json
 //
 // The chaos experiment (also selectable as -only chaos) reruns Figure 2
 // under the standard fault plan and reports the fault audit and the
@@ -21,6 +23,15 @@
 // must roll back at canary share, and breakglass must quarantine
 // fleet-wide. The process exits nonzero when any rollback is missed;
 // -rollout-out archives the JSON report.
+//
+// The throughput mode (-throughput, or -only shards) measures how many
+// hook fires per wall-clock second the monitor plane sustains on the
+// sharded multi-core kernel. With -shards N it measures that one shard
+// count; without it (or with -shards-out) it sweeps 1, 4, and NumCPU
+// shards, and -shards-out archives the sweep as the committed
+// BENCH_shards.json. Simulated quantities in the snapshot (hook fires,
+// evals, events) are deterministic; the fires/sec rate is wall-clock
+// and scales with real cores.
 //
 // The telemetry flags apply to the Figure 2 run: -metrics-out writes
 // the guarded system's counter/histogram snapshot as JSON, -trace-out
@@ -65,6 +76,9 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the fig2 guarded system's telemetry snapshot (JSON) to this file")
 	traceOut := flag.String("trace-out", "", "write the fig2 guarded system's flight recorder (Chrome trace_event JSON) to this file")
 	benchOut := flag.String("bench-out", "", "write the fig2 per-config benchmark summary (JSON) to this file")
+	throughput := flag.Bool("throughput", false, "run only the sharded-kernel hook-fire throughput experiment")
+	shards := flag.Int("shards", 0, "shard count for -throughput (0 sweeps 1, 4, and NumCPU)")
+	shardsOut := flag.String("shards-out", "", "write the shard-throughput sweep (JSON, BENCH_shards.json) to this file")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -78,6 +92,9 @@ func main() {
 	}
 	if *rolloutChaos {
 		want["rollout"] = true
+	}
+	if *throughput {
+		want["shards"] = true
 	}
 	run := func(id string) bool { return len(want) == 0 || want[id] }
 
@@ -213,6 +230,22 @@ func main() {
 				return out, fmt.Errorf("rollout: %d acceptance check(s) failed (missed rollback or breakglass)", len(r.Failures))
 			}
 			return out, nil
+		}},
+		{"shards", func() (string, error) {
+			counts := experiments.ShardSweepCounts()
+			if *shards > 0 {
+				counts = []int{*shards}
+			}
+			b, err := experiments.RunShardSweep(counts)
+			if err != nil {
+				return "", err
+			}
+			if *shardsOut != "" {
+				if err := writeFile(*shardsOut, b.WriteJSON); err != nil {
+					return "", fmt.Errorf("shards: shards-out: %w", err)
+				}
+			}
+			return b.Render(), nil
 		}},
 	}
 

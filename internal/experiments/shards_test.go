@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestShardThroughputDeterministicFields(t *testing.T) {
+	cfg := DefaultShardThroughputConfig(2)
+	cfg.Duration /= 4 // keep the unit test quick
+	a, err := RunShardThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunShardThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HookFires == 0 || a.Evals == 0 || a.Events == 0 {
+		t.Fatalf("empty measurement: %+v", a)
+	}
+	if a.HookFires != b.HookFires || a.Evals != b.Evals || a.Events != b.Events {
+		t.Errorf("simulated quantities diverged: %+v vs %+v", a, b)
+	}
+	// Every fire triggers exactly one evaluation of the one guardrail.
+	if a.Evals != a.HookFires {
+		t.Errorf("evals = %d, want one per fire (%d)", a.Evals, a.HookFires)
+	}
+	if a.FiresPerSec <= 0 {
+		t.Errorf("fires/sec = %g", a.FiresPerSec)
+	}
+}
+
+func TestShardSweepCounts(t *testing.T) {
+	counts := ShardSweepCounts()
+	if counts[0] != 1 {
+		t.Fatalf("sweep must start at one shard: %v", counts)
+	}
+	seen := map[int]bool{}
+	for i, n := range counts {
+		if seen[n] {
+			t.Fatalf("duplicate shard count %d in %v", n, counts)
+		}
+		seen[n] = true
+		if i > 0 && counts[i-1] >= n {
+			t.Fatalf("sweep not ascending: %v", counts)
+		}
+	}
+	if !seen[4] && runtime.NumCPU() >= 4 {
+		t.Errorf("sweep missing the fixed 4-shard point: %v", counts)
+	}
+}
+
+func TestBenchShardsRender(t *testing.T) {
+	b := &BenchShards{GOMAXPROCS: 8, Entries: []ShardThroughputResult{
+		{Shards: 1, SimMS: 200, Events: 10, HookFires: 100, Evals: 100, WallMS: 5, FiresPerSec: 20000},
+	}}
+	out := b.Render()
+	for _, want := range []string{"Shard throughput", "GOMAXPROCS=8", "fires/sec"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -71,6 +71,16 @@ func New() *Store {
 func (s *Store) SetTelemetry(t *telemetry.Sink) { s.tsink.Store(t) }
 
 // Intern returns the ID for name, creating the cell if needed.
+//
+// Growth ordering contract: the grown cells slice is published (with
+// the new cell already in place) via cells.Store BEFORE Intern returns
+// the new ID, and mu serializes every path that can hand out an ID
+// (Intern, Lookup). A reader can therefore only hold an ID whose cell
+// is reachable through the current (or a newer) published slice, and a
+// lock-free LoadID/SaveID during concurrent registration either sees
+// the pre-growth slice (for old IDs — the *cell pointers are shared
+// between generations, so values are never lost) or the grown one;
+// it can never observe an ID beyond the slice it loaded.
 func (s *Store) Intern(name string) ID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -78,13 +88,16 @@ func (s *Store) Intern(name string) ID {
 		return id
 	}
 	id := ID(len(s.names))
-	s.ids[name] = id
-	s.names = append(s.names, name)
 	old := *s.cells.Load()
 	grown := make([]*cell, len(old)+1)
 	copy(grown, old)
 	grown[len(old)] = &cell{}
+	// Publish the cell before the name→ID mapping becomes visible: a
+	// concurrent Lookup serializes on mu, but the store's own Save/Load
+	// fast paths trust that any ID they were handed has a cell.
 	s.cells.Store(&grown)
+	s.ids[name] = id
+	s.names = append(s.names, name)
 	return id
 }
 
@@ -156,6 +169,23 @@ func (s *Store) SaveID(id ID, value float64) {
 			fn(name, value)
 		}
 	}
+}
+
+// PublishID stores value in the cell for id without firing watchers or
+// counting feature-store telemetry — the epoch aggregator's broadcast
+// path. Watchers run synchronously on the writer's goroutine, which for
+// a barrier-time broadcast would be the pool driver, not the shard that
+// owns the monitors; and an epoch broadcast is plane maintenance, not
+// guardrail traffic, so it must not inflate the SAVE counters the
+// monitors' own writes are audited against. The write sequence number
+// still advances (dependency-triggered monitors poll Seq).
+func (s *Store) PublishID(id ID, value float64) {
+	c := s.cellAt(id)
+	if c == nil {
+		return
+	}
+	c.bits.Store(math.Float64bits(value))
+	c.seq.Add(1)
 }
 
 // LoadID returns the value in the cell for id, or 0 if out of range.

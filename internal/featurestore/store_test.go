@@ -1,6 +1,8 @@
 package featurestore
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -217,5 +219,99 @@ func TestPropertySaveLoadIdentity(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestConcurrentLoadDuringIntern is the cell-growth regression test:
+// readers hammer Save/Load/Seq on already-interned IDs while other
+// goroutines keep growing the copy-on-write cells slice with fresh
+// registrations. The growth contract (Intern publishes the grown slice
+// before the new ID escapes; cell pointers are shared across slice
+// generations) means no read may ever be lost, serve a stale cell, or
+// index out of range — and the whole test must be -race clean.
+func TestConcurrentLoadDuringIntern(t *testing.T) {
+	s := New()
+	const (
+		readers   = 4
+		growers   = 4
+		perGrower = 500
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < readers; g++ {
+		// One pre-interned cell per reader: the reader's own
+		// read-your-write sequence must survive concurrent growth.
+		mine := s.Intern(fmt.Sprintf("reader%d", g))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0.0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n++
+				s.SaveID(mine, n)
+				if got := s.LoadID(mine); got != n {
+					t.Errorf("LoadID(reader cell) = %v, want %v", got, n)
+					return
+				}
+				if s.SeqID(mine) == 0 {
+					t.Error("SeqID(reader cell) = 0 after writes")
+					return
+				}
+			}
+		}()
+	}
+	ids := make([][]ID, growers)
+	for g := 0; g < growers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perGrower; i++ {
+				key := fmt.Sprintf("g%d.k%d", g, i)
+				id := s.Intern(key)
+				// A freshly interned ID must be immediately usable on
+				// the lock-free path from this goroutine.
+				s.SaveID(id, float64(i))
+				if got := s.LoadID(id); got != float64(i) {
+					t.Errorf("fresh cell %s: Load = %v, want %v", key, got, float64(i))
+					return
+				}
+				ids[g] = append(ids[g], id)
+			}
+		}(g)
+	}
+	for g := 0; g < growers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Re-intern the same keys concurrently: must dedupe.
+			for i := 0; i < perGrower; i++ {
+				_ = s.Intern(fmt.Sprintf("g%d.k%d", g, i))
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); wg.Wait() }()
+	// Growers finish on their own; readers spin until stopped. Wait for
+	// growers by polling Len, then stop readers.
+	for s.Len() < readers+growers*perGrower {
+		runtime.Gosched()
+	}
+	close(stop)
+	<-done
+
+	if got, want := s.Len(), readers+growers*perGrower; got != want {
+		t.Fatalf("Len = %d, want %d (duplicate or lost registrations)", got, want)
+	}
+	for g := range ids {
+		for i, id := range ids[g] {
+			if got := s.LoadID(id); got != float64(i) {
+				t.Errorf("post-growth readback g%d.k%d = %v, want %d", g, i, got, i)
+			}
+		}
 	}
 }

@@ -10,12 +10,17 @@
 // is a feature: every experiment in the repository replays exactly given
 // the same seeds.
 //
-// The event loop is single-threaded (one goroutine steps the kernel at a
+// Each event loop is single-threaded (one goroutine steps a kernel at a
 // time, as a real kernel hook path runs under its own synchronization),
 // but the bookkeeping — scheduling, hook attach/detach, the clock — is
 // safe to call from other goroutines: monitor runtimes schedule retry
 // and cool-down events from action paths, and fault-injection stress
 // tests load and unload monitors while the clock advances.
+//
+// For multi-core execution a Pool runs N Kernel shards — each with its
+// own clock, event heap, hook table, and task registry — concurrently
+// between deterministic barrier points (see pool.go), the simulated
+// analogue of per-CPU eBPF program instances and per-CPU maps.
 package kernel
 
 import (
@@ -92,9 +97,20 @@ type hookSlot struct {
 	fn HookFn
 }
 
-// Kernel is a deterministic discrete-event simulated kernel. One
-// goroutine at a time may step the event loop; scheduling, hook
-// registration, and clock reads are safe from any goroutine.
+// hookSite is one hook point's dispatch state. The slot list is
+// copy-on-write behind an atomic pointer so Fire — the per-event hot
+// path every shard runs concurrently — reads it with a single atomic
+// load: no lock, no allocation, no cache line shared with other sites'
+// fire counters.
+type hookSite struct {
+	slots atomic.Pointer[[]hookSlot]
+	fires atomic.Uint64
+}
+
+// Kernel is a deterministic discrete-event simulated kernel — in a
+// sharded Pool, one shard. One goroutine at a time may step the event
+// loop; scheduling, hook registration, and clock reads are safe from
+// any goroutine.
 type Kernel struct {
 	now atomic.Int64 // Time
 
@@ -102,10 +118,13 @@ type Kernel struct {
 	seq   uint64
 	queue eventQueue
 
-	hmu        sync.Mutex // guards hooks, hookID, fireCount
-	hooks      map[string][]hookSlot
+	// sites is the copy-on-write hook table: the map value is replaced
+	// wholesale (under hmu) when a new site appears, and the *hookSite
+	// entries themselves are stable, so Fire dispatches entirely from
+	// atomic loads. hmu serializes mutations only.
+	hmu        sync.Mutex
+	sites      atomic.Pointer[map[string]*hookSite]
 	hookID     uint64
-	fireCount  map[string]uint64
 	panicGuard atomic.Value // PanicHandler
 	hookPanics atomic.Uint64
 
@@ -124,11 +143,11 @@ type Kernel struct {
 // New returns a kernel at time zero, on deployment generation 1.
 func New() *Kernel {
 	k := &Kernel{
-		hooks:     make(map[string][]hookSlot),
-		tasks:     make(map[TaskID]*Task),
-		fireCount: make(map[string]uint64),
-		nextTID:   1,
+		tasks:   make(map[TaskID]*Task),
+		nextTID: 1,
 	}
+	empty := make(map[string]*hookSite)
+	k.sites.Store(&empty)
 	k.generation.Store(1)
 	return k
 }
@@ -264,21 +283,54 @@ func (k *Kernel) Pending() int {
 	return k.queue.Len()
 }
 
+// siteFor returns the dispatch state for site, creating it (under hmu,
+// with a copy-on-write map swap) on first use. The returned *hookSite
+// is stable for the kernel's lifetime.
+func (k *Kernel) siteFor(site string) *hookSite {
+	if hs := (*k.sites.Load())[site]; hs != nil {
+		return hs
+	}
+	k.hmu.Lock()
+	defer k.hmu.Unlock()
+	old := *k.sites.Load()
+	if hs := old[site]; hs != nil {
+		return hs
+	}
+	hs := &hookSite{}
+	empty := make([]hookSlot, 0)
+	hs.slots.Store(&empty)
+	next := make(map[string]*hookSite, len(old)+1)
+	for s, v := range old {
+		next[s] = v
+	}
+	next[site] = hs
+	k.sites.Store(&next)
+	return hs
+}
+
 // Attach registers fn on a hook site and returns a detach function.
 // Sites are created on first use; attaching before any Fire is valid.
 func (k *Kernel) Attach(site string, fn HookFn) (detach func()) {
+	hs := k.siteFor(site)
 	k.hmu.Lock()
 	k.hookID++
 	id := k.hookID
-	k.hooks[site] = append(k.hooks[site], hookSlot{id: id, fn: fn})
+	old := *hs.slots.Load()
+	grown := make([]hookSlot, len(old)+1)
+	copy(grown, old)
+	grown[len(old)] = hookSlot{id: id, fn: fn}
+	hs.slots.Store(&grown)
 	k.hmu.Unlock()
 	return func() {
 		k.hmu.Lock()
 		defer k.hmu.Unlock()
-		slots := k.hooks[site]
+		slots := *hs.slots.Load()
 		for i, s := range slots {
 			if s.id == id {
-				k.hooks[site] = append(slots[:i:i], slots[i+1:]...)
+				next := make([]hookSlot, 0, len(slots)-1)
+				next = append(next, slots[:i]...)
+				next = append(next, slots[i+1:]...)
+				hs.slots.Store(&next)
 				return
 			}
 		}
@@ -309,12 +361,16 @@ func (k *Kernel) Telemetry() *telemetry.Sink { return k.tsink.Load() }
 
 // Fire invokes all hooks attached to site, in attach order. Subsystem
 // simulators call this at their instrumentation points — the analogue of
-// a kprobe firing.
+// a kprobe firing. The dispatch path is lock-free: the site entry and
+// its slot list are read with two atomic loads, so concurrent shards
+// firing different (or the same) sites never serialize on a mutex.
 func (k *Kernel) Fire(site string, args ...float64) {
-	k.hmu.Lock()
-	k.fireCount[site]++
-	slots := append([]hookSlot(nil), k.hooks[site]...)
-	k.hmu.Unlock()
+	hs := (*k.sites.Load())[site]
+	if hs == nil {
+		hs = k.siteFor(site)
+	}
+	hs.fires.Add(1)
+	slots := *hs.slots.Load()
 	var guard PanicHandler
 	if h, ok := k.panicGuard.Load().(PanicHandler); ok && h != nil {
 		guard = h
@@ -354,24 +410,18 @@ func (k *Kernel) fireGuarded(fn HookFn, site string, args []float64, guard Panic
 
 // FireCount returns how many times site has fired.
 func (k *Kernel) FireCount(site string) uint64 {
-	k.hmu.Lock()
-	defer k.hmu.Unlock()
-	return k.fireCount[site]
+	hs := (*k.sites.Load())[site]
+	if hs == nil {
+		return 0
+	}
+	return hs.fires.Load()
 }
 
 // Sites returns all sites that have hooks attached or have fired, sorted.
 func (k *Kernel) Sites() []string {
-	k.hmu.Lock()
-	set := make(map[string]bool)
-	for s := range k.hooks {
-		set[s] = true
-	}
-	for s := range k.fireCount {
-		set[s] = true
-	}
-	k.hmu.Unlock()
-	out := make([]string, 0, len(set))
-	for s := range set {
+	m := *k.sites.Load()
+	out := make([]string, 0, len(m))
+	for s := range m {
 		out = append(out, s)
 	}
 	sort.Strings(out)

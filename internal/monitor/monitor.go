@@ -264,6 +264,27 @@ func (m *Monitor) Generation() int {
 	return m.gen
 }
 
+// SumStats folds per-shard replica snapshots of one guardrail into a
+// fleet view: counters add across shards; the Last* observations come
+// from the replica with the latest LastTriggerAt (first wins on ties,
+// so a fixed shard order gives a deterministic result). Each input is
+// an atomic snapshot (Monitor.Stats takes the monitor's lock), so the
+// merge never reads a half-updated replica — the cross-shard
+// aggregation path for monitors replicated over a kernel Pool.
+func SumStats(ss ...Stats) Stats {
+	var out Stats
+	for _, s := range ss {
+		prevLast, prevAt, prevEvals := out.LastResult, out.LastTriggerAt, out.Evals
+		out = mergeStats(out, s)
+		// mergeStats takes Last* from s unless s never evaluated; for a
+		// cross-shard merge the freshest trigger wins instead.
+		if prevEvals > 0 && (s.Evals == 0 || prevAt >= s.LastTriggerAt) {
+			out.LastResult, out.LastTriggerAt = prevLast, prevAt
+		}
+	}
+	return out
+}
+
 // mergeStats folds the carried-over base counters into cur: counters
 // add; the Last* observations come from cur unless this generation has
 // not evaluated yet, in which case the previous generation's stand.

@@ -466,3 +466,34 @@ guardrail windowed {
 		t.Errorf("evals = %d, want 3", got)
 	}
 }
+
+func TestSumStats(t *testing.T) {
+	a := Stats{Evals: 3, Violations: 1, VMSteps: 30, LastResult: 0, LastTriggerAt: 5 * kernel.Second}
+	b := Stats{Evals: 2, Violations: 2, VMSteps: 20, LastResult: 1, LastTriggerAt: 7 * kernel.Second}
+	idle := Stats{} // replica that never evaluated
+
+	got := SumStats(a, b, idle)
+	if got.Evals != 5 || got.Violations != 3 || got.VMSteps != 50 {
+		t.Errorf("counters = %+v, want sums 5/3/50", got)
+	}
+	// Freshest trigger wins regardless of argument order; the idle
+	// replica contributes nothing to Last*.
+	if got.LastResult != 1 || got.LastTriggerAt != 7*kernel.Second {
+		t.Errorf("Last* = (%g, %d), want b's (1, 7s)", got.LastResult, got.LastTriggerAt)
+	}
+	rev := SumStats(b, idle, a)
+	if rev != got {
+		t.Errorf("SumStats order-dependent: %+v vs %+v", rev, got)
+	}
+
+	// Ties break toward the earlier argument: with a fixed shard order
+	// the fleet view is deterministic.
+	c := Stats{Evals: 1, LastResult: 0, LastTriggerAt: 7 * kernel.Second}
+	tie := SumStats(b, c)
+	if tie.LastResult != 1 {
+		t.Errorf("tie broke toward later shard: LastResult = %g, want 1", tie.LastResult)
+	}
+	if z := SumStats(); z != (Stats{}) {
+		t.Errorf("empty SumStats = %+v, want zero", z)
+	}
+}

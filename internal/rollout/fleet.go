@@ -1,0 +1,226 @@
+package rollout
+
+import (
+	"fmt"
+	"sync"
+
+	"guardrails/internal/compile"
+	"guardrails/internal/kernel"
+)
+
+// Fleet coordinates one rollout Controller per kernel shard. On a
+// sharded kernel every guardrail is replicated — each shard runs its
+// own monitor instances against its own traffic — so a staged rollout
+// must also replicate: every shard shadows, canaries, and gates the
+// candidate generation against its local telemetry. Fleet fans a Begin
+// out to every shard's controller and then supervises the replicas
+// from the pool barrier: if any shard's rollout dies at a gate (rolled
+// back or failed) while siblings are still trialing, the siblings are
+// aborted at the next barrier, so the fleet converges on one verdict
+// instead of half-promoting a generation one shard has already judged
+// bad.
+//
+// The barrier is also what makes fleet breakglass atomic: the
+// quarantine applies to every shard's replicas in one deterministic
+// instant while all shards are parked, with no window where shard A's
+// copy is quarantined and shard B's is still acting.
+//
+// Shard divergence on a deterministic workload is a bug (the gates see
+// identical telemetry), but chaos injection and per-shard traffic skew
+// make it routine in testing and possible in production; the
+// supervisor is the containment for exactly that case.
+type Fleet struct {
+	pool  *kernel.Pool
+	ctrls []*Controller
+
+	mu      sync.Mutex
+	handled bool // current rollout's divergence already resolved
+	history []Record
+}
+
+// NewFleet binds one controller per pool shard (ctrls[i] drives
+// Shard(i)'s runtime) and registers the barrier supervisor. Panics if
+// the controller count does not match the shard count.
+func NewFleet(pool *kernel.Pool, ctrls []*Controller) *Fleet {
+	if len(ctrls) != pool.NumShards() {
+		panic(fmt.Sprintf("rollout: fleet needs one controller per shard: %d controllers, %d shards",
+			len(ctrls), pool.NumShards()))
+	}
+	f := &Fleet{pool: pool, ctrls: ctrls}
+	pool.OnBarrier(func(now kernel.Time, epoch uint64) { f.supervise(now) })
+	return f
+}
+
+// NumShards returns the fleet width.
+func (f *Fleet) NumShards() int { return len(f.ctrls) }
+
+// Controller returns shard i's rollout controller.
+func (f *Fleet) Controller(i int) *Controller { return f.ctrls[i] }
+
+// Begin starts the staged rollout on every shard's controller, in shard
+// order. All shards see the same candidate set and config, so the
+// synchronous checks (semantic diff, scoped interference analysis) are
+// deterministic and normally agree; if a shard still refuses — chaos
+// injection, or a controller left mid-flight — the shards already begun
+// are aborted and the shard's error is returned, so a fleet Begin is
+// all-or-nothing.
+func (f *Fleet) Begin(cs []*compile.Compiled, cfg Config) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, c := range f.ctrls {
+		if err := c.Begin(cs, cfg); err != nil {
+			reason := fmt.Sprintf("shard %d refused fleet rollout: %v", i, err)
+			for j := 0; j < i; j++ {
+				f.ctrls[j].Abort(reason)
+			}
+			f.history = append(f.history, Record{At: f.pool.Now(), Event: "fleet_refused", Note: reason})
+			return fmt.Errorf("rollout: fleet begin on shard %d: %w", i, err)
+		}
+	}
+	f.handled = false
+	f.history = append(f.history, Record{At: f.pool.Now(), Event: "fleet_begin",
+		Note: fmt.Sprintf("%d shard(s)", len(f.ctrls))})
+	return nil
+}
+
+// supervise runs at every pool barrier (all shards parked): if some
+// shard's rollout replica died while siblings are still in flight, the
+// siblings abort now. Runs on the driver goroutine; the barrier's
+// happens-before edges make the controllers' state safely readable.
+func (f *Fleet) supervise(now kernel.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.handled {
+		return
+	}
+	bad, live, promoted := -1, false, -1
+	for i, c := range f.ctrls {
+		switch p := c.Phase(); {
+		case p == PhaseRolledBack || p == PhaseFailed:
+			if bad < 0 {
+				bad = i
+			}
+		case p == PhasePromoted:
+			if promoted < 0 {
+				promoted = i
+			}
+		case p != PhaseIdle:
+			live = true
+		}
+	}
+	if bad < 0 {
+		return
+	}
+	reason := fmt.Sprintf("shard %d %s: %s", bad, f.ctrls[bad].Phase(), f.ctrls[bad].Reason())
+	if live {
+		n := 0
+		for i, c := range f.ctrls {
+			if i != bad && c.Abort(reason) {
+				n++
+			}
+		}
+		f.handled = true
+		f.history = append(f.history, Record{At: now, Event: "fleet_abort",
+			Note: fmt.Sprintf("%s; aborted %d shard(s)", reason, n)})
+	}
+	if promoted >= 0 {
+		// A shard promoted before the barrier saw the sibling die:
+		// promotion is not undone (Abort never reverses it), so the
+		// fleet is split across generations. Surface it loudly — this
+		// is the one state the supervisor cannot repair.
+		f.handled = true
+		f.history = append(f.history, Record{At: now, Event: "fleet_divergence",
+			Note: fmt.Sprintf("shard %d promoted but %s", promoted, reason)})
+	}
+}
+
+// Phase reduces the per-shard phases to one fleet verdict: any rolled
+// back shard makes the fleet rolled back (the generation is judged
+// bad), else any failed shard fails the fleet, else the fleet is only
+// as far along as its slowest shard.
+func (f *Fleet) Phase() Phase {
+	rolled, failed, seen := false, false, false
+	prog := PhasePromoted
+	for _, c := range f.ctrls {
+		switch p := c.Phase(); p {
+		case PhaseRolledBack:
+			rolled = true
+		case PhaseFailed:
+			failed = true
+		default:
+			seen = true
+			if p < prog {
+				prog = p
+			}
+		}
+	}
+	switch {
+	case rolled:
+		return PhaseRolledBack
+	case failed:
+		return PhaseFailed
+	case seen:
+		return prog
+	default:
+		return PhaseIdle
+	}
+}
+
+// Phases returns each shard's current phase in shard order.
+func (f *Fleet) Phases() []Phase {
+	out := make([]Phase, len(f.ctrls))
+	for i, c := range f.ctrls {
+		out[i] = c.Phase()
+	}
+	return out
+}
+
+// Breakglass schedules a fleet-wide quarantine of the named guardrail
+// for the next pool barrier: with every shard parked, all replicas
+// flip in one deterministic instant. See Controller.Breakglass for the
+// shadow/disable semantics.
+func (f *Fleet) Breakglass(name string, disable bool) {
+	f.pool.AtBarrier(func(now kernel.Time) { f.applyBreakglass(name, disable, true, now) })
+}
+
+// BreakglassRelease schedules the matching fleet-wide release for the
+// next pool barrier.
+func (f *Fleet) BreakglassRelease(name string) {
+	f.pool.AtBarrier(func(now kernel.Time) { f.applyBreakglass(name, false, false, now) })
+}
+
+// applyBreakglass engages or lifts the quarantine on every shard; runs
+// at a barrier.
+func (f *Fleet) applyBreakglass(name string, disable, engage bool, now kernel.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	errs := 0
+	for _, c := range f.ctrls {
+		var err error
+		if engage {
+			err = c.Breakglass(name, disable)
+		} else {
+			err = c.BreakglassRelease(name)
+		}
+		if err != nil {
+			errs++
+		}
+	}
+	event := "fleet_breakglass"
+	if !engage {
+		event = "fleet_breakglass_release"
+	}
+	note := fmt.Sprintf("%s across %d shard(s)", name, len(f.ctrls))
+	if errs > 0 {
+		note += fmt.Sprintf(", %d error(s)", errs)
+	}
+	f.history = append(f.history, Record{At: now, Event: event, Note: note})
+}
+
+// History returns a copy of the fleet-level operation log (per-shard
+// transitions live in each Controller's own History).
+func (f *Fleet) History() []Record {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Record(nil), f.history...)
+}

@@ -1,0 +1,243 @@
+package rollout
+
+import (
+	"strings"
+	"testing"
+
+	"guardrails/internal/featurestore"
+	"guardrails/internal/kernel"
+	"guardrails/internal/monitor"
+	"guardrails/internal/telemetry"
+)
+
+// fleetHarness replicates the single-controller harness across n pool
+// shards: each shard gets its own store, runtime, telemetry, incumbent
+// deployment, and the same deterministic io_done workload.
+func fleetHarness(t *testing.T, n int) (*Fleet, *kernel.Pool, []*monitor.Runtime, []*featurestore.Store) {
+	t.Helper()
+	pool := kernel.NewPool(n, 0)
+	var (
+		ctrls []*Controller
+		rts   []*monitor.Runtime
+		sts   []*featurestore.Store
+	)
+	for i := 0; i < n; i++ {
+		k := pool.Shard(i)
+		st := featurestore.New()
+		rt := monitor.New(k, st)
+		sink := telemetry.New(func() telemetry.Time { return int64(k.Now()) }, 1<<15)
+		rt.SetTelemetry(sink)
+		k.SetTelemetry(sink)
+		inc := mustCompile(t, latGuard)
+		if _, err := rt.Load(inc[0], monitor.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		ctl := NewController(rt)
+		ctl.Adopt(inc)
+		j := 0
+		k.Every(0, kernel.Millisecond, 0, func(now kernel.Time) {
+			st.Save("lat_ma", 0.10+0.05*float64(j%10))
+			k.Fire("io_done", 0)
+			j++
+		})
+		ctrls = append(ctrls, ctl)
+		rts = append(rts, rt)
+		sts = append(sts, st)
+	}
+	return NewFleet(pool, ctrls), pool, rts, sts
+}
+
+func TestFleetHealthyPromotesEveryShard(t *testing.T) {
+	f, pool, rts, _ := fleetHarness(t, 3)
+	cand := mustCompile(t, strings.Replace(latGuard, "0.5", "0.56", 1))
+	if err := f.Begin(cand, fastCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Phase(); got != PhaseAdmitting {
+		t.Fatalf("fleet phase after Begin = %s", got)
+	}
+	pool.RunUntil(2 * kernel.Second)
+
+	if got := f.Phase(); got != PhasePromoted {
+		t.Fatalf("fleet phase = %s (%v), want promoted", got, f.Phases())
+	}
+	for i := range rts {
+		if got := f.Controller(i).FleetGeneration(); got != 2 {
+			t.Errorf("shard %d generation = %d, want 2", i, got)
+		}
+		if rts[i].Monitor("lat-guard") == nil {
+			t.Errorf("shard %d lost lat-guard after promotion", i)
+		}
+	}
+	// Healthy rollouts leave only the begin record at the fleet level.
+	for _, r := range f.History() {
+		if r.Event != "fleet_begin" {
+			t.Errorf("unexpected fleet record: %+v", r)
+		}
+	}
+}
+
+func TestFleetAbortsSiblingsWhenShardDies(t *testing.T) {
+	f, pool, rts, _ := fleetHarness(t, 3)
+	// Shard 0's admission refuses permanently; shards 1 and 2 would
+	// happily promote the same candidate.
+	f.Controller(0).SetAdmitFunc(func(int, map[string]int, []kernel.HookLoad) error {
+		return &kernel.AdmissionError{Sites: []kernel.OverloadedSite{
+			{Site: "io_done", Budget: 1, Total: 99},
+		}}
+	})
+	cand := mustCompile(t, strings.Replace(latGuard, "0.5", "0.56", 1))
+	if err := f.Begin(cand, fastCfg()); err != nil {
+		t.Fatal(err)
+	}
+	pool.RunUntil(2 * kernel.Second)
+
+	phases := f.Phases()
+	if phases[0] != PhaseFailed {
+		t.Fatalf("shard 0 phase = %s, want failed", phases[0])
+	}
+	for i := 1; i < 3; i++ {
+		if phases[i] != PhaseRolledBack && phases[i] != PhaseFailed {
+			t.Errorf("shard %d phase = %s, want aborted (rolled_back or failed)", i, phases[i])
+		}
+		if !strings.Contains(f.Controller(i).Reason(), "aborted: shard 0") {
+			t.Errorf("shard %d reason = %q, want supervisor abort", i, f.Controller(i).Reason())
+		}
+	}
+	if got := f.Phase(); got.Terminal() == false || got == PhasePromoted {
+		t.Errorf("fleet phase = %s, want terminal non-promoted", got)
+	}
+	// No shard promoted: every runtime still runs generation 1 with only
+	// the incumbent loaded.
+	for i, rt := range rts {
+		if gen := f.Controller(i).FleetGeneration(); gen != 1 {
+			t.Errorf("shard %d generation = %d, want 1", i, gen)
+		}
+		if n := len(rt.Monitors()); n != 1 {
+			t.Errorf("shard %d has %d monitors after abort, want 1", i, n)
+		}
+	}
+	found := false
+	for _, r := range f.History() {
+		if r.Event == "fleet_abort" {
+			found = true
+		}
+		if r.Event == "fleet_divergence" {
+			t.Errorf("unexpected divergence record: %+v", r)
+		}
+	}
+	if !found {
+		t.Error("no fleet_abort record in fleet history")
+	}
+}
+
+func TestFleetBeginAllOrNothing(t *testing.T) {
+	f, _, _, _ := fleetHarness(t, 2)
+	cand := mustCompile(t, strings.Replace(latGuard, "0.5", "0.56", 1))
+	// Shard 1 is already mid-rollout: the fleet Begin must refuse and
+	// abort shard 0's fresh rollout rather than leave it orphaned.
+	if err := f.Controller(1).Begin(cand, fastCfg()); err != nil {
+		t.Fatal(err)
+	}
+	other := mustCompile(t, strings.Replace(latGuard, "0.5", "0.58", 1))
+	err := f.Begin(other, fastCfg())
+	if err == nil {
+		t.Fatal("fleet Begin succeeded with a shard mid-rollout")
+	}
+	if got := f.Controller(0).Phase(); got != PhaseFailed {
+		t.Errorf("shard 0 phase = %s, want failed (aborted before exposure)", got)
+	}
+	if !strings.Contains(f.Controller(0).Reason(), "shard 1 refused") {
+		t.Errorf("shard 0 reason = %q", f.Controller(0).Reason())
+	}
+}
+
+func TestFleetBreakglassAppliesAtBarrier(t *testing.T) {
+	f, pool, rts, sts := fleetHarness(t, 2)
+	pool.RunUntil(100 * kernel.Millisecond)
+	for i, st := range sts {
+		if st.Load("alert") != 1 {
+			t.Fatalf("shard %d incumbent never acted", i)
+		}
+		st.Save("alert", 0)
+	}
+
+	f.Breakglass("lat-guard", false)
+	pool.RunUntil(400 * kernel.Millisecond)
+	for i, rt := range rts {
+		if !rt.Monitor("lat-guard").ForcedShadow() {
+			t.Errorf("shard %d not forced to shadow", i)
+		}
+		if sts[i].Load("alert") != 0 {
+			t.Errorf("shard %d quarantined guardrail still acting", i)
+		}
+	}
+
+	f.BreakglassRelease("lat-guard")
+	pool.RunUntil(700 * kernel.Millisecond)
+	for i, rt := range rts {
+		if rt.Monitor("lat-guard").ForcedShadow() {
+			t.Errorf("shard %d still in shadow after release", i)
+		}
+		if sts[i].Load("alert") != 1 {
+			t.Errorf("shard %d released guardrail not acting", i)
+		}
+	}
+	events := []string{}
+	for _, r := range f.History() {
+		events = append(events, r.Event)
+	}
+	if len(events) != 2 || events[0] != "fleet_breakglass" || events[1] != "fleet_breakglass_release" {
+		t.Errorf("fleet history = %v", events)
+	}
+}
+
+func TestAbort(t *testing.T) {
+	ctl, rt, k, _ := harness(t)
+	if ctl.Abort("nothing in flight") {
+		t.Fatal("Abort with no rollout returned true")
+	}
+	cand := mustCompile(t, strings.Replace(latGuard, "0.5", "0.56", 1))
+	if err := ctl.Begin(cand, fastCfg()); err != nil {
+		t.Fatal(err)
+	}
+	// Still admitting: abort fails static, nothing was exposed.
+	if !ctl.Abort("operator says no") {
+		t.Fatal("Abort during admission returned false")
+	}
+	if got := ctl.Phase(); got != PhaseFailed {
+		t.Fatalf("phase after admitting abort = %s, want failed", got)
+	}
+	if ctl.Abort("again") {
+		t.Error("Abort on terminal rollout returned true")
+	}
+
+	// Mid-shadow: abort rolls back and unloads the trial copy.
+	if err := ctl.Begin(cand, fastCfg()); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(100 * kernel.Millisecond)
+	if got := ctl.Phase(); got != PhaseShadow {
+		t.Fatalf("phase = %s, want shadow", got)
+	}
+	if !ctl.Abort("gate flaked") {
+		t.Fatal("Abort during shadow returned false")
+	}
+	if got := ctl.Phase(); got != PhaseRolledBack {
+		t.Fatalf("phase after shadow abort = %s, want rolled_back", got)
+	}
+	if !strings.Contains(ctl.Reason(), "aborted: gate flaked") {
+		t.Errorf("reason = %q", ctl.Reason())
+	}
+	if len(rt.Monitors()) != 1 || rt.Monitor("lat-guard") == nil {
+		t.Errorf("monitors after abort: %v", rt.Monitors())
+	}
+	// The machine is reusable after an abort.
+	if err := ctl.Begin(cand, fastCfg()); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(3 * kernel.Second)
+	if got := ctl.Phase(); got != PhasePromoted {
+		t.Fatalf("phase after post-abort retry = %s (reason %q), want promoted", got, ctl.Reason())
+	}
+}

@@ -669,6 +669,30 @@ func (c *Controller) promote(st *rollout) {
 	c.rt.Telemetry().Promotion(int64(c.k.Now()), st.gen)
 }
 
+// Abort cancels the in-flight rollout, if any, and reports whether one
+// was cancelled. A rollout still in admission fails static (nothing was
+// exposed); one in shadow or canary rolls back (candidates unload,
+// incumbents take back full traffic). Terminal rollouts are untouched —
+// Abort never undoes a promotion. The sharded fleet supervisor uses
+// this to keep shards in lockstep: when one shard's replica of a
+// rollout dies at a gate, the other shards' replicas are aborted at the
+// next barrier instead of promoting a generation the fleet has already
+// judged bad.
+func (c *Controller) Abort(reason string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.cur
+	if st == nil || st.phase.Terminal() {
+		return false
+	}
+	if st.phase == PhaseAdmitting {
+		c.failStatic(st, "aborted: "+reason)
+	} else {
+		c.rollback(st, "aborted: "+reason)
+	}
+	return true
+}
+
 // Breakglass quarantines a guardrail fleet-wide in one call: the named
 // monitor and any in-flight trial copies (name@v<gen>) are forced to
 // shadow (disable=false: still evaluating, never acting) or disabled

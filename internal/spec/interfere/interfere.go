@@ -154,6 +154,12 @@ type Deployment struct {
 	HookBudget int
 	// HookBudgets overrides the budget per site.
 	HookBudgets map[string]int
+	// Shards is the kernel pool width the deployment runs on (0 or 1 =
+	// single loop). Budgets declare one event loop's per-firing step
+	// capacity; on an N-shard pool each hook firing lands on exactly
+	// one of N loops, so a site's effective budget is budget × N rather
+	// than the single-loop figure.
+	Shards int
 }
 
 // budgetFor resolves the budget for one hook site (0 = unlimited).
@@ -174,8 +180,14 @@ type MonitorLoad struct {
 // SiteLoad summarizes one hook site's aggregate worst-case load.
 type SiteLoad struct {
 	Site string `json:"site"`
-	// Budget is the site's step budget (0 = unlimited).
+	// Budget is the site's declared single-loop step budget (0 =
+	// unlimited).
 	Budget int `json:"budget,omitempty"`
+	// Shards and EffectiveBudget are set when the deployment declares a
+	// multi-shard pool: EffectiveBudget = Budget × Shards is what Total
+	// is checked against.
+	Shards          int `json:"shards,omitempty"`
+	EffectiveBudget int `json:"effective_budget,omitempty"`
 	// Total is the summed certified MaxSteps of the attached monitors —
 	// the worst-case interpreter steps one hook firing can cost.
 	Total    int           `json:"total_max_steps"`
@@ -818,6 +830,10 @@ func checkBudgets(r *Report, d *Deployment, facts []*monFacts) {
 		sites = append(sites, s)
 	}
 	sort.Strings(sites)
+	shards := d.Shards
+	if shards < 1 {
+		shards = 1
+	}
 	for _, site := range sites {
 		loads := bySite[site]
 		total := 0
@@ -825,8 +841,13 @@ func checkBudgets(r *Report, d *Deployment, facts []*monFacts) {
 			total += l.MaxSteps
 		}
 		budget := d.budgetFor(site)
-		r.Sites = append(r.Sites, SiteLoad{Site: site, Budget: budget, Total: total, Monitors: loads})
-		if budget > 0 && total > budget {
+		effective := budget * shards
+		sl := SiteLoad{Site: site, Budget: budget, Total: total, Monitors: loads}
+		if shards > 1 {
+			sl.Shards, sl.EffectiveBudget = shards, effective
+		}
+		r.Sites = append(r.Sites, sl)
+		if budget > 0 && total > effective {
 			parts := make([]string, len(loads))
 			others := make([]string, 0, len(loads)-1)
 			for i, l := range loads {
@@ -835,12 +856,16 @@ func checkBudgets(r *Report, d *Deployment, facts []*monFacts) {
 					others = append(others, l.Guardrail)
 				}
 			}
+			msg := fmt.Sprintf("hook %s worst-case cost %d steps exceeds its budget of %d (%s): one firing may run all attached monitors",
+				site, total, budget, strings.Join(parts, " + "))
+			if shards > 1 {
+				msg = fmt.Sprintf("hook %s worst-case cost %d steps exceeds its effective budget of %d (%d per loop × %d shards; %s): one firing may run all attached monitors",
+					site, total, effective, budget, shards, strings.Join(parts, " + "))
+			}
 			r.Diagnostics = append(r.Diagnostics, Diagnostic{
 				Code: CodeHookBudget, Severity: Warn,
 				Pos: firstPos[site], Guardrail: firstName[site], Others: others,
-				Site: site,
-				Message: fmt.Sprintf("hook %s worst-case cost %d steps exceeds its budget of %d (%s): one firing may run all attached monitors",
-					site, total, budget, strings.Join(parts, " + ")),
+				Site: site, Message: msg,
 			})
 		}
 	}

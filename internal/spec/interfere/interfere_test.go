@@ -293,6 +293,58 @@ guardrail two {
 	}
 }
 
+// TestHookBudgetScalesWithShards: the declared budget is one event
+// loop's capacity; a deployment that overflows a single loop can be
+// within budget on a shard pool, where each firing lands on one of N
+// loops. GI005 must check Total against budget × shards and say so.
+func TestHookBudgetScalesWithShards(t *testing.T) {
+	src := `
+guardrail one {
+    trigger: { FUNCTION(io_submit) },
+    rule: { LOAD(a) <= 1 },
+    action: { REPORT(LOAD(a)) }
+}
+guardrail two {
+    trigger: { FUNCTION(io_submit) },
+    rule: { LOAD(b) <= 1 },
+    action: { REPORT(LOAD(b)) }
+}`
+	single := deployment(t, src, 4)
+	total := Analyze(single).Sites[0].Total
+	if total <= 4 {
+		t.Fatalf("workload too cheap to overflow the single-loop budget: %d", total)
+	}
+
+	// Enough shards to absorb the load: clean, with the scaled budget
+	// visible in the site table.
+	wide := deployment(t, src, 4)
+	wide.Shards = (total + 3) / 4
+	r := Analyze(wide)
+	if c := codes(r); c[CodeHookBudget] != 0 {
+		t.Errorf("load within scaled budget still flagged: %v", r.Diagnostics)
+	}
+	s := r.Sites[0]
+	if s.Shards != wide.Shards || s.EffectiveBudget != 4*wide.Shards {
+		t.Errorf("site table missing shard scaling: %+v", s)
+	}
+
+	// Still over even at 2 shards: flagged, and the message explains
+	// the scaled arithmetic.
+	narrow := deployment(t, src, 1)
+	narrow.Shards = 2
+	d := find(t, Analyze(narrow), CodeHookBudget)
+	if !strings.Contains(d.Message, "1 per loop × 2 shards") {
+		t.Errorf("GI005 message does not explain shard scaling: %q", d.Message)
+	}
+
+	// Shards 0 and 1 are the single loop: identical to the baseline.
+	zero := deployment(t, src, 4)
+	zero.Shards = 1
+	if r := Analyze(zero); codes(r)[CodeHookBudget] != 1 || r.Sites[0].Shards != 0 || r.Sites[0].EffectiveBudget != 0 {
+		t.Errorf("shards=1 diverges from single-loop analysis: %+v %v", r.Sites, r.Diagnostics)
+	}
+}
+
 func TestDeadGuardrailFromDeclaredRange(t *testing.T) {
 	r := Analyze(deployment(t, `
 feature util range(0, 1)

@@ -1,0 +1,102 @@
+package telemetry
+
+import "sort"
+
+// Merge folds per-shard telemetry sinks into one fleet-wide view: the
+// sharded kernel gives every shard its own Sink so hot-path counter
+// adds, histogram observations, and flight-recorder appends never cross
+// shard boundaries, and this function pays the aggregation cost once,
+// at snapshot time — the per-CPU-map / read-side-merge split eBPF uses
+// for its own statistics.
+//
+// The returned sink is freshly built from the inputs:
+//
+//   - Counters merge stripe-wise (Counter.Merge), so the result remains
+//     mergeable and exact once the shard writers have quiesced — which
+//     at a pool barrier they have.
+//   - Histograms merge bucket-wise per name (Hist.Merge); a name
+//     present in several shards folds into one histogram.
+//   - Flight events interleave in (At, shard index) order: simulated
+//     timestamps order events across shards, and the shard index breaks
+//     same-instant ties deterministically. Each source's own record
+//     order is preserved within a timestamp, and the merged ring
+//     assigns fresh sequence numbers.
+//
+// Merge reads the sources without disturbing them; it is safe to call
+// repeatedly (each call builds an independent sink) but should run at a
+// barrier or after the run, not concurrently with shard hot paths, if
+// an exact snapshot is wanted. Nil sinks in the argument list are
+// skipped. eventCap bounds the merged flight ring; if <= 0 it defaults
+// to the sum of the sources' capacities, so a merge of full rings
+// retains every event.
+func Merge(clock func() Time, eventCap int, sinks ...*Sink) *Sink {
+	live := make([]*Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	if eventCap <= 0 {
+		eventCap = 1
+		for _, s := range live {
+			eventCap += s.rec.Cap()
+		}
+	}
+	out := New(clock, eventCap)
+
+	for _, s := range live {
+		dst := out.Counters.byName()
+		for i, src := range s.Counters.byName() {
+			dst[i].ctr.Merge(src.ctr)
+		}
+		mergeHistMap(out, out.hookNS, s, s.hookNS)
+		mergeHistMap(out, out.evalSteps, s, s.evalSteps)
+		mergeHistMap(out, out.ioNS, s, s.ioNS)
+	}
+
+	// Interleave the retained flight events. Within one source, events
+	// are already in record order with non-decreasing At; the stable
+	// sort keyed on At therefore only interleaves across sources, with
+	// the source (shard) index as the deterministic tie-break.
+	type tagged struct {
+		src int
+		e   Event
+	}
+	var all []tagged
+	for i, s := range live {
+		for _, e := range s.rec.Events() {
+			all = append(all, tagged{src: i, e: e})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].e.At != all[j].e.At {
+			return all[i].e.At < all[j].e.At
+		}
+		return all[i].src < all[j].src
+	})
+	for _, t := range all {
+		t.e.Seq = 0 // reassigned by the merged ring
+		out.rec.Record(t.e)
+	}
+	return out
+}
+
+// mergeHistMap folds every named histogram in src's map into the
+// matching (created-on-demand) histogram in dst's map. Both maps are
+// addressed through their owning sinks so the per-sink mu guards the
+// map reads; the per-Hist locks guard the bucket merges.
+func mergeHistMap(dst *Sink, dstMap map[string]*Hist, src *Sink, srcMap map[string]*Hist) {
+	src.mu.RLock()
+	names := make([]string, 0, len(srcMap))
+	for name := range srcMap {
+		names = append(names, name)
+	}
+	src.mu.RUnlock()
+	sort.Strings(names)
+	for _, name := range names {
+		src.mu.RLock()
+		h := srcMap[name]
+		src.mu.RUnlock()
+		dst.hist(dstMap, name).Merge(h)
+	}
+}

@@ -1,0 +1,127 @@
+package telemetry
+
+import "testing"
+
+func TestMergeCounters(t *testing.T) {
+	a, b := New(nil, 8), New(nil, 8)
+	a.Counters.HookFires.Add(3)
+	b.Counters.HookFires.Add(4)
+	a.Counters.Evals.Add(10)
+	b.Counters.Violations.Add(2)
+
+	m := Merge(nil, 8, a, b)
+	if got := m.Counters.HookFires.Value(); got != 7 {
+		t.Errorf("merged HookFires = %d, want 7", got)
+	}
+	if got := m.Counters.Evals.Value(); got != 10 {
+		t.Errorf("merged Evals = %d, want 10", got)
+	}
+	if got := m.Counters.Violations.Value(); got != 2 {
+		t.Errorf("merged Violations = %d, want 2", got)
+	}
+	// Sources are read-only inputs.
+	if a.Counters.HookFires.Value() != 3 || b.Counters.HookFires.Value() != 4 {
+		t.Error("Merge disturbed a source sink")
+	}
+}
+
+func TestMergeHists(t *testing.T) {
+	a, b := New(nil, 8), New(nil, 8)
+	a.HookDispatched("sched.switch", 100)
+	a.HookDispatched("sched.switch", 200)
+	b.HookDispatched("sched.switch", 300)
+	b.HookDispatched("io.done", 50)
+	a.EvalHist("mon").Observe(7)
+	b.IOHist("ssd0").Observe(9)
+
+	m := Merge(nil, 8, a, b)
+	if got := m.HookHist("sched.switch").Summary().Count; got != 3 {
+		t.Errorf("merged sched.switch count = %d, want 3", got)
+	}
+	if got := m.HookHist("io.done").Summary().Count; got != 1 {
+		t.Errorf("merged io.done count = %d, want 1", got)
+	}
+	if got := m.EvalHist("mon").Summary().Count; got != 1 {
+		t.Errorf("merged eval hist count = %d, want 1", got)
+	}
+	if got := m.IOHist("ssd0").Summary().Count; got != 1 {
+		t.Errorf("merged io hist count = %d, want 1", got)
+	}
+	if got := a.HookHist("sched.switch").Summary().Count; got != 2 {
+		t.Errorf("source hist disturbed: count = %d, want 2", got)
+	}
+}
+
+func TestMergeFlightInterleavesDeterministically(t *testing.T) {
+	build := func() (*Sink, *Sink) {
+		a, b := New(nil, 16), New(nil, 16)
+		// Shard 0 events at t=10, 30; shard 1 at t=10, 20. The t=10 tie
+		// must break by shard index: a's event first.
+		a.HookFire(10, "a.first", 0)
+		a.HookFire(30, "a.second", 0)
+		b.HookFire(10, "b.first", 0)
+		b.HookFire(20, "b.second", 0)
+		return a, b
+	}
+
+	a, b := build()
+	m := Merge(nil, 16, a, b)
+	got := m.Flight().Events()
+	wantSubjects := []string{"a.first", "b.first", "b.second", "a.second"}
+	if len(got) != len(wantSubjects) {
+		t.Fatalf("merged %d events, want %d", len(got), len(wantSubjects))
+	}
+	for i, e := range got {
+		if e.Subject != wantSubjects[i] {
+			t.Errorf("event %d subject = %q, want %q", i, e.Subject, wantSubjects[i])
+		}
+		if e.Seq != uint64(i+1) {
+			t.Errorf("event %d seq = %d, want fresh %d", i, e.Seq, i+1)
+		}
+	}
+
+	// Same inputs, same interleave: the merged trace is deterministic.
+	a2, b2 := build()
+	m2 := Merge(nil, 16, a2, b2)
+	for i, e := range m2.Flight().Events() {
+		if e.Subject != got[i].Subject || e.At != got[i].At {
+			t.Fatalf("merge not deterministic at event %d: %v vs %v", i, e, got[i])
+		}
+	}
+}
+
+func TestMergeDefaultsAndNilSources(t *testing.T) {
+	a := New(nil, 4)
+	b := New(nil, 8)
+	for i := 0; i < 4; i++ {
+		a.HookFire(Time(i), "a", 0)
+		b.HookFire(Time(i), "b", 0)
+	}
+	// eventCap <= 0 defaults to the sum of source capacities, so full
+	// source rings merge without dropping anything. Nil sinks are
+	// skipped.
+	m := Merge(nil, 0, a, nil, b)
+	if got := m.Flight().Len(); got != 8 {
+		t.Errorf("merged ring retains %d events, want 8", got)
+	}
+	if m.Flight().Cap() < 8 {
+		t.Errorf("default merged cap = %d, want >= 8", m.Flight().Cap())
+	}
+	if got := m.Counters.HookFires.Value(); got != 8 {
+		t.Errorf("merged HookFires = %d, want 8", got)
+	}
+
+	// All-nil input still yields a usable (empty) sink.
+	e := Merge(nil, 0, nil, nil)
+	if e == nil || e.Flight().Len() != 0 {
+		t.Error("all-nil merge should yield an empty sink")
+	}
+}
+
+func TestMergeClock(t *testing.T) {
+	var now Time = 42
+	m := Merge(func() Time { return now }, 4, New(nil, 4))
+	if m.Now() != 42 {
+		t.Errorf("merged sink Now = %d, want 42", m.Now())
+	}
+}

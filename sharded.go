@@ -1,0 +1,184 @@
+package guardrails
+
+import (
+	"guardrails/internal/featurestore"
+	"guardrails/internal/kernel"
+	"guardrails/internal/monitor"
+	"guardrails/internal/rollout"
+	"guardrails/internal/telemetry"
+)
+
+// Sharded-execution surface (see DESIGN.md "Sharded execution"): the
+// kernel pool, the per-shard feature store with epoch aggregation, and
+// the fleet rollout supervisor.
+type (
+	// KernelPool is the sharded multi-core kernel: N independent event
+	// loops advanced in lockstep epochs by a deterministic barrier.
+	KernelPool = kernel.Pool
+	// ShardedStore is the feature store split into per-shard cells with
+	// epoch-based cross-shard aggregation.
+	ShardedStore = featurestore.Sharded
+	// EpochSnapshot is one aggregation epoch's published global view.
+	EpochSnapshot = featurestore.EpochSnapshot
+	// AggOp selects how per-shard contributions combine (AggSum, ...).
+	AggOp = featurestore.AggOp
+	// RolloutFleet replicates a staged rollout across every shard and
+	// supervises the replicas from the pool barrier.
+	RolloutFleet = rollout.Fleet
+)
+
+// Aggregation operators for ShardedSystem.RegisterAggregate.
+const (
+	AggSum  = featurestore.AggSum
+	AggMax  = featurestore.AggMax
+	AggMin  = featurestore.AggMin
+	AggMean = featurestore.AggMean
+)
+
+// EpochKey is the per-shard feature-store key stamped with the
+// aggregation epoch number at every pool barrier.
+const EpochKey = featurestore.EpochKey
+
+// DefaultQuantum is the default barrier interval of a sharded system.
+const DefaultQuantum = kernel.DefaultQuantum
+
+// GlobalKey derives the feature-store key that carries the cross-shard
+// aggregate of name ("err_rate" → "err_rate_global"). Both the
+// contribution key and the derived key are legal guardrail-spec
+// identifiers, so monitors LOAD aggregates directly.
+func GlobalKey(name string) string { return featurestore.GlobalKey(name) }
+
+// ShardedSystem is the multi-core variant of System: N shard systems —
+// each a full kernel + feature-store cell + monitor runtime triple
+// running its own event loop — coupled only at the pool barrier, where
+// registered feature aggregates are folded and broadcast, the rollout
+// fleet supervisor runs, and scheduled global-time operations fire.
+//
+// A one-shard ShardedSystem is event-for-event identical to a plain
+// System driven to the same deadline: same event order, same telemetry,
+// byte-identical flight-recorder trace.
+type ShardedSystem struct {
+	// Pool is the sharded kernel driving the shard event loops.
+	Pool *KernelPool
+	// Stores is the sharded feature store; Stores.Shard(i) is shard i's
+	// SAVE/LOAD surface and Aggregate runs automatically at every
+	// barrier.
+	Stores *ShardedStore
+
+	shards []*System
+	sinks  []*Telemetry
+}
+
+// NewShardedSystem returns an n-shard system with the default barrier
+// quantum. Feature aggregation is pre-wired: every pool barrier runs
+// one Stores.Aggregate epoch.
+func NewShardedSystem(n int) *ShardedSystem {
+	return NewShardedSystemQuantum(n, 0)
+}
+
+// NewShardedSystemQuantum is NewShardedSystem with an explicit barrier
+// interval (<= 0 selects DefaultQuantum). Longer quanta cost less
+// barrier overhead and make cross-shard aggregates staler; the quantum
+// is the knob between them.
+func NewShardedSystemQuantum(n int, quantum Time) *ShardedSystem {
+	pool := kernel.NewPool(n, quantum)
+	stores := featurestore.NewSharded(n)
+	s := &ShardedSystem{Pool: pool, Stores: stores}
+	for i := 0; i < n; i++ {
+		k, st := pool.Shard(i), stores.Shard(i)
+		s.shards = append(s.shards, &System{Kernel: k, Store: st, Runtime: monitor.New(k, st)})
+	}
+	pool.OnBarrier(func(kernel.Time, uint64) { stores.Aggregate() })
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *ShardedSystem) NumShards() int { return len(s.shards) }
+
+// Shard returns shard i as a plain System view: its kernel, its feature
+// cell, its runtime. Everything that works on a System — pinned
+// guardrail loads, fault plans, substrate devices — works on a shard
+// view, and only touches that shard.
+func (s *ShardedSystem) Shard(i int) *System { return s.shards[i] }
+
+// RunUntil advances every shard to deadline through the pool's
+// epoch/barrier machinery and returns the total number of shard events
+// executed.
+func (s *ShardedSystem) RunUntil(deadline Time) int { return s.Pool.RunUntil(deadline) }
+
+// RegisterAggregate arms cross-shard aggregation for a feature key:
+// each shard's SAVEs under name are op-combined at every barrier and
+// broadcast back to all shards under the returned key
+// (GlobalKey(name)), alongside the epoch stamp under EpochKey.
+func (s *ShardedSystem) RegisterAggregate(name string, op AggOp) string {
+	return s.Stores.RegisterAggregate(name, op)
+}
+
+// LoadGuardrails replicates the guardrail source onto every shard —
+// the default placement, matching per-CPU eBPF program instances: each
+// shard evaluates its replica against its own traffic. The result
+// holds shard i's monitors at index i. Parsing, compilation, and
+// verification are deterministic, so a rejected source is refused
+// identically on every shard with nothing loaded. For pinning a
+// guardrail to one shard, use Shard(i).LoadGuardrails.
+func (s *ShardedSystem) LoadGuardrails(src string, opts Options) ([][]*Monitor, error) {
+	out := make([][]*Monitor, len(s.shards))
+	for i, sys := range s.shards {
+		ms, err := sys.LoadGuardrails(src, opts)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ms
+	}
+	return out, nil
+}
+
+// AttachTelemetry gives every shard its own telemetry sink (counter
+// lane, histograms, flight-recorder ring) with eventCap ring capacity,
+// so hot-path instrumentation never crosses a shard boundary. Returns
+// the per-shard sinks; Telemetry merges them on demand.
+func (s *ShardedSystem) AttachTelemetry(eventCap int) []*Telemetry {
+	s.sinks = s.sinks[:0]
+	for _, sys := range s.shards {
+		s.sinks = append(s.sinks, sys.AttachTelemetry(eventCap))
+	}
+	return append([]*Telemetry(nil), s.sinks...)
+}
+
+// ShardTelemetry returns shard i's sink (nil before AttachTelemetry).
+func (s *ShardedSystem) ShardTelemetry(i int) *Telemetry { return s.shards[i].Telemetry() }
+
+// Telemetry merges the per-shard sinks into one fleet-wide snapshot
+// view: counters sum, histograms fold, and flight events interleave in
+// (simulated time, shard index) order. Each call builds a fresh merged
+// sink stamped with the pool clock; call it at a barrier or after a
+// run for exact numbers.
+func (s *ShardedSystem) Telemetry() *Telemetry {
+	return telemetry.Merge(func() telemetry.Time { return int64(s.Pool.Now()) }, 0, s.sinks...)
+}
+
+// FleetStats folds the per-shard replicas of the named guardrail into
+// one fleet view: counters sum across shards; the Last* fields come
+// from the replica with the freshest trigger.
+func (s *ShardedSystem) FleetStats(name string) MonitorStats {
+	var ss []MonitorStats
+	for _, sys := range s.shards {
+		if m := sys.Runtime.Monitor(name); m != nil {
+			ss = append(ss, m.Stats())
+		}
+	}
+	return monitor.SumStats(ss...)
+}
+
+// NewFleetController returns a rollout fleet over the sharded system:
+// one controller per shard, fanned-out Begin, barrier-supervised
+// abort-on-divergence, and barrier-atomic fleet breakglass. Adopt the
+// incumbent generation on each shard's controller before beginning a
+// rollout.
+func (s *ShardedSystem) NewFleetController() *RolloutFleet {
+	ctrls := make([]*RolloutController, len(s.shards))
+	for i, sys := range s.shards {
+		ctrls[i] = rollout.NewController(sys.Runtime)
+	}
+	return rollout.NewFleet(s.Pool, ctrls)
+}

@@ -1,0 +1,297 @@
+package guardrails
+
+// End-to-end sharded-execution tests. The CI matrix runs these (and
+// everything else at the root) under GUARDRAILS_SHARDS={1,4}: tests
+// that scale with the knob read shardCount, so the same suite checks
+// the single-loop and multi-core configurations.
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+// shardCount is the env knob for the CI shard matrix; tests default to
+// two shards when it is unset.
+func shardCount(t *testing.T) int {
+	t.Helper()
+	v := os.Getenv("GUARDRAILS_SHARDS")
+	if v == "" {
+		return 2
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		t.Fatalf("bad GUARDRAILS_SHARDS=%q: want a positive integer", v)
+	}
+	return n
+}
+
+// TestShardedOneShardReproducesSingleLoopTrace is the compatibility
+// acceptance check: -shards 1 must be the existing kernel, not an
+// approximation of it. The same seeded workload runs on a plain System
+// and on a one-shard ShardedSystem, and the flight-recorder traces must
+// be byte-identical — same events, same order, same sequence numbers.
+func TestShardedOneShardReproducesSingleLoopTrace(t *testing.T) {
+	drive := func(sys *System) {
+		if _, err := sys.LoadGuardrails(telemetrySpec, Options{RetryMax: 1}); err != nil {
+			t.Fatal(err)
+		}
+		sys.Kernel.Every(0, 50*Millisecond, 3*Second, func(now Time) {
+			v := 0.5
+			if now >= Second && now < 2*Second {
+				v = 2.5
+			}
+			sys.Store.Save("sig", v)
+		})
+	}
+
+	plain := NewSystem()
+	plainSink := plain.AttachTelemetry(4096)
+	drive(plain)
+	plain.Kernel.RunUntil(3 * Second)
+
+	ss := NewShardedSystem(1)
+	sinks := ss.AttachTelemetry(4096)
+	drive(ss.Shard(0))
+	ss.RunUntil(3 * Second)
+
+	var want, got bytes.Buffer
+	if err := plainSink.WriteTrace(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := sinks[0].WriteTrace(&got); err != nil {
+		t.Fatal(err)
+	}
+	if want.Len() == 0 || plainSink.Flight().Total() == 0 {
+		t.Fatal("plain run recorded no events; trace comparison is vacuous")
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("one-shard trace diverges from single-loop trace (%d vs %d bytes)",
+			want.Len(), got.Len())
+	}
+	// The merged fleet view of one shard is that shard.
+	var merged bytes.Buffer
+	if err := ss.Telemetry().WriteTrace(&merged); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), merged.Bytes()) {
+		t.Fatal("merged one-shard trace diverges from single-loop trace")
+	}
+	if !reflect.DeepEqual(plainSink.Snapshot().Counters, sinks[0].Snapshot().Counters) {
+		t.Errorf("counters diverge:\nplain   %v\nsharded %v",
+			plainSink.Snapshot().Counters, sinks[0].Snapshot().Counters)
+	}
+}
+
+// shardSpec is a FUNCTION-triggered guardrail replicated across shards
+// by the determinism tests.
+const shardSpec = `
+guardrail shard-watch {
+    trigger: { FUNCTION(tick) },
+    rule: { LOAD(sig) <= 1.0 },
+    action: { REPORT(LOAD(sig)) }
+}`
+
+// driveShards installs a deterministic, shard-dependent workload: shard
+// i ticks every (i+1)*100µs with a value cycle offset by i.
+func driveShards(t *testing.T, ss *ShardedSystem) {
+	t.Helper()
+	if _, err := ss.LoadGuardrails(shardSpec, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ss.NumShards(); i++ {
+		sh := ss.Shard(i)
+		j := i
+		sh.Kernel.Every(0, Time(i+1)*100*Microsecond, 0, func(now Time) {
+			sh.Store.Save("sig", float64((j*7)%3))
+			sh.Kernel.Fire("tick", float64(j))
+			j++
+		})
+	}
+}
+
+// TestShardedRunsAreDeterministic replays the same seeded K-shard
+// workload twice: every shard's flight-recorder trace and the merged
+// fleet trace must be byte-identical across runs even though shards
+// execute on concurrent goroutines.
+func TestShardedRunsAreDeterministic(t *testing.T) {
+	n := shardCount(t)
+	run := func() ([][]byte, []byte, map[string]uint64) {
+		ss := NewShardedSystem(n)
+		ss.AttachTelemetry(1 << 14)
+		driveShards(t, ss)
+		ss.RunUntil(50 * Millisecond)
+		var traces [][]byte
+		for i := 0; i < n; i++ {
+			var b bytes.Buffer
+			if err := ss.ShardTelemetry(i).WriteTrace(&b); err != nil {
+				t.Fatal(err)
+			}
+			traces = append(traces, b.Bytes())
+		}
+		var merged bytes.Buffer
+		if err := ss.Telemetry().WriteTrace(&merged); err != nil {
+			t.Fatal(err)
+		}
+		return traces, merged.Bytes(), ss.Telemetry().Snapshot().Counters
+	}
+
+	t1, m1, c1 := run()
+	t2, m2, c2 := run()
+	for i := range t1 {
+		if len(t1[i]) == 0 {
+			t.Fatalf("shard %d trace empty", i)
+		}
+		if !bytes.Equal(t1[i], t2[i]) {
+			t.Errorf("shard %d trace diverged across identical runs", i)
+		}
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Error("merged trace diverged across identical runs")
+	}
+	if !reflect.DeepEqual(c1, c2) {
+		t.Errorf("merged counters diverged:\nrun1 %v\nrun2 %v", c1, c2)
+	}
+	if c1["evals_total"] == 0 || c1["violations_total"] == 0 {
+		t.Fatalf("workload exercised nothing: %v", c1)
+	}
+}
+
+// TestShardedEpochFeedback is the cross-shard SAVE/LOAD feedback loop
+// end to end: every shard SAVEs a local err_rate, the barrier folds the
+// contributions into err_rate_global on all shards, and a replicated
+// guardrail LOADs the aggregate and throttles — on every shard at the
+// same epoch, because the broadcast is barrier-atomic.
+func TestShardedEpochFeedback(t *testing.T) {
+	n := shardCount(t)
+	ss := NewShardedSystem(n)
+	ss.AttachTelemetry(4096)
+	global := ss.RegisterAggregate("err_rate", AggMean)
+	if global != GlobalKey("err_rate") || global != "err_rate_global" {
+		t.Fatalf("global key = %q", global)
+	}
+
+	const feedback = `
+guardrail global-throttle {
+    trigger: { TIMER(0, 1e6) }, // every 1ms, once per aggregation epoch
+    rule: { LOAD(err_rate_global) <= 0.5 },
+    action: { SAVE(throttle, 1) }
+}`
+	if _, err := ss.LoadGuardrails(feedback, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		sh := ss.Shard(i)
+		sh.Kernel.Every(0, Millisecond, 0, func(now Time) {
+			v := 0.2
+			if now >= Second {
+				v = 0.9 // every shard's error rate spikes at t=1s
+			}
+			sh.Store.Save("err_rate", v)
+		})
+	}
+
+	ss.RunUntil(990 * Millisecond)
+	for i := 0; i < n; i++ {
+		if got := ss.Shard(i).Store.Load("throttle"); got != 0 {
+			t.Fatalf("shard %d throttled before the aggregate crossed: %g", i, got)
+		}
+		if got := ss.Shard(i).Store.Load(global); got != 0.2 {
+			t.Errorf("shard %d %s = %g, want 0.2", i, global, got)
+		}
+	}
+	ss.RunUntil(1100 * Millisecond)
+	wantEpoch := float64(ss.Stores.Epoch())
+	for i := 0; i < n; i++ {
+		sh := ss.Shard(i)
+		if got := sh.Store.Load("throttle"); got != 1 {
+			t.Errorf("shard %d not throttled after aggregate spike: %g", i, got)
+		}
+		if got := sh.Store.Load(global); got != 0.9 {
+			t.Errorf("shard %d %s = %g, want 0.9", i, global, got)
+		}
+		if got := sh.Store.Load(EpochKey); got != wantEpoch {
+			t.Errorf("shard %d epoch cell = %g, want %g", i, got, wantEpoch)
+		}
+	}
+	if ss.Stores.Epoch() != ss.Pool.Epoch() {
+		t.Errorf("store epochs (%d) out of step with pool barriers (%d)",
+			ss.Stores.Epoch(), ss.Pool.Epoch())
+	}
+	// The fleet view sums the replicas' activity.
+	fleet := ss.FleetStats("global-throttle")
+	per := ss.Shard(0).Runtime.Monitor("global-throttle").Stats()
+	if fleet.Evals != per.Evals*uint64(n) {
+		t.Errorf("fleet evals = %d, want %d shards × %d", fleet.Evals, n, per.Evals)
+	}
+}
+
+// TestShardedFleetRolloutPromotes drives the full control plane on a
+// sharded system: incumbents replicated on every shard, a healthy
+// candidate staged through shadow and canary by the fleet controller,
+// and a fleet-wide promotion that advances every shard's generation.
+func TestShardedFleetRolloutPromotes(t *testing.T) {
+	n := shardCount(t)
+	ss := NewShardedSystem(n)
+	ss.AttachTelemetry(1 << 15)
+
+	const inc = `
+guardrail lat-guard {
+    trigger: { FUNCTION(io_done) },
+    rule: { LOAD(lat_ma) <= 0.5 },
+    action: { SAVE(alert, 1) }
+}`
+	cs, err := CompileSpec(inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := ss.NewFleetController()
+	for i := 0; i < n; i++ {
+		if _, err := ss.Shard(i).Runtime.Load(cs[0], Options{}); err != nil {
+			t.Fatal(err)
+		}
+		fleet.Controller(i).Adopt(cs)
+		sh := ss.Shard(i)
+		j := 0
+		sh.Kernel.Every(0, Millisecond, 0, func(now Time) {
+			sh.Store.Save("lat_ma", 0.10+0.05*float64(j%10))
+			sh.Kernel.Fire("io_done", 0)
+			j++
+		})
+	}
+
+	cand, err := CompileSpec(`
+guardrail lat-guard {
+    trigger: { FUNCTION(io_done) },
+    rule: { LOAD(lat_ma) <= 0.56 },
+    action: { SAVE(alert, 1) }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := RolloutConfig{ShadowWindow: 200 * Millisecond, CanaryWindow: 400 * Millisecond}
+	if err := fleet.Begin(cand, cfg); err != nil {
+		t.Fatal(err)
+	}
+	ss.RunUntil(2 * Second)
+
+	if got := fleet.Phase(); got != RolloutPromoted {
+		t.Fatalf("fleet phase = %s (%v), want promoted", got, fleet.Phases())
+	}
+	for i := 0; i < n; i++ {
+		if gen := ss.Shard(i).Kernel.Generation(); gen != 2 {
+			t.Errorf("shard %d kernel generation = %d, want 2", i, gen)
+		}
+		if ss.Shard(i).Runtime.Monitor("lat-guard") == nil {
+			t.Errorf("shard %d lost lat-guard across promotion", i)
+		}
+	}
+	if got := ss.Telemetry().Counters.RolloutPromotions.Value(); got != uint64(n) {
+		t.Errorf("merged rollout_promotions_total = %d, want %d (one per shard)", got, n)
+	}
+	if stats := ss.FleetStats("lat-guard"); stats.Evals == 0 || stats.ActionsFired == 0 {
+		t.Errorf("fleet stats show no activity: %+v", stats)
+	}
+}
