@@ -2,6 +2,15 @@
 // (BENCH_shards.json) and fails on regressions:
 //
 //	benchdiff [-tol 0.15] committed.json fresh.json
+//	benchdiff -fig2 committed.json fresh.json
+//
+// With -fig2 both files are BENCH_fig2.json snapshots instead: every
+// quantity in them is derived from simulated time and seeded
+// randomness, so the two files must match exactly, field for field. CI
+// uses this to prove that attaching the decision-provenance recorder
+// (guardrail-bench -only fig2 -prov) perturbs nothing — the
+// instrumented rerun must reproduce the committed snapshot bit for
+// bit.
 //
 // The deterministic simulated quantities (events, hook fires, evals,
 // simulated duration) must match exactly for every shard count the two
@@ -89,12 +98,73 @@ func compare(committed, fresh *experiments.BenchShards, tol float64) (failures, 
 	return failures, notes
 }
 
+// loadFig2 reads one BENCH_fig2.json snapshot.
+func loadFig2(path string) (*experiments.BenchFig2, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b experiments.BenchFig2
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Configs) == 0 {
+		return nil, fmt.Errorf("%s: no configs", path)
+	}
+	return &b, nil
+}
+
+// compareFig2 exact-diffs two fig2 snapshots. Everything in a
+// BENCH_fig2.json is deterministic, so any divergence is a failure.
+func compareFig2(committed, fresh *experiments.BenchFig2) (failures []string) {
+	check := func(name string, old, new any) {
+		if old != new {
+			failures = append(failures, fmt.Sprintf("%s: committed %v, fresh %v", name, old, new))
+		}
+	}
+	check("seed", committed.Seed, fresh.Seed)
+	check("shift_at_s", committed.ShiftAtS, fresh.ShiftAtS)
+	check("guardrail_fired_at_s", committed.GuardrailFiredAtS, fresh.GuardrailFiredAtS)
+	check("false_submit_rate_at_trigger", committed.FalseSubmitRate, fresh.FalseSubmitRate)
+	check("calm_mean_us", committed.CalmUS, fresh.CalmUS)
+	check("guarded_tail_us", committed.GuardedTailUS, fresh.GuardedTailUS)
+	check("unguarded_tail_us", committed.UnguardedTailUS, fresh.UnguardedTailUS)
+	check("len(configs)", len(committed.Configs), len(fresh.Configs))
+	for i := 0; i < len(committed.Configs) && i < len(fresh.Configs); i++ {
+		o, n := committed.Configs[i], fresh.Configs[i]
+		check(fmt.Sprintf("configs[%d]", i), o, n)
+	}
+	return failures
+}
+
 func main() {
 	tol := flag.Float64("tol", 0.15, "allowed fractional throughput drop before failing")
+	fig2 := flag.Bool("fig2", false, "compare BENCH_fig2.json snapshots (exact, field-for-field)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol 0.15] committed.json fresh.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol 0.15] [-fig2] committed.json fresh.json")
 		os.Exit(2)
+	}
+	if *fig2 {
+		committed, err := loadFig2(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		fresh, err := loadFig2(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		failures := compareFig2(committed, fresh)
+		for _, f := range failures {
+			fmt.Println("FAIL:", f)
+		}
+		if len(failures) > 0 {
+			os.Exit(1)
+		}
+		fmt.Println("benchdiff: fig2 snapshots identical")
+		return
 	}
 	committed, err := load(flag.Arg(0))
 	if err != nil {

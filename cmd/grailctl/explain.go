@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"guardrails/internal/provenance"
+)
+
+// runExplain answers "why did this monitor fire?" against a live ops
+// endpoint (System.ServeOps / guardrail-bench -serve): it fetches the
+// monitor's last-N decision records from /why and renders them as a
+// causal chain — trigger, features loaded, branch path, verdict,
+// actions — or as raw JSON with -json.
+func runExplain(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("grailctl explain", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "localhost:9090", "ops endpoint address (host:port)")
+	n := fs.Int("n", 5, "number of most-recent decision records to fetch")
+	jsonOut := fs.Bool("json", false, "emit the raw decision records as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "grailctl: explain takes exactly one monitor name")
+		return 2
+	}
+	monitor := fs.Arg(0)
+
+	u := fmt.Sprintf("http://%s/why?monitor=%s&n=%d", *addr, url.QueryEscape(monitor), *n)
+	resp, err := http.Get(u)
+	if err != nil {
+		fmt.Fprintf(stderr, "grailctl: %v\n", err)
+		return 2
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Fprintf(stderr, "grailctl: reading %s: %v\n", u, err)
+		return 2
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(stderr, "grailctl: %s: %s: %s\n", u, resp.Status, strings.TrimSpace(string(body)))
+		return 2
+	}
+
+	var recs []provenance.RecordJSON
+	if err := json.Unmarshal(body, &recs); err != nil {
+		fmt.Fprintf(stderr, "grailctl: decoding %s: %v\n", u, err)
+		return 2
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(recs); err != nil {
+			fmt.Fprintf(stderr, "grailctl: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+	fmt.Fprint(stdout, provenance.Explain(monitor, recs))
+	return 0
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"guardrails"
+)
+
+// startExplainTarget boots a live System.ServeOps endpoint on an
+// ephemeral loopback port with one violated guardrail, returning its
+// address — the real thing grailctl explain is pointed at.
+func startExplainTarget(t *testing.T) string {
+	t.Helper()
+	sys := guardrails.NewSystem()
+	sys.AttachTelemetry(256)
+	sys.AttachProvenance(256, 1)
+	mons, err := sys.LoadGuardrails(`
+guardrail lat-guard {
+    trigger: { FUNCTION(io_done) },
+    rule: { LOAD(lat_ma) <= 0.5 },
+    action: { SAVE(alert, 1) }
+}`, guardrails.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Store.Save("lat_ma", 0.8)
+	mons[0].Evaluate(0.8)
+	srv, err := sys.ServeOps("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr()
+}
+
+func TestExplainAgainstLiveEndpoint(t *testing.T) {
+	addr := startExplainTarget(t)
+	code, out, errb := runCtl(t, "explain", "-addr", addr, "-n", "3", "lat-guard")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{
+		"lat-guard — last 1 decision(s):",
+		"VIOLATION",
+		"loaded: lat_ma=0.8",
+		"rule: VIOLATED",
+		"action alert: save",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainJSONOutput(t *testing.T) {
+	addr := startExplainTarget(t)
+	code, out, errb := runCtl(t, "explain", "-addr", addr, "-json", "lat-guard")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{`"kind": "violation"`, `"monitor": "lat-guard"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("json output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainUnknownMonitorIsEmpty(t *testing.T) {
+	addr := startExplainTarget(t)
+	code, out, _ := runCtl(t, "explain", "-addr", addr, "ghost")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "ghost: no decision records retained") {
+		t.Errorf("output = %s", out)
+	}
+}
+
+func TestExplainUsageErrors(t *testing.T) {
+	if code, _, _ := runCtl(t, "explain"); code != 2 {
+		t.Errorf("no monitor arg: exit %d, want 2", code)
+	}
+	if code, _, _ := runCtl(t, "explain", "a", "b"); code != 2 {
+		t.Errorf("two monitor args: exit %d, want 2", code)
+	}
+	// Nothing listens here: a connection error is an operational (2)
+	// failure, not a panic.
+	if code, _, errb := runCtl(t, "explain", "-addr", "127.0.0.1:1", "mon"); code != 2 || errb == "" {
+		t.Errorf("dead endpoint: exit %d, stderr %q", code, errb)
+	}
+}

@@ -59,6 +59,8 @@ func run(stdout, stderr io.Writer, args []string) int {
 		return runDiff(stdout, stderr, args[1:])
 	case "rollout":
 		return runRollout(stdout, stderr, args[1:])
+	case "explain":
+		return runExplain(stdout, stderr, args[1:])
 	default:
 		fmt.Fprintf(stderr, "grailctl: unknown verb %q\n", args[0])
 		usage(stderr)
@@ -69,6 +71,7 @@ func run(stdout, stderr io.Writer, args []string) int {
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage: grailctl diff    [-budget N] [-json] -old specs -new specs
        grailctl rollout [-seed N] [-budget N] [-json] [-shadow-ms N] [-canary-ms N] [-canary-share num/den] -old specs -new specs
+       grailctl explain [-addr host:port] [-n N] [-json] monitor
 specs is a comma-separated list of .grail files`)
 }
 

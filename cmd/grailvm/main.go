@@ -10,6 +10,13 @@
 //	grailvm -e 'guardrail g { ... }' -set false_submit_rate=0.2
 //	grailvm -image monitor.img -set key=value    (grailc -o output)
 //	grailvm -asm monitor.s -set key=value        (hand-written assembly)
+//	grailvm -spec file.grail -set key=value -serve :9090
+//
+// With -serve the process stays alive after printing the verdicts and
+// serves the live ops endpoint — /metrics, /snapshot.json, /flight,
+// /why?monitor=..., /healthz — with always-on decision provenance, so
+// `grailctl explain <monitor> -addr localhost:9090` can replay why each
+// rule held or fired.
 //
 // Image and assembly modes evaluate the raw monitor program against the
 // supplied feature-store state: rules and SAVE actions execute; REPORT/
@@ -48,6 +55,8 @@ func main() {
 	asmPath := flag.String("asm", "", "monitor assembly file")
 	maxSteps := flag.Int("max-steps", 0,
 		"reject programs whose certified worst-case step count exceeds this (0 = no limit; image/asm modes)")
+	serveAddr := flag.String("serve", "",
+		"after the verdicts, serve the live ops endpoint (/metrics, /snapshot.json, /flight, /why, /healthz) on this address and block (spec/-e modes)")
 	var sets setFlags
 	flag.Var(&sets, "set", "feature store assignment key=value (repeatable)")
 	flag.Parse()
@@ -73,6 +82,9 @@ func main() {
 
 	sys := guardrails.NewSystem()
 	sink := sys.AttachTelemetry(256)
+	// Always-on provenance for a one-shot evaluation: every decision
+	// (healthy included) keeps its "why" record for /why and explain.
+	sys.AttachProvenance(256, 1)
 	for _, kv := range sets {
 		parts := strings.SplitN(kv, "=", 2)
 		if len(parts) != 2 {
@@ -113,6 +125,14 @@ func main() {
 	fmt.Printf("\ntelemetry: %d evals, %d violations, %d actions fired, %d VM steps, %d store loads, %d store saves\n",
 		t.Counters["evals_total"], t.Counters["violations_total"], t.Counters["actions_fired_total"],
 		t.Counters["vm_steps_total"], t.Counters["featurestore_loads_total"], t.Counters["featurestore_saves_total"])
+	if *serveAddr != "" {
+		srv, err := sys.ServeOps(*serveAddr)
+		if err != nil {
+			fail("serve: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "serving ops endpoint on http://%s (/metrics /snapshot.json /flight /why /healthz); ^C to stop\n", srv.Addr())
+		select {} // serve until interrupted
+	}
 	os.Exit(exit)
 }
 

@@ -11,6 +11,9 @@
 //	guardrail-bench -only fig2 -bench-out BENCH_fig2.json
 //	guardrail-bench -throughput [-shards N]
 //	guardrail-bench -throughput -shards-out BENCH_shards.json
+//	guardrail-bench -only fig2 -prov -why-out why.json
+//	guardrail-bench -only fig2 -serve :9090
+//	guardrail-bench -prov-overhead [-prov-tol 0.05]
 //
 // The chaos experiment (also selectable as -only chaos) reruns Figure 2
 // under the standard fault plan and reports the fault audit and the
@@ -33,6 +36,15 @@
 // evals, events) are deterministic; the fires/sec rate is wall-clock
 // and scales with real cores.
 //
+// Decision provenance (-prov) attaches a sampled per-fire "why"
+// recorder to the fig2 guarded stack; the simulated results are
+// identical with or without it. -why-out archives the records as JSON,
+// and -serve keeps the process alive after the runs serving the live
+// ops endpoint (/metrics, /snapshot.json, /flight, /why?monitor=...,
+// /healthz) — point `grailctl explain` at it. -prov-overhead measures
+// the wall-clock cost sampled provenance adds to a steady-state
+// evaluation and exits nonzero when it exceeds -prov-tol.
+//
 // The telemetry flags apply to the Figure 2 run: -metrics-out writes
 // the guarded system's counter/histogram snapshot as JSON, -trace-out
 // writes its flight recorder as Chrome trace_event JSON (loadable in
@@ -51,6 +63,7 @@ import (
 
 	"guardrails/internal/experiments"
 	"guardrails/internal/kernel"
+	"guardrails/internal/provenance"
 	"guardrails/internal/telemetry"
 )
 
@@ -79,6 +92,11 @@ func main() {
 	throughput := flag.Bool("throughput", false, "run only the sharded-kernel hook-fire throughput experiment")
 	shards := flag.Int("shards", 0, "shard count for -throughput (0 sweeps 1, 4, and NumCPU)")
 	shardsOut := flag.String("shards-out", "", "write the shard-throughput sweep (JSON, BENCH_shards.json) to this file")
+	prov := flag.Bool("prov", false, "attach a sampled decision-provenance recorder to the fig2 guarded stack")
+	whyOut := flag.String("why-out", "", "write the fig2 decision-provenance records (JSON) to this file (implies -prov)")
+	serveAddr := flag.String("serve", "", "after the runs, serve the fig2 ops endpoint (/metrics, /snapshot.json, /flight, /why, /healthz) on this address and block")
+	provOverhead := flag.Bool("prov-overhead", false, "run only the sampled-provenance hot-path overhead measurement")
+	provTol := flag.Float64("prov-tol", 0.05, "overhead budget for -prov-overhead (fraction; 0.05 = 5%)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -96,7 +114,21 @@ func main() {
 	if *throughput {
 		want["shards"] = true
 	}
-	run := func(id string) bool { return len(want) == 0 || want[id] }
+	if *provOverhead {
+		want["provoverhead"] = true
+	}
+	run := func(id string) bool {
+		if id == "provoverhead" {
+			// Wall-clock measurement: opt-in only (-prov-overhead or
+			// -only provoverhead), never part of the default sweep.
+			return want[id]
+		}
+		return len(want) == 0 || want[id]
+	}
+
+	// The ops endpoint and provenance exports hang off the fig2 run.
+	var opsSink *telemetry.Sink
+	var opsRec *provenance.Recorder
 
 	type experiment struct {
 		id string
@@ -107,9 +139,16 @@ func main() {
 			cfg := experiments.DefaultFig2Config(*seed)
 			cfg.CollectLatencies = *benchOut != ""
 			var sink *telemetry.Sink
-			if *metricsOut != "" || *traceOut != "" {
+			if *metricsOut != "" || *traceOut != "" || *serveAddr != "" {
 				sink = telemetry.New(nil, 8192)
 				cfg.Telemetry = sink
+				opsSink = sink
+			}
+			var rec *provenance.Recorder
+			if *prov || *whyOut != "" || *serveAddr != "" {
+				rec = provenance.New(4096, provenance.DefaultHealthyEvery)
+				cfg.Provenance = rec
+				opsRec = rec
 			}
 			r, err := experiments.RunFig2(cfg)
 			if err != nil {
@@ -123,6 +162,11 @@ func main() {
 			if *traceOut != "" {
 				if err := writeFile(*traceOut, sink.WriteTrace); err != nil {
 					return "", fmt.Errorf("fig2: trace-out: %w", err)
+				}
+			}
+			if *whyOut != "" {
+				if err := writeFile(*whyOut, rec.WriteJSON); err != nil {
+					return "", fmt.Errorf("fig2: why-out: %w", err)
 				}
 			}
 			if *benchOut != "" {
@@ -247,6 +291,18 @@ func main() {
 			}
 			return b.Render(), nil
 		}},
+		{"provoverhead", func() (string, error) {
+			r, err := experiments.RunProvOverhead(0, 0, *provTol)
+			if err != nil {
+				return "", err
+			}
+			out := r.Render()
+			if !r.Pass {
+				return out, fmt.Errorf("provoverhead: sampled provenance costs %.2f%% on the hot path, budget %.0f%%",
+					100*r.Overhead, 100*r.Tol)
+			}
+			return out, nil
+		}},
 	}
 
 	exit := 0
@@ -262,6 +318,21 @@ func main() {
 			continue
 		}
 		fmt.Println(out)
+	}
+
+	if *serveAddr != "" && opsSink != nil {
+		srv, err := telemetry.ServeOps(*serveAddr, telemetry.OpsConfig{
+			Sink: func() *telemetry.Sink { return opsSink },
+			Why: func(name string, n int) (any, error) {
+				return provenance.Views(opsRec.ForMonitor(name, n)), nil
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serving ops endpoint on http://%s (/metrics /snapshot.json /flight /why /healthz); ^C to stop\n", srv.Addr())
+		select {} // serve until interrupted
 	}
 	os.Exit(exit)
 }

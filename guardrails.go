@@ -61,6 +61,7 @@ import (
 	"guardrails/internal/featurestore"
 	"guardrails/internal/kernel"
 	"guardrails/internal/monitor"
+	"guardrails/internal/provenance"
 	"guardrails/internal/rollout"
 	"guardrails/internal/spec"
 	"guardrails/internal/spec/interfere"
@@ -147,6 +148,21 @@ type (
 	TelemetryEvent = telemetry.Event
 	// FlightRecorder is the bounded event ring inside a telemetry sink.
 	FlightRecorder = telemetry.Flight
+	// Provenance is the decision-record plane: a bounded ring of
+	// per-fire "why" records (feature values LOADed, VM branch path,
+	// actions emitted or suppressed, rollout gate verdicts). A nil
+	// *Provenance is the disabled plane; attach one with
+	// System.AttachProvenance.
+	Provenance = provenance.Recorder
+	// ProvenanceRecord is one decision record.
+	ProvenanceRecord = provenance.Record
+	// ProvenanceRecordJSON is the wire form served by /why and decoded
+	// by grailctl explain.
+	ProvenanceRecordJSON = provenance.RecordJSON
+	// OpsConfig wires the live ops HTTP endpoint (System.ServeOps).
+	OpsConfig = telemetry.OpsConfig
+	// OpsServer is a live ops endpoint bound to a listener.
+	OpsServer = telemetry.OpsServer
 	// Deployment is the whole-deployment interference analyzer's input:
 	// the compiled guardrails that will run together plus declared
 	// feature ranges and hook budgets.
@@ -358,6 +374,36 @@ func (s *System) AttachTelemetry(eventCap int) *Telemetry {
 
 // Telemetry returns the sink attached to the system's runtime, or nil.
 func (s *System) Telemetry() *Telemetry { return s.Runtime.Telemetry() }
+
+// AttachProvenance builds a decision-record recorder retaining the
+// last recordCap records, sampling 1 in healthyEvery healthy
+// evaluations per monitor (violations, faults, rollout gates, and
+// rollbacks are always recorded; healthyEvery <= 0 drops all healthy
+// fires), and attaches it to the runtime. Returns the recorder for
+// export.
+func (s *System) AttachProvenance(recordCap, healthyEvery int) *Provenance {
+	rec := provenance.New(recordCap, healthyEvery)
+	s.Runtime.SetProvenance(rec)
+	return rec
+}
+
+// Provenance returns the attached decision recorder, or nil (the
+// disabled plane).
+func (s *System) Provenance() *Provenance { return s.Runtime.Provenance() }
+
+// ServeOps starts the live ops HTTP endpoint on addr (":9090",
+// "127.0.0.1:0", ...): /metrics (Prometheus), /snapshot.json,
+// /flight, /why?monitor=<name>[&n=N] (decision provenance), and
+// /healthz. It serves whatever telemetry sink and provenance recorder
+// are attached at request time.
+func (s *System) ServeOps(addr string) (*OpsServer, error) {
+	return telemetry.ServeOps(addr, OpsConfig{
+		Sink: func() *telemetry.Sink { return s.Telemetry() },
+		Why: func(name string, n int) (any, error) {
+			return provenance.Views(s.Provenance().ForMonitor(name, n)), nil
+		},
+	})
+}
 
 // NewRolloutController returns a fleet rollout controller over the
 // system's runtime: Begin stages a candidate deployment through

@@ -12,6 +12,7 @@ import (
 	"guardrails/internal/featurestore"
 	"guardrails/internal/kernel"
 	"guardrails/internal/monitor"
+	"guardrails/internal/provenance"
 	"guardrails/internal/vm"
 )
 
@@ -55,5 +56,46 @@ func TestMonitorEvaluateSteadyStateAllocationFree(t *testing.T) {
 	ms[0].Evaluate(0)                  // warm up lazy state
 	if n := testing.AllocsPerRun(1000, func() { ms[0].Evaluate(0) }); n != 0 {
 		t.Errorf("steady-state Monitor.Evaluate allocates %v times per run, want 0", n)
+	}
+}
+
+// TestMonitorEvaluateProvenanceDisabledAllocationFree: the nil-recorder
+// capture sites (one atomic load plus nil tests) must keep the hot path
+// allocation-free — the CI gate for the disabled provenance plane.
+func TestMonitorEvaluateProvenanceDisabledAllocationFree(t *testing.T) {
+	k := kernel.New()
+	st := featurestore.New()
+	rt := monitor.New(k, st)
+	rt.SetProvenance(nil) // explicit: the disabled plane
+	ms, err := rt.LoadSource(benchSpec, monitor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Save("false_submit_rate", 0.01)
+	ms[0].Evaluate(0)
+	if n := testing.AllocsPerRun(1000, func() { ms[0].Evaluate(0) }); n != 0 {
+		t.Errorf("Evaluate with provenance disabled allocates %v times per run, want 0", n)
+	}
+}
+
+// TestMonitorEvaluateProvenanceEnabledAllocationFree: even with every
+// decision recorded (healthyEvery=1, branch tracing on, scratch fill,
+// ring commit), capture stays on the stack and in preallocated rings.
+func TestMonitorEvaluateProvenanceEnabledAllocationFree(t *testing.T) {
+	k := kernel.New()
+	st := featurestore.New()
+	rt := monitor.New(k, st)
+	rt.SetProvenance(provenance.New(256, 1))
+	ms, err := rt.LoadSource(benchSpec, monitor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Save("false_submit_rate", 0.01)
+	ms[0].Evaluate(0)
+	if n := testing.AllocsPerRun(1000, func() { ms[0].Evaluate(0) }); n != 0 {
+		t.Errorf("Evaluate with provenance enabled allocates %v times per run, want 0", n)
+	}
+	if rt.Provenance().Total() == 0 {
+		t.Fatal("recorder captured nothing; the measurement exercised the wrong path")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"guardrails/internal/kernel"
 	"guardrails/internal/linnos"
 	"guardrails/internal/monitor"
+	"guardrails/internal/provenance"
 	"guardrails/internal/storage"
 	"guardrails/internal/telemetry"
 	"guardrails/internal/trace"
@@ -43,6 +44,10 @@ type Fig2Config struct {
 	// hook dispatch, monitor runtime, feature store, storage array); its
 	// clock is bound to the guarded kernel.
 	Telemetry *telemetry.Sink
+	// Provenance, when non-nil, records sampled per-fire decision
+	// provenance for the guarded stack's monitor runtime. The simulated
+	// results are identical with or without it attached.
+	Provenance *provenance.Recorder
 	// CollectLatencies gathers every read's latency for the exact
 	// percentile summaries in Fig2Result (BENCH_fig2.json input).
 	CollectLatencies bool
@@ -302,6 +307,9 @@ func RunFig2(cfg Fig2Config) (*Fig2Result, error) {
 		guarded.st.SetTelemetry(cfg.Telemetry)
 		guarded.arr.SetTelemetry(cfg.Telemetry)
 		rt.SetTelemetry(cfg.Telemetry)
+	}
+	if cfg.Provenance != nil {
+		rt.SetProvenance(cfg.Provenance)
 	}
 	ms, err := rt.LoadSource(Listing2, monitor.Options{})
 	if err != nil {

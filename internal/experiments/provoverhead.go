@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"guardrails/internal/featurestore"
+	"guardrails/internal/kernel"
+	"guardrails/internal/monitor"
+	"guardrails/internal/provenance"
+)
+
+// ProvOverheadResult is the sampled-provenance overhead measurement:
+// the same steady-state hook-fire loop — kernel hook dispatch into a
+// healthy monitor evaluation, the path every production guardrail fire
+// takes — timed with and without a decision recorder attached. The
+// simulated quantities are identical either way (that is checked
+// separately by the BENCH_fig2.json exact diff); this measures the
+// wall-clock cost the capture layer adds to a fire.
+type ProvOverheadResult struct {
+	Fires             int     `json:"fires"`
+	Trials            int     `json:"trials"`
+	HealthyEvery      int     `json:"healthy_every"`
+	BaselineNSPerFire float64 `json:"baseline_ns_per_fire"`
+	SampledNSPerFire  float64 `json:"sampled_ns_per_fire"`
+	// Overhead is (sampled - baseline) / baseline; negative values clamp
+	// to 0 (measurement noise in the recorder's favour).
+	Overhead float64 `json:"overhead"`
+	Tol      float64 `json:"tol"`
+	Pass     bool    `json:"pass"`
+}
+
+// Render formats the measurement as a report row.
+func (r *ProvOverheadResult) Render() string {
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf(
+		"provenance overhead (steady-state hook fire, best of %d trials x %d fires, 1/%d healthy sampling)\n"+
+			"  baseline %.1f ns/fire   sampled %.1f ns/fire   overhead %+.2f%% (budget %.0f%%)  %s",
+		r.Trials, r.Fires, r.HealthyEvery,
+		r.BaselineNSPerFire, r.SampledNSPerFire, 100*r.Overhead, 100*r.Tol, verdict)
+}
+
+// provOverheadLoop builds a hook-triggered guardrail (the throughput
+// sweep's shard-lat spec) and returns a closure performing one
+// steady-state fire the way every workload in this repo drives one —
+// the policy publishes its signal, then the kernel hook dispatches
+// into a healthy evaluation (see the shard-throughput load loop).
+// With rec non-nil the runtime records sampled decision provenance.
+func provOverheadLoop(rec *provenance.Recorder) (func(), error) {
+	k := kernel.New()
+	st := featurestore.New()
+	rt := monitor.New(k, st)
+	if rec != nil {
+		rt.SetProvenance(rec)
+	}
+	if _, err := rt.LoadSource(shardGuardSrc, monitor.Options{}); err != nil {
+		return nil, err
+	}
+	lat := st.Intern("lat_ma")
+	j := 0
+	fire := func() {
+		st.SaveID(lat, 0.10+0.01*float64(j%80)) // always < 0.95: rule holds
+		k.Fire("io_done", 0.25)
+		j++
+	}
+	fire() // warm lazy state
+	return fire, nil
+}
+
+// RunProvOverhead measures the wall-clock cost sampled provenance adds
+// to a steady-state guardrail fire, best-of-trials to reject scheduler
+// noise, and fails when it exceeds tol (fractional, e.g. 0.05 for the
+// 5% budget).
+func RunProvOverhead(fires, trials int, tol float64) (*ProvOverheadResult, error) {
+	if fires <= 0 {
+		fires = 2_000_000
+	}
+	if trials <= 0 {
+		trials = 8
+	}
+	base, err := provOverheadLoop(nil)
+	if err != nil {
+		return nil, fmt.Errorf("provoverhead: baseline: %w", err)
+	}
+	rec := provenance.New(4096, provenance.DefaultHealthyEvery)
+	sampled, err := provOverheadLoop(rec)
+	if err != nil {
+		return nil, fmt.Errorf("provoverhead: sampled: %w", err)
+	}
+
+	timeOne := func(fire func()) float64 {
+		start := time.Now()
+		for i := 0; i < fires; i++ {
+			fire()
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(fires)
+	}
+	// Warm both loops, then alternate base/sampled trials so clock
+	// frequency drift and co-tenant noise land on both sides equally —
+	// timing all baseline trials in one block and all sampled trials in
+	// another lets a mid-measurement frequency step masquerade as
+	// recorder overhead. Best-of per side rejects the slow outliers.
+	base()
+	sampled()
+	var baseNS, sampledNS float64
+	for t := 0; t < trials; t++ {
+		if b := timeOne(base); t == 0 || b < baseNS {
+			baseNS = b
+		}
+		if s := timeOne(sampled); t == 0 || s < sampledNS {
+			sampledNS = s
+		}
+	}
+
+	overhead := (sampledNS - baseNS) / baseNS
+	if overhead < 0 {
+		overhead = 0
+	}
+	return &ProvOverheadResult{
+		Fires: fires, Trials: trials,
+		HealthyEvery:      provenance.DefaultHealthyEvery,
+		BaselineNSPerFire: baseNS, SampledNSPerFire: sampledNS,
+		Overhead: overhead, Tol: tol, Pass: overhead <= tol,
+	}, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -58,6 +59,14 @@ func GlobalKey(name string) string { return name + "_global" }
 // GlobalKey it is a legal spec identifier, so rules can gate on
 // LOAD(fs_epoch) > 0 to skip evaluations before the first aggregate.
 const EpochKey = "fs_epoch"
+
+// IsGlobalKey reports whether key names a cross-shard aggregate read —
+// a GlobalKey-derived cell or the EpochKey stamp. The provenance plane
+// uses it to mark feature reads that are barrier-epoch snapshots
+// rather than per-shard state.
+func IsGlobalKey(key string) bool {
+	return key == EpochKey || strings.HasSuffix(key, "_global")
+}
 
 // aggregate is one registered cross-shard aggregation.
 type aggregate struct {

@@ -118,6 +118,9 @@ func (m *Monitor) recordFault(kind string, err error) {
 	m.stats.Traps++
 	m.mu.Unlock()
 	m.rt.Telemetry().Fault(int64(now), m.Name(), kind)
+	if rec := m.rt.Provenance(); rec != nil {
+		m.provFault(rec, kind, now)
+	}
 	m.rt.Log.Append(actions.Violation{
 		Time: now, Guardrail: m.Name(),
 		Note: fmt.Sprintf("monitor fault [%s]: %v", kind, err),
@@ -276,6 +279,7 @@ func (m *Monitor) runAction(name string, exec func() error, attempt int, trig ke
 	sink := m.rt.Telemetry()
 	sink.Action(int64(now), m.Name(), name, attempt, err == nil)
 	if err == nil {
+		m.provAction(name, "ok", attempt)
 		if attempt > 0 {
 			m.rt.Log.Append(actions.Violation{
 				Time: now, Guardrail: m.Name(),
@@ -295,6 +299,7 @@ func (m *Monitor) runAction(name string, exec func() error, attempt int, trig ke
 	})
 	m.breakerHit(now)
 	if attempt >= retryMax {
+		m.provAction(name, "dead-letter", attempt)
 		m.mu.Lock()
 		m.stats.DeadLetters++
 		m.mu.Unlock()
@@ -307,6 +312,7 @@ func (m *Monitor) runAction(name string, exec func() error, attempt int, trig ke
 		}
 		return
 	}
+	m.provAction(name, "retry", attempt)
 	m.mu.Lock()
 	m.stats.Retries++
 	m.mu.Unlock()

@@ -10,6 +10,7 @@ import (
 	"guardrails/internal/compile"
 	"guardrails/internal/featurestore"
 	"guardrails/internal/kernel"
+	"guardrails/internal/provenance"
 	"guardrails/internal/spec"
 	"guardrails/internal/vm"
 )
@@ -195,6 +196,26 @@ type Monitor struct {
 	// closures copy it out so retries keep the original trigger time.
 	trigAt kernel.Time
 
+	// Provenance capture state (see provenance.go). prov is the
+	// reusable scratch record and provTrace the reusable VM branch
+	// trace for the in-flight evaluation; provLive marks a capture in
+	// flight; provSkip is the head-based healthy-sample countdown
+	// (commit at zero, reload to HealthyEvery-1). All are only touched
+	// while running is held. provSite is set by hook-trigger closures
+	// just before Evaluate (kernel goroutine ordering publishes it).
+	prov      provenance.Record
+	provTrace vm.BranchTrace
+	provLive  bool
+	provSkip  uint64
+	provSite  string
+	// provSyms is the program symbol table (pulled up from
+	// m.c.Program so feature capture does one index, not a pointer
+	// chase per LOAD); provGlobal marks, per program cell, whether the
+	// symbol names a cross-shard aggregate (*_global / fs_epoch) —
+	// precomputed at load so capture does no string work.
+	provSyms   []string
+	provGlobal []bool
+
 	mu      sync.Mutex // guards everything below
 	enabled bool
 	state   State
@@ -373,12 +394,15 @@ func (m *Monitor) arm() {
 				func(now kernel.Time) { m.Evaluate(0) })
 			m.timers = append(m.timers, timer)
 		case *spec.FuncTrigger:
+			site := tt.Site
 			detach := m.rt.k.Attach(tt.Site, func(_ *kernel.Kernel, _ string, args []float64) {
 				arg := 0.0
 				if len(args) > 0 {
 					arg = args[0]
 				}
+				m.provSite = site
 				m.Evaluate(arg)
+				m.provSite = ""
 			})
 			m.detach = append(m.detach, detach)
 		}
@@ -445,8 +469,18 @@ func (m *Monitor) Evaluate(arg float64) bool {
 		return true
 	}
 	shadow := m.opts.ShadowMode || m.state == StateShadow || m.forceShadow
+	shadowReason := ""
+	switch {
+	case m.opts.ShadowMode:
+		shadowReason = "shadow-mode"
+	case m.state == StateShadow:
+		shadowReason = "shadow-state"
+	case m.forceShadow:
+		shadowReason = "forced-shadow"
+	}
 	if m.actGate != nil && !shadow && !m.actGate(m.evalIdx) {
 		shadow = true
+		shadowReason = "act-gate"
 	}
 	m.evalIdx++
 	m.mu.Unlock()
@@ -458,10 +492,15 @@ func (m *Monitor) Evaluate(arg float64) bool {
 	trig := m.rt.k.Now()
 	m.trigAt = trig
 	sink := m.rt.Telemetry()
+	prov := m.rt.Provenance()
+	if prov != nil {
+		m.provBegin(arg, shadow, shadowReason)
+	}
 
 	if inj := m.rt.injector(); inj != nil {
 		if err := inj.EvalFault(m.Name()); err != nil {
 			m.recordFault("injected-trap", err)
+			m.provAbandon()
 			return true
 		}
 	}
@@ -481,6 +520,7 @@ func (m *Monitor) Evaluate(arg float64) bool {
 	if err != nil {
 		sink.Eval(int64(trig), m.Name(), m.machine.Steps-before, true)
 		m.recordFault(trapKind(err), err)
+		m.provAbandon()
 		m.accountBudget(m.machine.Steps-before, now)
 		return true
 	}
@@ -555,6 +595,7 @@ func (m *Monitor) Evaluate(arg float64) bool {
 	// its step count (and virtual trace duration) is the evaluation's
 	// whole overhead.
 	sink.Eval(int64(trig), m.Name(), m.machine.Steps-before, held)
+	m.provEnd(prov, held, twoPhase, m.machine.Steps-before)
 	if fired {
 		sink.ActionsFired(int64(trig), m.Name())
 	}
@@ -581,10 +622,16 @@ func (m *Monitor) LoadCell(i int32) float64 {
 		m.mu.Lock()
 		m.stats.LoadFaults++
 		m.mu.Unlock()
+		if m.provLive {
+			m.provFeature(i, good, true)
+		}
 		m.recordFault("corrupt-load", fmt.Errorf("NaN read from %q, substituting last good value %g", key, good))
 		return good
 	}
 	m.lastGood[i] = v
+	if m.provLive {
+		m.provFeature(i, v, false)
+	}
 	return v
 }
 
@@ -592,7 +639,15 @@ func (m *Monitor) LoadCell(i int32) float64 {
 // rule-only phase of hysteresis evaluation and in shadow states.
 func (m *Monitor) StoreCell(i int32, v float64) {
 	if m.suppressActions {
+		if m.provLive {
+			// The symbol is interned, so recording the suppressed SAVE
+			// against it allocates nothing.
+			m.prov.AddAction(m.provSyms[i], "save-suppressed")
+		}
 		return
+	}
+	if m.provLive {
+		m.prov.AddAction(m.provSyms[i], "save")
 	}
 	m.rt.store.SaveID(m.cells[i], v)
 }
@@ -628,11 +683,15 @@ func (m *Monitor) Helper(h vm.HelperID, args *[5]float64) (float64, error) {
 				m.rt.Log.Append(v)
 				return nil
 			}, 0, m.trigAt)
+		} else if m.provLive {
+			m.prov.AddAction("REPORT", "suppressed")
 		}
 		return 0, nil
 	case vm.HelperAction:
 		if !m.suppressActions {
 			m.dispatchAction(int(args[0]), args[1:], m.trigAt)
+		} else if m.provLive {
+			m.prov.AddAction("ACTION", "suppressed")
 		}
 		return 0, nil
 	default:

@@ -24,6 +24,7 @@ import (
 	"guardrails/internal/compile"
 	"guardrails/internal/featurestore"
 	"guardrails/internal/kernel"
+	"guardrails/internal/provenance"
 	"guardrails/internal/telemetry"
 )
 
@@ -47,6 +48,7 @@ type Runtime struct {
 
 	faultInj atomic.Value // injBox
 	tsink    atomic.Pointer[telemetry.Sink]
+	prov     atomic.Pointer[provenance.Recorder]
 
 	mu       sync.Mutex
 	monitors map[string]*Monitor
@@ -78,6 +80,16 @@ func (r *Runtime) SetTelemetry(s *telemetry.Sink) { r.tsink.Store(s) }
 
 // Telemetry returns the attached sink, or nil (the disabled plane).
 func (r *Runtime) Telemetry() *telemetry.Sink { return r.tsink.Load() }
+
+// SetProvenance attaches (or with nil, detaches) a decision-record
+// recorder. With one attached, every violation and fault — and a
+// sampled stream of healthy evaluations — is captured with its feature
+// reads, branch path, and action outcomes. Safe to call while the
+// kernel runs.
+func (r *Runtime) SetProvenance(p *provenance.Recorder) { r.prov.Store(p) }
+
+// Provenance returns the attached recorder, or nil (disabled).
+func (r *Runtime) Provenance() *provenance.Recorder { return r.prov.Load() }
 
 // New returns a runtime bound to a kernel and feature store, with
 // default-capacity action components (a 4096-entry report log and a
@@ -124,6 +136,7 @@ func (r *Runtime) Load(c *compile.Compiled, opts Options) (*Monitor, error) {
 	for i, sym := range c.Program.Symbols {
 		m.cells[i] = r.store.Intern(sym)
 	}
+	m.provInit()
 	m.arm()
 	r.monitors[c.Name] = m
 	r.Telemetry().MonitorLoad(c.Name, c.Program.Meta.TrapFree)
@@ -190,6 +203,7 @@ func (r *Runtime) Update(c *compile.Compiled, opts Options) (*Monitor, error) {
 	for i, sym := range c.Program.Symbols {
 		m.cells[i] = r.store.Intern(sym)
 	}
+	m.provInit()
 	// Swap: disarm the old monitor, arm the new one, replace the entry.
 	old.disarm()
 	m.arm()

@@ -1,0 +1,302 @@
+package provenance
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestProvenanceRingWraparound(t *testing.T) {
+	r := New(4, DefaultHealthyEvery)
+	for i := 1; i <= 10; i++ {
+		rec := Record{At: int64(i), Kind: KindViolation, Monitor: "m"}
+		r.Commit(&rec)
+	}
+	if r.Total() != 10 || r.Len() != 4 || r.Cap() != 4 {
+		t.Fatalf("total=%d len=%d cap=%d", r.Total(), r.Len(), r.Cap())
+	}
+	recs := r.Records()
+	for i, rec := range recs {
+		want := int64(7 + i)
+		if rec.At != want || rec.Seq != uint64(want) {
+			t.Errorf("record %d: at=%d seq=%d, want %d", i, rec.At, rec.Seq, want)
+		}
+	}
+}
+
+func TestProvenanceNilRecorderIsFree(t *testing.T) {
+	var r *Recorder
+	var rec Record
+	exercise := func() {
+		r.Commit(&rec)
+		r.SetShard(1)
+		r.SetEpoch(2)
+		_ = r.HealthyEvery()
+		_ = r.Total()
+		_ = r.Len()
+		_ = r.Cap()
+	}
+	exercise()
+	if n := testing.AllocsPerRun(1000, exercise); n != 0 {
+		t.Errorf("nil recorder allocates %v times per run, want 0", n)
+	}
+	if got := r.Records(); got != nil {
+		t.Errorf("nil recorder records = %v", got)
+	}
+	if got := r.ForMonitor("m", 3); got != nil {
+		t.Errorf("nil recorder ForMonitor = %v", got)
+	}
+}
+
+func TestProvenanceCommitAllocationFree(t *testing.T) {
+	r := New(64, 1)
+	var rec Record
+	rec.Monitor = "m"
+	rec.AddFeature("k", 1, false, false)
+	rec.AddAction("REPORT", "ok")
+	r.Commit(&rec)
+	if n := testing.AllocsPerRun(1000, func() { r.Commit(&rec) }); n != 0 {
+		t.Errorf("Commit allocates %v times per run, want 0", n)
+	}
+}
+
+func TestProvenanceRecordCaptureBounds(t *testing.T) {
+	var r Record
+	for i := 0; i < MaxFeatures+4; i++ {
+		r.AddFeature("k", float64(i), false, false)
+	}
+	if r.NFeatures != MaxFeatures || !r.FeaturesTruncated {
+		t.Errorf("features: n=%d truncated=%v", r.NFeatures, r.FeaturesTruncated)
+	}
+	for i := 0; i < MaxActions+2; i++ {
+		r.AddAction("A", "ok")
+	}
+	if r.NActions != MaxActions || !r.ActionsTruncated {
+		t.Errorf("actions: n=%d truncated=%v", r.NActions, r.ActionsTruncated)
+	}
+	r.Reset()
+	if r.NFeatures != 0 || r.FeaturesTruncated || r.NActions != 0 || r.ActionsTruncated {
+		t.Errorf("reset left capture state: %+v", r)
+	}
+}
+
+// TestProvenanceMergeDeterministic: the merged lane must order records
+// by (At, Shard, Seq) with sequence numbers reassigned, preserving the
+// per-shard shard/epoch stamps — the same total order regardless of
+// input recorder order.
+func TestProvenanceMergeDeterministic(t *testing.T) {
+	mk := func(shard int, ats ...int64) *Recorder {
+		r := New(16, DefaultHealthyEvery)
+		r.SetShard(shard)
+		r.SetEpoch(uint64(shard) + 10)
+		for _, at := range ats {
+			rec := Record{At: at, Kind: KindViolation, Monitor: "m"}
+			r.Commit(&rec)
+		}
+		return r
+	}
+	a := mk(0, 5, 5, 20)
+	b := mk(1, 5, 10)
+	c := mk(2, 1)
+
+	m1 := Merge(a, b, c, nil)
+	m2 := Merge(c, b, a) // input order must not matter
+	r1, r2 := m1.Records(), m2.Records()
+	if len(r1) != 6 || len(r2) != 6 {
+		t.Fatalf("merged lens = %d, %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Errorf("record %d differs across merge orders:\n%+v\n%+v", i, r1[i], r2[i])
+		}
+	}
+	wantOrder := []struct {
+		at    int64
+		shard int
+	}{{1, 2}, {5, 0}, {5, 0}, {5, 1}, {10, 1}, {20, 0}}
+	for i, rec := range r1 {
+		if rec.At != wantOrder[i].at || rec.Shard != wantOrder[i].shard {
+			t.Errorf("record %d: at=%d shard=%d, want at=%d shard=%d",
+				i, rec.At, rec.Shard, wantOrder[i].at, wantOrder[i].shard)
+		}
+		if rec.Seq != uint64(i+1) {
+			t.Errorf("record %d: seq=%d, want %d", i, rec.Seq, i+1)
+		}
+		if rec.Epoch != uint64(rec.Shard)+10 {
+			t.Errorf("record %d: epoch %d lost its shard stamp", i, rec.Epoch)
+		}
+	}
+	if m1.HealthyEvery() != DefaultHealthyEvery {
+		t.Errorf("merged healthyEvery = %d", m1.HealthyEvery())
+	}
+}
+
+// TestProvenanceConcurrentCommitAndMerge is the -race guard for the
+// lane discipline: shard goroutines keep committing while a driver
+// merges at a simulated barrier, exactly the sharded-system shape.
+func TestProvenanceConcurrentCommitAndMerge(t *testing.T) {
+	const shards, perShard = 4, 500
+	recs := make([]*Recorder, shards)
+	for i := range recs {
+		recs[i] = New(256, 1)
+		recs[i].SetShard(i)
+	}
+	var wg sync.WaitGroup
+	for i, r := range recs {
+		wg.Add(1)
+		go func(shard int, r *Recorder) {
+			defer wg.Done()
+			for j := 0; j < perShard; j++ {
+				rec := Record{At: int64(j), Kind: KindEval, Monitor: "m", Held: true}
+				rec.AddFeature("k", float64(j), false, false)
+				r.Commit(&rec)
+				if j%64 == 0 {
+					r.SetEpoch(uint64(j / 64))
+				}
+			}
+		}(i, r)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			m := Merge(recs...)
+			if m.Len() > shards*256 {
+				t.Errorf("merged len = %d", m.Len())
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	m := Merge(recs...)
+	if got := m.Len(); got != shards*256 {
+		t.Errorf("final merged len = %d, want %d", got, shards*256)
+	}
+	var total uint64
+	for _, r := range recs {
+		total += r.Total()
+	}
+	if total != shards*perShard {
+		t.Errorf("committed total = %d, want %d", total, shards*perShard)
+	}
+}
+
+func TestProvenanceForMonitor(t *testing.T) {
+	r := New(32, DefaultHealthyEvery)
+	for i := 1; i <= 6; i++ {
+		name := "a"
+		if i%2 == 0 {
+			name = "b"
+		}
+		rec := Record{At: int64(i), Kind: KindViolation, Monitor: name}
+		r.Commit(&rec)
+	}
+	got := r.ForMonitor("a", 2)
+	if len(got) != 2 || got[0].At != 3 || got[1].At != 5 {
+		t.Errorf("ForMonitor(a, 2) = %+v", got)
+	}
+	if all := r.ForMonitor("a", 0); len(all) != 3 {
+		t.Errorf("ForMonitor(a, 0) = %d records", len(all))
+	}
+	if none := r.ForMonitor("zzz", 5); len(none) != 0 {
+		t.Errorf("ForMonitor(zzz) = %+v", none)
+	}
+}
+
+func TestProvenanceWriteJSONDeterministic(t *testing.T) {
+	r := New(8, DefaultHealthyEvery)
+	rec := Record{At: 42, Kind: KindViolation, Monitor: "m", Gen: 1, Steps: 9}
+	rec.AddFeature("false_submit_rate", 0.2, false, false)
+	r.Commit(&rec)
+	gate := Record{At: 50, Kind: KindGate, Monitor: "m@v2", Gen: 2, Stage: "canary",
+		GateSource: "flight", Cand: Window{Evals: 3}, Inc: Window{Evals: 5}}
+	r.Commit(&gate)
+
+	var a, b strings.Builder
+	if err := r.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("WriteJSON is not deterministic across calls")
+	}
+	for _, want := range []string{
+		`"records_total": 2`,
+		`"kind": "violation"`,
+		`"key": "false_submit_rate"`,
+		`"kind": "gate"`,
+		`"gate_source": "flight"`,
+	} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("export missing %q:\n%s", want, a.String())
+		}
+	}
+
+	var nilRec *Recorder
+	var c strings.Builder
+	if err := nilRec.WriteJSON(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c.String(), `"records": []`) {
+		t.Errorf("nil recorder export = %s", c.String())
+	}
+}
+
+func TestProvenanceExplainRendering(t *testing.T) {
+	viol := Record{At: 1e9, Kind: KindViolation, Monitor: "low-false-submit", Gen: 1,
+		Steps: 8, TrapFree: true, DivProven: true, MaxSteps: 11}
+	viol.AddFeature("false_submit_rate", 0.21, false, false)
+	viol.AddFeature("load_global", 3, false, true)
+	viol.NBranches = 1
+	viol.Branches[0] = BranchDecision{PC: 3, Taken: true}
+	viol.AddAction("SAVE(ml_enabled)", "save")
+
+	fault := Record{At: 2e9, Kind: KindFault, Monitor: "low-false-submit", Gen: 1, FaultKind: "div-trap"}
+	gate := Record{At: 3e9, Kind: KindGate, Monitor: "low-false-submit@v2", Gen: 2,
+		Stage: "canary", GateReason: "violations regressed", GateSource: "stats",
+		Cand: Window{Violations: 4}, Inc: Window{Violations: 1}}
+	rb := Record{At: 4e9, Kind: KindRollback, Monitor: "rollout", Gen: 2, Reason: "canary gate failed"}
+	shadow := Record{At: 5e9, Kind: KindEval, Monitor: "low-false-submit", Gen: 1,
+		Held: true, Shadow: true, ShadowReason: "shadow-state", Site: "io_submit", Arg: 0.5}
+
+	out := Explain("low-false-submit", Views([]Record{viol, fault, gate, rb, shadow}))
+	for _, want := range []string{
+		"low-false-submit — last 5 decision(s):",
+		"VIOLATION  low-false-submit@v1",
+		"loaded: false_submit_rate=0.21 load_global=3 (global)",
+		"path: pc3:jump",
+		"vm: 8 steps (proven trap-free, div-proven, ≤11 steps certified)",
+		"rule: VIOLATED",
+		"action SAVE(ml_enabled): save",
+		"fault: div-trap",
+		"canary gate FAILED: violations regressed (window scored from stats)",
+		"candidate: evals=0 violations=4",
+		"rolled back: canary gate failed",
+		"trigger: io_submit (arg 0.5)",
+		"actions suppressed (shadow-state)",
+		"rule: held",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+
+	empty := Explain("ghost", nil)
+	if !strings.Contains(empty, "ghost: no decision records retained") {
+		t.Errorf("empty explain = %q", empty)
+	}
+}
+
+func TestProvenanceKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Error("out-of-range kind should stringify as unknown")
+	}
+}

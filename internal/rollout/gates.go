@@ -79,17 +79,20 @@ func (l lane) meanSteps() float64 {
 // windowLanes reduces the flight-recorder window since start into
 // per-subject lanes. ok=false means the sink is absent or the ring
 // wrapped past the window start — callers must fall back to counter
-// deltas.
-func windowLanes(sink *telemetry.Sink, start telemetry.Time) (map[string]lane, bool) {
+// deltas. truncated distinguishes the wrap case (counted on the sink
+// as flight_window_truncated_total) from a system with no flight
+// recorder at all.
+func windowLanes(sink *telemetry.Sink, start telemetry.Time) (lanes map[string]lane, ok, truncated bool) {
 	f := sink.Flight()
 	if f == nil {
-		return nil, false
+		return nil, false, false
 	}
 	events, truncated := f.EventsSince(start)
 	if truncated {
-		return nil, false
+		sink.FlightWindowTruncated()
+		return nil, false, true
 	}
-	lanes := map[string]lane{}
+	lanes = map[string]lane{}
 	for _, e := range events {
 		l := lanes[e.Subject]
 		switch e.Kind {
@@ -109,7 +112,7 @@ func windowLanes(sink *telemetry.Sink, start telemetry.Time) (map[string]lane, b
 		}
 		lanes[e.Subject] = l
 	}
-	return lanes, true
+	return lanes, true, false
 }
 
 // statsLane derives a window lane from monitor counter deltas — the

@@ -1,0 +1,184 @@
+package rollout
+
+import (
+	"strings"
+	"testing"
+
+	"guardrails/internal/featurestore"
+	"guardrails/internal/kernel"
+	"guardrails/internal/monitor"
+	"guardrails/internal/provenance"
+	"guardrails/internal/telemetry"
+)
+
+// provHarness is the standard harness with a provenance recorder and a
+// configurable flight-ring capacity (small caps force the gate's
+// truncation fallback).
+func provHarness(t *testing.T, eventCap int) (*Controller, *monitor.Runtime, *kernel.Kernel, *provenance.Recorder) {
+	t.Helper()
+	k := kernel.New()
+	st := featurestore.New()
+	rt := monitor.New(k, st)
+	sink := telemetry.New(func() telemetry.Time { return int64(k.Now()) }, eventCap)
+	rt.SetTelemetry(sink)
+	k.SetTelemetry(sink)
+	rec := provenance.New(1024, 0)
+	rt.SetProvenance(rec)
+
+	inc := mustCompile(t, latGuard)
+	if _, err := rt.Load(inc[0], monitor.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	ctl := NewController(rt)
+	ctl.Adopt(inc)
+
+	i := 0
+	k.Every(0, kernel.Millisecond, 0, func(now kernel.Time) {
+		st.Save("lat_ma", 0.10+0.05*float64(i%10))
+		k.Fire("io_done", 0)
+		i++
+	})
+	return ctl, rt, k, rec
+}
+
+// gateRecords filters the recorder's retained gate records.
+func gateRecords(rec *provenance.Recorder) []provenance.Record {
+	var out []provenance.Record
+	for _, r := range rec.Records() {
+		if r.Kind == provenance.KindGate {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TestGateRecordsHealthyPromotion: a promoting rollout leaves one gate
+// record per stage, scored from the flight window, with the exact lanes
+// the gate saw attached.
+func TestGateRecordsHealthyPromotion(t *testing.T) {
+	ctl, _, k, rec := provHarness(t, 1<<15)
+	cand := mustCompile(t, strings.Replace(latGuard, "0.5", "0.56", 1))
+	if err := ctl.Begin(cand, fastCfg()); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(2 * kernel.Second)
+	if got := ctl.Phase(); got != PhasePromoted {
+		t.Fatalf("phase = %s (reason %q)", got, ctl.Reason())
+	}
+
+	gates := gateRecords(rec)
+	if len(gates) != 2 {
+		t.Fatalf("gate records = %d, want 2 (shadow + canary)", len(gates))
+	}
+	stages := []string{"shadow", "canary"}
+	for i, g := range gates {
+		if g.Stage != stages[i] {
+			t.Errorf("gate %d stage = %q, want %q", i, g.Stage, stages[i])
+		}
+		if g.GateReason != "" {
+			t.Errorf("gate %d failed unexpectedly: %q", i, g.GateReason)
+		}
+		if g.GateSource != "flight" {
+			t.Errorf("gate %d source = %q, want flight", i, g.GateSource)
+		}
+		if g.Monitor != VersionedName("lat-guard", 2) {
+			t.Errorf("gate %d monitor = %q", i, g.Monitor)
+		}
+		if g.Cand.Evals == 0 || g.Inc.Evals == 0 {
+			t.Errorf("gate %d windows empty: cand=%+v inc=%+v", i, g.Cand, g.Inc)
+		}
+	}
+	// The incumbent violates on the 0.55 samples; its lane must show
+	// them while the loosened candidate's stays clean.
+	if gates[1].Inc.Violations == 0 || gates[1].Cand.Violations != 0 {
+		t.Errorf("canary windows: cand=%+v inc=%+v", gates[1].Cand, gates[1].Inc)
+	}
+}
+
+// TestGateWindowTruncationFallsBackToStats is the satellite check for
+// the flight-ring wrap path: with a tiny ring the window since the
+// stage start is gone, the sink counts the truncation, the rollout
+// history records the evidence downgrade, and the gate records say the
+// verdict was scored from monitor-stats deltas.
+func TestGateWindowTruncationFallsBackToStats(t *testing.T) {
+	// 16 events cover ~2ms of this workload; the 200ms shadow window has
+	// long since wrapped by gate time.
+	ctl, rt, k, rec := provHarness(t, 16)
+	cand := mustCompile(t, strings.Replace(latGuard, "0.5", "0.56", 1))
+	if err := ctl.Begin(cand, fastCfg()); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(2 * kernel.Second)
+	if got := ctl.Phase(); got != PhasePromoted {
+		t.Fatalf("phase = %s (reason %q)", got, ctl.Reason())
+	}
+
+	if got := rt.Telemetry().Counters.FlightWindowTruncated.Value(); got != 2 {
+		t.Errorf("flight_window_truncated_total = %d, want 2 (one per gate)", got)
+	}
+	var fallbacks int
+	for _, h := range ctl.History() {
+		if h.Event == "gate_window_fallback" {
+			fallbacks++
+			if !strings.Contains(h.Note, "truncated") {
+				t.Errorf("fallback note = %q", h.Note)
+			}
+		}
+	}
+	if fallbacks != 2 {
+		t.Errorf("gate_window_fallback history records = %d, want 2", fallbacks)
+	}
+	gates := gateRecords(rec)
+	if len(gates) != 2 {
+		t.Fatalf("gate records = %d, want 2", len(gates))
+	}
+	for i, g := range gates {
+		if g.GateSource != "stats" {
+			t.Errorf("gate %d source = %q, want stats", i, g.GateSource)
+		}
+		if g.Cand.Evals == 0 {
+			t.Errorf("gate %d stats-delta window empty: %+v", i, g.Cand)
+		}
+	}
+}
+
+// TestGateNoFlightRecorderIsNotTruncation: a runtime with no telemetry
+// at all falls back to stats silently — no truncation counter, no
+// history downgrade record (there was never flight evidence to lose).
+func TestGateNoFlightRecorderIsNotTruncation(t *testing.T) {
+	k := kernel.New()
+	st := featurestore.New()
+	rt := monitor.New(k, st)
+	rec := provenance.New(256, 0)
+	rt.SetProvenance(rec)
+	inc := mustCompile(t, latGuard)
+	if _, err := rt.Load(inc[0], monitor.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	ctl := NewController(rt)
+	ctl.Adopt(inc)
+	i := 0
+	k.Every(0, kernel.Millisecond, 0, func(now kernel.Time) {
+		st.Save("lat_ma", 0.10+0.05*float64(i%10))
+		k.Fire("io_done", 0)
+		i++
+	})
+	cand := mustCompile(t, strings.Replace(latGuard, "0.5", "0.56", 1))
+	if err := ctl.Begin(cand, fastCfg()); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(2 * kernel.Second)
+	if got := ctl.Phase(); got != PhasePromoted {
+		t.Fatalf("phase = %s (reason %q)", got, ctl.Reason())
+	}
+	for _, h := range ctl.History() {
+		if h.Event == "gate_window_fallback" {
+			t.Error("nil flight recorder must not record a truncation fallback")
+		}
+	}
+	for i, g := range gateRecords(rec) {
+		if g.GateSource != "stats" {
+			t.Errorf("gate %d source = %q, want stats", i, g.GateSource)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"guardrails/internal/compile"
 	"guardrails/internal/kernel"
 	"guardrails/internal/monitor"
+	"guardrails/internal/provenance"
 	"guardrails/internal/spec"
 	"guardrails/internal/spec/interfere"
 )
@@ -550,7 +551,21 @@ func (c *Controller) snapshot(st *rollout) map[string]monitor.Stats {
 // gateCheck scores the current stage window against the gates,
 // returning the failure reason or "". Callers hold c.mu.
 func (c *Controller) gateCheck(st *rollout, stage string) string {
-	lanes, ok := windowLanes(c.rt.Telemetry(), int64(st.stageStart))
+	lanes, ok, truncated := windowLanes(c.rt.Telemetry(), int64(st.stageStart))
+	source := "flight"
+	if !ok {
+		source = "stats"
+		if truncated {
+			// The flight ring wrapped past the stage start: the gate is
+			// scoring coarser monitor-stats deltas. Surface that in the
+			// rollout history so a later reader of a pass/fail verdict
+			// knows which evidence produced it.
+			c.record(st.gen, "gate_window_fallback",
+				fmt.Sprintf("%s gate: flight window truncated, scoring monitor-stats deltas", stage))
+		}
+	}
+	prov := c.rt.Provenance()
+	failed := ""
 	for _, p := range st.pairs {
 		var cand, inc lane
 		if ok {
@@ -561,11 +576,29 @@ func (c *Controller) gateCheck(st *rollout, stage string) string {
 				inc = statsLane(p.inc.Stats(), st.statsAt[p.name])
 			}
 		}
-		if reason := st.cfg.Gates.check(stage, p.vname, cand, inc, p.inc != nil); reason != "" {
-			return reason
+		reason := st.cfg.Gates.check(stage, p.vname, cand, inc, p.inc != nil)
+		if prov != nil {
+			rec := provenance.Record{
+				Kind: provenance.KindGate, At: int64(c.k.Now()),
+				Monitor: p.vname, Gen: int(st.gen),
+				Stage: stage, GateReason: reason, GateSource: source,
+				Cand: window(cand), Inc: window(inc),
+			}
+			prov.Commit(&rec)
+		}
+		if reason != "" && failed == "" {
+			failed = reason
 		}
 	}
-	return ""
+	return failed
+}
+
+// window converts a gate lane to its provenance wire form.
+func window(l lane) provenance.Window {
+	return provenance.Window{
+		Evals: l.Evals, Violations: l.Violations, Faults: l.Faults,
+		Dispatches: l.Dispatches, Failures: l.Failures, Steps: l.Steps,
+	}
 }
 
 // unloadCandidates removes every trial monitor and restores incumbent
@@ -588,6 +621,13 @@ func (c *Controller) rollback(st *rollout, reason string) {
 	st.reason = reason
 	c.record(st.gen, "rolled_back", reason)
 	c.rt.Telemetry().Rollback(int64(c.k.Now()), c.fleetGen, reason)
+	if prov := c.rt.Provenance(); prov != nil {
+		rec := provenance.Record{
+			Kind: provenance.KindRollback, At: int64(c.k.Now()),
+			Monitor: "rollout", Gen: int(st.gen), Reason: reason,
+		}
+		prov.Commit(&rec)
+	}
 	c.rt.Log.Append(actions.Violation{
 		Time: c.k.Now(), Guardrail: "rollout",
 		Note: fmt.Sprintf("gen %d rolled back to gen %d: %s", st.gen, c.fleetGen, reason),

@@ -209,6 +209,16 @@ func (h *LogHistogram) Add(x float64) {
 // Count returns the number of observations.
 func (h *LogHistogram) Count() uint64 { return h.total }
 
+// Buckets exposes the raw log2 buckets for cumulative-histogram
+// export: the sub-1 count, a copy of the power-of-two bin counts
+// (bins[i] counts values in [2^i, 2^(i+1)), the top bin absorbing
+// overflow), the observation total, and the running sum.
+func (h *LogHistogram) Buckets() (zero uint64, bins []uint64, total uint64, sum float64) {
+	bins = make([]uint64, len(h.bins))
+	copy(bins, h.bins)
+	return h.zero, bins, h.total, h.sum
+}
+
 // Mean returns the mean of all observations, or NaN when empty
 // (matching Histogram.Mean).
 func (h *LogHistogram) Mean() float64 {

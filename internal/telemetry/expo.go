@@ -96,8 +96,16 @@ func (snap Snapshot) Diff(prev Snapshot) Snapshot {
 }
 
 // WritePrometheus renders the sink in the Prometheus text exposition
-// format (one family per counter, summaries with quantile labels),
-// deterministically ordered. The metric prefix is "guardrails_".
+// format, deterministically ordered: one family per counter, and each
+// latency/step distribution as a native cumulative histogram with
+// `_bucket{le=...}`/`_sum`/`_count` series. The metric prefix is
+// "guardrails_".
+//
+// Bucket boundaries follow the underlying log2 histogram: le="1"
+// holds the sub-1 observations, le="2^(k+1)" closes the [2^k, 2^(k+1))
+// bin, and empty bins are elided (the cumulative counts are unchanged
+// by elision). Observations past the top bin are absorbed by it, so
+// the le="+Inf" bucket always equals _count.
 func (s *Sink) WritePrometheus(w io.Writer) error {
 	snap := s.Snapshot()
 	var err error
@@ -114,31 +122,47 @@ func (s *Sink) WritePrometheus(w io.Writer) error {
 	for _, name := range names {
 		p("# TYPE guardrails_%s counter\nguardrails_%s %d\n", name, name, snap.Counters[name])
 	}
-	family := func(metric, label string, m map[string]stats.Summary) {
-		if len(m) == 0 {
+	family := func(metric, label string, m map[string]*Hist) {
+		if s == nil {
 			return
 		}
+		s.mu.RLock()
 		keys := make([]string, 0, len(m))
-		for k := range m {
-			keys = append(keys, k)
+		for k, h := range m {
+			if h.Summary().Count > 0 {
+				keys = append(keys, k)
+			}
 		}
 		sort.Strings(keys)
-		p("# TYPE guardrails_%s summary\n", metric)
-		for _, k := range keys {
-			sum := m[k]
-			for _, q := range []struct {
-				q string
-				v float64
-			}{{"0.5", sum.P50}, {"0.9", sum.P90}, {"0.95", sum.P95}, {"0.99", sum.P99}} {
-				p("guardrails_%s{%s=%q,quantile=%q} %g\n", metric, label, k, q.q, q.v)
-			}
-			p("guardrails_%s_count{%s=%q} %d\n", metric, label, k, sum.Count)
-			p("guardrails_%s_mean{%s=%q} %g\n", metric, label, k, sum.Mean)
+		if len(keys) == 0 {
+			s.mu.RUnlock()
+			return
 		}
+		p("# TYPE guardrails_%s histogram\n", metric)
+		for _, k := range keys {
+			zero, bins, total, sum := m[k].buckets()
+			cum := zero
+			p("guardrails_%s_bucket{%s=%q,le=\"1\"} %d\n", metric, label, k, cum)
+			for i, n := range bins {
+				if n == 0 {
+					continue
+				}
+				cum += n
+				p("guardrails_%s_bucket{%s=%q,le=\"%d\"} %d\n", metric, label, k, uint64(1)<<(i+1), cum)
+			}
+			p("guardrails_%s_bucket{%s=%q,le=\"+Inf\"} %d\n", metric, label, k, total)
+			p("guardrails_%s_sum{%s=%q} %g\n", metric, label, k, sum)
+			p("guardrails_%s_count{%s=%q} %d\n", metric, label, k, total)
+		}
+		s.mu.RUnlock()
 	}
-	family("hook_dispatch_ns", "site", snap.HookDispatchNS)
-	family("eval_vm_steps", "monitor", snap.EvalVMSteps)
-	family("io_latency_ns", "device", snap.IOLatencyNS)
+	var hookNS, evalSteps, ioNS map[string]*Hist
+	if s != nil {
+		hookNS, evalSteps, ioNS = s.hookNS, s.evalSteps, s.ioNS
+	}
+	family("hook_dispatch_ns", "site", hookNS)
+	family("eval_vm_steps", "monitor", evalSteps)
+	family("io_latency_ns", "device", ioNS)
 	p("# TYPE guardrails_flight_events counter\nguardrails_flight_events %d\n", snap.EventsTotal)
 	return err
 }

@@ -68,6 +68,17 @@ func (h *Hist) Summary() stats.Summary {
 	return h.h.Summary()
 }
 
+// buckets exposes the raw log2 buckets for the native-histogram
+// Prometheus export (see stats.LogHistogram.Buckets).
+func (h *Hist) buckets() (zero uint64, bins []uint64, total uint64, sum float64) {
+	if h == nil {
+		return 0, nil, 0, 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Buckets()
+}
+
 // Merge folds o into h. Always shape-compatible: every telemetry
 // histogram shares histMaxExp.
 func (h *Hist) Merge(o *Hist) {
@@ -116,6 +127,11 @@ type Counters struct {
 	RolloutAdmitRetries Counter
 	Breakglass          Counter
 	BreakglassReleases  Counter
+	// FlightWindowTruncated counts flight-recorder window reads
+	// (EventsSince) that could not cover their window because the ring
+	// wrapped — each one is a rollout gate (or other reader) forced to
+	// fall back to coarser counter deltas.
+	FlightWindowTruncated Counter
 }
 
 // counterNames returns the exposition name → counter mapping. The
@@ -157,6 +173,7 @@ func (c *Counters) byName() []struct {
 		{"rollout_admission_retries_total", &c.RolloutAdmitRetries},
 		{"breakglass_total", &c.Breakglass},
 		{"breakglass_releases_total", &c.BreakglassReleases},
+		{"flight_window_truncated_total", &c.FlightWindowTruncated},
 	}
 }
 
@@ -403,6 +420,16 @@ func (s *Sink) Fault(at Time, monitor, kind string) {
 	}
 	s.Counters.Faults.Inc()
 	s.rec.Record(Event{At: at, Kind: KindFault, Subject: monitor, Detail: kind})
+}
+
+// FlightWindowTruncated counts one window read the flight ring could
+// not cover (EventsSince reported truncation) — the reader fell back
+// to counter deltas.
+func (s *Sink) FlightWindowTruncated() {
+	if s == nil {
+		return
+	}
+	s.Counters.FlightWindowTruncated.Inc()
 }
 
 // Transition records a degradation-ladder move: kind must be one of

@@ -65,6 +65,7 @@ func TestTelemetryNilSinkIsFree(t *testing.T) {
 		s.IO("dev", 100, true)
 		s.StoreLoad()
 		s.StoreSave()
+		s.FlightWindowTruncated()
 		s.Emit(Event{})
 		c.Add(1)
 		h.Observe(1)
@@ -220,12 +221,25 @@ func TestTelemetryPrometheusExposition(t *testing.T) {
 		"# TYPE guardrails_evals_total counter\nguardrails_evals_total 1\n",
 		"guardrails_violations_total 1\n",
 		"guardrails_vm_steps_total 8\n",
-		`guardrails_eval_vm_steps{monitor="low-false-submit",quantile="0.5"}`,
+		// Native cumulative histograms: one eval of 8 steps lands in
+		// the [8,16) bin, so the cumulative series is 0 below it, 1 at
+		// le="16", and 1 at +Inf with sum 8.
+		"# TYPE guardrails_eval_vm_steps histogram\n",
+		`guardrails_eval_vm_steps_bucket{monitor="low-false-submit",le="1"} 0`,
+		`guardrails_eval_vm_steps_bucket{monitor="low-false-submit",le="16"} 1`,
+		`guardrails_eval_vm_steps_bucket{monitor="low-false-submit",le="+Inf"} 1`,
+		`guardrails_eval_vm_steps_sum{monitor="low-false-submit"} 8`,
+		`guardrails_eval_vm_steps_count{monitor="low-false-submit"} 1`,
+		"# TYPE guardrails_hook_dispatch_ns histogram\n",
+		`guardrails_hook_dispatch_ns_bucket{site="io_complete",le="256"} 1`,
 		`guardrails_hook_dispatch_ns_count{site="io_complete"} 1`,
 	} {
 		if !strings.Contains(a.String(), want) {
 			t.Errorf("exposition missing %q:\n%s", want, a.String())
 		}
+	}
+	if strings.Contains(a.String(), "quantile=") {
+		t.Errorf("exposition still contains summary quantile series:\n%s", a.String())
 	}
 }
 

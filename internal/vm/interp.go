@@ -27,6 +27,35 @@ type Env interface {
 // bypassed verification.
 var ErrBudget = errors.New("vm: instruction budget exceeded")
 
+// TraceCap bounds the branch decisions a BranchTrace retains; further
+// decisions set Truncated instead of growing.
+const TraceCap = 32
+
+// BranchTrace records the conditional-branch path one Run took:
+// every conditional jump's pc and whether it was taken, in execution
+// order. It is fixed-size and reusable — installing one on a Machine
+// and resetting it between runs allocates nothing.
+type BranchTrace struct {
+	PC        [TraceCap]int32
+	Taken     [TraceCap]bool
+	N         int
+	Truncated bool
+}
+
+// Reset clears the trace for reuse (the arrays beyond N are never
+// read, so this is two stores).
+func (t *BranchTrace) Reset() { t.N, t.Truncated = 0, false }
+
+func (t *BranchTrace) add(pc int, taken bool) {
+	if t.N >= TraceCap {
+		t.Truncated = true
+		return
+	}
+	t.PC[t.N] = int32(pc)
+	t.Taken[t.N] = taken
+	t.N++
+}
+
 // Machine executes verified programs. A Machine is cheap; the zero value
 // is ready to use and may be reused across runs. Not safe for concurrent
 // use.
@@ -35,6 +64,12 @@ type Machine struct {
 	// Steps accumulates executed instruction counts across Run calls,
 	// feeding monitor-overhead accounting (property P5).
 	Steps uint64
+	// Trace, when non-nil, receives the conditional-branch path of
+	// each Run — the provenance plane's branch capture. Both
+	// interpreter loops honour it; the proven fast path pays one
+	// predictable nil test per conditional jump, so proven programs
+	// stay off the guarded loop even while traced.
+	Trace *BranchTrace
 }
 
 // Run executes p against env with r0 preset to arg (the trigger
@@ -65,6 +100,7 @@ func (m *Machine) runProven(p *Program, env Env, arg float64) (float64, error) {
 	r := &m.regs
 	code := p.Code
 	rawDiv := p.Meta.DivProven
+	tr := m.Trace
 	var steps uint64
 	pc := 0
 	for {
@@ -120,51 +156,51 @@ func (m *Machine) runProven(p *Program, env Env, arg float64) (float64, error) {
 		case OpJmp:
 			pc += int(in.Off)
 		case OpJEq:
-			if r[in.Dst] == r[in.Src] {
+			if taken := r[in.Dst] == r[in.Src]; branch(tr, pc, taken) {
 				pc += int(in.Off)
 			}
 		case OpJNe:
-			if r[in.Dst] != r[in.Src] {
+			if taken := r[in.Dst] != r[in.Src]; branch(tr, pc, taken) {
 				pc += int(in.Off)
 			}
 		case OpJLt:
-			if r[in.Dst] < r[in.Src] {
+			if taken := r[in.Dst] < r[in.Src]; branch(tr, pc, taken) {
 				pc += int(in.Off)
 			}
 		case OpJLe:
-			if r[in.Dst] <= r[in.Src] {
+			if taken := r[in.Dst] <= r[in.Src]; branch(tr, pc, taken) {
 				pc += int(in.Off)
 			}
 		case OpJGt:
-			if r[in.Dst] > r[in.Src] {
+			if taken := r[in.Dst] > r[in.Src]; branch(tr, pc, taken) {
 				pc += int(in.Off)
 			}
 		case OpJGe:
-			if r[in.Dst] >= r[in.Src] {
+			if taken := r[in.Dst] >= r[in.Src]; branch(tr, pc, taken) {
 				pc += int(in.Off)
 			}
 		case OpJEqI:
-			if r[in.Dst] == in.Imm {
+			if taken := r[in.Dst] == in.Imm; branch(tr, pc, taken) {
 				pc += int(in.Off)
 			}
 		case OpJNeI:
-			if r[in.Dst] != in.Imm {
+			if taken := r[in.Dst] != in.Imm; branch(tr, pc, taken) {
 				pc += int(in.Off)
 			}
 		case OpJLtI:
-			if r[in.Dst] < in.Imm {
+			if taken := r[in.Dst] < in.Imm; branch(tr, pc, taken) {
 				pc += int(in.Off)
 			}
 		case OpJLeI:
-			if r[in.Dst] <= in.Imm {
+			if taken := r[in.Dst] <= in.Imm; branch(tr, pc, taken) {
 				pc += int(in.Off)
 			}
 		case OpJGtI:
-			if r[in.Dst] > in.Imm {
+			if taken := r[in.Dst] > in.Imm; branch(tr, pc, taken) {
 				pc += int(in.Off)
 			}
 		case OpJGeI:
-			if r[in.Dst] >= in.Imm {
+			if taken := r[in.Dst] >= in.Imm; branch(tr, pc, taken) {
 				pc += int(in.Off)
 			}
 		case OpLoad:
@@ -203,6 +239,7 @@ func (m *Machine) runGuarded(p *Program, env Env, arg float64) (float64, error) 
 	m.regs[0] = arg
 	budget := len(p.Code) + 1
 	r := &m.regs
+	tr := m.Trace
 	pc := 0
 	for {
 		if budget <= 0 {
@@ -258,51 +295,51 @@ func (m *Machine) runGuarded(p *Program, env Env, arg float64) (float64, error) 
 		case OpJmp:
 			pc += int(in.Off)
 		case OpJEq:
-			if r[in.Dst] == r[in.Src] {
+			if taken := r[in.Dst] == r[in.Src]; branch(tr, pc, taken) {
 				pc += int(in.Off)
 			}
 		case OpJNe:
-			if r[in.Dst] != r[in.Src] {
+			if taken := r[in.Dst] != r[in.Src]; branch(tr, pc, taken) {
 				pc += int(in.Off)
 			}
 		case OpJLt:
-			if r[in.Dst] < r[in.Src] {
+			if taken := r[in.Dst] < r[in.Src]; branch(tr, pc, taken) {
 				pc += int(in.Off)
 			}
 		case OpJLe:
-			if r[in.Dst] <= r[in.Src] {
+			if taken := r[in.Dst] <= r[in.Src]; branch(tr, pc, taken) {
 				pc += int(in.Off)
 			}
 		case OpJGt:
-			if r[in.Dst] > r[in.Src] {
+			if taken := r[in.Dst] > r[in.Src]; branch(tr, pc, taken) {
 				pc += int(in.Off)
 			}
 		case OpJGe:
-			if r[in.Dst] >= r[in.Src] {
+			if taken := r[in.Dst] >= r[in.Src]; branch(tr, pc, taken) {
 				pc += int(in.Off)
 			}
 		case OpJEqI:
-			if r[in.Dst] == in.Imm {
+			if taken := r[in.Dst] == in.Imm; branch(tr, pc, taken) {
 				pc += int(in.Off)
 			}
 		case OpJNeI:
-			if r[in.Dst] != in.Imm {
+			if taken := r[in.Dst] != in.Imm; branch(tr, pc, taken) {
 				pc += int(in.Off)
 			}
 		case OpJLtI:
-			if r[in.Dst] < in.Imm {
+			if taken := r[in.Dst] < in.Imm; branch(tr, pc, taken) {
 				pc += int(in.Off)
 			}
 		case OpJLeI:
-			if r[in.Dst] <= in.Imm {
+			if taken := r[in.Dst] <= in.Imm; branch(tr, pc, taken) {
 				pc += int(in.Off)
 			}
 		case OpJGtI:
-			if r[in.Dst] > in.Imm {
+			if taken := r[in.Dst] > in.Imm; branch(tr, pc, taken) {
 				pc += int(in.Off)
 			}
 		case OpJGeI:
-			if r[in.Dst] >= in.Imm {
+			if taken := r[in.Dst] >= in.Imm; branch(tr, pc, taken) {
 				pc += int(in.Off)
 			}
 		case OpLoad:
@@ -326,6 +363,16 @@ func (m *Machine) runGuarded(p *Program, env Env, arg float64) (float64, error) 
 		}
 		pc++
 	}
+}
+
+// branch records one conditional-jump decision into tr (if installed)
+// and passes the verdict through, keeping the guarded loop's jump
+// cases single-expression.
+func branch(tr *BranchTrace, pc int, taken bool) bool {
+	if tr != nil {
+		tr.add(pc, taken)
+	}
+	return taken
 }
 
 func safeDiv(a, b float64) float64 {

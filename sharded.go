@@ -4,6 +4,7 @@ import (
 	"guardrails/internal/featurestore"
 	"guardrails/internal/kernel"
 	"guardrails/internal/monitor"
+	"guardrails/internal/provenance"
 	"guardrails/internal/rollout"
 	"guardrails/internal/telemetry"
 )
@@ -67,6 +68,7 @@ type ShardedSystem struct {
 
 	shards []*System
 	sinks  []*Telemetry
+	provs  []*Provenance
 }
 
 // NewShardedSystem returns an n-shard system with the default barrier
@@ -155,6 +157,50 @@ func (s *ShardedSystem) ShardTelemetry(i int) *Telemetry { return s.shards[i].Te
 // run for exact numbers.
 func (s *ShardedSystem) Telemetry() *Telemetry {
 	return telemetry.Merge(func() telemetry.Time { return int64(s.Pool.Now()) }, 0, s.sinks...)
+}
+
+// AttachProvenance attaches one decision recorder per shard (each
+// labeled with its shard index) and registers a barrier callback that
+// stamps every recorder with the pool's aggregation epoch — records
+// committed after a barrier carry the epoch whose *_global snapshots
+// their evaluations read. Returns the per-shard recorders.
+func (s *ShardedSystem) AttachProvenance(recordCap, healthyEvery int) []*Provenance {
+	s.provs = s.provs[:0]
+	for i, sys := range s.shards {
+		rec := sys.AttachProvenance(recordCap, healthyEvery)
+		rec.SetShard(i)
+		s.provs = append(s.provs, rec)
+	}
+	provs := append([]*Provenance(nil), s.provs...)
+	s.Pool.OnBarrier(func(_ kernel.Time, epoch uint64) {
+		for _, rec := range provs {
+			rec.SetEpoch(epoch)
+		}
+	})
+	return provs
+}
+
+// ShardProvenance returns shard i's recorder (nil if not attached).
+func (s *ShardedSystem) ShardProvenance(i int) *Provenance { return s.shards[i].Provenance() }
+
+// Provenance merges the per-shard decision lanes into one
+// deterministic fleet-wide lane, ordered by (time, shard, sequence) —
+// the same total order every seeded run produces.
+func (s *ShardedSystem) Provenance() *Provenance {
+	return provenance.Merge(s.provs...)
+}
+
+// ServeOps starts the live ops endpoint for the fleet: /metrics and
+// /snapshot.json serve a fresh deterministic merge of the per-shard
+// sinks per request, /why a fresh merge of the per-shard decision
+// lanes.
+func (s *ShardedSystem) ServeOps(addr string) (*OpsServer, error) {
+	return telemetry.ServeOps(addr, OpsConfig{
+		Sink: func() *telemetry.Sink { return s.Telemetry() },
+		Why: func(name string, n int) (any, error) {
+			return provenance.Views(s.Provenance().ForMonitor(name, n)), nil
+		},
+	})
 }
 
 // FleetStats folds the per-shard replicas of the named guardrail into
