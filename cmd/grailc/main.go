@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	grailc [-O0|-O1] [-S] [-json] [-check-only] [-vet] [-interfere] [-o out.img] file.grail...
+//	grailc [-O0|-O1] [-S] [-json] [-check-only] [-vet] [-interfere] [-witness] [-o out.img] file.grail...
 //	grailc -e 'guardrail g { ... }'
 //
 // With no flags it reports each guardrail's name, trigger count, and
@@ -17,7 +17,12 @@
 // warning-severity diagnostic; -interfere treats each file as one
 // deployment and runs the whole-deployment interference analysis
 // (package internal/spec/interfere, GI001… diagnostics — cross-file
-// deployments use cmd/grailcheck), failing on warnings. -O1 (constant
+// deployments use cmd/grailcheck), failing on warnings; -witness
+// augments -vet and -interfere findings with bounded counterexample
+// synthesis (CONFIRMED with a replayable concrete input, or PLAUSIBLE
+// when none exists within bounds); -aggregates names the deployment's
+// registered cross-shard aggregates so -vet can flag LOADs of
+// unregistered *_global keys (GV011). -O1 (constant
 // folding, algebraic simplification, CSE, copy propagation, immediate
 // selection, DCE, and a bytecode peephole) is the default; -O0 compiles
 // by straight lowering and codegen.
@@ -29,11 +34,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"guardrails/internal/compile"
 	"guardrails/internal/spec"
 	"guardrails/internal/spec/interfere"
 	"guardrails/internal/spec/vet"
+	"guardrails/internal/vm"
 )
 
 func main() {
@@ -42,6 +49,8 @@ func main() {
 	checkOnly := flag.Bool("check-only", false, "parse and check only; do not compile")
 	vetFlag := flag.Bool("vet", false, "lint specifications (GV001… diagnostics); warnings fail the build")
 	interfereFlag := flag.Bool("interfere", false, "analyze each file as one deployment (GI001… diagnostics); warnings fail the build")
+	witnessFlag := flag.Bool("witness", false, "with -vet/-interfere: synthesize replayable counterexamples, annotating findings CONFIRMED or PLAUSIBLE")
+	aggregatesFlag := flag.String("aggregates", "", "with -vet: comma-separated registered aggregate names; LOADs of unregistered *_global keys flag GV011")
 	expr := flag.String("e", "", "compile specification text from the command line")
 	imgOut := flag.String("o", "", "write binary monitor image(s) to this path")
 	o0 := flag.Bool("O0", false, "disable optimization (straight lowering and codegen)")
@@ -76,6 +85,7 @@ func main() {
 		if err := processOne(os.Stdout, name, src, options{
 			asm: *asm, jsonOut: *jsonOut, checkOnly: *checkOnly, imageOut: *imgOut,
 			level: level, vet: *vetFlag, interfere: *interfereFlag,
+			witness: *witnessFlag, aggregates: *aggregatesFlag,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			exit = 1
@@ -92,6 +102,11 @@ type options struct {
 	level     int
 	vet       bool
 	interfere bool
+	// witness requests counterexample synthesis for -vet/-interfere
+	// findings with replayable claims.
+	witness bool
+	// aggregates is the -aggregates list ("" = unknown; GV011 off).
+	aggregates string
 }
 
 func processOne(w io.Writer, name, src string, opt options) error {
@@ -103,7 +118,14 @@ func processOne(w io.Writer, name, src string, opt options) error {
 		return err
 	}
 	if opt.vet {
-		ds := vet.File(f)
+		var cfg *vet.Config
+		if opt.aggregates != "" {
+			cfg = &vet.Config{Aggregates: splitList(opt.aggregates)}
+		}
+		ds := vet.FileConfig(f, cfg)
+		if opt.witness {
+			ds = vet.Witnesses(f, ds, 0)
+		}
 		warns := 0
 		for _, d := range ds {
 			fmt.Fprintf(w, "%s:%s\n", name, d)
@@ -136,7 +158,8 @@ func processOne(w io.Writer, name, src string, opt options) error {
 		return err
 	}
 	if opt.interfere {
-		report := interfere.Analyze(&interfere.Deployment{Monitors: compiled, Features: f.Features})
+		report := interfere.Analyze(&interfere.Deployment{
+			Monitors: compiled, Features: f.Features, Witness: opt.witness})
 		for _, d := range report.Diagnostics {
 			fmt.Fprintf(w, "%s:%s\n", name, d)
 		}
@@ -154,6 +177,12 @@ func processOne(w io.Writer, name, src string, opt options) error {
 			if len(compiled) > 1 {
 				path = fmt.Sprintf("%s.%s.img", opt.imageOut, c.Name)
 			}
+			// Attach the verification certificate so the image carries its
+			// proof: loaders restore the proven fast path with a single
+			// CheckCertificate pass instead of a full re-analysis.
+			if err := vm.Certify(c.Program, vm.NumBuiltinHelpers); err != nil {
+				return fmt.Errorf("certify %s: %w", c.Name, err)
+			}
 			out, err := os.Create(path)
 			if err != nil {
 				return err
@@ -165,7 +194,7 @@ func processOne(w io.Writer, name, src string, opt options) error {
 			if err := out.Close(); err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "%s: wrote %s\n", c.Name, path)
+			fmt.Fprintf(w, "%s: wrote %s (certified: max %d steps)\n", c.Name, path, c.Program.Meta.MaxSteps)
 			continue
 		}
 		switch {
@@ -189,6 +218,17 @@ func processOne(w io.Writer, name, src string, opt options) error {
 		}
 	}
 	return nil
+}
+
+// splitList parses a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
 }
 
 func fail(format string, args ...any) {

@@ -100,3 +100,84 @@ func TestVetCleanSpec(t *testing.T) {
 		t.Errorf("missing vet summary line:\n%s", sb.String())
 	}
 }
+
+// TestVetWitnessGolden pins the -vet -witness output: the GV003
+// contradiction on a compilable guardrail must come back CONFIRMED with
+// a concrete input and the replayed trace, while the GV002 on a
+// guardrail that fails verification (constant-zero divisor) must be
+// downgraded to PLAUSIBLE — the static finding is never dropped.
+func TestVetWitnessGolden(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "vet_witness.grail"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	perr := processOne(&sb, "vet_witness.grail", string(src), options{vet: true, witness: true, checkOnly: true, level: 1})
+	if perr == nil {
+		t.Fatal("vet accepted a spec with warning diagnostics")
+	}
+	got := sb.String()
+
+	path := filepath.Join("testdata", "vet_witness.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("-vet -witness diagnostics drifted from golden file (run with -update to regenerate)\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	if !strings.Contains(got, "[GV003]") || !strings.Contains(got, "CONFIRMED: inputs {qdepth=") {
+		t.Errorf("GV003 not CONFIRMED with a concrete input:\n%s", got)
+	}
+	if !strings.Contains(got, "rule conjunction evaluates to 0 (violated) on the real VM") {
+		t.Errorf("confirmed witness missing the replay narration:\n%s", got)
+	}
+	if !strings.Contains(got, "[GV002]") || !strings.Contains(got, "PLAUSIBLE: no witness within search bounds") {
+		t.Errorf("GV002 on the unverifiable guardrail not downgraded to PLAUSIBLE:\n%s", got)
+	}
+}
+
+// TestVetWitnessOffByDefault: without -witness no status annotations
+// appear, so existing diagnostics output is unchanged.
+func TestVetWitnessOffByDefault(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "vet_witness.grail"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	_ = processOne(&sb, "vet_witness.grail", string(src), options{vet: true, checkOnly: true, level: 1})
+	if strings.Contains(sb.String(), "CONFIRMED") || strings.Contains(sb.String(), "PLAUSIBLE") {
+		t.Errorf("witness annotations appeared without -witness:\n%s", sb.String())
+	}
+}
+
+// TestVetAggregatesFlag: -aggregates wires deployment aggregate
+// registrations into the GV011 check.
+func TestVetAggregatesFlag(t *testing.T) {
+	src := `guardrail agg-watch {
+    trigger: { TIMER(0, 1e9) },
+    rule: { LOAD(err_rate_global) <= 0.5 },
+    action: { REPORT(1) }
+}`
+	var sb strings.Builder
+	if err := processOne(&sb, "agg.grail", src, options{vet: true, checkOnly: true, level: 1, aggregates: "err_rate"}); err != nil {
+		t.Fatalf("registered aggregate flagged: %v\n%s", err, sb.String())
+	}
+	sb.Reset()
+	if err := processOne(&sb, "agg.grail", src, options{vet: true, checkOnly: true, level: 1, aggregates: "qdepth"}); err == nil {
+		t.Fatalf("unregistered *_global LOAD passed vet:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "[GV011]") {
+		t.Errorf("missing GV011 diagnostic:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := processOne(&sb, "agg.grail", src, options{vet: true, checkOnly: true, level: 1}); err != nil {
+		t.Fatalf("GV011 fired without aggregate context: %v\n%s", err, sb.String())
+	}
+}

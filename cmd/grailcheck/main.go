@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	grailcheck [-budget N] [-shards N] [-warn] [-json] file.grail...
+//	grailcheck [-budget N] [-shards N] [-warn] [-json] [-witness] file.grail...
 //	grailcheck -manifest deploy.json
 //
 // A deployment manifest names the spec files and budgets in one place:
@@ -17,8 +17,19 @@
 //	  "specs": ["latency.grail", "failover.grail"],
 //	  "hook_budget": 200,
 //	  "hook_budgets": {"io_uring_submit": 64},
-//	  "shards": 4
+//	  "shards": 4,
+//	  "aggregates": ["err_rate"]
 //	}
+//
+// "aggregates", when present, lists the cross-shard aggregate names the
+// deployment registers; every LOAD of a *_global key with no matching
+// registration is then flagged GV011 (the cell is never written).
+// -witness attempts bounded counterexample synthesis for co-firing
+// findings (GI001–GI003): each is annotated CONFIRMED — with a concrete
+// joint input whose replay through the real VM reproduces the
+// interference, including both dispatch orders for SAVE conflicts — or
+// downgraded to PLAUSIBLE when no witness exists within the search
+// bounds (the sound static finding is kept either way).
 //
 // Spec paths in a manifest resolve relative to the manifest's
 // directory. -budget sets the default per-hook-site certified step
@@ -48,6 +59,7 @@ import (
 	"guardrails/internal/compile"
 	"guardrails/internal/spec"
 	"guardrails/internal/spec/interfere"
+	"guardrails/internal/spec/vet"
 )
 
 func main() {
@@ -62,6 +74,11 @@ type manifest struct {
 	// Shards is the kernel pool width the deployment targets (0 or 1 =
 	// single loop); GI005 budgets scale with it.
 	Shards int `json:"shards"`
+	// Aggregates lists the cross-shard aggregate names the deployment
+	// registers (featurestore.RegisterAggregate). When present (even
+	// empty), every LOAD of a *_global key with no matching registration
+	// is flagged GV011: the cell is never written, so it reads 0 forever.
+	Aggregates []string `json:"aggregates"`
 }
 
 func run(stdout, stderr io.Writer, args []string) int {
@@ -71,13 +88,15 @@ func run(stdout, stderr io.Writer, args []string) int {
 	shards := fs.Int("shards", 0, "kernel pool width the deployment runs on (scales hook budgets; 0 or 1 = single loop)")
 	warnOnly := fs.Bool("warn", false, "report findings but do not fail on warnings")
 	jsonOut := fs.Bool("json", false, "emit the full report as JSON")
-	manifestPath := fs.String("manifest", "", "deployment manifest (JSON: specs, hook_budget, hook_budgets, shards)")
+	witness := fs.Bool("witness", false, "attempt counterexample synthesis: annotate co-firing findings CONFIRMED (with a replayable witness) or PLAUSIBLE")
+	manifestPath := fs.String("manifest", "", "deployment manifest (JSON: specs, hook_budget, hook_budgets, shards, aggregates)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	paths := fs.Args()
-	dep := &interfere.Deployment{HookBudget: *budget, Shards: *shards}
+	dep := &interfere.Deployment{HookBudget: *budget, Shards: *shards, Witness: *witness}
+	var aggregates []string
 	if *manifestPath != "" {
 		data, err := os.ReadFile(*manifestPath)
 		if err != nil {
@@ -103,15 +122,21 @@ func run(stdout, stderr io.Writer, args []string) int {
 		if m.Shards != 0 {
 			dep.Shards = m.Shards
 		}
+		aggregates = m.Aggregates
 	}
 	if len(paths) == 0 {
-		fmt.Fprintln(stderr, "usage: grailcheck [-budget N] [-warn] [-json] file.grail... | grailcheck -manifest deploy.json")
+		fmt.Fprintln(stderr, "usage: grailcheck [-budget N] [-warn] [-json] [-witness] file.grail... | grailcheck -manifest deploy.json")
 		return 2
 	}
 
 	// fileOf attributes each guardrail to its source file so multi-file
 	// diagnostics print a resolvable position.
 	fileOf := map[string]string{}
+	type parsedFile struct {
+		path string
+		f    *spec.File
+	}
+	var parsed []parsedFile
 	for _, path := range paths {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -137,11 +162,32 @@ func run(stdout, stderr io.Writer, args []string) int {
 				fileOf[c.Name] = path
 			}
 		}
+		parsed = append(parsed, parsedFile{path: path, f: f})
 		dep.Monitors = append(dep.Monitors, cs...)
 		dep.Features = append(dep.Features, f.Features...)
 	}
 
 	report := interfere.Analyze(dep)
+
+	// A manifest that declares its registered aggregates (even an empty
+	// set) opts into GV011: every LOAD of a *_global key with no matching
+	// registration reads a cell the aggregation step never writes. The
+	// findings are folded into the deployment report so exit status and
+	// the JSON artifact treat them like any other deployment warning.
+	if aggregates != nil {
+		cfg := &vet.Config{Aggregates: aggregates}
+		for _, pf := range parsed {
+			for _, d := range vet.FileConfig(pf.f, cfg) {
+				if d.Code != vet.CodeUnknownGlobal {
+					continue
+				}
+				report.Diagnostics = append(report.Diagnostics, interfere.Diagnostic{
+					Code: d.Code, Severity: interfere.Warn,
+					Pos: d.Pos, Guardrail: d.Guardrail, Message: d.Message,
+				})
+			}
+		}
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)

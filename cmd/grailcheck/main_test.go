@@ -210,3 +210,92 @@ func compareGolden(t *testing.T, path, got string) {
 		t.Errorf("output drifted from golden file %s (run with -update to regenerate)\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
 	}
 }
+
+// TestWitnessGolden pins the -witness output for the two-pair witness
+// deployment: the co-firing SAVE conflict must come back CONFIRMED with
+// a concrete joint input and both order-swapped sequential replays
+// (different final values), and the jointly-infeasible pair must be
+// downgraded to PLAUSIBLE while keeping its warning.
+func TestWitnessGolden(t *testing.T) {
+	out, _, code := runCheck(t, "-witness", filepath.Join("testdata", "witness.grail"))
+	if code != 1 {
+		t.Fatalf("witness deployment exited %d, want 1\n%s", code, out)
+	}
+	compareGolden(t, filepath.Join("testdata", "witness.golden"), out)
+	if !strings.Contains(out, "CONFIRMED: inputs {err_rate=1}") {
+		t.Errorf("co-firing GI001 not CONFIRMED with the joint input:\n%s", out)
+	}
+	if !strings.Contains(out, "final serving_mode = 2") || !strings.Contains(out, "final serving_mode = 1") {
+		t.Errorf("confirmed witness missing the order-swapped replays:\n%s", out)
+	}
+	if !strings.Contains(out, "PLAUSIBLE: no witness within search bounds") {
+		t.Errorf("jointly-infeasible GI001 not downgraded to PLAUSIBLE:\n%s", out)
+	}
+	// The downgrade never drops the finding: both GI001 warnings remain.
+	if strings.Count(out, "[GI001]") != 2 {
+		t.Errorf("expected both GI001 findings to survive, got:\n%s", out)
+	}
+}
+
+// TestWitnessJSONReport: witness annotations ride the JSON artifact as
+// witness_status and a replayable witness object.
+func TestWitnessJSONReport(t *testing.T) {
+	out, _, code := runCheck(t, "-witness", "-json", filepath.Join("testdata", "witness.grail"))
+	if code != 1 {
+		t.Fatalf("-witness -json exited %d, want 1", code)
+	}
+	var report struct {
+		Diagnostics []struct {
+			Code    string `json:"code"`
+			Status  string `json:"witness_status"`
+			Witness *struct {
+				Inputs map[string]float64 `json:"inputs"`
+				Steps  []string           `json:"steps"`
+			} `json:"witness"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("bad JSON report: %v\n%s", err, out)
+	}
+	var confirmed, plausible int
+	for _, d := range report.Diagnostics {
+		switch d.Status {
+		case "CONFIRMED":
+			confirmed++
+			if d.Witness == nil || len(d.Witness.Inputs) == 0 || len(d.Witness.Steps) == 0 {
+				t.Errorf("CONFIRMED %s carries no replayable witness", d.Code)
+			}
+		case "PLAUSIBLE":
+			plausible++
+			if d.Witness != nil {
+				t.Errorf("PLAUSIBLE %s carries a witness", d.Code)
+			}
+		}
+	}
+	if confirmed == 0 || plausible == 0 {
+		t.Errorf("want both CONFIRMED and PLAUSIBLE diagnostics, got %d/%d", confirmed, plausible)
+	}
+}
+
+// TestAggregateManifests: a manifest that declares its registered
+// aggregates opts into GV011 — the clean manifest registers err_rate
+// and checks clean; the dirty one registers only qdepth, so the
+// err_rate_global LOAD flags and fails the check.
+func TestAggregateManifests(t *testing.T) {
+	out, errb, code := runCheck(t, "-manifest", filepath.Join("testdata", "aggregates_clean.json"))
+	if code != 0 {
+		t.Fatalf("clean aggregate manifest exited %d\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+	if strings.Contains(out, "GV011") {
+		t.Errorf("registered aggregate flagged:\n%s", out)
+	}
+
+	out, _, code = runCheck(t, "-manifest", filepath.Join("testdata", "aggregates_dirty.json"))
+	if code != 1 {
+		t.Fatalf("dirty aggregate manifest exited %d, want 1\n%s", code, out)
+	}
+	compareGolden(t, filepath.Join("testdata", "aggregates_dirty.golden"), out)
+	if !strings.Contains(out, "[GV011]") || !strings.Contains(out, "err_rate_global") {
+		t.Errorf("missing GV011 finding:\n%s", out)
+	}
+}

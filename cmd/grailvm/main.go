@@ -171,9 +171,11 @@ func (e *rawEnv) Helper(h vm.HelperID, args *[5]float64) (float64, error) {
 }
 
 // runRaw evaluates a monitor image or assembly file once. Decoded
-// images carry no verifier proof (Program.Meta is not serialized), so
-// they are re-verified through the abstract interpreter here before any
-// instruction runs; maxSteps > 0 additionally rejects programs whose
+// images carry no trusted proof (Program.Meta is not serialized), but a
+// certified image's proof is restored by vm.CheckCertificate in one
+// linear pass; images without a certificate — and assembly — are
+// re-verified through the full abstract interpreter before any
+// instruction runs. maxSteps > 0 additionally rejects programs whose
 // certified worst-case step bound exceeds the budget.
 func runRaw(imagePath, asmPath string, maxSteps int, sets setFlags) {
 	var p *vm.Program
@@ -196,7 +198,14 @@ func runRaw(imagePath, asmPath string, maxSteps int, sets setFlags) {
 			fail("%v", err)
 		}
 	}
-	if maxSteps > 0 {
+	proof := "re-verified"
+	if p.Cert != nil && vm.CheckCertificate(p, vm.NumBuiltinHelpers) == nil {
+		proof = "certificate checked"
+		if maxSteps > 0 && p.Meta.MaxSteps > maxSteps {
+			fail("program rejected: certified worst-case step count %d exceeds the budget of %d steps",
+				p.Meta.MaxSteps, maxSteps)
+		}
+	} else if maxSteps > 0 {
 		if err := vm.VerifySteps(p, vm.NumBuiltinHelpers, maxSteps); err != nil {
 			fail("program rejected by verifier: %v", err)
 		}
@@ -230,8 +239,8 @@ func runRaw(imagePath, asmPath string, maxSteps int, sets setFlags) {
 		verdict = "VIOLATED"
 		exit = 1
 	}
-	fmt.Printf("program %-24s %s (%d VM steps, %d report(s), %d action dispatch(es))\n",
-		p.Name, verdict, m.Steps, env.reports, env.actions)
+	fmt.Printf("program %-24s %s (%d VM steps, %d report(s), %d action dispatch(es); proof: %s)\n",
+		p.Name, verdict, m.Steps, env.reports, env.actions, proof)
 	fmt.Println("\nfeature store after evaluation:")
 	fmt.Print(indent(store.Dump()))
 	os.Exit(exit)

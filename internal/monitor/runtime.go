@@ -26,6 +26,7 @@ import (
 	"guardrails/internal/kernel"
 	"guardrails/internal/provenance"
 	"guardrails/internal/telemetry"
+	"guardrails/internal/vm"
 )
 
 // Runtime hosts loaded guardrail monitors and the shared action
@@ -118,6 +119,7 @@ func (r *Runtime) Store() *featurestore.Store { return r.store }
 // system runs.
 func (r *Runtime) Load(c *compile.Compiled, opts Options) (*Monitor, error) {
 	opts.fillDefaults()
+	admitProof(c)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.monitors[c.Name]; dup {
@@ -141,6 +143,19 @@ func (r *Runtime) Load(c *compile.Compiled, opts Options) (*Monitor, error) {
 	r.monitors[c.Name] = m
 	r.Telemetry().MonitorLoad(c.Name, c.Program.Meta.TrapFree)
 	return m, nil
+}
+
+// admitProof gives an unproven program carrying a verification
+// certificate (a decoded image: Meta is not serialized, the certificate
+// is) one shot at the proven fast path: a valid certificate restores
+// the Meta claims via CheckCertificate's single linear pass. A missing,
+// corrupted, or stale certificate leaves the program on the guarded
+// path — the admission decision is visible in the proven/guarded load
+// telemetry split.
+func admitProof(c *compile.Compiled) {
+	if !c.Program.Meta.TrapFree && c.Program.Cert != nil {
+		_ = vm.CheckCertificate(c.Program, vm.NumBuiltinHelpers)
+	}
 }
 
 // LoadSource compiles a guardrail specification source and loads every
@@ -189,6 +204,7 @@ func (r *Runtime) Update(c *compile.Compiled, opts Options) (*Monitor, error) {
 		return nil, fmt.Errorf("monitor: guardrail %q not loaded", c.Name)
 	}
 	opts.fillDefaults()
+	admitProof(c)
 	m := &Monitor{
 		rt:          r,
 		c:           c,

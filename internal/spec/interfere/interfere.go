@@ -114,16 +114,33 @@ type Diagnostic struct {
 	Site string `json:"site,omitempty"`
 	// Message explains the finding.
 	Message string `json:"message"`
+	// Status, when witness synthesis ran (Deployment.Witness), grades
+	// the finding CONFIRMED (a concrete joint input replayed through the
+	// real VM reproduces the interference) or PLAUSIBLE (no such input
+	// found within the search bounds; the sound static claim stands).
+	// Empty when synthesis was not attempted for this code.
+	Status vm.WitnessStatus `json:"witness_status,omitempty"`
+	// Witness is the replayable counterexample backing a CONFIRMED
+	// status.
+	Witness *vm.Witness `json:"witness,omitempty"`
 }
 
-// String renders "line:col: severity: [CODE] guardrail g: message".
+// String renders "line:col: severity: [CODE] guardrail g: message",
+// followed by the witness verdict when synthesis ran.
 func (d Diagnostic) String() string {
 	name := d.Guardrail
 	if len(d.Others) > 0 {
 		name += " (with " + strings.Join(d.Others, ", ") + ")"
 	}
-	return fmt.Sprintf("%s: %s: [%s] guardrail %s: %s",
+	s := fmt.Sprintf("%s: %s: [%s] guardrail %s: %s",
 		d.Pos, d.Severity, d.Code, name, d.Message)
+	switch d.Status {
+	case vm.WitnessConfirmed:
+		s += fmt.Sprintf(" [CONFIRMED: %s]", d.Witness)
+	case vm.WitnessPlausible:
+		s += " [PLAUSIBLE: no witness within search bounds]"
+	}
+	return s
 }
 
 // Implicates reports whether the diagnostic names the guardrail as
@@ -160,6 +177,14 @@ type Deployment struct {
 	// one of N loops, so a site's effective budget is budget × N rather
 	// than the single-loop figure.
 	Shards int
+	// Witness requests bounded counterexample synthesis for co-firing
+	// findings (GI001–GI003): each is annotated CONFIRMED with a
+	// replayable joint input, or downgraded to PLAUSIBLE when no input
+	// within the search bounds co-fires the pair. See witness.go.
+	Witness bool
+	// WitnessBudget bounds the assignment enumeration per finding
+	// (0 = DefaultWitnessBudget).
+	WitnessBudget int
 }
 
 // budgetFor resolves the budget for one hook site (0 = unlimited).
@@ -360,7 +385,11 @@ func Analyze(d *Deployment) *Report {
 		}
 	}
 
-	checkConflicts(r, facts)
+	var wit *witnesser
+	if d.Witness {
+		wit = newWitnesser(features, d.WitnessBudget)
+	}
+	checkConflicts(r, facts, wit)
 	checkCycles(r, facts)
 	checkBudgets(r, d, facts)
 
@@ -554,7 +583,7 @@ func gcd64(a, b int64) int64 {
 
 // --- action conflicts (GI001–GI003) ----------------------------------
 
-func checkConflicts(r *Report, facts []*monFacts) {
+func checkConflicts(r *Report, facts []*monFacts, wit *witnesser) {
 	for i := 0; i < len(facts); i++ {
 		for j := i + 1; j < len(facts); j++ {
 			a, b := facts[i], facts[j]
@@ -568,9 +597,9 @@ func checkConflicts(r *Report, facts []*monFacts) {
 			// Conflicts are per-pair properties; report them once
 			// against the first shared group.
 			site := groups[0]
-			checkSaveConflict(r, a, b, site)
-			checkReplaceConflict(r, a, b, site)
-			checkDuplicateActions(r, a, b, site)
+			checkSaveConflict(r, a, b, site, wit)
+			checkReplaceConflict(r, a, b, site, wit)
+			checkDuplicateActions(r, a, b, site, wit)
 		}
 	}
 }
@@ -579,7 +608,7 @@ func checkConflicts(r *Report, facts []*monFacts) {
 // their certified value ranges share no value — when both fire on one
 // hook dispatch, the key's final value is a dispatch-order accident and
 // one monitor's corrective write is always lost.
-func checkSaveConflict(r *Report, a, b *monFacts, site string) {
+func checkSaveConflict(r *Report, a, b *monFacts, site string, wit *witnesser) {
 	keys := make([]string, 0, len(a.saves))
 	for k := range a.saves {
 		if _, ok := b.saves[k]; ok {
@@ -592,20 +621,22 @@ func checkSaveConflict(r *Report, a, b *monFacts, site string) {
 		if !va.DisjointFrom(vb) {
 			continue
 		}
-		r.Diagnostics = append(r.Diagnostics, Diagnostic{
+		diag := Diagnostic{
 			Code: CodeSaveConflict, Severity: Warn,
 			Pos: a.savePos(k), Guardrail: a.c.Name, Others: []string{b.c.Name},
 			Site: site,
 			Message: fmt.Sprintf("both SAVE %q on hook %s with contradictory certified values (%s vs %s): the surviving value depends on dispatch order",
 				k, site, va, vb),
-		})
+		}
+		wit.saveConflict(&diag, a, b, k)
+		r.Diagnostics = append(r.Diagnostics, diag)
 	}
 }
 
 // checkReplaceConflict reports GI002: REPLACE ping-pong (A installs
 // what B removes and vice versa) or divergent replacement (both replace
 // one policy with different targets).
-func checkReplaceConflict(r *Report, a, b *monFacts, site string) {
+func checkReplaceConflict(r *Report, a, b *monFacts, site string, wit *witnesser) {
 	for _, actA := range a.c.Actions {
 		ra, ok := actA.(*spec.ReplaceAction)
 		if !ok {
@@ -616,24 +647,29 @@ func checkReplaceConflict(r *Report, a, b *monFacts, site string) {
 			if !ok {
 				continue
 			}
+			var diag Diagnostic
 			switch {
 			case ra.Old == rb.New && ra.New == rb.Old:
-				r.Diagnostics = append(r.Diagnostics, Diagnostic{
+				diag = Diagnostic{
 					Code: CodeReplaceConflict, Severity: Warn,
 					Pos: ra.Pos, Guardrail: a.c.Name, Others: []string{b.c.Name},
 					Site: site,
 					Message: fmt.Sprintf("REPLACE ping-pong on hook %s: %s vs %s — each undoes the other's failover",
 						site, ra, rb),
-				})
+				}
 			case ra.Old == rb.Old && ra.New != rb.New:
-				r.Diagnostics = append(r.Diagnostics, Diagnostic{
+				diag = Diagnostic{
 					Code: CodeReplaceConflict, Severity: Warn,
 					Pos: ra.Pos, Guardrail: a.c.Name, Others: []string{b.c.Name},
 					Site: site,
 					Message: fmt.Sprintf("divergent replacement of policy %q on hook %s: %s vs %s — the installed policy depends on dispatch order",
 						ra.Old, site, ra, rb),
-				})
+				}
+			default:
+				continue
 			}
+			wit.coFire(&diag, a, b)
+			r.Diagnostics = append(r.Diagnostics, diag)
 		}
 	}
 }
@@ -642,31 +678,35 @@ func checkReplaceConflict(r *Report, a, b *monFacts, site string) {
 // task group (double demotion compounds: the second DEPRIORITIZE sees
 // the already-demoted priority) or retrain the same model (burning the
 // retrainer's rate budget twice per incident).
-func checkDuplicateActions(r *Report, a, b *monFacts, site string) {
+func checkDuplicateActions(r *Report, a, b *monFacts, site string, wit *witnesser) {
 	for _, actA := range a.c.Actions {
 		switch na := actA.(type) {
 		case *spec.DeprioritizeAction:
 			for _, actB := range b.c.Actions {
 				if nb, ok := actB.(*spec.DeprioritizeAction); ok && na.Target == nb.Target {
-					r.Diagnostics = append(r.Diagnostics, Diagnostic{
+					diag := Diagnostic{
 						Code: CodeDuplicateAction, Severity: Warn,
 						Pos: na.Pos, Guardrail: a.c.Name, Others: []string{b.c.Name},
 						Site: site,
 						Message: fmt.Sprintf("both DEPRIORITIZE task group %q on hook %s: one hook firing demotes it twice",
 							na.Target, site),
-					})
+					}
+					wit.coFire(&diag, a, b)
+					r.Diagnostics = append(r.Diagnostics, diag)
 				}
 			}
 		case *spec.RetrainAction:
 			for _, actB := range b.c.Actions {
 				if nb, ok := actB.(*spec.RetrainAction); ok && na.Model == nb.Model {
-					r.Diagnostics = append(r.Diagnostics, Diagnostic{
+					diag := Diagnostic{
 						Code: CodeDuplicateAction, Severity: Info,
 						Pos: na.Pos, Guardrail: a.c.Name, Others: []string{b.c.Name},
 						Site: site,
 						Message: fmt.Sprintf("both RETRAIN model %q on hook %s: one incident spends the retraining budget twice",
 							na.Model, site),
-					})
+					}
+					wit.coFire(&diag, a, b)
+					r.Diagnostics = append(r.Diagnostics, diag)
 				}
 			}
 		}

@@ -1,0 +1,89 @@
+package interfere
+
+import (
+	"strings"
+	"testing"
+
+	"guardrails/internal/vm"
+)
+
+// Witness synthesis through the library API (the CLI goldens lock the
+// rendered output; these lock the structured fields).
+
+const witnessPairSrc = `
+feature err_rate range(0, 1)
+
+guardrail quality-mode {
+    trigger: { FUNCTION(io_submit) },
+    rule: { LOAD(err_rate) <= 0.25 },
+    action: { SAVE(serving_mode, 1) }
+}
+guardrail latency-mode {
+    trigger: { FUNCTION(io_submit) },
+    rule: { LOAD(err_rate) <= 0.5 },
+    action: { SAVE(serving_mode, 2) }
+}`
+
+func TestWitnessConfirmsOrderDependence(t *testing.T) {
+	dep := deployment(t, witnessPairSrc, 0)
+	dep.Witness = true
+	r := Analyze(dep)
+	d := find(t, r, CodeSaveConflict)
+	if d.Status != vm.WitnessConfirmed {
+		t.Fatalf("GI001 status = %q, want CONFIRMED: %s", d.Status, d.String())
+	}
+	if d.Witness == nil {
+		t.Fatal("CONFIRMED diagnostic carries no witness")
+	}
+	// A SAVE fires on rule *violation*, so co-firing needs both rules
+	// violated: err_rate above both thresholds.
+	if v, ok := d.Witness.Inputs["err_rate"]; !ok || v <= 0.5 || v > 1 {
+		t.Errorf("joint input err_rate=%v (ok=%v) does not co-fire both violations in range", v, ok)
+	}
+	var sawBothOrders int
+	for _, s := range d.Witness.Steps {
+		if strings.HasPrefix(s, "dispatch ") {
+			sawBothOrders++
+		}
+	}
+	if sawBothOrders != 2 {
+		t.Errorf("witness steps %v missing the two dispatch-order replays", d.Witness.Steps)
+	}
+}
+
+func TestWitnessDowngradesInfeasiblePair(t *testing.T) {
+	dep := deployment(t, `
+feature io_lat_p99 range(0, 1e7)
+
+guardrail overload-guard {
+    trigger: { FUNCTION(sched_switch) },
+    rule: { LOAD(io_lat_p99) <= 9e6 },
+    action: { SAVE(throttle, 1) }
+}
+guardrail idle-guard {
+    trigger: { FUNCTION(sched_switch) },
+    rule: { LOAD(io_lat_p99) >= 1e6 },
+    action: { SAVE(throttle, 0) }
+}`, 0)
+	dep.Witness = true
+	dep.WitnessBudget = 8 // deliberately tiny: the search must give up
+	r := Analyze(dep)
+	d := find(t, r, CodeSaveConflict)
+	if d.Status != vm.WitnessPlausible {
+		t.Fatalf("GI001 status = %q, want PLAUSIBLE under an exhausted budget", d.Status)
+	}
+	if d.Witness != nil {
+		t.Errorf("PLAUSIBLE diagnostic carries a witness: %v", d.Witness)
+	}
+	if d.Severity != Warn {
+		t.Errorf("downgraded finding lost its warning severity: %+v", d)
+	}
+}
+
+func TestWitnessOffLeavesDiagnosticsBare(t *testing.T) {
+	r := Analyze(deployment(t, witnessPairSrc, 0))
+	d := find(t, r, CodeSaveConflict)
+	if d.Status != "" || d.Witness != nil {
+		t.Errorf("witness fields set without opt-in: status=%q witness=%v", d.Status, d.Witness)
+	}
+}

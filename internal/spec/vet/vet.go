@@ -28,6 +28,7 @@ import (
 
 	"guardrails/internal/compile"
 	"guardrails/internal/spec"
+	"guardrails/internal/vm"
 )
 
 // Severity grades a diagnostic.
@@ -63,6 +64,7 @@ const (
 	CodeDuplicateRule   = "GV008" // identical rule repeated
 	CodeConstZeroDiv    = "GV009" // division by constant zero
 	CodeThresholdRange  = "GV010" // constant threshold outside the feature's declared range
+	CodeUnknownGlobal   = "GV011" // LOAD of a *_global key with no registered aggregate
 )
 
 // Diagnostic is one linter finding.
@@ -77,19 +79,51 @@ type Diagnostic struct {
 	Guardrail string
 	// Message explains the finding.
 	Message string
+	// Status, when witness synthesis ran (Witnesses), grades the finding
+	// CONFIRMED (a concrete replay reproduces the violation) or
+	// PLAUSIBLE (no counterexample found within the search bounds; the
+	// static claim stands). Empty when synthesis was not attempted.
+	Status vm.WitnessStatus
+	// Witness is the replayable counterexample backing a CONFIRMED
+	// status.
+	Witness *vm.Witness
 }
 
-// String renders "line:col: severity: [CODE] (guardrail) message".
+// String renders "line:col: severity: [CODE] (guardrail) message",
+// followed by the witness verdict when synthesis ran.
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s: %s: [%s] guardrail %s: %s",
+	s := fmt.Sprintf("%s: %s: [%s] guardrail %s: %s",
 		d.Pos, d.Severity, d.Code, d.Guardrail, d.Message)
+	switch d.Status {
+	case vm.WitnessConfirmed:
+		s += fmt.Sprintf(" [CONFIRMED: %s]", d.Witness)
+	case vm.WitnessPlausible:
+		s += " [PLAUSIBLE: no witness within search bounds]"
+	}
+	return s
+}
+
+// Config carries deployment context the spec file alone cannot provide.
+type Config struct {
+	// Aggregates lists the cross-shard aggregate names registered in the
+	// deployment (featurestore.RegisterAggregate): registering "err_rate"
+	// publishes "err_rate_global". nil means the aggregate set is unknown
+	// and the GV011 check is skipped; an empty non-nil slice means the
+	// deployment is known to register none, so every *_global LOAD flags.
+	Aggregates []string
 }
 
 // File lints every guardrail in a checked file, plus the cross-guardrail
 // checks (GV005 consults LOADs from all guardrails: one guardrail's
 // SAVEd knob may be read by another's rules). Diagnostics are ordered by
 // source position, then code.
-func File(f *spec.File) []Diagnostic {
+func File(f *spec.File) []Diagnostic { return FileConfig(f, nil) }
+
+// FileConfig lints like File plus the checks that need deployment
+// context from cfg (GV011: a LOAD of a *_global aggregate key the
+// deployment never registers reads a cell no aggregation step ever
+// writes, so the rule evaluates against a permanent zero).
+func FileConfig(f *spec.File, cfg *Config) []Diagnostic {
 	var ds []Diagnostic
 	loaded := map[string]bool{}
 	for _, g := range f.Guardrails {
@@ -109,8 +143,48 @@ func File(f *spec.File) []Diagnostic {
 	features := spec.FeatureRanges(f)
 	for _, g := range f.Guardrails {
 		ds = append(ds, lintGuardrail(g, loaded, features)...)
+		if cfg != nil && cfg.Aggregates != nil {
+			ds = append(ds, lintGlobalLoads(g, cfg.Aggregates)...)
+		}
 	}
 	sortDiags(ds)
+	return ds
+}
+
+// lintGlobalLoads reports GV011: a LOAD of a *_global key whose base
+// name is not a registered aggregate. The aggregation step only ever
+// broadcasts into global cells derived from registered names
+// (featurestore.GlobalKey), so an unregistered global key is a cell
+// nothing writes — the LOAD reads 0 forever, usually a typo for a
+// registered aggregate or a manifest missing a registration.
+func lintGlobalLoads(g *spec.Guardrail, aggregates []string) []Diagnostic {
+	registered := map[string]bool{}
+	for _, a := range aggregates {
+		registered[a] = true
+	}
+	var ds []Diagnostic
+	seen := map[string]bool{}
+	check := func(e spec.Expr) {
+		key, ok := loadKey(e)
+		if !ok || !strings.HasSuffix(key, "_global") || seen[key] {
+			return
+		}
+		if registered[strings.TrimSuffix(key, "_global")] {
+			return
+		}
+		seen[key] = true
+		ds = append(ds, Diagnostic{Code: CodeUnknownGlobal, Severity: Warn,
+			Pos: e.ExprPos(), Guardrail: g.Name,
+			Message: fmt.Sprintf("LOAD(%s) reads a cross-shard aggregate the deployment never registers: no aggregation step writes this cell, so it is always 0", key)})
+	}
+	for _, r := range g.Rules {
+		walkExprs(r, check)
+	}
+	for _, a := range g.Actions {
+		for _, e := range actionExprs(a) {
+			walkExprs(e, check)
+		}
+	}
 	return ds
 }
 

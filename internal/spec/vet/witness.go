@@ -1,0 +1,127 @@
+package vet
+
+import (
+	"fmt"
+
+	"guardrails/internal/compile"
+	"guardrails/internal/spec"
+	"guardrails/internal/vm"
+)
+
+// Witness synthesis for lint findings. Several GV codes claim "the
+// action fires on every evaluation" — a claim with a replayable half:
+// if it is true, *any* concrete feature assignment makes the compiled
+// program's rule conjunction evaluate to 0 on the real VM. Witnesses
+// turns those claims into evidence by compiling the flagged guardrail,
+// enumerating bounded assignments drawn from the file's declared
+// feature ranges, and replaying until a run's violation path fires.
+// A successful replay marks the diagnostic CONFIRMED and attaches the
+// assignment plus the replayed trace; an exhausted search (or a
+// guardrail the compiler rejects) downgrades it to PLAUSIBLE — the
+// static finding is never dropped.
+
+// DefaultWitnessBudget bounds the assignment enumeration per finding.
+const DefaultWitnessBudget = 512
+
+// witnessable reports whether a diagnostic code carries a replayable
+// claim. GV002 (always-false rule) and GV003 (contradictory rules) both
+// assert the action path runs on every evaluation, so one violating
+// replay confirms them. Universally quantified findings (GV001/GV007
+// "never fires") have no finite witness and are left unannotated.
+func witnessable(code string) bool {
+	return code == CodeAlwaysFalse || code == CodeContradiction
+}
+
+// Witnesses annotates witnessable diagnostics in place with a
+// CONFIRMED/PLAUSIBLE status (and, when confirmed, the replayable
+// counterexample). budget <= 0 uses DefaultWitnessBudget. The input
+// slice is returned for convenience.
+func Witnesses(f *spec.File, ds []Diagnostic, budget int) []Diagnostic {
+	if budget <= 0 {
+		budget = DefaultWitnessBudget
+	}
+	features := spec.FeatureRanges(f)
+	byName := map[string]*spec.Guardrail{}
+	for _, g := range f.Guardrails {
+		byName[g.Name] = g
+	}
+	progs := map[string]*vm.Program{}
+	for i := range ds {
+		d := &ds[i]
+		if !witnessable(d.Code) {
+			continue
+		}
+		p, cached := progs[d.Guardrail]
+		if !cached {
+			if g := byName[d.Guardrail]; g != nil {
+				// Prefer the optimized program (what deploys), but fall
+				// back to -O0: constant-heavy degenerate specs — the very
+				// ones these lints flag — sometimes only lower one way.
+				for _, level := range []int{1, 0} {
+					if c, err := compile.GuardrailWith(g, compile.Options{Level: level}); err == nil {
+						p = c.Program
+						break
+					}
+				}
+			}
+			progs[d.Guardrail] = p
+		}
+		if p == nil {
+			// The guardrail does not compile in isolation (e.g. it also
+			// fails verification); the static finding stands unreplayed.
+			d.Status = vm.WitnessPlausible
+			continue
+		}
+		if w := synthesize(p, features, budget); w != nil {
+			d.Status = vm.WitnessConfirmed
+			d.Witness = w
+		} else {
+			d.Status = vm.WitnessPlausible
+		}
+	}
+	return ds
+}
+
+// synthesize searches for one assignment whose replay violates the
+// program's rule conjunction, returning the witness or nil.
+func synthesize(p *vm.Program, features map[string]*spec.FeatureDecl, budget int) *vm.Witness {
+	keys := vm.LoadedKeys(p)
+	cands := map[string][]float64{}
+	for _, k := range keys {
+		if fd, ok := features[k]; ok {
+			cands[k] = vm.Candidates(vm.RangeInterval(fd.Lo, fd.Hi), true)
+		} else {
+			cands[k] = vm.Candidates(vm.Interval{}, false)
+		}
+	}
+	var found *vm.Witness
+	vm.EnumAssignments(keys, cands, budget, func(assign map[string]float64) bool {
+		rec := vm.ReplayProgram(p, assign, 0, 0)
+		if !rec.Violated {
+			return false
+		}
+		found = &vm.Witness{Inputs: vm.CopyAssign(assign), Steps: narrate(rec)}
+		return true
+	})
+	return found
+}
+
+// narrate renders a violating replay as human-readable steps.
+func narrate(rec *vm.Replay) []string {
+	steps := []string{
+		"rule conjunction evaluates to 0 (violated) on the real VM",
+		vm.TraceString(&rec.Trace),
+	}
+	for _, s := range rec.Stores {
+		steps = append(steps, fmt.Sprintf("SAVE %s = %g", s.Key, s.Val))
+	}
+	for _, c := range rec.Calls {
+		switch c.Helper {
+		case vm.HelperReport:
+			steps = append(steps, "REPORT fires")
+		case vm.HelperAction:
+			steps = append(steps, fmt.Sprintf("action %d dispatches", int(c.Arg)))
+		}
+	}
+	return steps
+}

@@ -21,11 +21,14 @@ import (
 // value may be NaN. The bottom element (no value at all) is the zero
 // absVal; top admits every float64.
 type absVal struct {
-	// num reports that the value may be an ordinary (non-NaN) float in
-	// [lo,hi]. lo and hi are meaningful only when num is set and may be
-	// ±Inf; lo <= hi always, and neither bound is ever NaN.
-	num    bool
+	// lo and hi bound the ordinary part; they are meaningful only when
+	// num is set and may be ±Inf. lo <= hi always, and neither bound is
+	// ever NaN. (Field order packs the struct to 24 bytes — regState is
+	// copied on every abstract transfer, so its size is hot.)
 	lo, hi float64
+	// num reports that the value may be an ordinary (non-NaN) float in
+	// [lo,hi].
+	num bool
 	// nan reports that the value may be NaN.
 	nan bool
 }
@@ -496,10 +499,13 @@ const widenAfter = 16
 // NaN-possibility flag. Deployment-level analyses (internal/spec/
 // interfere) exchange certified value ranges in this form.
 type Interval struct {
-	// Num reports that the value may be an ordinary (non-NaN) float in
-	// [Lo, Hi]; Lo and Hi are meaningful only when Num is set.
-	Num    bool
+	// Lo and Hi are meaningful only when Num is set. (Bounds first: the
+	// field order packs the struct to 24 bytes, and certificates carry
+	// sixteen of these per block invariant.)
 	Lo, Hi float64
+	// Num reports that the value may be an ordinary (non-NaN) float in
+	// [Lo, Hi].
+	Num bool
 	// NaN reports that the value may be NaN.
 	NaN bool
 }
@@ -658,6 +664,7 @@ type analyzer struct {
 	states     []pcState // len n+1; index n = fall-through off the end
 	work       []bool
 	divProven  bool
+	edges      edgeSet // scratch successor buffer reused across steps
 }
 
 // analyze proves a structurally-checked program trap-free, or explains
@@ -669,6 +676,17 @@ func analyze(p *Program, numHelpers int) (*Analysis, error) {
 }
 
 func analyzeEnv(p *Program, numHelpers int, env CellEnv) (*Analysis, error) {
+	a, err := runAnalyzer(p, numHelpers, env)
+	if err != nil {
+		return nil, err
+	}
+	return a.facts(), nil
+}
+
+// runAnalyzer drives the worklist to its fixpoint and returns the
+// analyzer with its per-pc states intact — the certificate builder
+// (certificate.go) reads the fixpoint states directly.
+func runAnalyzer(p *Program, numHelpers int, env CellEnv) (*analyzer, error) {
 	n := len(p.Code)
 	a := &analyzer{
 		p:          p,
@@ -701,7 +719,7 @@ func analyzeEnv(p *Program, numHelpers int, env CellEnv) (*Analysis, error) {
 	if a.states[n].reachable {
 		return nil, vErr(p, n-1, "execution can fall off the end of the program")
 	}
-	return a.facts(), nil
+	return a, nil
 }
 
 // facts assembles the proof object from the fixpoint states.
@@ -743,12 +761,13 @@ func (a *analyzer) loadVal(cell int32) absVal {
 
 // flowTo merges an edge's exit state into the target's entry state and
 // reports whether the target state changed (and thus needs revisiting).
-func (a *analyzer) flowTo(target int, rs regState) bool {
+// rs points into the analyzer's scratch edge buffer and may be mutated.
+func (a *analyzer) flowTo(target int, rs *regState) bool {
 	rs.canon()
 	st := &a.states[target]
 	if !st.reachable {
 		st.reachable = true
-		st.rs = rs
+		st.rs = *rs
 		return true
 	}
 	st.joins++
@@ -770,7 +789,7 @@ func (a *analyzer) flowTo(target int, rs regState) bool {
 	return true
 }
 
-func (a *analyzer) enqueue(target int, rs regState) {
+func (a *analyzer) enqueue(target int, rs *regState) {
 	if a.flowTo(target, rs) && target < len(a.work) {
 		a.work[target] = true
 	}
@@ -779,9 +798,38 @@ func (a *analyzer) enqueue(target int, rs regState) {
 // step transfers one instruction's entry state to its successors,
 // rejecting any operation whose safety it cannot prove.
 func (a *analyzer) step(pc int) error {
-	st := a.states[pc].rs
-	in := a.p.Code[pc]
-	p := a.p
+	if err := transfer(a.p, pc, &a.states[pc].rs, a.loadVal, &a.divProven, &a.edges); err != nil {
+		return err
+	}
+	for i := 0; i < a.edges.n; i++ {
+		a.enqueue(a.edges.target[i], &a.edges.state[i])
+	}
+	return nil
+}
+
+// edgeSet receives one instruction's live outgoing CFG edges. The ISA
+// gives every instruction at most two successors (a conditional's taken
+// and fall-through edges), so the buffer is fixed-size; callers keep one
+// and reuse it across instructions, which keeps the hot transfer loop
+// free of closure calls and heap traffic — exit states are built
+// directly in the buffer's slots.
+type edgeSet struct {
+	n      int
+	target [2]int
+	state  [2]regState
+}
+
+// transfer is the per-instruction abstract transfer function shared by
+// the worklist analyzer and the certificate checker (certificate.go):
+// given pc's entry state it fills edges with every live CFG edge and
+// that edge's exit state, or returns an error for any operation whose
+// safety it cannot prove from st. Proven-dead comparison edges (a
+// refinement collapsing to bottom) emit no edge. loadVal supplies the
+// abstract value OpLoad observes; divProven accumulates whether every
+// divisor seen so far is provably non-zero. st must not alias edges.
+func transfer(p *Program, pc int, st *regState, loadVal func(int32) absVal, divProven *bool, edges *edgeSet) error {
+	in := p.Code[pc]
+	edges.n = 0
 
 	read := func(r uint8) error {
 		if st.init&(1<<r) == 0 {
@@ -789,7 +837,8 @@ func (a *analyzer) step(pc int) error {
 		}
 		return nil
 	}
-	out := st // successor state, mutated below
+	out := &edges.state[0] // successor state, mutated below
+	*out = *st
 
 	switch in.Op {
 	case OpMovI:
@@ -818,7 +867,7 @@ func (a *analyzer) step(pc int) error {
 		case OpMul:
 			r = absMul(x, y)
 		case OpDiv:
-			if err := a.checkDiv(pc, y); err != nil {
+			if err := checkDiv(p, pc, y, divProven); err != nil {
 				return err
 			}
 			r = absDiv(x, y)
@@ -842,7 +891,7 @@ func (a *analyzer) step(pc int) error {
 		case OpMulI:
 			r = absMul(x, y)
 		case OpDivI:
-			if err := a.checkDiv(pc, y); err != nil {
+			if err := checkDiv(p, pc, y, divProven); err != nil {
 				return err
 			}
 			r = absDiv(x, y)
@@ -863,7 +912,8 @@ func (a *analyzer) step(pc int) error {
 			out.vals[in.Dst] = absBoo(st.vals[in.Dst])
 		}
 	case OpJmp:
-		a.enqueue(pc+1+int(in.Off), out)
+		edges.target[0] = pc + 1 + int(in.Off)
+		edges.n = 1
 		return nil
 	case OpJEq, OpJNe, OpJLt, OpJLe, OpJGt, OpJGe,
 		OpJEqI, OpJNeI, OpJLtI, OpJLeI, OpJGtI, OpJGeI:
@@ -883,26 +933,40 @@ func (a *analyzer) step(pc int) error {
 		cmpOp, _ := cmpRegOf(in.Op)
 		x := st.vals[in.Dst]
 
-		flowEdge := func(target int, taken bool) {
-			nx, ny := refineCmp(cmpOp, x, y, taken)
-			if nx.isBottom() || ny.isBottom() {
-				return // edge proven unreachable
-			}
-			es := out
-			es.vals[in.Dst] = nx
-			if !imm {
-				es.vals[in.Src] = ny
-			}
-			a.enqueue(target, es)
+		// Taken edge first, then fall-through; a refinement collapsing
+		// to bottom proves that edge dead. Slot 0 already holds the
+		// shared post-state, so each live edge is patched in place.
+		nxT, nyT := refineCmp(cmpOp, x, y, true)
+		nxF, nyF := refineCmp(cmpOp, x, y, false)
+		liveT := !nxT.isBottom() && !nyT.isBottom()
+		liveF := !nxF.isBottom() && !nyF.isBottom()
+		if liveT && liveF {
+			edges.state[1] = *out
 		}
-		flowEdge(pc+1+int(in.Off), true)
-		flowEdge(pc+1, false)
+		if liveT {
+			es := &edges.state[edges.n]
+			es.vals[in.Dst] = nxT
+			if !imm {
+				es.vals[in.Src] = nyT
+			}
+			edges.target[edges.n] = pc + 1 + int(in.Off)
+			edges.n++
+		}
+		if liveF {
+			es := &edges.state[edges.n]
+			es.vals[in.Dst] = nxF
+			if !imm {
+				es.vals[in.Src] = nyF
+			}
+			edges.target[edges.n] = pc + 1
+			edges.n++
+		}
 		return nil
 	case OpLoad:
 		out.init |= 1 << in.Dst
 		// Feature-store cells are unconstrained (and may be NaN) unless
 		// the caller certified an input range for the deployment.
-		out.vals[in.Dst] = a.loadVal(in.Cell)
+		out.vals[in.Dst] = loadVal(in.Cell)
 	case OpStore:
 		if err := read(in.Src); err != nil {
 			return err
@@ -939,7 +1003,8 @@ func (a *analyzer) step(pc int) error {
 		}
 		return nil // no successors
 	}
-	a.enqueue(pc+1, out)
+	edges.target[0] = pc + 1
+	edges.n = 1
 	return nil
 }
 
@@ -947,13 +1012,13 @@ func (a *analyzer) step(pc int) error {
 // zero (the result is the constant 0 under safeDiv — a spec bug, not a
 // computation) and tracks whether every divisor is provably non-zero so
 // the interpreter may use raw IEEE division.
-func (a *analyzer) checkDiv(pc int, divisor absVal) error {
+func checkDiv(p *Program, pc int, divisor absVal, divProven *bool) error {
 	if z, ok := divisor.singleton(); ok && z == 0 {
-		return vErr(a.p, pc, "division by divisor provably always zero (x/0 = 0 would make the result constant)")
+		return vErr(p, pc, "division by divisor provably always zero (x/0 = 0 would make the result constant)")
 	}
 	// Raw division matches safeDiv unless the divisor can be ordinary 0.
 	if divisor.contains(0) {
-		a.divProven = false
+		*divProven = false
 	}
 	return nil
 }
@@ -962,11 +1027,15 @@ func (a *analyzer) checkDiv(pc int, divisor absVal) error {
 // path (in executed instructions, counting OpExit) from entry to any
 // exit over the static CFG. The DP over descending pc is exact because
 // all edges point forward.
-func (a *analyzer) maxSteps() int {
-	n := len(a.p.Code)
+func (a *analyzer) maxSteps() int { return maxStepsDP(a.p.Code) }
+
+// maxStepsDP is the step-bound dynamic program shared by the analyzer
+// and the certificate checker; it depends only on the static CFG.
+func maxStepsDP(code []Instr) int {
+	n := len(code)
 	steps := make([]int, n+1)
 	for pc := n - 1; pc >= 0; pc-- {
-		in := a.p.Code[pc]
+		in := code[pc]
 		switch in.Op {
 		case OpExit:
 			steps[pc] = 1

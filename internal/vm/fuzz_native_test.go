@@ -1,0 +1,217 @@
+package vm
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// Native fuzz targets. Both run as ordinary tests over the checked-in
+// corpus under testdata/fuzz/ on every `go test`, and CI additionally
+// runs each with a short -fuzztime budget to mine new inputs.
+
+// tamperFixtureImage builds a certified, encoded image for the tamper
+// fuzzer to mutate.
+func tamperFixtureImage(tb testing.TB) []byte {
+	tb.Helper()
+	b := NewBuilder("tamper-fixture")
+	b.Load(6, "a")
+	b.Load(7, "b")
+	b.JmpIf(OpJLt, 6, 7, "low")
+	b.Mov(1, 6)
+	b.ALU(OpDiv, 1, 7)
+	b.Un(OpAbs, 1)
+	b.Call(HelperReport)
+	b.MovI(0, 0)
+	b.Store("out", 0)
+	b.Exit()
+	b.Label("low")
+	b.MovI(0, 1)
+	b.Exit()
+	p, err := b.Finish()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := Certify(p, NumBuiltinHelpers); err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// adversarialCells returns hostile feature-store contents: the values
+// most likely to expose an unsound admitted proof.
+func adversarialCells(n int) [][]float64 {
+	specials := []float64{0, math.NaN(), math.Inf(1), math.Inf(-1), -1e300}
+	out := make([][]float64, 0, len(specials))
+	for _, v := range specials {
+		cells := make([]float64, n)
+		for i := range cells {
+			cells[i] = v
+		}
+		out = append(out, cells)
+	}
+	return out
+}
+
+// FuzzCertificateTamper feeds arbitrary bytes to the image loader. The
+// invariant: whatever the bytes, the loader either rejects the image or
+// admits a program whose certificate actually holds — trap-free
+// execution within the certified step bound on adversarial feature
+// stores, agreeing exactly with the fully-guarded interpreter. Admitting
+// a tampered proof is the one unacceptable outcome.
+func FuzzCertificateTamper(f *testing.F) {
+	img := tamperFixtureImage(f)
+	f.Add(img)
+	for _, cut := range []int{0, 5, 7, len(img) / 2, len(img) - 1} {
+		f.Add(append([]byte(nil), img[:cut]...))
+	}
+	for _, pos := range []int{6, 12, 24, len(img) / 2, len(img) - 2} {
+		mut := append([]byte(nil), img...)
+		mut[pos] ^= 0xff
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		p, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected at deserialization: fine
+		}
+		if err := CheckCertificate(p, NumBuiltinHelpers); err != nil {
+			return // certificate rejected: fine
+		}
+		if !p.Meta.TrapFree || p.Meta.MaxSteps <= 0 {
+			t.Fatalf("admitted certificate left no proof: %+v", p.Meta)
+		}
+		for _, cells := range adversarialCells(len(p.Symbols)) {
+			var mp Machine
+			out, rerr := mp.Run(p, &fuzzEnv{cells: append([]float64(nil), cells...)}, cells[0])
+			if rerr != nil {
+				t.Fatalf("admitted certificate on trapping program: %v\ncells=%v\n%s", rerr, cells, p)
+			}
+			if int(mp.Steps) > p.Meta.MaxSteps {
+				t.Fatalf("run took %d steps, certificate promised ≤ %d\n%s", mp.Steps, p.Meta.MaxSteps, p)
+			}
+			guarded := *p
+			guarded.Meta = ProgramMeta{}
+			var mg Machine
+			gout, gerr := mg.Run(&guarded, &fuzzEnv{cells: append([]float64(nil), cells...)}, cells[0])
+			if gerr != nil || !sameFloat(out, gout) || mp.Steps != mg.Steps {
+				t.Fatalf("proven/guarded divergence: (%v, %d, %v) vs (%v, %d, %v)\n%s",
+					out, mp.Steps, rerr, gout, mg.Steps, gerr, p)
+			}
+		}
+	})
+}
+
+// fuzzOps is the opcode alphabet the byte-stream decoder draws from.
+var fuzzOps = []Op{
+	OpMov, OpMovI, OpAdd, OpAddI, OpSub, OpSubI, OpMul, OpMulI,
+	OpDiv, OpDivI, OpNeg, OpAbs, OpMin, OpMax, OpNot, OpBoo,
+	OpJmp, OpJEq, OpJNe, OpJLt, OpJLe, OpJGt, OpJGe,
+	OpJEqI, OpJNeI, OpJLtI, OpJLeI, OpJGtI, OpJGeI,
+	OpLoad, OpStore, OpCall, OpExit,
+}
+
+// programFromBytes decodes a fuzz input as an instruction stream, six
+// bytes per instruction, and terminates it with EXIT. The mapping is
+// total: every byte string decodes to some program, so the fuzzer
+// explores program space rather than fighting a parser.
+func programFromBytes(data []byte) *Program {
+	symbols := []string{"a", "b", "c"}
+	n := len(data) / 6
+	if n > 64 {
+		n = 64
+	}
+	code := make([]Instr, 0, n+1)
+	for i := 0; i < n; i++ {
+		b := data[i*6 : i*6+6]
+		in := Instr{
+			Op:  fuzzOps[int(b[0])%len(fuzzOps)],
+			Dst: b[1] & 0x0f,
+			Src: b[2] & 0x0f,
+		}
+		switch b[5] % 6 {
+		case 0:
+			in.Imm = 0
+		case 1:
+			in.Imm = math.NaN()
+		case 2:
+			in.Imm = math.Inf(1)
+		case 3:
+			in.Imm = -1
+		default:
+			in.Imm = float64(int(b[5]) - 128)
+		}
+		switch in.Op {
+		case OpJmp, OpJEq, OpJNe, OpJLt, OpJLe, OpJGt, OpJGe,
+			OpJEqI, OpJNeI, OpJLtI, OpJLeI, OpJGtI, OpJGeI:
+			in.Off = 1 + int32(b[3])%int32(n-i) // forward, in range
+		case OpLoad, OpStore:
+			in.Cell = int32(b[4]) % int32(len(symbols))
+		case OpCall:
+			in.Imm = float64(int(b[4]) % NumBuiltinHelpers)
+		}
+		code = append(code, in)
+	}
+	code = append(code, Instr{Op: OpExit})
+	return &Program{Name: "fuzz", Code: code, Symbols: symbols}
+}
+
+// FuzzVerifierSoundness decodes arbitrary bytes into a program and
+// checks the verifier's soundness contract on every acceptance: the
+// proven fast path must run trap-free within the certified step bound on
+// hostile feature stores, and agree exactly with the guarded
+// interpreter. Rejections must carry a reason (checked cheaply here; the
+// richer generator in TestVerifierSoundnessFuzz covers rejection
+// quality).
+func FuzzVerifierSoundness(f *testing.F) {
+	f.Add([]byte{})
+	// LOAD a; DIV by b; EXIT — the canonical trap candidate.
+	f.Add([]byte{
+		29, 1, 0, 0, 0, 200, // LOAD r1, cell 0
+		8, 1, 2, 0, 1, 130, // DIV r1, r2
+		32, 0, 0, 0, 0, 0, // EXIT
+	})
+	// Forward branch diamond.
+	f.Add([]byte{
+		19, 1, 2, 1, 0, 140, // JLT +1
+		1, 0, 0, 0, 0, 133, // MOVI
+		32, 0, 0, 0, 0, 0, // EXIT
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := programFromBytes(data)
+		if err := Verify(p, NumBuiltinHelpers); err != nil {
+			if err.Error() == "" {
+				t.Fatalf("empty rejection reason\n%s", p)
+			}
+			return
+		}
+		if !p.Meta.TrapFree || p.Meta.MaxSteps <= 0 {
+			t.Fatalf("accepted program has no proof: %+v", p.Meta)
+		}
+		for _, cells := range adversarialCells(len(p.Symbols)) {
+			var mp Machine
+			out, rerr := mp.Run(p, &fuzzEnv{cells: append([]float64(nil), cells...)}, cells[0])
+			if rerr != nil {
+				t.Fatalf("verified program trapped: %v\ncells=%v\n%s", rerr, cells, p)
+			}
+			if int(mp.Steps) > p.Meta.MaxSteps {
+				t.Fatalf("run took %d steps, bound is %d\n%s", mp.Steps, p.Meta.MaxSteps, p)
+			}
+			guarded := *p
+			guarded.Meta = ProgramMeta{}
+			var mg Machine
+			gout, gerr := mg.Run(&guarded, &fuzzEnv{cells: append([]float64(nil), cells...)}, cells[0])
+			if gerr != nil || !sameFloat(out, gout) || mp.Steps != mg.Steps {
+				t.Fatalf("proven/guarded divergence: (%v, %d, %v) vs (%v, %d, %v)\n%s",
+					out, mp.Steps, rerr, gout, mg.Steps, gerr, p)
+			}
+		}
+	})
+}

@@ -147,8 +147,14 @@ type Program struct {
 	Symbols []string
 	// Meta records how the program was produced. It is advisory (not part
 	// of the serialized image): programs decoded from an image carry a
-	// zero Meta.
+	// zero Meta until their certificate (if any) passes CheckCertificate
+	// or they are re-verified in full.
 	Meta ProgramMeta
+	// Cert is the program's serializable verification certificate
+	// (certificate.go), attached by Certify and carried through
+	// Encode/Decode. Unlike Meta it is not trusted: a decoded image's
+	// certificate earns its claims only by passing CheckCertificate.
+	Cert *Certificate
 }
 
 // ProgramMeta is compiler and verifier provenance attached to a
