@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	grailc [-O0|-O1] [-S] [-json] [-check-only] [-vet] [-interfere] [-witness] [-o out.img] file.grail...
+//	grailc [-O0|-O1] [-S] [-json] [-check-only] [-vet] [-interfere] [-witness] [-check] [-o out.img] file.grail...
 //	grailc -e 'guardrail g { ... }'
 //
 // With no flags it reports each guardrail's name, trigger count, and
@@ -18,11 +18,16 @@
 // deployment and runs the whole-deployment interference analysis
 // (package internal/spec/interfere, GI001… diagnostics — cross-file
 // deployments use cmd/grailcheck), failing on warnings; -witness
-// augments -vet and -interfere findings with bounded counterexample
-// synthesis (CONFIRMED with a replayable concrete input, or PLAUSIBLE
-// when none exists within bounds); -aggregates names the deployment's
-// registered cross-shard aggregates so -vet can flag LOADs of
-// unregistered *_global keys (GV011). -O1 (constant
+// augments -vet, -interfere, and -check findings with bounded
+// counterexample synthesis (CONFIRMED with a replayable concrete
+// input, or PLAUSIBLE when none exists within bounds), and
+// -witness-budget caps the assignments tried per finding; -check runs
+// the bounded temporal model checker over the file's "assert" property
+// blocks, treating the file as one deployment (GM001… diagnostics,
+// cross-file deployments use cmd/grailcheck -check), failing on
+// refuted or inconclusive properties; -aggregates names the
+// deployment's registered cross-shard aggregates so -vet can flag
+// LOADs of unregistered *_global keys (GV011). -O1 (constant
 // folding, algebraic simplification, CSE, copy propagation, immediate
 // selection, DCE, and a bytecode peephole) is the default; -O0 compiles
 // by straight lowering and codegen.
@@ -39,6 +44,7 @@ import (
 	"guardrails/internal/compile"
 	"guardrails/internal/spec"
 	"guardrails/internal/spec/interfere"
+	"guardrails/internal/spec/modelcheck"
 	"guardrails/internal/spec/vet"
 	"guardrails/internal/vm"
 )
@@ -49,7 +55,9 @@ func main() {
 	checkOnly := flag.Bool("check-only", false, "parse and check only; do not compile")
 	vetFlag := flag.Bool("vet", false, "lint specifications (GV001… diagnostics); warnings fail the build")
 	interfereFlag := flag.Bool("interfere", false, "analyze each file as one deployment (GI001… diagnostics); warnings fail the build")
-	witnessFlag := flag.Bool("witness", false, "with -vet/-interfere: synthesize replayable counterexamples, annotating findings CONFIRMED or PLAUSIBLE")
+	witnessFlag := flag.Bool("witness", false, "with -vet/-interfere/-check: synthesize replayable counterexamples, annotating findings CONFIRMED or PLAUSIBLE")
+	witnessBudget := flag.Int("witness-budget", 0, "max concrete assignments tried per finding during witness synthesis (0 = default)")
+	checkFlag := flag.Bool("check", false, "model-check the file's assert property blocks (GM001… diagnostics); refuted or inconclusive properties fail the build")
 	aggregatesFlag := flag.String("aggregates", "", "with -vet: comma-separated registered aggregate names; LOADs of unregistered *_global keys flag GV011")
 	expr := flag.String("e", "", "compile specification text from the command line")
 	imgOut := flag.String("o", "", "write binary monitor image(s) to this path")
@@ -85,7 +93,8 @@ func main() {
 		if err := processOne(os.Stdout, name, src, options{
 			asm: *asm, jsonOut: *jsonOut, checkOnly: *checkOnly, imageOut: *imgOut,
 			level: level, vet: *vetFlag, interfere: *interfereFlag,
-			witness: *witnessFlag, aggregates: *aggregatesFlag,
+			witness: *witnessFlag, witnessBudget: *witnessBudget,
+			check: *checkFlag, aggregates: *aggregatesFlag,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			exit = 1
@@ -102,9 +111,15 @@ type options struct {
 	level     int
 	vet       bool
 	interfere bool
-	// witness requests counterexample synthesis for -vet/-interfere
-	// findings with replayable claims.
+	// witness requests counterexample synthesis for -vet/-interfere/
+	// -check findings with replayable claims.
 	witness bool
+	// witnessBudget caps the assignments tried per finding (0 =
+	// each analysis' default).
+	witnessBudget int
+	// check runs the bounded temporal model checker over the file's
+	// assert property blocks.
+	check bool
 	// aggregates is the -aggregates list ("" = unknown; GV011 off).
 	aggregates string
 }
@@ -124,7 +139,7 @@ func processOne(w io.Writer, name, src string, opt options) error {
 		}
 		ds := vet.FileConfig(f, cfg)
 		if opt.witness {
-			ds = vet.Witnesses(f, ds, 0)
+			ds = vet.Witnesses(f, ds, opt.witnessBudget)
 		}
 		warns := 0
 		for _, d := range ds {
@@ -137,13 +152,14 @@ func processOne(w io.Writer, name, src string, opt options) error {
 		if warns > 0 {
 			return fmt.Errorf("vet: %d warning(s)", warns)
 		}
-		if opt.checkOnly && !opt.interfere {
+		if opt.checkOnly && !opt.interfere && !opt.check {
 			return nil
 		}
 	}
-	// Interference analysis needs the compiled programs' certificates,
-	// so -interfere compiles even under -check-only.
-	if opt.checkOnly && !opt.interfere {
+	// Interference analysis and model checking need the compiled
+	// programs' certificates, so -interfere/-check compile even under
+	// -check-only.
+	if opt.checkOnly && !opt.interfere && !opt.check {
 		fmt.Fprintf(w, "%s: %d guardrail(s) OK\n", name, len(f.Guardrails))
 		return nil
 	}
@@ -159,7 +175,8 @@ func processOne(w io.Writer, name, src string, opt options) error {
 	}
 	if opt.interfere {
 		report := interfere.Analyze(&interfere.Deployment{
-			Monitors: compiled, Features: f.Features, Witness: opt.witness})
+			Monitors: compiled, Features: f.Features, Witness: opt.witness,
+			WitnessBudget: opt.witnessBudget})
 		for _, d := range report.Diagnostics {
 			fmt.Fprintf(w, "%s:%s\n", name, d)
 		}
@@ -167,9 +184,36 @@ func processOne(w io.Writer, name, src string, opt options) error {
 		if warns := report.Warnings(); warns > 0 {
 			return fmt.Errorf("interfere: %d warning(s)", warns)
 		}
-		if opt.checkOnly {
-			return nil
+	}
+	if opt.check {
+		rep := modelcheck.Check(&interfere.Deployment{
+			Monitors: compiled, Features: f.Features,
+		}, modelcheck.Config{
+			Properties:    f.Properties,
+			Witness:       opt.witness,
+			WitnessBudget: opt.witnessBudget,
+		})
+		for _, d := range rep.Diagnostics {
+			fmt.Fprintf(w, "%s:%s\n", name, d)
+			for _, line := range d.Trace {
+				fmt.Fprintf(w, "    %s\n", line)
+			}
 		}
+		for _, p := range rep.Properties {
+			line := fmt.Sprintf("%s: property %s: %s", name, p.Property, p.Status)
+			if p.Reason != "" {
+				line += " (" + p.Reason + ")"
+			}
+			fmt.Fprintln(w, line)
+		}
+		fmt.Fprintf(w, "%s: %s\n", name, rep.Summary())
+		if !rep.Clean() {
+			return fmt.Errorf("modelcheck: %d warning(s), %d propert%s not proved",
+				rep.Warnings(), notProved(rep), plural(notProved(rep), "y", "ies"))
+		}
+	}
+	if (opt.interfere || opt.check) && opt.checkOnly {
+		return nil
 	}
 	for _, c := range compiled {
 		if opt.imageOut != "" {
@@ -218,6 +262,24 @@ func processOne(w io.Writer, name, src string, opt options) error {
 		}
 	}
 	return nil
+}
+
+// notProved counts a model-checking report's non-PROVED properties.
+func notProved(rep *modelcheck.Report) int {
+	n := 0
+	for _, p := range rep.Properties {
+		if p.Status != modelcheck.StatusProved {
+			n++
+		}
+	}
+	return n
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // splitList parses a comma-separated flag value, dropping empty items.

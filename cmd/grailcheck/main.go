@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	grailcheck [-budget N] [-shards N] [-warn] [-json] [-witness] file.grail...
+//	grailcheck [-budget N] [-shards N] [-warn] [-json] [-witness] [-check] file.grail...
 //	grailcheck -manifest deploy.json
 //
 // A deployment manifest names the spec files and budgets in one place:
@@ -18,7 +18,9 @@
 //	  "hook_budget": 200,
 //	  "hook_budgets": {"io_uring_submit": 64},
 //	  "shards": 4,
-//	  "aggregates": ["err_rate"]
+//	  "aggregates": ["err_rate"],
+//	  "properties": ["always LOAD(mode) <= 1"],
+//	  "shadow": ["candidate-monitor"]
 //	}
 //
 // "aggregates", when present, lists the cross-shard aggregate names the
@@ -29,7 +31,24 @@
 // joint input whose replay through the real VM reproduces the
 // interference, including both dispatch orders for SAVE conflicts — or
 // downgraded to PLAUSIBLE when no witness exists within the search
-// bounds (the sound static finding is kept either way).
+// bounds (the sound static finding is kept either way). -witness-budget
+// caps the concrete assignments tried per finding (0 = default).
+//
+// -check runs the bounded temporal model checker
+// (internal/spec/modelcheck) over the whole deployment: declared
+// properties — "assert always <pred>" / "assert eventually <pred>
+// within K" blocks in the spec files plus the manifest's "properties"
+// list — are PROVED (with an exploration certificate), REFUTED (with a
+// GM-coded diagnostic carrying a multi-step abstract trace, upgraded to
+// CONFIRMED by -witness when a concrete schedule replays), or
+// INCONCLUSIVE (bounds hit). Non-convergent SAVE oscillations (GM003)
+// are reported even without declared properties. "shadow" names
+// monitors excluded from the temporal transition relation (deployed to
+// observe, not act).
+//
+// -sarif writes the combined report as SARIF 2.1.0 to the given path
+// ("-" = stdout), the CI code-scanning artifact format; rule ids are
+// the stable GV/GI/GM codes.
 //
 // Spec paths in a manifest resolve relative to the manifest's
 // directory. -budget sets the default per-hook-site certified step
@@ -59,6 +78,7 @@ import (
 	"guardrails/internal/compile"
 	"guardrails/internal/spec"
 	"guardrails/internal/spec/interfere"
+	"guardrails/internal/spec/modelcheck"
 	"guardrails/internal/spec/vet"
 )
 
@@ -79,6 +99,20 @@ type manifest struct {
 	// empty), every LOAD of a *_global key with no matching registration
 	// is flagged GV011: the cell is never written, so it reads 0 forever.
 	Aggregates []string `json:"aggregates"`
+	// Properties declares temporal properties over the deployment
+	// ("always <pred>", "eventually <pred> within K"), checked by the
+	// bounded model checker alongside any assert blocks in the specs.
+	Properties []string `json:"properties"`
+	// Shadow names monitors excluded from the temporal transition
+	// relation (deployed in shadow: they observe but do not act).
+	Shadow []string `json:"shadow"`
+}
+
+// combinedReport is the -json artifact shape: the interference report
+// plus, under -check, the temporal model-checking report.
+type combinedReport struct {
+	*interfere.Report
+	Temporal *modelcheck.Report `json:"temporal,omitempty"`
 }
 
 func run(stdout, stderr io.Writer, args []string) int {
@@ -89,14 +123,19 @@ func run(stdout, stderr io.Writer, args []string) int {
 	warnOnly := fs.Bool("warn", false, "report findings but do not fail on warnings")
 	jsonOut := fs.Bool("json", false, "emit the full report as JSON")
 	witness := fs.Bool("witness", false, "attempt counterexample synthesis: annotate co-firing findings CONFIRMED (with a replayable witness) or PLAUSIBLE")
-	manifestPath := fs.String("manifest", "", "deployment manifest (JSON: specs, hook_budget, hook_budgets, shards, aggregates)")
+	witnessBudget := fs.Int("witness-budget", 0, "max concrete assignments tried per finding during witness synthesis (0 = default)")
+	check := fs.Bool("check", false, "run the bounded temporal model checker over declared properties (assert blocks and the manifest's properties list)")
+	sarifPath := fs.String("sarif", "", "write the combined report as SARIF 2.1.0 to this path (\"-\" = stdout)")
+	manifestPath := fs.String("manifest", "", "deployment manifest (JSON: specs, hook_budget, hook_budgets, shards, aggregates, properties, shadow)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	paths := fs.Args()
-	dep := &interfere.Deployment{HookBudget: *budget, Shards: *shards, Witness: *witness}
+	dep := &interfere.Deployment{HookBudget: *budget, Shards: *shards, Witness: *witness, WitnessBudget: *witnessBudget}
 	var aggregates []string
+	var properties []*spec.PropertyDecl
+	var shadow []string
 	if *manifestPath != "" {
 		data, err := os.ReadFile(*manifestPath)
 		if err != nil {
@@ -123,6 +162,15 @@ func run(stdout, stderr io.Writer, args []string) int {
 			dep.Shards = m.Shards
 		}
 		aggregates = m.Aggregates
+		shadow = m.Shadow
+		for _, src := range m.Properties {
+			d, err := spec.ParseProperty(src)
+			if err != nil {
+				fmt.Fprintf(stderr, "grailcheck: %s: property %q: %v\n", *manifestPath, src, err)
+				return 2
+			}
+			properties = append(properties, d)
+		}
 	}
 	if len(paths) == 0 {
 		fmt.Fprintln(stderr, "usage: grailcheck [-budget N] [-warn] [-json] [-witness] file.grail... | grailcheck -manifest deploy.json")
@@ -165,9 +213,23 @@ func run(stdout, stderr io.Writer, args []string) int {
 		parsed = append(parsed, parsedFile{path: path, f: f})
 		dep.Monitors = append(dep.Monitors, cs...)
 		dep.Features = append(dep.Features, f.Features...)
+		properties = append(properties, f.Properties...)
 	}
 
 	report := interfere.Analyze(dep)
+
+	// -check: bounded temporal model checking over the deployment's
+	// declared properties (assert blocks + manifest list). GM003
+	// oscillation detection runs even with no properties declared.
+	var temporal *modelcheck.Report
+	if *check {
+		temporal = modelcheck.Check(dep, modelcheck.Config{
+			Properties:    properties,
+			Shadow:        shadow,
+			Witness:       *witness,
+			WitnessBudget: *witnessBudget,
+		})
+	}
 
 	// A manifest that declares its registered aggregates (even an empty
 	// set) opts into GV011: every LOAD of a *_global key with no matching
@@ -189,10 +251,34 @@ func run(stdout, stderr io.Writer, args []string) int {
 		}
 	}
 
+	if *sarifPath != "" {
+		out := stdout
+		var file *os.File
+		if *sarifPath != "-" {
+			var err error
+			file, err = os.Create(*sarifPath)
+			if err != nil {
+				fmt.Fprintf(stderr, "grailcheck: %v\n", err)
+				return 2
+			}
+			out = file
+		}
+		err := writeSARIF(out, report, temporal, fileOf)
+		if file != nil {
+			if cerr := file.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "grailcheck: %v\n", err)
+			return 2
+		}
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(report); err != nil {
+		if err := enc.Encode(combinedReport{Report: report, Temporal: temporal}); err != nil {
 			fmt.Fprintf(stderr, "grailcheck: %v\n", err)
 			return 2
 		}
@@ -213,10 +299,33 @@ func run(stdout, stderr io.Writer, args []string) int {
 			}
 			fmt.Fprintln(stdout, line)
 		}
+		if temporal != nil {
+			for _, d := range temporal.Diagnostics {
+				fmt.Fprintf(stdout, "%s:%s\n", fileOf[d.Guardrail], d)
+				for _, line := range d.Trace {
+					fmt.Fprintf(stdout, "    %s\n", line)
+				}
+			}
+			for _, p := range temporal.Properties {
+				line := fmt.Sprintf("property %s: %s", p.Property, p.Status)
+				if p.Reason != "" {
+					line += " (" + p.Reason + ")"
+				}
+				if p.Certificate != nil {
+					line += fmt.Sprintf(" [%d states, depth %d]", p.Certificate.States, p.Certificate.Depth)
+				}
+				fmt.Fprintln(stdout, line)
+			}
+			fmt.Fprintf(stdout, "grailcheck: %s\n", temporal.Summary())
+		}
 		fmt.Fprintf(stdout, "grailcheck: %d guardrail(s): %s\n", len(dep.Monitors), report.Summary())
 	}
 
-	if report.Warnings() > 0 && !*warnOnly {
+	failed := report.Warnings() > 0
+	if temporal != nil && !temporal.Clean() {
+		failed = true
+	}
+	if failed && !*warnOnly {
 		return 1
 	}
 	return 0

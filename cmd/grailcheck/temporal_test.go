@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestTemporalCleanProves: the escalation ladder's declared properties
+// (two assert blocks in the spec plus one manifest property) must all
+// come back PROVED with certificates, exit 0.
+func TestTemporalCleanProves(t *testing.T) {
+	out, errb, code := runCheck(t, "-check", "-manifest", filepath.Join("testdata", "temporal_clean.json"))
+	if code != 0 {
+		t.Fatalf("clean temporal deployment exited %d\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+	for _, want := range []string{
+		"assert always (LOAD(quarantined) <= 1): PROVED",
+		"assert eventually (LOAD(quarantined) == 1) within 2: PROVED",
+		"assert eventually (LOAD(alert_level) == 1) within 1: PROVED",
+		"3 proved, 0 refuted, 0 inconclusive",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("clean temporal output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTemporalOscillationGolden pins the full -check -witness output
+// for the seeded oscillating pair: GM001 with a CONFIRMED multi-step
+// witness, GM003 with the confirmed cycle, the declared property
+// REFUTED, exit 1.
+func TestTemporalOscillationGolden(t *testing.T) {
+	out, _, code := runCheck(t, "-check", "-witness", filepath.Join("testdata", "temporal_osc.grail"))
+	if code != 1 {
+		t.Fatalf("oscillating deployment exited %d, want 1\n%s", code, out)
+	}
+	compareGolden(t, filepath.Join("testdata", "temporal_osc.golden"), out)
+	for _, want := range []string{
+		"[GM001]", "[GM003]",
+		"CONFIRMED: inputs",
+		"steps 1..2 form a cycle",
+		"REFUTED",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("oscillation output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTemporalJSONArtifact: -json carries the temporal report beside
+// the interference report.
+func TestTemporalJSONArtifact(t *testing.T) {
+	out, _, code := runCheck(t, "-check", "-json", "-warn", filepath.Join("testdata", "temporal_osc.grail"))
+	if code != 0 {
+		t.Fatalf("-warn exited %d\n%s", code, out)
+	}
+	var rep struct {
+		Temporal *struct {
+			Properties []struct {
+				Status string `json:"status"`
+			} `json:"properties"`
+			Diagnostics []struct {
+				Code string `json:"code"`
+			} `json:"diagnostics"`
+			States int `json:"states"`
+		} `json:"temporal"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if rep.Temporal == nil {
+		t.Fatal("JSON artifact missing temporal report")
+	}
+	if len(rep.Temporal.Properties) != 1 || rep.Temporal.Properties[0].Status != "REFUTED" {
+		t.Errorf("temporal properties = %+v", rep.Temporal.Properties)
+	}
+	if rep.Temporal.States == 0 {
+		t.Error("temporal report missing state count")
+	}
+}
+
+// TestSARIFGolden pins the SARIF 2.1.0 artifact for the oscillating
+// deployment: stable GM rule ids, warning-level results, resolvable
+// locations.
+func TestSARIFGolden(t *testing.T) {
+	dir := t.TempDir()
+	sarif := filepath.Join(dir, "out.sarif")
+	_, _, code := runCheck(t, "-check", "-witness", "-warn", "-sarif", sarif, filepath.Join("testdata", "temporal_osc.grail"))
+	if code != 0 {
+		t.Fatalf("-warn -sarif exited %d", code)
+	}
+	got := readFile(t, sarif)
+	compareGolden(t, filepath.Join("testdata", "temporal_osc.sarif.golden"), got)
+	for _, want := range []string{`"version": "2.1.0"`, `"ruleId": "GM003"`, `"level": "warning"`, "temporal_osc.grail"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("SARIF missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestWitnessBudgetUpgrade: the deep-conflict pair's GI003 needs a
+// specific joint assignment (both signals at 100, the last seed
+// candidate) — a tiny budget exhausts before finding it (PLAUSIBLE),
+// a full budget confirms it.
+func TestWitnessBudgetUpgrade(t *testing.T) {
+	path := filepath.Join("testdata", "deep_witness.grail")
+	small, _, code := runCheck(t, "-witness", "-witness-budget", "8", path)
+	if code != 1 {
+		t.Fatalf("deep conflict exited %d, want 1\n%s", code, small)
+	}
+	if !strings.Contains(small, "PLAUSIBLE") || strings.Contains(small, "CONFIRMED") {
+		t.Errorf("budget 8 should exhaust before the witness:\n%s", small)
+	}
+	big, _, _ := runCheck(t, "-witness", "-witness-budget", "64", path)
+	if !strings.Contains(big, "CONFIRMED") {
+		t.Errorf("budget 64 should confirm the witness:\n%s", big)
+	}
+}

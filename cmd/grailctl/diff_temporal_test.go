@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// ctlAsserted is the retuned candidate plus a declared safety property
+// the retune cannot break ("alert never exceeds 1") and one it can
+// ("alert stays 0") — the second refutes, so diff must exit 1.
+const ctlAssertedBad = `
+feature lat_ma range(0.0, 1.0)
+
+assert always LOAD(alert) <= 0
+
+guardrail lat-guard {
+    trigger: { FUNCTION(io_done) },
+    rule: { LOAD(lat_ma) <= 0.55 },
+    action: { SAVE(alert, 1) }
+}`
+
+const ctlAssertedGood = `
+feature lat_ma range(0.0, 1.0)
+
+assert always LOAD(alert) <= 1
+
+guardrail lat-guard {
+    trigger: { FUNCTION(io_done) },
+    rule: { LOAD(lat_ma) <= 0.55 },
+    action: { SAVE(alert, 1) }
+}`
+
+// TestDiffRefusesBrokenProperty: a retuned candidate whose declared
+// "assert always" the model checker refutes fails grailctl diff with
+// the GM001 diagnostic, before any rollout rehearsal.
+func TestDiffRefusesBrokenProperty(t *testing.T) {
+	oldSpec := writeSpec(t, "old.grail", ctlIncumbent)
+	newSpec := writeSpec(t, "new.grail", ctlAssertedBad)
+	code, out, _ := runCtl(t, "diff", "-old", oldSpec, "-new", newSpec)
+	if code != 1 {
+		t.Fatalf("diff with broken property exited %d, want 1\n%s", code, out)
+	}
+	for _, want := range []string{"[GM001]", "REFUTED", "model check:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDiffProvesDeclaredProperty: the same retune under a property it
+// satisfies passes, with the proof in the output.
+func TestDiffProvesDeclaredProperty(t *testing.T) {
+	oldSpec := writeSpec(t, "old.grail", ctlIncumbent)
+	newSpec := writeSpec(t, "new.grail", ctlAssertedGood)
+	code, out, errb := runCtl(t, "diff", "-old", oldSpec, "-new", newSpec)
+	if code != 0 {
+		t.Fatalf("diff with proved property exited %d\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+	if !strings.Contains(out, "PROVED") {
+		t.Errorf("diff output missing proof:\n%s", out)
+	}
+}
+
+// TestRolloutRefusesBrokenProperty: the rehearsal verb hands declared
+// properties to rollout.Begin, which refuses the candidate before
+// shadow.
+func TestRolloutRefusesBrokenProperty(t *testing.T) {
+	oldSpec := writeSpec(t, "old.grail", ctlIncumbent)
+	newSpec := writeSpec(t, "new.grail", ctlAssertedBad)
+	code, out, _ := runCtl(t, "rollout", "-old", oldSpec, "-new", newSpec)
+	if code != 1 {
+		t.Fatalf("rollout with broken property exited %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "refused by temporal model checking") {
+		t.Errorf("rehearsal did not report the temporal refusal:\n%s", out)
+	}
+}

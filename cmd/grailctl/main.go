@@ -12,8 +12,13 @@
 // diff prints each guardrail's change classification (added, removed,
 // retuned, modified, unchanged, with per-item details such as threshold
 // deltas), then re-runs interference analysis scoped to the changed
-// guardrails and their coupled neighbours. Exit status: 0 when the
-// scoped analysis is clean, 1 on warnings, 2 on usage or spec errors.
+// guardrails and their coupled neighbours. When the candidate
+// generation declares "assert" property blocks, diff also runs the
+// bounded temporal model checker over the whole candidate (GM001…
+// diagnostics) — a retuned guardrail that refutes a declared property
+// is caught here, before any rehearsal. Exit status: 0 when the scoped
+// analysis is clean and every property is proved, 1 on warnings or
+// unproved properties, 2 on usage or spec errors.
 //
 // rollout loads the old generation into a simulated kernel, drives a
 // seeded synthetic workload over every hook site and feature key the
@@ -41,6 +46,7 @@ import (
 	"guardrails/internal/rollout"
 	"guardrails/internal/spec"
 	"guardrails/internal/spec/interfere"
+	"guardrails/internal/spec/modelcheck"
 	"guardrails/internal/telemetry"
 	"guardrails/internal/vm"
 )
@@ -77,8 +83,9 @@ specs is a comma-separated list of .grail files`)
 
 // generation is one parsed deployment generation.
 type generation struct {
-	compiled []*compile.Compiled
-	features []*spec.FeatureDecl
+	compiled   []*compile.Compiled
+	features   []*spec.FeatureDecl
+	properties []*spec.PropertyDecl
 }
 
 // loadGeneration parses, checks, and compiles a comma-separated spec
@@ -111,6 +118,7 @@ func loadGeneration(stderr io.Writer, list string) (*generation, bool) {
 		}
 		g.compiled = append(g.compiled, cs...)
 		g.features = append(g.features, f.Features...)
+		g.properties = append(g.properties, f.Properties...)
 	}
 	return g, true
 }
@@ -157,14 +165,23 @@ func runDiff(stdout, stderr io.Writer, args []string) int {
 	scoped, names := rollout.Scope(d, dep)
 	report := interfere.Analyze(scoped)
 
+	// Declared temporal properties gate the candidate generation the
+	// same way they gate rollout.Begin: a candidate that breaks an
+	// "assert" block is refused at diff time, before any rehearsal.
+	var temporal *modelcheck.Report
+	if len(new.properties) > 0 {
+		temporal = modelcheck.Check(dep, modelcheck.Config{Properties: new.properties})
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(struct {
-			Diff   *rollout.Diff     `json:"diff"`
-			Scope  []string          `json:"scope"`
-			Report *interfere.Report `json:"report"`
-		}{d, names, report}); err != nil {
+			Diff     *rollout.Diff      `json:"diff"`
+			Scope    []string           `json:"scope"`
+			Report   *interfere.Report  `json:"report"`
+			Temporal *modelcheck.Report `json:"temporal,omitempty"`
+		}{d, names, report, temporal}); err != nil {
 			fmt.Fprintf(stderr, "grailctl: %v\n", err)
 			return 2
 		}
@@ -178,8 +195,21 @@ func runDiff(stdout, stderr io.Writer, args []string) int {
 		for _, diag := range report.Diagnostics {
 			fmt.Fprintf(stdout, "  %s\n", diag)
 		}
+		if temporal != nil {
+			for _, diag := range temporal.Diagnostics {
+				fmt.Fprintf(stdout, "  %s\n", diag)
+			}
+			for _, p := range temporal.Properties {
+				line := fmt.Sprintf("property %s: %s", p.Property, p.Status)
+				if p.Reason != "" {
+					line += " (" + p.Reason + ")"
+				}
+				fmt.Fprintln(stdout, line)
+			}
+			fmt.Fprintf(stdout, "model check: %s\n", temporal.Summary())
+		}
 	}
-	if report.Warnings() > 0 {
+	if report.Warnings() > 0 || (temporal != nil && !temporal.Clean()) {
 		return 1
 	}
 	return 0
@@ -235,6 +265,7 @@ func runRollout(stdout, stderr io.Writer, args []string) int {
 		CanaryNum:    num, CanaryDen: den,
 		HookBudget: *budget,
 		Features:   new.features,
+		Properties: new.properties,
 	}
 	err := ctl.Begin(new.compiled, cfg)
 	if err == nil {

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestMarkedPackagesClean runs the real driver over the repo's marked
+// hot paths — the same invocation CI gates on — and requires zero
+// findings.
+func TestMarkedPackagesClean(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	root := repoRoot(t)
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	code, err := run(&sb, []string{"./internal/vm", "./internal/monitor", "./internal/provenance"})
+	if err != nil {
+		t.Fatalf("hotpathcheck failed: %v", err)
+	}
+	if code != 0 {
+		t.Errorf("marked hot paths are dirty:\n%s", sb.String())
+	}
+}
+
+// TestDriverFlagsSeededViolation plants a marked allocating function in
+// a throwaway package inside the module and checks the driver flags it
+// and exits 1.
+func TestDriverFlagsSeededViolation(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	root := repoRoot(t)
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "tools", "analyzers", "hotpath", "zz_seeded_violation")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	src := `package seeded
+
+//guardrails:hotpath
+func leaky(n int) []int {
+	return make([]int, n)
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "seeded.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	code, err := run(&sb, []string{"./tools/analyzers/hotpath/zz_seeded_violation"})
+	if err != nil {
+		t.Fatalf("hotpathcheck failed: %v", err)
+	}
+	if code != 1 {
+		t.Errorf("seeded violation not flagged (exit %d):\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "make allocates") {
+		t.Errorf("finding text missing:\n%s", sb.String())
+	}
+}

@@ -153,3 +153,43 @@ guardrail watch-b {
 		t.Fatalf("within-budget deployment refused: %v", err)
 	}
 }
+
+// TestModelCheckDeploymentPublicAPI: the library surface proves a
+// satisfied assert block and refutes a broken extra property with a
+// replayable witness.
+func TestModelCheckDeploymentPublicAPI(t *testing.T) {
+	const src = `
+assert always LOAD(alert) <= 1
+
+guardrail latch {
+    trigger: { TIMER(0, 1000) },
+    rule: { LOAD(alert) >= 1 },
+    action: { SAVE(alert, 1) }
+}`
+	rep, err := ModelCheckDeployment(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("satisfied property not proved: %s", rep.Summary())
+	}
+	rep, err = ModelCheckDeployment(src, "always LOAD(alert) <= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("broken extra property not refuted")
+	}
+	confirmed := false
+	for _, d := range rep.Diagnostics {
+		if d.Status == "CONFIRMED" {
+			confirmed = true
+		}
+	}
+	if !confirmed {
+		t.Errorf("refutation carries no confirmed witness: %+v", rep.Diagnostics)
+	}
+	if _, err := ModelCheckDeployment(src, "sometimes LOAD(x)"); err == nil {
+		t.Error("malformed extra property accepted")
+	}
+}

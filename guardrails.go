@@ -65,6 +65,7 @@ import (
 	"guardrails/internal/rollout"
 	"guardrails/internal/spec"
 	"guardrails/internal/spec/interfere"
+	"guardrails/internal/spec/modelcheck"
 	"guardrails/internal/telemetry"
 	"guardrails/internal/vm"
 )
@@ -172,6 +173,18 @@ type (
 	DeploymentReport = interfere.Report
 	// DeploymentDiagnostic is one deployment-level finding (GI001…).
 	DeploymentDiagnostic = interfere.Diagnostic
+	// PropertyDecl is a declared temporal property: "assert always
+	// <pred>" or "assert eventually <pred> within K".
+	PropertyDecl = spec.PropertyDecl
+	// TemporalConfig parameterizes the bounded temporal model checker
+	// (properties, exploration bounds, witness synthesis).
+	TemporalConfig = modelcheck.Config
+	// TemporalReport is the model checker's output: per-property
+	// PROVED/REFUTED/INCONCLUSIVE verdicts with certificates, plus
+	// GM-coded diagnostics carrying multi-step abstract traces.
+	TemporalReport = modelcheck.Report
+	// TemporalPropertyResult is one declared property's verdict.
+	TemporalPropertyResult = modelcheck.PropertyResult
 	// DeployConfig parameterizes System.LoadDeployment.
 	DeployConfig = monitor.DeployConfig
 	// DeployResult reports what LoadDeployment loaded, shadowed,
@@ -336,6 +349,35 @@ func AnalyzeDeployment(src string, hookBudget int, hookBudgets map[string]int) (
 		HookBudget:  hookBudget,
 		HookBudgets: hookBudgets,
 	}), nil
+}
+
+// ModelCheckDeployment parses and compiles src, then model-checks the
+// deployment's declared "assert" property blocks plus any extra
+// manifest-style properties ("always LOAD(k) <= 1", "eventually
+// LOAD(k) == 1 within 4") over one timer hyperperiod of abstract
+// execution. This is the library surface behind grailcheck -check and
+// grailc -check.
+func ModelCheckDeployment(src string, extra ...string) (*TemporalReport, error) {
+	f, err := ParseSpec(src)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := compile.File(f)
+	if err != nil {
+		return nil, err
+	}
+	props := append([]*PropertyDecl{}, f.Properties...)
+	for _, s := range extra {
+		p, err := spec.ParseProperty(s)
+		if err != nil {
+			return nil, err
+		}
+		props = append(props, p)
+	}
+	return modelcheck.Check(&Deployment{
+		Monitors: cs,
+		Features: f.Features,
+	}, TemporalConfig{Properties: props, Witness: true}), nil
 }
 
 // LoadDeployment parses, compiles, and loads every guardrail in src as

@@ -7,6 +7,7 @@ import (
 	"guardrails/internal/kernel"
 	"guardrails/internal/spec"
 	"guardrails/internal/spec/interfere"
+	"guardrails/internal/spec/modelcheck"
 )
 
 // DuplicateLoadError reports an attempt to load a guardrail under a
@@ -54,6 +55,13 @@ type DeployConfig struct {
 	// statically (GI005) and by kernel.AdmitDeployment.
 	HookBudget  int
 	HookBudgets map[string]int
+	// Properties are declared temporal properties (assert blocks or
+	// manifest "properties" entries). When non-empty, LoadDeployment
+	// additionally model-checks the deployment (spec/modelcheck): under
+	// DeployEnforce a refuted or inconclusive property refuses the
+	// deployment; under DeployWarn the monitors a GM diagnostic
+	// implicates load in shadow mode.
+	Properties []*spec.PropertyDecl
 	// Options are the per-monitor load options applied to every monitor
 	// in the deployment (ShadowMode may additionally be forced per
 	// monitor under DeployWarn).
@@ -64,6 +72,9 @@ type DeployConfig struct {
 type DeployResult struct {
 	// Report is the interference analysis of the requested deployment.
 	Report *interfere.Report
+	// Temporal is the model-checking report (nil unless
+	// DeployConfig.Properties was non-empty).
+	Temporal *modelcheck.Report
 	// Monitors are the loaded monitors, in input order (skipped
 	// duplicates excluded).
 	Monitors []*Monitor
@@ -83,9 +94,12 @@ type DeployResult struct {
 // nothing was loaded.
 type DeployError struct {
 	// Report is the full analysis; Admission is the kernel's admission
-	// error when the budget half failed (nil otherwise).
+	// error when the budget half failed (nil otherwise); Temporal is
+	// the model-checking report when a declared property refused the
+	// deployment (nil otherwise).
 	Report    *interfere.Report
 	Admission error
+	Temporal  *modelcheck.Report
 }
 
 // Error implements error.
@@ -94,6 +108,14 @@ func (e *DeployError) Error() string {
 	for _, d := range e.Report.Diagnostics {
 		if d.Severity == interfere.Warn {
 			msg += "\n\t" + d.String()
+		}
+	}
+	if e.Temporal != nil {
+		msg += "\n\t" + e.Temporal.Summary()
+		for _, d := range e.Temporal.Diagnostics {
+			if d.Severity == interfere.Warn {
+				msg += "\n\t" + d.String()
+			}
 		}
 	}
 	if e.Admission != nil {
@@ -147,10 +169,22 @@ func (r *Runtime) LoadDeployment(cs []*compile.Compiled, cfg DeployConfig) (*Dep
 	report := interfere.Analyze(dep)
 	admErr := r.k.AdmitDeployment(cfg.HookBudget, cfg.HookBudgets, HookLoads(cs))
 
-	res := &DeployResult{Report: report}
+	// Declared temporal properties are admission conditions too: the
+	// bounded model checker must prove every one before the deployment
+	// arms under DeployEnforce.
+	var temporal *modelcheck.Report
+	if len(cfg.Properties) > 0 {
+		temporal = modelcheck.Check(dep, modelcheck.Config{Properties: cfg.Properties})
+	}
+
+	res := &DeployResult{Report: report, Temporal: temporal}
 	if cfg.Policy == DeployEnforce {
-		if !report.Clean() || admErr != nil {
-			return res, &DeployError{Report: report, Admission: admErr}
+		if !report.Clean() || admErr != nil || (temporal != nil && !temporal.Clean()) {
+			derr := &DeployError{Report: report, Admission: admErr}
+			if temporal != nil && !temporal.Clean() {
+				derr.Temporal = temporal
+			}
+			return res, derr
 		}
 	}
 
@@ -180,6 +214,21 @@ func (r *Runtime) LoadDeployment(cs []*compile.Compiled, cfg DeployConfig) (*Dep
 					disable[n] = true
 				} else {
 					shadow[n] = true
+				}
+			}
+		}
+		if temporal != nil {
+			// A monitor implicated in a refuted property (safety breach,
+			// missed liveness, oscillation) shadows: its rules still
+			// evaluate, but it cannot act until the property is fixed.
+			for _, d := range temporal.Diagnostics {
+				if d.Severity != interfere.Warn {
+					continue
+				}
+				for _, n := range append([]string{d.Guardrail}, d.Others...) {
+					if n != "" {
+						shadow[n] = true
+					}
 				}
 			}
 		}

@@ -201,3 +201,113 @@ guardrail solo {
     rule: { LOAD(x) <= 1 },
     action: { REPORT(LOAD(x)) }
 }`
+
+// oscillatingPair flips the mode key between 0 and 1 forever; the
+// declared property says it must stay 0.
+const oscillatingPair = `
+assert always LOAD(mode) <= 0
+
+guardrail osc-up {
+    trigger: { TIMER(0, 1000) },
+    rule: { LOAD(mode) >= 1 },
+    action: { SAVE(mode, 1) }
+}
+guardrail osc-down {
+    trigger: { TIMER(500, 1000) },
+    rule: { LOAD(mode) < 1 },
+    action: { SAVE(mode, 0) }
+}`
+
+// compileWithProps is compileAll plus the file's assert property
+// blocks.
+func compileWithProps(t *testing.T, src string) ([]*compile.Compiled, []*spec.FeatureDecl, []*spec.PropertyDecl) {
+	t.Helper()
+	f, err := spec.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Check(f); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := compile.File(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs, f.Features, f.Properties
+}
+
+// TestLoadDeploymentEnforceRefusesBrokenProperty: a deployment whose
+// declared temporal property the model checker refutes is refused
+// atomically under the default policy — GM001 cited, nothing loaded.
+func TestLoadDeploymentEnforceRefusesBrokenProperty(t *testing.T) {
+	rt, _, _ := newRT()
+	cs, feats, props := compileWithProps(t, oscillatingPair)
+	res, err := rt.LoadDeployment(cs, DeployConfig{Features: feats, Properties: props})
+	var derr *DeployError
+	if !errors.As(err, &derr) {
+		t.Fatalf("got %v, want *DeployError", err)
+	}
+	if derr.Temporal == nil {
+		t.Fatal("refusal does not carry the temporal report")
+	}
+	if !strings.Contains(err.Error(), "GM001") {
+		t.Errorf("refusal does not cite GM001: %s", err)
+	}
+	if len(res.Monitors) != 0 || len(rt.Monitors()) != 0 {
+		t.Error("refused deployment still loaded monitors")
+	}
+	if res.Temporal == nil || res.Temporal.Clean() {
+		t.Error("result must carry the refuting temporal report")
+	}
+}
+
+// TestLoadDeploymentWarnShadowsPropertyBreakers: under DeployWarn the
+// monitors implicated in the refuted property load in shadow mode.
+func TestLoadDeploymentWarnShadowsPropertyBreakers(t *testing.T) {
+	rt, k, st := newRT()
+	cs, feats, props := compileWithProps(t, oscillatingPair)
+	res, err := rt.LoadDeployment(cs, DeployConfig{
+		Policy: DeployWarn, Features: feats, Properties: props,
+	})
+	if err != nil {
+		t.Fatalf("DeployWarn refused: %v", err)
+	}
+	if len(res.Monitors) != 2 {
+		t.Fatalf("loaded %d monitors, want 2", len(res.Monitors))
+	}
+	if len(res.Shadowed) != 2 {
+		t.Fatalf("shadowed = %v, want both oscillators", res.Shadowed)
+	}
+	// Shadowed oscillators evaluate but cannot SAVE: mode never flips.
+	k.RunUntil(3 * kernel.Second)
+	if got := st.Load("mode"); got != 0 {
+		t.Errorf("mode = %v; shadowed oscillator wrote the store", got)
+	}
+	for _, m := range res.Monitors {
+		if m.Stats().Evals == 0 {
+			t.Errorf("shadowed monitor %s did not evaluate", m.Name())
+		}
+	}
+}
+
+// TestLoadDeploymentProvedPropertyAdmits: a deployment that satisfies
+// its declared property loads normally and the result carries the
+// proof.
+func TestLoadDeploymentProvedPropertyAdmits(t *testing.T) {
+	rt, _, _ := newRT()
+	cs, feats, props := compileWithProps(t, `
+assert always LOAD(mode) <= 1
+
+guardrail mode-set {
+    trigger: { TIMER(0, 1000) },
+    rule: { LOAD(mode) >= 1 },
+    action: { SAVE(mode, 1) }
+}`)
+	res, err := rt.LoadDeployment(cs, DeployConfig{Features: feats, Properties: props})
+	if err != nil {
+		t.Fatalf("proved deployment refused: %v", err)
+	}
+	if res.Temporal == nil || !res.Temporal.Clean() {
+		t.Error("result does not carry the clean temporal report")
+	}
+}

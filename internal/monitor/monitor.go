@@ -457,6 +457,8 @@ func (m *Monitor) disarm() {
 // Whether a persistently faulting guardrail then enforces anything is
 // the quarantine policy's decision (Options.OnFault), not a side effect
 // of one bad run.
+//
+//guardrails:hotpath
 func (m *Monitor) Evaluate(arg float64) bool {
 	if !m.running.CompareAndSwap(false, true) {
 		return true

@@ -296,6 +296,8 @@ func (r *Recorder) HealthyEvery() uint64 {
 // Commit copies rec into the ring, stamping shard, epoch, and the next
 // sequence number onto it. The caller's record is mutated (stamped)
 // but not retained.
+//
+//guardrails:hotpath
 func (r *Recorder) Commit(rec *Record) {
 	if r == nil {
 		return
@@ -307,6 +309,8 @@ func (r *Recorder) Commit(rec *Record) {
 
 // push assigns the next sequence number and copies rec into the ring,
 // leaving the shard/epoch stamps alone (Merge preserves the originals).
+//
+//guardrails:hotpath
 func (r *Recorder) push(rec *Record) {
 	r.mu.Lock()
 	r.seq++

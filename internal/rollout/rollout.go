@@ -31,6 +31,7 @@ import (
 	"guardrails/internal/provenance"
 	"guardrails/internal/spec"
 	"guardrails/internal/spec/interfere"
+	"guardrails/internal/spec/modelcheck"
 )
 
 // Phase is a rollout's position in the staged state machine.
@@ -124,6 +125,12 @@ type Config struct {
 	// Features are the declared feature ranges for interference
 	// analysis.
 	Features []*spec.FeatureDecl
+	// Properties are the deployment's declared temporal properties.
+	// When non-empty, Begin model-checks the candidate generation
+	// (internal/spec/modelcheck) after the scoped interference pass and
+	// refuses the rollout — before anything loads — if any property is
+	// refuted or any GM diagnostic fires.
+	Properties []*spec.PropertyDecl
 	// Options are the monitor options candidates load with (and keep
 	// after promotion).
 	Options monitor.Options
@@ -174,12 +181,19 @@ type AdmitFunc func(budget int, overrides map[string]int, loads []kernel.HookLoa
 type RefusedError struct {
 	// Report is the scoped analysis report.
 	Report *interfere.Report
+	// Temporal is the model-checking report when the refusal came from
+	// a declared temporal property (Config.Properties) instead of the
+	// interference pass; nil otherwise.
+	Temporal *modelcheck.Report
 	// Scope names the guardrails that were re-analyzed.
 	Scope []string
 }
 
 // Error summarizes the refusal.
 func (e *RefusedError) Error() string {
+	if e.Temporal != nil {
+		return fmt.Sprintf("rollout: refused by temporal model checking (%s)", e.Temporal.Summary())
+	}
 	return fmt.Sprintf("rollout: refused by scoped interference analysis (%s; scope: %s)",
 		e.Report.Summary(), strings.Join(e.Scope, ", "))
 }
@@ -410,6 +424,19 @@ func (c *Controller) Begin(cs []*compile.Compiled, cfg Config) error {
 		c.cur = &rollout{gen: gen, cfg: cfg, cs: cs, diff: d, phase: PhaseFailed,
 			reason: "scoped interference analysis: " + rep.Summary()}
 		return &RefusedError{Report: rep, Scope: names}
+	}
+	// Declared temporal properties gate the whole candidate generation:
+	// a retuned monitor that breaks an "assert always" (or introduces a
+	// SAVE oscillation) is refused here, before shadow, like any other
+	// fail-static condition.
+	if len(cfg.Properties) > 0 {
+		trep := modelcheck.Check(dep, modelcheck.Config{Properties: cfg.Properties})
+		if !trep.Clean() {
+			c.record(gen, "refused", trep.Summary())
+			c.cur = &rollout{gen: gen, cfg: cfg, cs: cs, diff: d, phase: PhaseFailed,
+				reason: "temporal model checking: " + trep.Summary()}
+			return &RefusedError{Report: nil, Temporal: trep, Scope: names}
+		}
 	}
 
 	st := &rollout{gen: gen, cfg: cfg, cs: cs, diff: d, phase: PhaseAdmitting}

@@ -10,7 +10,9 @@ import (
 	"guardrails/internal/featurestore"
 	"guardrails/internal/kernel"
 	"guardrails/internal/monitor"
+	"guardrails/internal/spec"
 	"guardrails/internal/spec/interfere"
+	"guardrails/internal/spec/modelcheck"
 	"guardrails/internal/telemetry"
 )
 
@@ -693,5 +695,58 @@ func TestBreakglassSurvivesPromotion(t *testing.T) {
 	k.RunUntil(4 * kernel.Second)
 	if st.Load("alert") != 1 {
 		t.Error("released guardrail not acting on the promoted generation")
+	}
+}
+
+// --- temporal property gate ---------------------------------------------
+
+// TestRefusedByTemporalProperty: the operator declares that the fleet
+// never raises an alert ("assert always LOAD(alert) <= 0"); a retuned
+// candidate that can still drive alert to 1 is refuted by the bounded
+// model checker and refused before anything loads.
+func TestRefusedByTemporalProperty(t *testing.T) {
+	ctl, rt, _, _ := harness(t)
+	prop, err := spec.ParseProperty("always LOAD(alert) <= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastCfg()
+	cfg.Properties = []*spec.PropertyDecl{prop}
+	cand := mustCompile(t, strings.Replace(latGuard, "0.5", "0.56", 1))
+	err = ctl.Begin(cand, cfg)
+	var refused *RefusedError
+	if !errors.As(err, &refused) {
+		t.Fatalf("Begin = %v, want RefusedError", err)
+	}
+	if refused.Temporal == nil {
+		t.Fatal("refusal carries no temporal report")
+	}
+	found := false
+	for _, d := range refused.Temporal.Diagnostics {
+		if d.Code == modelcheck.CodeSafety {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("temporal report missing GM001: %+v", refused.Temporal.Diagnostics)
+	}
+	if got := ctl.Phase(); got != PhaseFailed {
+		t.Errorf("phase = %s, want failed", got)
+	}
+	if !strings.Contains(ctl.Reason(), "temporal model checking") {
+		t.Errorf("reason = %q", ctl.Reason())
+	}
+	if len(rt.Monitors()) != 1 {
+		t.Errorf("monitors after refusal = %d, want 1 (nothing loaded)", len(rt.Monitors()))
+	}
+
+	// A property the candidate satisfies must not block the rollout.
+	hold, err := spec.ParseProperty("always LOAD(alert) <= 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Properties = []*spec.PropertyDecl{hold}
+	if err := ctl.Begin(cand, cfg); err != nil {
+		t.Fatalf("satisfied property blocked rollout: %v", err)
 	}
 }

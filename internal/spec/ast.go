@@ -14,6 +14,12 @@ type File struct {
 	// threshold check, the deployment interference analyzer's input
 	// refinement); the compiler and runtime ignore them.
 	Features []*FeatureDecl
+	// Properties are the file's declared temporal properties
+	// ("assert always …" / "assert eventually … within K"), in source
+	// order. The bounded model checker (internal/spec/modelcheck) proves
+	// or refutes them against the whole deployment; the compiler and
+	// runtime ignore them.
+	Properties []*PropertyDecl
 }
 
 // FeatureDecl declares the legal range of a feature-store key:

@@ -26,7 +26,9 @@ var Builtins = map[string]int{
 //     called;
 //   - DEPRIORITIZE priorities, when constant, are within [-20, 19];
 //   - feature declarations have ordinary, non-empty ranges and are not
-//     repeated.
+//     repeated;
+//   - temporal property declarations are predicates with well-formed
+//     bounds (CheckProperty).
 //
 // Bare identifiers in expressions are implicit feature-store loads; the
 // compiler treats IdentExpr exactly like LoadExpr.
@@ -42,6 +44,11 @@ func Check(f *File) error {
 		}
 		if d.Lo > d.Hi {
 			return errAt(d.Pos, "feature %q range is empty: lo %g > hi %g", d.Key, d.Lo, d.Hi)
+		}
+	}
+	for _, d := range f.Properties {
+		if err := CheckProperty(d); err != nil {
+			return err
 		}
 	}
 	names := make(map[string]bool)

@@ -32,7 +32,6 @@ package interfere
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 
@@ -123,6 +122,11 @@ type Diagnostic struct {
 	// Witness is the replayable counterexample backing a CONFIRMED
 	// status.
 	Witness *vm.Witness `json:"witness,omitempty"`
+	// Trace is the multi-step abstract trace behind a temporal finding
+	// (the model checker's GM codes): one line per step from the initial
+	// deployment state to the violating state or cycle. Empty for
+	// single-step GI findings.
+	Trace []string `json:"trace,omitempty"`
 }
 
 // String renders "line:col: severity: [CODE] guardrail g: message",
@@ -551,34 +555,24 @@ func timerPairCoincides(a, b *spec.TimerTrigger) bool {
 	if b.Stop > 0 && b.Stop <= a.Start {
 		return false
 	}
-	s1, i1 := a.Start, a.Interval
-	s2, i2 := b.Start, b.Interval
-	if !integral(s1) || !integral(i1) || !integral(s2) || !integral(i2) {
+	// Exact conversion bounds at 2^53 (not 2^62 as this check once
+	// allowed): past the float64 integer limit, s1-s2 rounds, and a
+	// divisibility test on the rounded difference can wrongly rule out
+	// real coincidences. When exact arithmetic is impossible, assume
+	// coincidence (schedule.go).
+	s1, ok1 := ExactInt64(a.Start)
+	i1, ok2 := ExactInt64(a.Interval)
+	s2, ok3 := ExactInt64(b.Start)
+	i2, ok4 := ExactInt64(b.Interval)
+	if !ok1 || !ok2 || !ok3 || !ok4 {
 		return true // conservative: cannot reason exactly
 	}
-	g := gcd64(int64(i1), int64(i2))
+	g := Gcd64(i1, i2)
 	if g == 0 {
 		return s1 == s2
 	}
-	return int64(s1-s2)%g == 0
-}
-
-func integral(v float64) bool {
-	return !math.IsNaN(v) && !math.IsInf(v, 0) &&
-		v == math.Trunc(v) && math.Abs(v) < 1<<62
-}
-
-func gcd64(a, b int64) int64 {
-	if a < 0 {
-		a = -a
-	}
-	if b < 0 {
-		b = -b
-	}
-	for b != 0 {
-		a, b = b, a%b
-	}
-	return a
+	// |s1|,|s2| ≤ 2^53, so the difference cannot overflow int64.
+	return (s1-s2)%g == 0
 }
 
 // --- action conflicts (GI001–GI003) ----------------------------------

@@ -1,0 +1,718 @@
+// Package modelcheck is a bounded abstract model checker over whole
+// guardrail deployments.
+//
+// The per-program verifier (internal/vm.Analyze) certifies one monitor
+// in isolation; the interference analyzer (internal/spec/interfere)
+// certifies pairwise couplings. Neither answers temporal questions
+// about the deployment as a dynamical system: "can the escalation
+// ladder ever skip quarantine?", "does alert_level converge or
+// oscillate forever?". This package does, within explicit bounds.
+//
+// The abstract state is a tuple of certified feature-store intervals —
+// one per key the deployment reads or writes — obtained from
+// vm.AnalyzeWith under a state-dependent cell environment. Transitions
+// are monitor firings: one per hook site, and one per timer
+// coincidence class scheduled over a single timer hyperperiod (shared
+// machinery with interfere, see TimerTicks). The checker explores the
+// induced transition system exhaustively to a configurable depth and
+// state bound, widening per-key interval sequences so loops with
+// strictly growing counters still converge.
+//
+// Declared properties ("assert always p", "assert eventually p within
+// K") are evaluated over the explored graph. Proved properties carry a
+// Certificate stating the exact bounds the proof holds under; refuted
+// ones emit GM-coded diagnostics carrying a multi-step abstract trace,
+// which the witness engine (witness.go) tries to concretize into a
+// replayable event schedule: CONFIRMED findings reproduce on the real
+// interpreter, PLAUSIBLE ones stand as sound abstract claims.
+package modelcheck
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"guardrails/internal/compile"
+	"guardrails/internal/spec"
+	"guardrails/internal/spec/interfere"
+	"guardrails/internal/vm"
+)
+
+// Diagnostic codes (GM = guardrail model checking). Codes are stable:
+// tooling and CI gates match on them.
+const (
+	// CodeSafety: an "assert always" property is violated in a
+	// reachable abstract state.
+	CodeSafety = "GM001"
+	// CodeLiveness: an "assert eventually … within K" property has an
+	// execution that stays false for K steps.
+	CodeLiveness = "GM002"
+	// CodeOscillation: a reachable cycle writes provably different
+	// values to the same feature key — a non-convergent SAVE
+	// oscillation.
+	CodeOscillation = "GM003"
+	// CodeVacuous: a declared property's predicate has no reachable
+	// state where it provably holds or provably fails — the assertion
+	// never bites and is likely miswritten.
+	CodeVacuous = "GM004"
+)
+
+// Property checking outcomes.
+const (
+	// StatusProved: the property holds in every explored state, and
+	// exploration was exhaustive within the certificate's bounds.
+	StatusProved = "PROVED"
+	// StatusRefuted: a counterexample trace exists in the abstraction.
+	StatusRefuted = "REFUTED"
+	// StatusInconclusive: exploration was truncated or the predicate
+	// could not be decided abstractly.
+	StatusInconclusive = "INCONCLUSIVE"
+)
+
+// Exploration defaults.
+const (
+	DefaultMaxDepth      = 48
+	DefaultMaxStates     = 2048
+	DefaultWidenAfter    = 8
+	DefaultMaxTicks      = 4096
+	DefaultWitnessBudget = 2048
+)
+
+// Config bounds one model-checking run.
+type Config struct {
+	// Properties are the temporal properties to check, in order.
+	Properties []*spec.PropertyDecl
+	// Shadow names monitors excluded from the transition relation
+	// (deployed in shadow mode: they observe but do not act).
+	Shadow []string
+	// MaxDepth bounds the exploration depth in transition steps
+	// (0 = DefaultMaxDepth).
+	MaxDepth int
+	// MaxStates bounds the number of distinct abstract states
+	// (0 = DefaultMaxStates).
+	MaxStates int
+	// WidenAfter is the number of distinct interval values a key may
+	// take before widening accelerates it (0 = DefaultWidenAfter).
+	WidenAfter int
+	// MaxTicks bounds the timer schedule enumeration per hyperperiod
+	// (0 = DefaultMaxTicks).
+	MaxTicks int
+	// Witness enables concretization of refutations through the real
+	// interpreter.
+	Witness bool
+	// WitnessBudget bounds the assignment enumeration per refutation
+	// (0 = DefaultWitnessBudget).
+	WitnessBudget int
+}
+
+func (c Config) maxDepth() int {
+	if c.MaxDepth > 0 {
+		return c.MaxDepth
+	}
+	return DefaultMaxDepth
+}
+
+func (c Config) maxStates() int {
+	if c.MaxStates > 0 {
+		return c.MaxStates
+	}
+	return DefaultMaxStates
+}
+
+func (c Config) widenAfter() int {
+	if c.WidenAfter > 0 {
+		return c.WidenAfter
+	}
+	return DefaultWidenAfter
+}
+
+func (c Config) maxTicks() int {
+	if c.MaxTicks > 0 {
+		return c.MaxTicks
+	}
+	return DefaultMaxTicks
+}
+
+func (c Config) witnessBudget() int {
+	if c.WitnessBudget > 0 {
+		return c.WitnessBudget
+	}
+	return DefaultWitnessBudget
+}
+
+// Certificate states the exact bounds under which a proof holds. The
+// proof is exhaustive within them: every deployment execution whose
+// abstract projection stays inside the explored graph satisfies the
+// property.
+type Certificate struct {
+	// States is the number of distinct abstract states explored.
+	States int `json:"states"`
+	// Transitions is the number of transition edges taken.
+	Transitions int `json:"transitions"`
+	// Depth is the maximum exploration depth reached.
+	Depth int `json:"depth"`
+	// HyperperiodNs is the timer hyperperiod the schedule was built
+	// over (0 when the deployment has no timers or the schedule fell
+	// back to conservative coincidence).
+	HyperperiodNs int64 `json:"hyperperiod_ns,omitempty"`
+	// WidenedKeys lists feature keys whose interval sequences were
+	// widened; the proof covers the widened (larger) state space.
+	WidenedKeys []string `json:"widened_keys,omitempty"`
+}
+
+// PropertyResult is the outcome for one declared property.
+type PropertyResult struct {
+	// Property is the declaration in source form.
+	Property string `json:"property"`
+	// Kind is "always" or "eventually".
+	Kind string `json:"kind"`
+	// Status is PROVED, REFUTED, or INCONCLUSIVE.
+	Status string `json:"status"`
+	// Reason explains an INCONCLUSIVE or REFUTED status.
+	Reason string `json:"reason,omitempty"`
+	// Certificate backs a PROVED status.
+	Certificate *Certificate `json:"certificate,omitempty"`
+}
+
+// Report is the full model-checking result for one deployment.
+type Report struct {
+	// Properties holds one result per declared property, in
+	// declaration order.
+	Properties []PropertyResult `json:"properties,omitempty"`
+	// Diagnostics are the GM-coded findings, sorted by (code,
+	// guardrail, message).
+	Diagnostics []interfere.Diagnostic `json:"diagnostics,omitempty"`
+	// States is the number of distinct abstract states explored.
+	States int `json:"states"`
+	// Transitions labels the transition groups of the model, in
+	// schedule order.
+	Transitions []string `json:"transitions,omitempty"`
+	// HyperperiodNs is the timer hyperperiod (see Certificate).
+	HyperperiodNs int64 `json:"hyperperiod_ns,omitempty"`
+	// ConservativeSchedule reports that the timer schedule could not
+	// be computed exactly (overflow or non-integral parameters) and
+	// every timer fires as its own unordered transition instead.
+	ConservativeSchedule bool `json:"conservative_schedule,omitempty"`
+	// Shadow lists monitors excluded from the transition relation.
+	Shadow []string `json:"shadow,omitempty"`
+	// WidenedKeys lists keys whose values were widened.
+	WidenedKeys []string `json:"widened_keys,omitempty"`
+	// Truncated reports that exploration hit a bound; proofs are then
+	// withheld (INCONCLUSIVE) but refutations still stand.
+	Truncated bool `json:"truncated,omitempty"`
+	// TruncationReason says which bound was hit.
+	TruncationReason string `json:"truncation_reason,omitempty"`
+}
+
+// Warnings counts Warn-severity diagnostics.
+func (r *Report) Warnings() int {
+	n := 0
+	for _, d := range r.Diagnostics {
+		if d.Severity == interfere.Warn {
+			n++
+		}
+	}
+	return n
+}
+
+// Clean reports no diagnostics and no refuted or inconclusive
+// properties.
+func (r *Report) Clean() bool {
+	if len(r.Diagnostics) > 0 {
+		return false
+	}
+	for _, p := range r.Properties {
+		if p.Status != StatusProved {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary renders a one-line result.
+func (r *Report) Summary() string {
+	proved, refuted, inconclusive := 0, 0, 0
+	for _, p := range r.Properties {
+		switch p.Status {
+		case StatusProved:
+			proved++
+		case StatusRefuted:
+			refuted++
+		default:
+			inconclusive++
+		}
+	}
+	s := fmt.Sprintf("modelcheck: %d state(s), %d propert%s (%d proved, %d refuted, %d inconclusive), %d warning(s)",
+		r.States, len(r.Properties), plural(len(r.Properties), "y", "ies"),
+		proved, refuted, inconclusive, r.Warnings())
+	if r.Truncated {
+		s += " [truncated: " + r.TruncationReason + "]"
+	}
+	return s
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+// group is one transition of the abstract system: a set of monitors
+// firing together (same hook site, or timers ticking at the same
+// schedule offset), applied in deployment order.
+type group struct {
+	label string
+	mons  []int // indexes into model.mons
+}
+
+// write records one feature-store write applied during a transition.
+type write struct {
+	mon  int         // index into model.mons
+	key  int         // index into model.keys
+	val  vm.Interval // certified store range (pre-join)
+	must bool        // the monitor provably fired (strong update)
+}
+
+// node is one explored abstract state.
+type node struct {
+	vals     []vm.Interval
+	parent   int // node index, -1 for the root
+	viaGroup int // group index taken from parent, -1 for the root
+	viaWrite []write
+	depth    int
+}
+
+// edge is one transition of the explored graph, including back-edges
+// to already-known states.
+type edge struct {
+	to     int
+	group  int
+	writes []write
+}
+
+// model is the abstract transition system built from a deployment.
+type model struct {
+	cfg      Config
+	mons     []*compile.Compiled // active (non-shadow) monitors
+	keys     []string            // sorted key universe
+	keyIdx   map[string]int
+	written  []bool              // some active monitor stores the key
+	declared []*spec.FeatureDecl // by key index, nil when undeclared
+	baseline []*vm.Analysis      // open-world analysis per monitor, nil on error
+	groups   []group
+	hyper    int64
+	conserv  bool
+
+	nodes       []node
+	plans       []*witnessPlan // parallel to the diagnostics under construction
+	adj         [][]edge       // outgoing edges per node, in group order
+	index       map[string]int
+	widened     map[int]bool          // key index → widened
+	seen        []map[vm.Interval]int // per key: distinct values observed
+	accum       []vm.Interval         // per key: running join for widening
+	truncated   bool
+	truncReason string
+	maxDepth    int
+	edges       int
+}
+
+// Check model-checks a deployment against cfg's properties. It never
+// fails: structural problems (a property predicate that cannot be
+// compiled, an empty deployment) surface as INCONCLUSIVE results or
+// diagnostics in the report.
+func Check(dep *interfere.Deployment, cfg Config) *Report {
+	m := buildModel(dep, cfg)
+	m.explore()
+
+	rep := &Report{
+		States:               len(m.nodes),
+		HyperperiodNs:        m.hyper,
+		ConservativeSchedule: m.conserv,
+		Truncated:            m.truncated,
+		TruncationReason:     m.truncReason,
+	}
+	for _, g := range m.groups {
+		rep.Transitions = append(rep.Transitions, g.label)
+	}
+	rep.Shadow = append(rep.Shadow, cfg.Shadow...)
+	sort.Strings(rep.Shadow)
+	for k := range m.widened {
+		rep.WidenedKeys = append(rep.WidenedKeys, m.keys[k])
+	}
+	sort.Strings(rep.WidenedKeys)
+
+	cert := &Certificate{
+		States:        len(m.nodes),
+		Transitions:   m.edges,
+		Depth:         m.maxDepth,
+		HyperperiodNs: m.hyper,
+		WidenedKeys:   rep.WidenedKeys,
+	}
+
+	var diags []interfere.Diagnostic
+	for _, p := range cfg.Properties {
+		res, d := m.checkProperty(p, cert)
+		rep.Properties = append(rep.Properties, res)
+		if d != nil {
+			diags = append(diags, *d)
+		}
+	}
+	diags = append(diags, m.checkOscillation()...)
+
+	if cfg.Witness {
+		concretize(m, diags, cfg.witnessBudget())
+	}
+
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].Code != diags[j].Code {
+			return diags[i].Code < diags[j].Code
+		}
+		if diags[i].Guardrail != diags[j].Guardrail {
+			return diags[i].Guardrail < diags[j].Guardrail
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	rep.Diagnostics = diags
+	return rep
+}
+
+// buildModel derives the abstract transition system from a deployment.
+func buildModel(dep *interfere.Deployment, cfg Config) *model {
+	m := &model{cfg: cfg, keyIdx: map[string]int{}, index: map[string]int{}, widened: map[int]bool{}}
+
+	shadow := map[string]bool{}
+	for _, s := range cfg.Shadow {
+		shadow[s] = true
+	}
+	for _, c := range dep.Monitors {
+		if c == nil || c.Program == nil || shadow[c.Name] {
+			continue
+		}
+		m.mons = append(m.mons, c)
+	}
+
+	// Key universe: everything active monitors load or store, declared
+	// features, and keys the properties mention.
+	keySet := map[string]bool{}
+	writtenSet := map[string]bool{}
+	for _, c := range m.mons {
+		for _, in := range c.Program.Code {
+			switch in.Op {
+			case vm.OpLoad:
+				keySet[c.Program.Symbols[in.Cell]] = true
+			case vm.OpStore:
+				key := c.Program.Symbols[in.Cell]
+				keySet[key] = true
+				writtenSet[key] = true
+			}
+		}
+	}
+	declByKey := map[string]*spec.FeatureDecl{}
+	for _, fd := range dep.Features {
+		keySet[fd.Key] = true
+		declByKey[fd.Key] = fd
+	}
+	for _, p := range cfg.Properties {
+		for _, k := range spec.ExprKeys(p.Pred) {
+			keySet[k] = true
+		}
+	}
+	m.keys = make([]string, 0, len(keySet))
+	for k := range keySet {
+		m.keys = append(m.keys, k)
+	}
+	sort.Strings(m.keys)
+	m.written = make([]bool, len(m.keys))
+	m.declared = make([]*spec.FeatureDecl, len(m.keys))
+	for i, k := range m.keys {
+		m.keyIdx[k] = i
+		m.written[i] = writtenSet[k]
+		m.declared[i] = declByKey[k]
+	}
+
+	// Open-world baseline per monitor: the fallback effect when
+	// state-dependent analysis fails mid-exploration.
+	m.baseline = make([]*vm.Analysis, len(m.mons))
+	for i, c := range m.mons {
+		a, err := vm.AnalyzeWith(c.Program, vm.NumBuiltinHelpers, nil)
+		if err == nil {
+			m.baseline[i] = a
+		}
+	}
+
+	m.buildGroups()
+	return m
+}
+
+// buildGroups derives the transition groups: one per hook site, plus
+// the timer coincidence classes over one hyperperiod.
+func (m *model) buildGroups() {
+	hookMons := map[string][]int{}
+	type timerRef struct {
+		mon   int
+		timer *spec.TimerTrigger
+	}
+	var timers []timerRef
+	for i, c := range m.mons {
+		sites := map[string]bool{}
+		for _, t := range c.Triggers {
+			switch tt := t.(type) {
+			case *spec.FuncTrigger:
+				if !sites[tt.Site] {
+					sites[tt.Site] = true
+					hookMons[tt.Site] = append(hookMons[tt.Site], i)
+				}
+			case *spec.TimerTrigger:
+				timers = append(timers, timerRef{mon: i, timer: tt})
+			}
+		}
+	}
+
+	sites := make([]string, 0, len(hookMons))
+	for s := range hookMons {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	for _, s := range sites {
+		m.groups = append(m.groups, group{label: "hook:" + s, mons: hookMons[s]})
+	}
+
+	if len(timers) == 0 {
+		return
+	}
+	specs := make([]*spec.TimerTrigger, len(timers))
+	for i, tr := range timers {
+		specs[i] = tr.timer
+	}
+	ticks, hyper, ok := interfere.TimerTicks(specs, m.cfg.maxTicks())
+	if !ok {
+		// Conservative fallback: each timer fires alone, in an
+		// unknown order — one singleton transition per timer.
+		m.conserv = true
+		for _, tr := range timers {
+			m.groups = append(m.groups, group{
+				label: "timer[" + m.mons[tr.mon].Name + "]",
+				mons:  []int{tr.mon},
+			})
+		}
+		return
+	}
+	m.hyper = hyper
+	// Distinct coincidence classes only: two ticks with the same member
+	// set induce the same abstract transition.
+	seen := map[string]bool{}
+	for _, tg := range ticks {
+		monSet := map[int]bool{}
+		for _, ti := range tg.Members {
+			monSet[timers[ti].mon] = true
+		}
+		mons := make([]int, 0, len(monSet))
+		for mi := range monSet {
+			mons = append(mons, mi)
+		}
+		sort.Ints(mons)
+		sig := fmt.Sprint(mons)
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		names := make([]string, len(mons))
+		for i, mi := range mons {
+			names[i] = m.mons[mi].Name
+		}
+		m.groups = append(m.groups, group{
+			label: "timer[" + strings.Join(names, "+") + "]",
+			mons:  mons,
+		})
+	}
+}
+
+// initState is the deployment's entry state: declared features take
+// their certified range, undeclared-but-written keys start at the
+// store default 0, and undeclared free keys are unconstrained.
+func (m *model) initState() []vm.Interval {
+	vals := make([]vm.Interval, len(m.keys))
+	for i := range m.keys {
+		switch {
+		case m.declared[i] != nil:
+			vals[i] = vm.RangeInterval(m.declared[i].Lo, m.declared[i].Hi)
+		case m.written[i]:
+			vals[i] = vm.RangeInterval(0, 0)
+		default:
+			vals[i] = vm.TopInterval()
+		}
+	}
+	return vals
+}
+
+// envFor adapts a state vector to a vm.CellEnv for one program.
+func (m *model) envFor(p *vm.Program, vals []vm.Interval) vm.CellEnv {
+	return func(cell int32) (vm.Interval, bool) {
+		if cell < 0 || int(cell) >= len(p.Symbols) {
+			return vm.Interval{}, false
+		}
+		i, ok := m.keyIdx[p.Symbols[cell]]
+		if !ok {
+			return vm.Interval{}, false
+		}
+		return vals[i], true
+	}
+}
+
+// signature canonically encodes a state vector for deduplication.
+func signature(vals []vm.Interval) string {
+	var b strings.Builder
+	b.Grow(len(vals) * 36)
+	for _, v := range vals {
+		fmt.Fprintf(&b, "%x:%x:%t:%t;", math.Float64bits(v.Lo), math.Float64bits(v.Hi), v.Num, v.NaN)
+	}
+	return b.String()
+}
+
+// apply computes the successor state of vals under a transition group,
+// recording the writes. Monitors in a group run sequentially in
+// deployment order, each observing the writes of its predecessors —
+// matching the runtime, which serializes same-instant firings.
+func (m *model) apply(g group, vals []vm.Interval) ([]vm.Interval, []write) {
+	next := make([]vm.Interval, len(vals))
+	copy(next, vals)
+	var writes []write
+	for _, mi := range g.mons {
+		c := m.mons[mi]
+		a, err := vm.AnalyzeWith(c.Program, vm.NumBuiltinHelpers, m.envFor(c.Program, next))
+		if err != nil {
+			a = m.baseline[mi]
+		}
+		if a == nil {
+			// No analysis at all: weak-join Top into every key the
+			// program can store, the only sound effect left.
+			for _, in := range c.Program.Code {
+				if in.Op != vm.OpStore {
+					continue
+				}
+				ki, ok := m.keyIdx[c.Program.Symbols[in.Cell]]
+				if !ok {
+					continue
+				}
+				next[ki] = next[ki].Join(vm.TopInterval())
+				writes = append(writes, write{mon: mi, key: ki, val: vm.TopInterval()})
+			}
+			continue
+		}
+		if !a.CanViolate() {
+			continue // rules provably hold in this state: no action path
+		}
+		must := a.MustViolate()
+		// Per stored key: join the certified ranges of its reachable
+		// stores (first-seen order for determinism), then update.
+		storedOrder := []int{}
+		stored := map[int]vm.Interval{}
+		for _, sf := range a.Stores {
+			ki, ok := m.keyIdx[c.Program.Symbols[sf.Cell]]
+			if !ok {
+				continue
+			}
+			if cur, seen := stored[ki]; seen {
+				stored[ki] = cur.Join(sf.Val)
+			} else {
+				stored[ki] = sf.Val
+				storedOrder = append(storedOrder, ki)
+			}
+		}
+		for _, ki := range storedOrder {
+			sv := stored[ki]
+			if must {
+				next[ki] = sv // the store provably executes
+			} else {
+				next[ki] = next[ki].Join(sv) // may or may not fire
+			}
+			writes = append(writes, write{mon: mi, key: ki, val: sv, must: must})
+		}
+	}
+	for ki := range next {
+		next[ki] = m.widenKey(ki, next[ki])
+	}
+	return next, writes
+}
+
+// widenKey accelerates a key that keeps taking new interval values:
+// after WidenAfter distinct values, new ones are widened against the
+// running join, sending unstable bounds to ±Inf so exploration
+// converges on counting loops.
+func (m *model) widenKey(ki int, nv vm.Interval) vm.Interval {
+	if _, ok := m.seen[ki][nv]; ok {
+		return nv
+	}
+	if len(m.seen[ki]) >= m.cfg.widenAfter() {
+		w := m.accum[ki].Widen(nv)
+		m.widened[ki] = true
+		m.accum[ki] = w
+		if _, ok := m.seen[ki][w]; !ok {
+			m.seen[ki][w] = len(m.seen[ki])
+		}
+		return w
+	}
+	m.seen[ki][nv] = len(m.seen[ki])
+	m.accum[ki] = m.accum[ki].Join(nv)
+	return nv
+}
+
+// explore runs breadth-first exhaustive exploration from the initial
+// state, up to the depth and state bounds.
+func (m *model) explore() {
+	m.seen = make([]map[vm.Interval]int, len(m.keys))
+	m.accum = make([]vm.Interval, len(m.keys))
+	init := m.initState()
+	for ki := range m.keys {
+		m.seen[ki] = map[vm.Interval]int{init[ki]: 0}
+		m.accum[ki] = init[ki]
+	}
+	m.nodes = append(m.nodes, node{vals: init, parent: -1, viaGroup: -1})
+	m.adj = append(m.adj, nil)
+	m.index[signature(init)] = 0
+
+	for qi := 0; qi < len(m.nodes); qi++ {
+		n := m.nodes[qi]
+		if n.depth > m.maxDepth {
+			m.maxDepth = n.depth
+		}
+		if n.depth >= m.cfg.maxDepth() {
+			m.truncate("depth bound")
+			continue
+		}
+		for gi := range m.groups {
+			next, writes := m.apply(m.groups[gi], n.vals)
+			sig := signature(next)
+			if to, ok := m.index[sig]; ok {
+				m.edges++
+				m.adj[qi] = append(m.adj[qi], edge{to: to, group: gi, writes: writes})
+				continue
+			}
+			if len(m.nodes) >= m.cfg.maxStates() {
+				m.truncate("state bound")
+				continue
+			}
+			m.edges++
+			to := len(m.nodes)
+			m.index[sig] = to
+			m.nodes = append(m.nodes, node{
+				vals:     next,
+				parent:   qi,
+				viaGroup: gi,
+				viaWrite: writes,
+				depth:    n.depth + 1,
+			})
+			m.adj = append(m.adj, nil)
+			m.adj[qi] = append(m.adj[qi], edge{to: to, group: gi, writes: writes})
+		}
+	}
+}
+
+func (m *model) truncate(reason string) {
+	if !m.truncated {
+		m.truncated = true
+		m.truncReason = reason
+	}
+}

@@ -1,0 +1,618 @@
+package modelcheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"guardrails/internal/compile"
+	"guardrails/internal/spec"
+	"guardrails/internal/spec/interfere"
+	"guardrails/internal/vm"
+)
+
+// Three-valued abstract verdict for a predicate in a state.
+const (
+	evalUnknown int8 = 0
+	evalTrue    int8 = 1
+	evalFalse   int8 = -1
+)
+
+// witnessPlan is the replay recipe behind one diagnostic: the group
+// sequence to drive through the real interpreter, and what to check.
+// Plans are kept parallel to the diagnostics slice until concretize
+// consumes them.
+type witnessPlan struct {
+	code   string
+	prefix []int       // group indexes from the initial state
+	cycle  []int       // group indexes closing a cycle (GM002 pumped, GM003)
+	prog   *vm.Program // compiled property predicate (GM001, GM002)
+	within int         // the K of an eventually property (GM002)
+	key    string      // contested feature key (GM003)
+}
+
+// compilePred lowers a property predicate to a VM program via a
+// synthetic single-rule guardrail. By the compiler's convention the
+// program returns 1 when the predicate holds and 0 when it fails, so
+// Analysis.CanViolate / MustViolate read as "may be false" / "provably
+// false" and Replay.Violated as "concretely false".
+func compilePred(pred spec.Expr) (*vm.Program, error) {
+	g := &spec.Guardrail{
+		Name:     "__property",
+		Triggers: []spec.Trigger{&spec.TimerTrigger{Interval: 1}},
+		Rules:    []spec.Expr{pred},
+		Actions:  []spec.Action{&spec.ReportAction{}},
+	}
+	c, err := compile.GuardrailWith(g, compile.Options{Level: 1})
+	if err != nil {
+		c, err = compile.GuardrailWith(g, compile.Options{Level: 0})
+	}
+	if err != nil {
+		return nil, err
+	}
+	return c.Program, nil
+}
+
+// evalAll computes the three-valued verdict of a compiled predicate in
+// every explored state.
+func (m *model) evalAll(prog *vm.Program) []int8 {
+	out := make([]int8, len(m.nodes))
+	for i := range m.nodes {
+		a, err := vm.AnalyzeWith(prog, vm.NumBuiltinHelpers, m.envFor(prog, m.nodes[i].vals))
+		if err != nil {
+			out[i] = evalUnknown
+			continue
+		}
+		switch {
+		case !a.CanViolate():
+			out[i] = evalTrue
+		case a.MustViolate():
+			out[i] = evalFalse
+		default:
+			out[i] = evalUnknown
+		}
+	}
+	return out
+}
+
+// treePath returns the group sequence of the BFS tree path from the
+// initial state to node n.
+func (m *model) treePath(n int) []int {
+	var rev []int
+	for n > 0 {
+		rev = append(rev, m.nodes[n].viaGroup)
+		n = m.nodes[n].parent
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// renderTrace narrates a group sequence starting from the initial
+// state, one line per step, tracking the abstract state as it goes.
+// keysOfInterest selects which keys the initial line prints.
+func (m *model) renderTrace(groups []int, keysOfInterest []string) []string {
+	vals := m.initState()
+	var lines []string
+	var initParts []string
+	for _, k := range keysOfInterest {
+		if ki, ok := m.keyIdx[k]; ok {
+			initParts = append(initParts, fmt.Sprintf("%s=%s", k, vals[ki]))
+		}
+	}
+	if len(initParts) == 0 {
+		initParts = append(initParts, "(store empty)")
+	}
+	lines = append(lines, "init: "+strings.Join(initParts, ", "))
+	for step, gi := range groups {
+		g := m.groups[gi]
+		next, writes := m.apply(g, vals)
+		var parts []string
+		for _, w := range writes {
+			mode := "may write"
+			if w.must {
+				mode = "writes"
+			}
+			parts = append(parts, fmt.Sprintf("%s %s %s=%s",
+				m.mons[w.mon].Name, mode, m.keys[w.key], w.val))
+		}
+		if len(parts) == 0 {
+			parts = append(parts, "no monitor acts")
+		}
+		lines = append(lines, fmt.Sprintf("step %d [%s]: %s", step+1, g.label, strings.Join(parts, "; ")))
+		vals = next
+	}
+	return lines
+}
+
+// traceKeys picks the keys worth printing in a trace: the property's
+// keys plus everything written along the steps.
+func (m *model) traceKeys(pred spec.Expr, groups []int) []string {
+	set := map[string]bool{}
+	if pred != nil {
+		for _, k := range spec.ExprKeys(pred) {
+			set[k] = true
+		}
+	}
+	vals := m.initState()
+	for _, gi := range groups {
+		next, writes := m.apply(m.groups[gi], vals)
+		for _, w := range writes {
+			set[m.keys[w.key]] = true
+		}
+		vals = next
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// monitorsOf names the monitors attached to a group sequence, primary
+// first (the final step's first actor), deduplicated.
+func (m *model) monitorsOf(groups []int) (primary string, others []string) {
+	seen := map[string]bool{}
+	var all []string
+	for i := len(groups) - 1; i >= 0; i-- {
+		for _, mi := range m.groups[groups[i]].mons {
+			name := m.mons[mi].Name
+			if !seen[name] {
+				seen[name] = true
+				all = append(all, name)
+			}
+		}
+	}
+	if len(all) == 0 {
+		if len(m.mons) > 0 {
+			return m.mons[0].Name, nil
+		}
+		return "(deployment)", nil
+	}
+	return all[0], all[1:]
+}
+
+// checkProperty evaluates one declared property over the explored
+// graph, appending a witness plan parallel to any diagnostic.
+func (m *model) checkProperty(p *spec.PropertyDecl, cert *Certificate) (PropertyResult, *interfere.Diagnostic) {
+	res := PropertyResult{Property: p.String(), Kind: p.Kind.String()}
+	prog, err := compilePred(p.Pred)
+	if err != nil {
+		res.Status = StatusInconclusive
+		res.Reason = "predicate could not be compiled: " + err.Error()
+		return res, nil
+	}
+	evals := m.evalAll(prog)
+
+	// Vacuity: a predicate never decidable in any reachable state
+	// constrains nothing — the assert is almost certainly miswritten
+	// (a typoed key, a range the deployment never enters).
+	decidable := false
+	for _, e := range evals {
+		if e != evalUnknown {
+			decidable = true
+			break
+		}
+	}
+	if !decidable {
+		res.Status = StatusInconclusive
+		res.Reason = "predicate is undecidable in every reachable abstract state"
+		primary, others := m.monitorsOf(nil)
+		d := &interfere.Diagnostic{
+			Code: CodeVacuous, Severity: interfere.Warn,
+			Pos: p.Pos, Guardrail: primary, Others: others,
+			Message: fmt.Sprintf("property %q never evaluates decidably in any of %d reachable state(s); the assertion cannot bite", p.String(), len(m.nodes)),
+		}
+		m.plans = append(m.plans, nil)
+		return res, d
+	}
+
+	if p.Kind == spec.PropAlways {
+		return m.checkAlways(p, prog, evals, cert, res)
+	}
+	return m.checkEventually(p, prog, evals, cert, res)
+}
+
+// checkAlways: the predicate must provably hold in every reachable
+// state. The first state (in BFS order) where it may fail refutes.
+func (m *model) checkAlways(p *spec.PropertyDecl, prog *vm.Program, evals []int8, cert *Certificate, res PropertyResult) (PropertyResult, *interfere.Diagnostic) {
+	bad := -1
+	for i, e := range evals {
+		if e != evalTrue {
+			bad = i
+			break
+		}
+	}
+	if bad < 0 {
+		if m.truncated {
+			res.Status = StatusInconclusive
+			res.Reason = "holds in every explored state, but exploration was truncated (" + m.truncReason + ")"
+			return res, nil
+		}
+		res.Status = StatusProved
+		res.Certificate = cert
+		return res, nil
+	}
+	res.Status = StatusRefuted
+	verdict := "may fail"
+	if evals[bad] == evalFalse {
+		verdict = "provably fails"
+	}
+	path := m.treePath(bad)
+	res.Reason = fmt.Sprintf("predicate %s in a state reachable in %d step(s)", verdict, len(path))
+	primary, others := m.monitorsOf(path)
+	trace := m.renderTrace(path, m.traceKeys(p.Pred, path))
+	trace = append(trace, fmt.Sprintf("state reached: %s %s", spec.ExprString(p.Pred), verdict))
+	site := ""
+	if len(path) > 0 {
+		site = m.groups[path[len(path)-1]].label
+	}
+	d := &interfere.Diagnostic{
+		Code: CodeSafety, Severity: interfere.Warn,
+		Pos: p.Pos, Guardrail: primary, Others: others, Site: site,
+		Message: fmt.Sprintf("safety property %q %s after %d step(s)", p.String(), verdict, len(path)),
+		Trace:   trace,
+	}
+	m.plans = append(m.plans, &witnessPlan{code: CodeSafety, prefix: path, prog: prog})
+	return res, d
+}
+
+// checkEventually: from the initial state, every execution must reach
+// a provably-true state within K steps. A K-step path staying in
+// not-provably-true states refutes; with fewer than K states explored,
+// a shorter path revisiting a state pumps to any K.
+func (m *model) checkEventually(p *spec.PropertyDecl, prog *vm.Program, evals []int8, cert *Certificate, res PropertyResult) (PropertyResult, *interfere.Diagnostic) {
+	if evals[0] == evalTrue {
+		res.Status = StatusProved
+		res.Certificate = cert
+		return res, nil
+	}
+	if len(m.groups) == 0 {
+		res.Status = StatusInconclusive
+		res.Reason = "deployment has no transitions, and the predicate does not provably hold initially"
+		m.plans = append(m.plans, nil)
+		d := &interfere.Diagnostic{
+			Code: CodeLiveness, Severity: interfere.Warn,
+			Pos: p.Pos, Guardrail: "(deployment)",
+			Message: fmt.Sprintf("liveness property %q cannot progress: the deployment has no hook or timer transitions", p.String()),
+		}
+		return res, d
+	}
+
+	// Layered BFS over the not-provably-true subgraph: frontier[k] is
+	// the set of states reachable from init in exactly k steps along
+	// paths whose every state is not provably true.
+	limit := p.Within
+	if limit > len(m.nodes) {
+		limit = len(m.nodes)
+	}
+	type hop struct{ prev, group int }
+	pred := make(map[[2]int]hop)
+	frontier := []int{0}
+	depth := 0
+	for depth < limit && len(frontier) > 0 {
+		nextSet := map[int]hop{}
+		for _, u := range frontier {
+			for _, e := range m.adj[u] {
+				if evals[e.to] == evalTrue {
+					continue
+				}
+				if _, ok := nextSet[e.to]; !ok {
+					nextSet[e.to] = hop{prev: u, group: e.group}
+				}
+			}
+		}
+		if len(nextSet) == 0 {
+			frontier = nil
+			break
+		}
+		depth++
+		frontier = frontier[:0]
+		for v := range nextSet {
+			frontier = append(frontier, v)
+		}
+		sort.Ints(frontier)
+		for _, v := range frontier {
+			pred[[2]int{depth, v}] = nextSet[v]
+		}
+	}
+
+	if len(frontier) == 0 {
+		// Every not-provably-true path dies before K steps: all
+		// executions provably reach the predicate in time.
+		if m.truncated {
+			res.Status = StatusInconclusive
+			res.Reason = "no refuting path in the explored graph, but exploration was truncated (" + m.truncReason + ")"
+			return res, nil
+		}
+		res.Status = StatusProved
+		res.Certificate = cert
+		return res, nil
+	}
+
+	// A depth-step all-not-true path survives. Reconstruct it.
+	end := frontier[0]
+	pathNodes := make([]int, depth+1)
+	pathGroups := make([]int, depth)
+	pathNodes[depth] = end
+	for k := depth; k > 0; k-- {
+		h := pred[[2]int{k, pathNodes[k]}]
+		pathNodes[k-1] = h.prev
+		pathGroups[k-1] = h.group
+	}
+
+	pumped := depth < p.Within
+	var prefix, cycle []int
+	if pumped {
+		// depth == len(m.nodes) < K: the path visits depth+1 states,
+		// so some state repeats — the segment between the repeats is a
+		// cycle inside the not-true region, pumpable to any K.
+		first := map[int]int{}
+		ci, cj := -1, -1
+		for i, n := range pathNodes {
+			if j, ok := first[n]; ok {
+				ci, cj = j, i
+				break
+			}
+			first[n] = i
+		}
+		if ci < 0 {
+			// No repeat (depth < len(nodes) can happen when limit was
+			// capped by Within): treat as a plain finite refutation.
+			pumped = false
+			prefix = pathGroups
+		} else {
+			prefix = pathGroups[:ci]
+			cycle = pathGroups[ci:cj]
+		}
+	} else {
+		prefix = pathGroups
+	}
+
+	res.Status = StatusRefuted
+	if pumped {
+		res.Reason = fmt.Sprintf("a reachable cycle keeps the predicate not provably true for any number of steps (bound %d)", p.Within)
+	} else {
+		res.Reason = fmt.Sprintf("an execution stays not provably true for %d step(s)", depth)
+	}
+	all := append(append([]int{}, prefix...), cycle...)
+	primary, others := m.monitorsOf(all)
+	trace := m.renderTrace(all, m.traceKeys(p.Pred, all))
+	if pumped {
+		trace = append(trace, fmt.Sprintf("steps %d..%d repeat forever: %s never provably holds", len(prefix)+1, len(all), spec.ExprString(p.Pred)))
+	} else {
+		trace = append(trace, fmt.Sprintf("after %d step(s): %s still not provably true (bound %d)", depth, spec.ExprString(p.Pred), p.Within))
+	}
+	site := ""
+	if len(all) > 0 {
+		site = m.groups[all[len(all)-1]].label
+	}
+	d := &interfere.Diagnostic{
+		Code: CodeLiveness, Severity: interfere.Warn,
+		Pos: p.Pos, Guardrail: primary, Others: others, Site: site,
+		Message: fmt.Sprintf("liveness property %q misses its bound: %s", p.String(), res.Reason),
+		Trace:   trace,
+	}
+	m.plans = append(m.plans, &witnessPlan{code: CodeLiveness, prefix: prefix, cycle: cycle, prog: prog, within: p.Within})
+	return res, d
+}
+
+// checkOscillation finds non-convergent SAVE oscillations (GM003): a
+// reachable cycle along which two monitors (or one monitor in two
+// modes) write provably disjoint values to the same feature key, so
+// the key never settles.
+func (m *model) checkOscillation() []interfere.Diagnostic {
+	sccs := sccsOf(m.adj)
+	var diags []interfere.Diagnostic
+	for _, comp := range sccs {
+		inComp := map[int]bool{}
+		for _, n := range comp {
+			inComp[n] = true
+		}
+		// Intra-SCC edges; a single node only counts with a self-loop.
+		var edges []cycleEdge
+		for _, u := range comp {
+			for _, e := range m.adj[u] {
+				if inComp[e.to] && (len(comp) > 1 || e.to == u) {
+					edges = append(edges, cycleEdge{from: u, e: e})
+				}
+			}
+		}
+		if len(edges) == 0 {
+			continue
+		}
+		// Writes per key along the cycle edges.
+		byKey := map[int][]cycleWrite{}
+		var keyOrder []int
+		for _, ce := range edges {
+			for _, w := range ce.e.writes {
+				if len(byKey[w.key]) == 0 {
+					keyOrder = append(keyOrder, w.key)
+				}
+				byKey[w.key] = append(byKey[w.key], cycleWrite{ce: ce, w: w})
+			}
+		}
+		sort.Ints(keyOrder)
+		for _, ki := range keyOrder {
+			ws := byKey[ki]
+			found := false
+			for i := 0; i < len(ws) && !found; i++ {
+				for j := i + 1; j < len(ws) && !found; j++ {
+					if !ws[i].w.val.DisjointFrom(ws[j].w.val) {
+						continue
+					}
+					found = true
+					d, plan := m.oscillationFinding(inComp, ki, ws[i], ws[j])
+					diags = append(diags, d)
+					m.plans = append(m.plans, plan)
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// cycleEdge is an intra-SCC edge with its source node.
+type cycleEdge struct {
+	from int
+	e    edge
+}
+
+// cycleWrite is one feature-store write on an intra-SCC edge.
+type cycleWrite struct {
+	ce cycleEdge
+	w  write
+}
+
+// oscillationFinding builds the GM003 diagnostic and witness plan for
+// one contested key: the cycle visiting both writes, prefixed by the
+// tree path to its entry.
+func (m *model) oscillationFinding(inComp map[int]bool, ki int, a, b cycleWrite) (interfere.Diagnostic, *witnessPlan) {
+	// Cycle: take a's edge, walk inside the SCC from a's target to b's
+	// source, take b's edge, walk back to a's source.
+	mid := m.sccPath(a.ce.e.to, b.ce.from, inComp)
+	back := m.sccPath(b.ce.e.to, a.ce.from, inComp)
+	cycleGroups := []int{a.ce.e.group}
+	cycleGroups = append(cycleGroups, mid...)
+	cycleGroups = append(cycleGroups, b.ce.e.group)
+	cycleGroups = append(cycleGroups, back...)
+	entry := a.ce.from
+	prefix := m.treePath(entry)
+
+	monA, monB := m.mons[a.w.mon].Name, m.mons[b.w.mon].Name
+	key := m.keys[ki]
+	msg := fmt.Sprintf("feature %q oscillates on a reachable cycle: %s writes %s while %s writes %s — the value never converges",
+		key, monA, a.w.val, monB, b.w.val)
+	var others []string
+	if monB != monA {
+		others = append(others, monB)
+	}
+	all := append(append([]int{}, prefix...), cycleGroups...)
+	trace := m.renderTrace(all, m.traceKeys(nil, all))
+	trace = append(trace, fmt.Sprintf("steps %d..%d form a cycle: %s alternates between %s and %s forever",
+		len(prefix)+1, len(all), key, a.w.val, b.w.val))
+	var pos spec.Pos
+	if src := m.mons[a.w.mon].Source; src != nil {
+		pos = src.Pos
+	}
+	d := interfere.Diagnostic{
+		Code: CodeOscillation, Severity: interfere.Warn,
+		Pos: pos, Guardrail: monA, Others: others,
+		Site:    m.groups[a.ce.e.group].label,
+		Message: msg,
+		Trace:   trace,
+	}
+	plan := &witnessPlan{code: CodeOscillation, prefix: prefix, cycle: cycleGroups, key: key}
+	return d, plan
+}
+
+// sccPath returns the group sequence of a shortest path from u to v
+// staying inside the SCC (empty when u == v).
+func (m *model) sccPath(u, v int, inComp map[int]bool) []int {
+	if u == v {
+		return nil
+	}
+	type hop struct{ prev, group int }
+	pred := map[int]hop{}
+	visited := map[int]bool{u: true}
+	frontier := []int{u}
+	for len(frontier) > 0 && !visited[v] {
+		var next []int
+		for _, x := range frontier {
+			for _, e := range m.adj[x] {
+				if !inComp[e.to] || visited[e.to] {
+					continue
+				}
+				visited[e.to] = true
+				pred[e.to] = hop{prev: x, group: e.group}
+				next = append(next, e.to)
+			}
+		}
+		frontier = next
+	}
+	if !visited[v] {
+		return nil
+	}
+	var rev []int
+	for n := v; n != u; {
+		h := pred[n]
+		rev = append(rev, h.group)
+		n = h.prev
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// sccsOf computes strongly connected components of the explored graph
+// (iterative Tarjan), returned in a deterministic order with members
+// ascending.
+func sccsOf(adj [][]edge) [][]int {
+	n := len(adj)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var out [][]int
+	next := 0
+
+	type frame struct {
+		v, ei int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		frames := []frame{{v: root}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei].to
+				f.ei++
+				if index[w] == -1 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			if low[f.v] == index[f.v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == f.v {
+						break
+					}
+				}
+				sort.Ints(comp)
+				out = append(out, comp)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[f.v] < low[p.v] {
+					low[p.v] = low[f.v]
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

@@ -1,0 +1,246 @@
+package modelcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"guardrails/internal/spec/interfere"
+	"guardrails/internal/vm"
+)
+
+// Witness concretization: replay a refutation's abstract trace through
+// the real interpreter. A concrete initial store that reproduces the
+// violation upgrades the diagnostic to CONFIRMED and attaches a
+// replayable event schedule; otherwise the diagnostic stays PLAUSIBLE
+// — the sound abstract claim stands, unreproduced within the search
+// bounds.
+//
+// The schedule is the abstract trace's group sequence: at each step
+// the group's monitors run in deployment order on the live store,
+// each fired monitor's SAVEs feeding its successors — exactly how the
+// kernel runtime serializes same-instant firings.
+
+// concretize grades every diagnostic that has a witness plan. plans is
+// parallel to diags (a nil plan leaves the diagnostic ungraded).
+func concretize(m *model, diags []interfere.Diagnostic, budget int) {
+	for i := range diags {
+		if i >= len(m.plans) || m.plans[i] == nil {
+			continue
+		}
+		plan := m.plans[i]
+		w := m.searchWitness(plan, budget)
+		if w != nil {
+			diags[i].Status = vm.WitnessConfirmed
+			diags[i].Witness = w
+		} else {
+			diags[i].Status = vm.WitnessPlausible
+		}
+	}
+}
+
+// searchWitness enumerates concrete initial stores and replays the
+// plan's schedule, returning the first witness that reproduces the
+// violation.
+func (m *model) searchWitness(plan *witnessPlan, budget int) *vm.Witness {
+	// Free variables of the search: declared features range over their
+	// interval's candidate values; undeclared-unwritten keys (pure
+	// environment inputs) over generic seeds. Written-undeclared keys
+	// are pinned to the store default 0.
+	var keys []string
+	cands := map[string][]float64{}
+	base := map[string]float64{}
+	for i, k := range m.keys {
+		switch {
+		case m.declared[i] != nil:
+			keys = append(keys, k)
+			cands[k] = vm.Candidates(vm.RangeInterval(m.declared[i].Lo, m.declared[i].Hi), true)
+		case !m.written[i]:
+			keys = append(keys, k)
+			cands[k] = vm.Candidates(vm.Interval{}, false)
+		default:
+			base[k] = 0
+		}
+	}
+	sort.Strings(keys)
+
+	var found *vm.Witness
+	vm.EnumAssignments(keys, cands, budget, func(assign map[string]float64) bool {
+		env := vm.CopyAssign(base)
+		for k, v := range assign {
+			env[k] = v
+		}
+		initial := vm.CopyAssign(env)
+		if w := m.replayPlan(plan, env); w != nil {
+			w.Inputs = initial
+			found = w
+			return true
+		}
+		return false
+	})
+	return found
+}
+
+// replayPlan drives one concrete initial store through the plan's
+// schedule on the real interpreter and checks the plan's claim,
+// returning a narrated witness on success. env is mutated.
+func (m *model) replayPlan(plan *witnessPlan, env map[string]float64) *vm.Witness {
+	var steps []string
+
+	switch plan.code {
+	case CodeSafety:
+		if !m.replayGroups(plan.prefix, env, &steps, nil) {
+			return nil
+		}
+		if !m.predFalse(plan.prog, env) {
+			return nil
+		}
+		steps = append(steps, "property predicate evaluates false")
+		return &vm.Witness{Steps: steps}
+
+	case CodeLiveness:
+		if plan.prog == nil || !m.predFalse(plan.prog, env) {
+			return nil
+		}
+		allFalse := true
+		check := func(e map[string]float64) {
+			if !m.predFalse(plan.prog, e) {
+				allFalse = false
+			}
+		}
+		if !m.replayGroups(plan.prefix, env, &steps, check) || !allFalse {
+			return nil
+		}
+		if len(plan.cycle) == 0 {
+			// Finite refutation: the predicate stayed false for the
+			// full bound.
+			steps = append(steps, fmt.Sprintf("predicate still false after %d step(s) (bound %d)", len(plan.prefix), plan.within))
+			return &vm.Witness{Steps: steps}
+		}
+		// Pumped refutation: one cycle lap must return to the same
+		// concrete store with the predicate false throughout — then
+		// the schedule extends to any bound.
+		entry := vm.CopyAssign(env)
+		if !m.replayGroups(plan.cycle, env, &steps, check) || !allFalse {
+			return nil
+		}
+		if !sameAssign(entry, env) {
+			return nil
+		}
+		steps = append(steps, fmt.Sprintf("store returned to its pre-cycle state with the predicate false throughout: the %d-step cycle repeats past any bound (bound %d)", len(plan.cycle), plan.within))
+		return &vm.Witness{Steps: steps}
+
+	case CodeOscillation:
+		if !m.replayGroups(plan.prefix, env, &steps, nil) {
+			return nil
+		}
+		entry := vm.CopyAssign(env)
+		written := map[float64]bool{}
+		observe := func(key string, val float64) {
+			if key == plan.key {
+				written[val] = true
+			}
+		}
+		if !m.replayGroupsObserved(plan.cycle, env, &steps, observe) {
+			return nil
+		}
+		if len(written) < 2 || !sameAssign(entry, env) {
+			return nil
+		}
+		vals := make([]float64, 0, len(written))
+		for v := range written {
+			vals = append(vals, v)
+		}
+		sort.Float64s(vals)
+		steps = append(steps, fmt.Sprintf("store returned to its pre-cycle state after writing %s=%v within the lap: the oscillation repeats forever", plan.key, vals))
+		return &vm.Witness{Steps: steps}
+	}
+	return nil
+}
+
+// replayGroups replays a group sequence on env, narrating into steps.
+// after (when non-nil) observes the store after each step. Returns
+// false on any interpreter trap.
+func (m *model) replayGroups(groups []int, env map[string]float64, steps *[]string, after func(map[string]float64)) bool {
+	return m.replayWith(groups, env, steps, after, nil)
+}
+
+// replayGroupsObserved replays a group sequence with a per-write
+// observer.
+func (m *model) replayGroupsObserved(groups []int, env map[string]float64, steps *[]string, observe func(string, float64)) bool {
+	return m.replayWith(groups, env, steps, nil, observe)
+}
+
+// replayWith is the common driver: run each group's monitors in
+// deployment order, applying fired monitors' stores; observe (when
+// non-nil) sees each store write, after (when non-nil) sees the store
+// after each group.
+func (m *model) replayWith(groups []int, env map[string]float64, steps *[]string, after func(map[string]float64), observe func(string, float64)) bool {
+	for _, gi := range groups {
+		g := m.groups[gi]
+		var acts []string
+		for _, mi := range g.mons {
+			c := m.mons[mi]
+			rec := vm.ReplayProgram(c.Program, env, 0, 0)
+			if rec.Err != nil {
+				return false
+			}
+			if !rec.Violated {
+				continue
+			}
+			for _, se := range rec.Stores {
+				env[se.Key] = se.Val
+				if observe != nil {
+					observe(se.Key, se.Val)
+				}
+				acts = append(acts, fmt.Sprintf("%s SAVE %s=%g", c.Name, se.Key, se.Val))
+			}
+			if len(rec.Stores) == 0 {
+				acts = append(acts, c.Name+" fires")
+			}
+		}
+		if len(acts) == 0 {
+			acts = append(acts, "no monitor fires")
+		}
+		*steps = append(*steps, fmt.Sprintf("[%s] %s", g.label, joinActs(acts)))
+		if after != nil {
+			after(env)
+		}
+	}
+	return true
+}
+
+func joinActs(acts []string) string {
+	s := acts[0]
+	for _, a := range acts[1:] {
+		s += "; " + a
+	}
+	return s
+}
+
+// predFalse replays a compiled predicate against a concrete store:
+// true when the predicate concretely fails.
+func (m *model) predFalse(prog *vm.Program, env map[string]float64) bool {
+	if prog == nil {
+		return false
+	}
+	rec := vm.ReplayProgram(prog, env, 0, 0)
+	return rec.Err == nil && rec.Violated
+}
+
+// sameAssign reports two concrete stores identical (same keys, same
+// values; NaN matches NaN).
+func sameAssign(a, b map[string]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok {
+			return false
+		}
+		if va != vb && !(va != va && vb != vb) {
+			return false
+		}
+	}
+	return true
+}

@@ -31,6 +31,15 @@ func Parse(src string) (*File, error) {
 			p.skipSeparators()
 			continue
 		}
+		if p.cur.Kind == TokIdent && p.cur.Text == "assert" {
+			d, err := p.parsePropertyDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Properties = append(f.Properties, d)
+			p.skipSeparators()
+			continue
+		}
 		g, err := p.parseGuardrail()
 		if err != nil {
 			return nil, err

@@ -623,6 +623,31 @@ func (a *Analysis) CanViolate() bool {
 	return false
 }
 
+// MustViolate reports whether every reachable exit provably returns an
+// ordinary 0 — the rule conjunction is violated on *all* paths, so the
+// guardrail's actions fire on every evaluation. The model checker uses
+// it to apply strong (replacing) state updates; a program with no
+// reachable exits trivially does not must-violate.
+func (a *Analysis) MustViolate() bool {
+	if len(a.Exits) == 0 {
+		return false
+	}
+	for _, e := range a.Exits {
+		if e.R0.NaN || !e.R0.Num || e.R0.Lo != 0 || e.R0.Hi != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Widen is Join with bound acceleration: any bound of o that escapes
+// iv goes straight to its infinity. Fixpoint loops over interval chains
+// (the deployment model checker's repeated state joins) terminate under
+// Widen where plain Join could climb forever.
+func (iv Interval) Widen(o Interval) Interval {
+	return widen(fromInterval(iv), fromInterval(o)).iv()
+}
+
 // StoreRange joins the certified ranges of every reachable store to
 // cell; ok is false when no reachable store writes it.
 func (a *Analysis) StoreRange(cell int32) (Interval, bool) {

@@ -1,0 +1,53 @@
+package vm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMustViolate(t *testing.T) {
+	zero := RangeInterval(0, 0)
+	one := RangeInterval(1, 1)
+	both := RangeInterval(0, 1)
+	cases := []struct {
+		name  string
+		exits []ExitFact
+		want  bool
+	}{
+		{"no exits", nil, false},
+		{"always zero", []ExitFact{{R0: zero}}, true},
+		{"two zero exits", []ExitFact{{R0: zero}, {R0: zero}}, true},
+		{"may hold", []ExitFact{{R0: both}}, false},
+		{"holds", []ExitFact{{R0: one}}, false},
+		{"mixed", []ExitFact{{R0: zero}, {R0: one}}, false},
+		{"nan tainted", []ExitFact{{R0: Interval{Num: true, NaN: true}}}, false},
+	}
+	for _, c := range cases {
+		a := &Analysis{Exits: c.exits}
+		if got := a.MustViolate(); got != c.want {
+			t.Errorf("%s: MustViolate = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestIntervalWiden(t *testing.T) {
+	a := RangeInterval(0, 1)
+	b := RangeInterval(0, 2)
+	w := a.Widen(b)
+	if w.Lo != 0 {
+		t.Errorf("stable lower bound widened: %s", w)
+	}
+	if !math.IsInf(w.Hi, 1) {
+		t.Errorf("growing upper bound not accelerated: %s", w)
+	}
+	// Stable value widens to itself.
+	if s := a.Widen(a); s != a {
+		t.Errorf("Widen(self) = %s, want %s", s, a)
+	}
+	// Falling lower bound accelerates down.
+	c := RangeInterval(-5, 1)
+	w2 := a.Widen(c)
+	if !math.IsInf(w2.Lo, -1) || w2.Hi != 1 {
+		t.Errorf("Widen down = %s", w2)
+	}
+}

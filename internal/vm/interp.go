@@ -83,6 +83,8 @@ type Machine struct {
 // uses raw IEEE division. Unproven programs (decoded images before
 // re-verification, hand-built test programs) run with every guard as
 // defense in depth.
+//
+//guardrails:hotpath
 func (m *Machine) Run(p *Program, env Env, arg float64) (float64, error) {
 	if p.Meta.TrapFree {
 		return m.runProven(p, env, arg)
@@ -94,6 +96,8 @@ func (m *Machine) Run(p *Program, env Env, arg float64) (float64, error) {
 // programs: no budget decrement, no pc bounds test. Step accounting is
 // kept in a local and folded into m.Steps at exit so the hot loop
 // touches no memory beyond the register file.
+//
+//guardrails:hotpath
 func (m *Machine) runProven(p *Program, env Env, arg float64) (float64, error) {
 	m.regs = [NumRegs]float64{}
 	m.regs[0] = arg
@@ -212,7 +216,7 @@ func (m *Machine) runProven(p *Program, env Env, arg float64) (float64, error) {
 			out, err := env.Helper(HelperID(in.Imm), &args)
 			if err != nil {
 				m.Steps += steps
-				return 0, &Trap{Code: TrapHelper, PC: pc, Program: p.Name,
+				return 0, &Trap{Code: TrapHelper, PC: pc, Program: p.Name, //guardrails:coldpath trap construction
 					Instr: p.fmtInstr(in), Cause: err}
 			}
 			r[0] = out
@@ -224,7 +228,7 @@ func (m *Machine) runProven(p *Program, env Env, arg float64) (float64, error) {
 			// Unreachable for a verified program; kept as defense in
 			// depth against post-verification code mutation.
 			m.Steps += steps
-			return 0, &Trap{Code: TrapBadOpcode, PC: pc, Program: p.Name,
+			return 0, &Trap{Code: TrapBadOpcode, PC: pc, Program: p.Name, //guardrails:coldpath trap construction
 				Instr: p.fmtInstr(in), Cause: fmt.Errorf("invalid opcode %v", in.Op)}
 		}
 		pc++
@@ -234,6 +238,8 @@ func (m *Machine) runProven(p *Program, env Env, arg float64) (float64, error) {
 // runGuarded is the fully-guarded interpreter loop for unproven
 // programs: a per-step instruction budget bounds runaway code and every
 // pc is bounds-tested before the fetch.
+//
+//guardrails:hotpath
 func (m *Machine) runGuarded(p *Program, env Env, arg float64) (float64, error) {
 	m.regs = [NumRegs]float64{}
 	m.regs[0] = arg
@@ -243,13 +249,13 @@ func (m *Machine) runGuarded(p *Program, env Env, arg float64) (float64, error) 
 	pc := 0
 	for {
 		if budget <= 0 {
-			return 0, &Trap{Code: TrapBudget, PC: pc, Program: p.Name,
+			return 0, &Trap{Code: TrapBudget, PC: pc, Program: p.Name, //guardrails:coldpath trap construction
 				Instr: p.InstrString(pc), Cause: ErrBudget}
 		}
 		budget--
 		m.Steps++
 		if pc < 0 || pc >= len(p.Code) {
-			return 0, &Trap{Code: TrapBadPC, PC: pc, Program: p.Name,
+			return 0, &Trap{Code: TrapBadPC, PC: pc, Program: p.Name, //guardrails:coldpath trap construction
 				Cause: fmt.Errorf("pc %d outside [0,%d)", pc, len(p.Code))}
 		}
 		in := p.Code[pc]
@@ -350,7 +356,7 @@ func (m *Machine) runGuarded(p *Program, env Env, arg float64) (float64, error) 
 			args := [5]float64{r[1], r[2], r[3], r[4], r[5]}
 			out, err := env.Helper(HelperID(in.Imm), &args)
 			if err != nil {
-				return 0, &Trap{Code: TrapHelper, PC: pc, Program: p.Name,
+				return 0, &Trap{Code: TrapHelper, PC: pc, Program: p.Name, //guardrails:coldpath trap construction
 					Instr: p.fmtInstr(in), Cause: err}
 			}
 			r[0] = out
@@ -358,7 +364,7 @@ func (m *Machine) runGuarded(p *Program, env Env, arg float64) (float64, error) 
 		case OpExit:
 			return r[0], nil
 		default:
-			return 0, &Trap{Code: TrapBadOpcode, PC: pc, Program: p.Name,
+			return 0, &Trap{Code: TrapBadOpcode, PC: pc, Program: p.Name, //guardrails:coldpath trap construction
 				Instr: p.fmtInstr(in), Cause: fmt.Errorf("invalid opcode %v", in.Op)}
 		}
 		pc++

@@ -1,0 +1,205 @@
+package hotpath
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+const fixture = `package fixture
+
+import "time"
+
+type item struct{ n int }
+
+//guardrails:hotpath
+func dirty(m map[string]int, xs []int) int {
+	s := make([]int, 4)        // want: make allocates
+	p := new(item)             // want: new allocates
+	xs = append(xs, 1)         // want: append may grow and allocate
+	q := &item{n: 2}           // want: &composite literal
+	lit := []int{1, 2, 3}      // want: slice literal
+	mm := map[string]int{}     // want: map literal
+	f := func() int { return len(lit) } // want: func literal
+	t := time.Now()            // want: time.Now
+	b := []byte("k")           // want: string conversion copies
+	total := 0
+	for _, v := range m {      // want: map iteration
+		total += v
+	}
+	_ = mm
+	return s[0] + p.n + q.n + f() + int(t.Unix()) + total + len(b) + xs[0]
+}
+
+//guardrails:hotpath
+func suppressed() error {
+	return &timeoutError{} //guardrails:coldpath cold error path
+}
+
+type timeoutError struct{}
+
+func (*timeoutError) Error() string { return "timeout" }
+
+// unmarked is as dirty as it gets but carries no directive: no findings.
+func unmarked() []int {
+	return append(make([]int, 1), 2)
+}
+
+//guardrails:hotpath
+func clean(xs []int, arg float64) float64 {
+	total := arg
+	for _, x := range xs {
+		total += float64(x)
+	}
+	var buf [8]float64
+	buf[0] = total
+	return buf[0]
+}
+`
+
+// fakeTimeImporter satisfies the one import the fixture needs without
+// touching compiled export data, keeping the test hermetic.
+type fakeTimeImporter struct{}
+
+func (fakeTimeImporter) Import(path string) (*types.Package, error) {
+	if path != "time" {
+		return nil, &importError{path}
+	}
+	pkg := types.NewPackage("time", "time")
+	timeStruct := types.NewNamed(
+		types.NewTypeName(token.NoPos, pkg, "Time", nil),
+		types.NewStruct(nil, nil), nil)
+	unix := types.NewFunc(token.NoPos, pkg, "Unix", types.NewSignatureType(
+		types.NewVar(token.NoPos, pkg, "t", timeStruct), nil, nil,
+		nil, types.NewTuple(types.NewVar(token.NoPos, pkg, "", types.Typ[types.Int64])), false))
+	timeStruct.AddMethod(unix)
+	now := types.NewFunc(token.NoPos, pkg, "Now", types.NewSignatureType(
+		nil, nil, nil, nil,
+		types.NewTuple(types.NewVar(token.NoPos, pkg, "", timeStruct)), false))
+	pkg.Scope().Insert(timeStruct.Obj())
+	pkg.Scope().Insert(now)
+	pkg.MarkComplete()
+	return pkg, nil
+}
+
+type importError struct{ path string }
+
+func (e *importError) Error() string { return "unexpected import " + e.path }
+
+func analyzeFixture(t *testing.T, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: fakeTimeImporter{}}
+	if _, err := conf.Check("fixture", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(&Package{Fset: fset, Files: []*ast.File{f}, Info: info})
+}
+
+// TestAnalyzeFlagsAllCategories: every allocation category plus
+// time.Now and map iteration is caught in the marked dirty function.
+func TestAnalyzeFlagsAllCategories(t *testing.T) {
+	findings := analyzeFixture(t, fixture)
+	wants := []string{
+		"make allocates",
+		"new allocates",
+		"append may grow and allocate",
+		"&composite literal",
+		"slice literal",
+		"map literal",
+		"func literal",
+		"time.Now",
+		"string conversion copies",
+		"map iteration",
+	}
+	for _, want := range wants {
+		found := false
+		for _, f := range findings {
+			if f.Func == "dirty" && strings.Contains(f.What, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no finding matching %q in: %v", want, findings)
+		}
+	}
+}
+
+// TestAnalyzeScope: unmarked functions, clean marked functions, and
+// coldpath-suppressed lines produce no findings.
+func TestAnalyzeScope(t *testing.T) {
+	for _, f := range analyzeFixture(t, fixture) {
+		switch f.Func {
+		case "unmarked":
+			t.Errorf("unmarked function flagged: %v", f)
+		case "clean":
+			t.Errorf("clean function flagged: %v", f)
+		case "suppressed":
+			t.Errorf("coldpath-suppressed line flagged: %v", f)
+		}
+	}
+}
+
+// TestAnalyzeShadowedBuiltin: a local function named make is not the
+// builtin; calling it must not be flagged.
+func TestAnalyzeShadowedBuiltin(t *testing.T) {
+	const src = `package fixture
+
+func make(n int) int { return n }
+
+//guardrails:hotpath
+func usesShadow() int {
+	return make(3)
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "shadow.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("fixture", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	findings := Analyze(&Package{Fset: fset, Files: []*ast.File{f}, Info: info})
+	if len(findings) != 0 {
+		t.Errorf("shadowed make flagged: %v", findings)
+	}
+}
+
+// TestFindingString pins the file:line:col rendering the driver and CI
+// grep on.
+func TestFindingString(t *testing.T) {
+	f := Finding{
+		Pos:  token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Func: "Machine.Run", What: "make allocates",
+	}
+	if got, want := f.String(), "x.go:3:7: hotpath: Machine.Run: make allocates"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestImporterHelper keeps the fake importer honest about rejecting
+// unexpected imports.
+func TestImporterHelper(t *testing.T) {
+	if _, err := (fakeTimeImporter{}).Import("os"); err == nil {
+		t.Error("fake importer accepted an unexpected import")
+	}
+}
